@@ -1,0 +1,544 @@
+// Benchmark harness: one bench per figure, table and prose claim of the
+// paper's evaluation (see EXPERIMENTS.md for the index), plus micro-benches
+// of the hot paths. Each experiment bench reports the reproduced values as
+// custom metrics (ms_*) so that `go test -bench=. -benchmem` regenerates
+// the paper's rows/series directly in its output.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/afdx"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/milstd1553"
+	"repro/internal/netcalc"
+	"repro/internal/shaper"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// ---------------------------------------------------------------------------
+// F1 — Figure 1: delay bounds of the two approaches on the real-case traffic.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure1 regenerates Figure 1 and reports the per-class priority
+// bounds and the worst FCFS bound in milliseconds.
+func BenchmarkFigure1(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var fig *Figure1
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = RunFigure1(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worstFCFS := simtime.Duration(0)
+	for _, f := range fig.FCFS.Flows {
+		if f.EndToEnd > worstFCFS {
+			worstFCFS = f.EndToEnd
+		}
+	}
+	b.ReportMetric(fig.Priority.ClassWorst[0].Milliseconds(), "ms_P0")
+	b.ReportMetric(fig.Priority.ClassWorst[1].Milliseconds(), "ms_P1")
+	b.ReportMetric(fig.Priority.ClassWorst[2].Milliseconds(), "ms_P2")
+	b.ReportMetric(fig.Priority.ClassWorst[3].Milliseconds(), "ms_P3")
+	b.ReportMetric(worstFCFS.Milliseconds(), "ms_FCFS")
+}
+
+// ---------------------------------------------------------------------------
+// C1–C3 — the prose claims.
+// ---------------------------------------------------------------------------
+
+// BenchmarkClaimC1 reports the FCFS urgent-class bound and the violation
+// count: "some real-time constraints are violated" at 10 Mbps.
+func BenchmarkClaimC1(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = SingleHop(set, FCFS, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClassWorst[P0].Milliseconds(), "ms_P0_bound")
+	b.ReportMetric(float64(res.Violations), "violations")
+}
+
+// BenchmarkClaimC2 reports the priority urgent-class bound: below 3 ms.
+func BenchmarkClaimC2(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = SingleHop(set, PriorityHandling, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClassWorst[P0].Milliseconds(), "ms_P0_bound")
+	b.ReportMetric(float64(res.Violations), "violations")
+}
+
+// BenchmarkClaimC3 reports the periodic-class bounds under both approaches
+// at the bottleneck: priority < FCFS.
+func BenchmarkClaimC3(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var fcfsMC, prioMC simtime.Duration
+	for i := 0; i < b.N; i++ {
+		fcfs, err := SingleHop(set, FCFS, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prio, err := SingleHop(set, PriorityHandling, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, f := range fcfs.Flows {
+			if f.Spec.Msg.Dest == traffic.StationMC && f.Spec.Msg.Priority == P1 {
+				fcfsMC, prioMC = f.EndToEnd, prio.Flows[j].EndToEnd
+				break
+			}
+		}
+	}
+	b.ReportMetric(fcfsMC.Milliseconds(), "ms_P1_fcfs")
+	b.ReportMetric(prioMC.Milliseconds(), "ms_P1_priority")
+}
+
+// ---------------------------------------------------------------------------
+// B1 — the MIL-STD-1553B baseline.
+// ---------------------------------------------------------------------------
+
+// Benchmark1553Baseline simulates half a second of bus operation per
+// iteration and reports the urgent worst case and utilization.
+func Benchmark1553Baseline(b *testing.B) {
+	set := RealCase()
+	var base *Baseline1553
+	var err error
+	for i := 0; i < b.N; i++ {
+		base, err = RunBaseline1553(set, traffic.StationMC, 500*simtime.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(base.Flows["ew/threat-warning"].WorstCase.Milliseconds(), "ms_urgent_worst")
+	b.ReportMetric(100*base.Utilization, "util_pct")
+}
+
+// ---------------------------------------------------------------------------
+// S1 — simulation vs bounds.
+// ---------------------------------------------------------------------------
+
+// BenchmarkSimFigure1 runs the full network simulation (priority approach)
+// and reports observed worst latencies per class.
+func BenchmarkSimFigure1(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultSimConfig(PriorityHandling)
+	cfg.Horizon = 500 * simtime.Millisecond
+	var res *SimResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Simulate(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClassWorst[0].Milliseconds(), "ms_P0_observed")
+	b.ReportMetric(res.ClassWorst[1].Milliseconds(), "ms_P1_observed")
+	b.ReportMetric(float64(res.Events)/float64(b.Elapsed().Seconds()+1e-12)/1e6*float64(b.N), "Mevents_per_s")
+}
+
+// BenchmarkSimFCFS is the FCFS counterpart of BenchmarkSimFigure1.
+func BenchmarkSimFCFS(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultSimConfig(FCFS)
+	cfg.Horizon = 500 * simtime.Millisecond
+	var res *SimResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Simulate(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClassWorst[0].Milliseconds(), "ms_P0_observed")
+}
+
+// ---------------------------------------------------------------------------
+// A1/A2 — ablations.
+// ---------------------------------------------------------------------------
+
+// BenchmarkRateSweep reports the FCFS urgent bound at 10/100/1000 Mbps:
+// the "higher rate is not sufficient" series.
+func BenchmarkRateSweep(b *testing.B) {
+	set := RealCase()
+	rates := []simtime.Rate{10 * simtime.Mbps, 100 * simtime.Mbps, simtime.Gbps}
+	var points []core.RatePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = core.RunRateSweep(set, rates, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].FCFSUrgent.Milliseconds(), "ms_fcfs_10M")
+	b.ReportMetric(points[1].FCFSUrgent.Milliseconds(), "ms_fcfs_100M")
+	b.ReportMetric(points[2].FCFSUrgent.Milliseconds(), "ms_fcfs_1G")
+}
+
+// BenchmarkLoadSweep reports the urgent bounds as the station count grows.
+func BenchmarkLoadSweep(b *testing.B) {
+	var points []core.LoadPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = core.RunLoadSweep([]int{0, 8, 16}, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].FCFSUrgent.Milliseconds(), "ms_fcfs_0rt")
+	b.ReportMetric(points[2].FCFSUrgent.Milliseconds(), "ms_fcfs_16rt")
+	b.ReportMetric(points[2].PriorityUrgent.Milliseconds(), "ms_prio_16rt")
+}
+
+// ---------------------------------------------------------------------------
+// J1 — jitter bounds (the paper's future work).
+// ---------------------------------------------------------------------------
+
+// BenchmarkJitter reports worst-case jitter of the urgent class under both
+// approaches.
+func BenchmarkJitter(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var fcfsJ, prioJ simtime.Duration
+	for i := 0; i < b.N; i++ {
+		fcfs, err := SingleHop(set, FCFS, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prio, err := SingleHop(set, PriorityHandling, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fcfsJ, prioJ = 0, 0
+		for j, f := range fcfs.Flows {
+			if f.Spec.Msg.Priority != P0 {
+				continue
+			}
+			if f.Jitter > fcfsJ {
+				fcfsJ = f.Jitter
+			}
+			if prio.Flows[j].Jitter > prioJ {
+				prioJ = prio.Flows[j].Jitter
+			}
+		}
+	}
+	b.ReportMetric(fcfsJ.Milliseconds(), "ms_jitter_fcfs")
+	b.ReportMetric(prioJ.Milliseconds(), "ms_jitter_priority")
+}
+
+// ---------------------------------------------------------------------------
+// A3–A5 — further ablations, and the AFDX profile comparison (A6).
+// ---------------------------------------------------------------------------
+
+// BenchmarkBurstAblation reports the bottleneck FCFS bound as the shaper
+// bucket grows from the paper's one message to four: the bound scales
+// linearly in the burst — why the paper pins bᵢ to one message.
+func BenchmarkBurstAblation(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var points []analysis.BurstPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = analysis.RunBurstAblation(set, cfg, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].Bound.Milliseconds(), "ms_burst1")
+	b.ReportMetric(points[1].Bound.Milliseconds(), "ms_burst2")
+	b.ReportMetric(points[2].Bound.Milliseconds(), "ms_burst4")
+}
+
+// BenchmarkStaircaseTightness compares the exact staircase bound of the
+// bottleneck against the token-bucket hull the paper uses.
+func BenchmarkStaircaseTightness(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var exact simtime.Duration
+	var err error
+	for i := 0; i < b.N; i++ {
+		exact, err = analysis.StaircaseBound(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	specs := analysis.Specs(set, cfg)
+	b.ReportMetric(exact.Milliseconds(), "ms_staircase")
+	hullSpecs := map[string][]analysis.FlowSpec{}
+	for _, f := range specs {
+		hullSpecs[f.Msg.Dest] = append(hullSpecs[f.Msg.Dest], f)
+	}
+	hull, err := analysis.FCFSBound(hullSpecs[traffic.StationMC], cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(hull.Milliseconds(), "ms_hull")
+}
+
+// BenchmarkCapacityPlanning reports the minimal link rate per approach:
+// the bandwidth price of not using priorities.
+func BenchmarkCapacityPlanning(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var fcfs, prio simtime.Rate
+	var err error
+	for i := 0; i < b.N; i++ {
+		fcfs, err = analysis.MinimalRate(set, FCFS, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prio, err = analysis.MinimalRate(set, PriorityHandling, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fcfs)/1e6, "Mbps_fcfs_min")
+	b.ReportMetric(float64(prio)/1e6, "Mbps_priority_min")
+}
+
+// BenchmarkAFDXProfile reports the urgent bound under the civil 2-class
+// AFDX profile against the paper's military 4-class one.
+func BenchmarkAFDXProfile(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var cmp []afdx.Comparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = afdx.CompareBounds(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var civil, military simtime.Duration
+	for i, m := range set.Messages {
+		if m.Priority == P0 && m.Dest == traffic.StationMC {
+			civil, military = cmp[i].Civil, cmp[i].Military
+			break
+		}
+	}
+	b.ReportMetric(military.Milliseconds(), "ms_military_P0")
+	b.ReportMetric(civil.Milliseconds(), "ms_civil_P0")
+}
+
+// BenchmarkBabbler (R1) reports the worst urgent latency with a 400×
+// babbling station, shaped vs unshaped — the containment the paper's
+// traffic control buys.
+func BenchmarkBabbler(b *testing.B) {
+	set := RealCase()
+	var shaped, unshaped simtime.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSimConfig(FCFS)
+		cfg.Horizon = 500 * simtime.Millisecond
+		cfg.Babbler = "nav/attitude"
+		cfg.BabbleFactor = 400
+		res, err := Simulate(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shaped = res.ClassWorst[P0]
+		cfg.BypassShapers = true
+		res, err = Simulate(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unshaped = res.ClassWorst[P0]
+	}
+	b.ReportMetric(shaped.Milliseconds(), "ms_P0_shaped")
+	b.ReportMetric(unshaped.Milliseconds(), "ms_P0_unshaped")
+}
+
+// BenchmarkSchedulerComparison (A7/A8) reports the urgent bound at the
+// bottleneck under four disciplines: FCFS, the paper's non-preemptive
+// strict priority, idealized preemptive priority (TSN express), and
+// Deficit Round Robin.
+func BenchmarkSchedulerComparison(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultConfig()
+	var cmp *analysis.SchedulerComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = analysis.CompareSchedulers(set, cfg, analysis.EqualDRRQuanta())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.FCFS.Milliseconds(), "ms_fcfs")
+	b.ReportMetric(cmp.StrictPriority.Milliseconds(), "ms_strict")
+	b.ReportMetric(cmp.PreemptivePriority.Milliseconds(), "ms_preemptive")
+	if cmp.DRRStable {
+		b.ReportMetric(cmp.DeficitRoundRobin.Milliseconds(), "ms_drr")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// M1 — the cascaded two-switch architecture (extension).
+// ---------------------------------------------------------------------------
+
+// BenchmarkTwoSwitch reports the urgent bound across the trunk and the
+// worst observed latency from the two-switch simulation.
+func BenchmarkTwoSwitch(b *testing.B) {
+	set := RealCase()
+	simCfg := DefaultSimConfig(PriorityHandling)
+	simCfg.Horizon = 500 * simtime.Millisecond
+	var bounds *Result
+	var sim *SimResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		bounds, err = analysis.TwoSwitchEndToEnd(set, analysis.Priority, simCfg.AnalysisConfig(), analysis.SplitByName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err = core.SimulateTwoSwitch(set, simCfg, analysis.SplitByName)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bounds.ClassWorst[P0].Milliseconds(), "ms_P0_bound")
+	b.ReportMetric(sim.ClassWorst[P0].Milliseconds(), "ms_P0_observed")
+	b.ReportMetric(float64(bounds.Violations), "violations")
+}
+
+// BenchmarkTreeTopology (M2) reports the urgent bound on a three-switch
+// line (front / mid / aft fuselage), the deepest realistic cascade.
+func BenchmarkTreeTopology(b *testing.B) {
+	set := RealCase()
+	tree := &analysis.Tree{
+		Switches:      3,
+		Links:         [][2]int{{0, 1}, {1, 2}},
+		StationSwitch: map[string]int{},
+	}
+	for _, st := range set.Stations() {
+		switch st {
+		case traffic.StationMC, traffic.StationDisplay:
+			tree.StationSwitch[st] = 0
+		case traffic.StationNav, traffic.StationADC, traffic.StationRadar, traffic.StationEW:
+			tree.StationSwitch[st] = 1
+		default:
+			tree.StationSwitch[st] = 2
+		}
+	}
+	cfg := DefaultConfig()
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = analysis.TreeEndToEnd(set, analysis.Priority, cfg, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClassWorst[P0].Milliseconds(), "ms_P0_bound")
+	b.ReportMetric(float64(res.Violations), "violations")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the substrate hot paths.
+// ---------------------------------------------------------------------------
+
+// BenchmarkNetcalcHorizontalDeviation measures the core bound computation.
+func BenchmarkNetcalcHorizontalDeviation(b *testing.B) {
+	specs := analysis.Specs(RealCase(), DefaultConfig())
+	agg := netcalc.Zero()
+	for _, f := range specs {
+		agg = agg.Add(netcalc.TokenBucket(float64(f.B.Bits()), float64(f.R.BitsPerSecond())))
+	}
+	beta := netcalc.RateLatency(10e6, 140e-6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netcalc.HorizontalDeviation(agg, beta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESThroughput measures raw event-loop throughput.
+func BenchmarkDESThroughput(b *testing.B) {
+	sim := des.New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(1000, tick)
+		}
+	}
+	sim.At(0, tick)
+	b.ResetTimer()
+	sim.Run()
+}
+
+// BenchmarkShaperSubmit measures the token-bucket release path.
+func BenchmarkShaperSubmit(b *testing.B) {
+	sim := des.New(1)
+	s := shaper.New("bench", sim, 1<<20, simtime.Gbps, func(*ethernet.Frame) {})
+	f := &ethernet.Frame{PayloadLen: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(f)
+		sim.RunFor(simtime.Microsecond)
+	}
+}
+
+// BenchmarkSwitchForwarding measures frames through a 2-station switch.
+func BenchmarkSwitchForwarding(b *testing.B) {
+	sim := des.New(1)
+	sw := ethernet.NewSwitch(sim, ethernet.SwitchConfig{Name: "sw", Kind: ethernet.QueuePriority})
+	a := ethernet.NewStation(sim, "a", ethernet.StationAddr(1), sw, 1, simtime.Gbps, 0, ethernet.QueuePriority, 0)
+	ethernet.NewStation(sim, "b", ethernet.StationAddr(2), sw, 2, simtime.Gbps, 0, ethernet.QueuePriority, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(&ethernet.Frame{Dst: ethernet.StationAddr(2), Tagged: true, Priority: 7, PayloadLen: 64})
+		sim.Run()
+	}
+}
+
+// BenchmarkFrameMarshal measures the wire codec.
+func BenchmarkFrameMarshal(b *testing.B) {
+	f := &ethernet.Frame{
+		Dst: ethernet.StationAddr(1), Src: ethernet.StationAddr(2),
+		Tagged: true, Priority: 7, VLANID: 42,
+		Type: ethernet.EtherTypeAvionics, PayloadLen: 64,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark1553MinorFrame measures one simulated second of bus schedule
+// execution.
+func Benchmark1553MinorFrame(b *testing.B) {
+	set := RealCase()
+	schedule, err := milstd1553.Build(set, traffic.StationMC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := des.New(1)
+		bus := milstd1553.NewBus(sim, schedule)
+		traffic.Start(sim, set, traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}, bus.Release)
+		bus.Start()
+		sim.RunFor(simtime.Second)
+	}
+}

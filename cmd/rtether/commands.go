@@ -1,0 +1,316 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// cmdFigure1 regenerates the paper's Figure 1: per-class delay bounds of
+// the two approaches, plus a per-connection table.
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON (default: built-in real case)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	fig, err := core.RunFigure1(set, scen.AnalysisConfig())
+	if err != nil {
+		return err
+	}
+
+	tbl := report.NewTable("connection", "class", "deadline", "FCFS bound", "priority bound", "FCFS ok", "priority ok")
+	for i, f := range fig.FCFS.Flows {
+		p := fig.Priority.Flows[i]
+		tbl.AddRow(f.Spec.Msg.Name, f.Spec.Msg.Priority, f.Spec.Msg.Deadline,
+			f.EndToEnd, p.EndToEnd, mark(f.Met), mark(p.Met))
+	}
+	if *csv {
+		return tbl.CSV(stdout)
+	}
+
+	fmt.Fprintf(stdout, "Figure 1 — delay bounds, %s (C=%v, t_techno=%v)\n\n",
+		scen.Name, scen.AnalysisConfig().LinkRate, scen.AnalysisConfig().TTechno)
+	labels := []string{"P0 priority", "P1 priority", "P2 priority", "P3 priority", "worst FCFS"}
+	worstFCFS := simtime.Duration(0)
+	for _, f := range fig.FCFS.Flows {
+		if f.EndToEnd > worstFCFS {
+			worstFCFS = f.EndToEnd
+		}
+	}
+	values := []float64{
+		fig.Priority.ClassWorst[0].Milliseconds(),
+		fig.Priority.ClassWorst[1].Milliseconds(),
+		fig.Priority.ClassWorst[2].Milliseconds(),
+		fig.Priority.ClassWorst[3].Milliseconds(),
+		worstFCFS.Milliseconds(),
+	}
+	if err := report.Bars(stdout, "worst-case bound per class (ms)", labels, values, 40); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nFCFS violations: %d of %d connections (%s)\n",
+		fig.FCFS.Violations, len(fig.FCFS.Flows), strings.Join(firstN(fig.FCFS.ViolatedNames(), 6), ", "))
+	fmt.Fprintf(stdout, "priority violations: %d\n\n", fig.Priority.Violations)
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdAnalyze prints per-connection bounds under one or both models.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	e2e := fs.Bool("e2e", false, "use the compositional end-to-end analysis")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	run := analysis.SingleHop
+	model := "single-hop (paper-faithful)"
+	if *e2e {
+		run = analysis.EndToEnd
+		model = "end-to-end (compositional)"
+	}
+	fmt.Fprintf(stdout, "analysis model: %s\n\n", model)
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		res, err := run(set, approach, scen.AnalysisConfig())
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("connection", "class", "source delay", "port delay", "bound", "jitter", "deadline", "ok")
+		for _, f := range res.Flows {
+			tbl.AddRow(f.Spec.Msg.Name, f.Spec.Msg.Priority, f.SourceDelay, f.PortDelay,
+				f.EndToEnd, f.Jitter, f.Spec.Msg.Deadline, mark(f.Met))
+		}
+		fmt.Fprintf(stdout, "== %v: %d violations ==\n", approach, res.Violations)
+		if _, err := tbl.WriteTo(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// cmdSimulate runs the DES and reports observed latencies.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	approachFlag := fs.String("approach", "priority", "fcfs or priority")
+	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span")
+	seed := fs.Uint64("seed", 1, "random seed")
+	pcapPath := fs.String("pcap", "", "capture delivered frames to a pcap file")
+	tracePath := fs.String("trace", "", "write the frame lifecycle log as CSV")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	approach, err := parseApproach(*approachFlag)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultSimConfig(approach)
+	cfg.LinkRate = scen.AnalysisConfig().LinkRate
+	cfg.TTechno = scen.AnalysisConfig().TTechno
+	cfg.Horizon = simtime.FromStd(*horizon)
+	cfg.Seed = *seed
+	if *pcapPath != "" {
+		f, err := openPCAP(*pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.PCAP = trace.NewPCAP(f)
+	}
+	if *tracePath != "" {
+		cfg.Recorder = trace.NewRecorder(0)
+	}
+	res, err := core.Simulate(set, cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.PCAP != nil {
+		fmt.Fprintf(stdout, "wrote %d frames to %s\n", cfg.PCAP.Packets, *pcapPath)
+	}
+	if cfg.Recorder != nil {
+		if err := writeTraceCSV(*tracePath, cfg.Recorder); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d lifecycle events to %s\n", len(cfg.Recorder.Events()), *tracePath)
+	}
+	tbl := report.NewTable("connection", "class", "delivered", "min", "mean", "max", "deadline misses")
+	for _, m := range set.Messages {
+		f := res.Flows[m.Name]
+		tbl.AddRow(m.Name, m.Priority, f.Delivered,
+			f.Latency.Min(), f.Latency.Mean(), f.Latency.Max(), f.DeadlineMisses)
+	}
+	fmt.Fprintf(stdout, "simulated %v under %v (%d events, %d deliveries, %d drops)\n\n",
+		cfg.Horizon, approach, res.Events, res.TotalDelivered(), res.Dropped)
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdBaseline runs the MIL-STD-1553B comparison.
+func cmdBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	bc, err := scen.BC()
+	if err != nil {
+		return err
+	}
+	b, err := core.RunBaseline1553(set, bc, 2*simtime.Second, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "MIL-STD-1553B baseline: BC=%s, utilization %.1f%%, overruns %d\n",
+		bc, 100*b.Utilization, b.Overruns)
+	fmt.Fprintf(stdout, "schedule: worst minor frame %v periodic + %v sporadic budget (limit %v)\n\n",
+		b.Schedule.WorstPeriodicLoad(), b.Schedule.SporadicBudget(), traffic.MinorFrame)
+	tbl := report.NewTable("connection", "kind", "1553 worst case", "1553 observed max", "observed mean")
+	for _, name := range b.SortedNames() {
+		f := b.Flows[name]
+		m := set.Find(name)
+		tbl.AddRow(name, m.Kind, f.WorstCase, f.Observed.Max(), f.Observed.Mean())
+	}
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdSweep runs the link-rate ablation.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	rates := []simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 50 * simtime.Mbps,
+		100 * simtime.Mbps, simtime.Gbps}
+	points, err := core.RunRateSweep(set, rates, scen.AnalysisConfig())
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("link rate", "FCFS P0 bound", "priority P0 bound", "FCFS violations", "priority violations")
+	for _, p := range points {
+		tbl.AddRow(p.Rate, p.FCFSUrgent, p.PriorityUrgent, p.FCFSViolations, p.PriorityViolations)
+	}
+	fmt.Fprintln(stdout, "link-rate ablation (A1): \"a higher rate is not sufficient\"")
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdValidate compares simulation against bounds.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		cfg := core.DefaultSimConfig(approach)
+		cfg.LinkRate = scen.AnalysisConfig().LinkRate
+		cfg.TTechno = scen.AnalysisConfig().TTechno
+		v, err := core.RunValidation(set, cfg)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("connection", "class", "observed max", "e2e bound", "paper bound", "sound")
+		for _, r := range v.Rows {
+			tbl.AddRow(r.Name, r.Priority, r.Observed, r.Bound, r.PaperBound, mark(r.Sound()))
+		}
+		fmt.Fprintf(stdout, "== %v: all sound = %v ==\n", approach, v.AllSound())
+		if _, err := tbl.WriteTo(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// cmdScenario dumps the built-in scenario.
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	fs.Parse(args)
+	return loadAndSaveDefault()
+}
+
+func loadAndSaveDefault() error {
+	scen, err := loadScenario("")
+	if err != nil {
+		return err
+	}
+	return scen.Save(stdout)
+}
+
+func parseApproach(s string) (analysis.Approach, error) {
+	switch strings.ToLower(s) {
+	case "fcfs":
+		return analysis.FCFS, nil
+	case "priority", "prio":
+		return analysis.Priority, nil
+	default:
+		return 0, fmt.Errorf("unknown approach %q (want fcfs|priority)", s)
+	}
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func firstN(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append(s[:n:n], "…")
+}

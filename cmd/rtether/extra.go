@@ -1,0 +1,213 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/afdx"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// cmdCapacity answers the inverse of the paper's observation: what is the
+// smallest link rate at which each approach meets every deadline?
+func cmdCapacity(args []string) error {
+	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	cfg := scen.AnalysisConfig()
+	tbl := report.NewTable("approach", "minimal link rate", "vs paper's 10Mbps")
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		rate, err := analysis.MinimalRate(set, approach, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+		if err != nil {
+			return err
+		}
+		verdict := "fits"
+		if rate > 10*simtime.Mbps {
+			verdict = "needs more"
+		}
+		tbl.AddRow(approach, rate, verdict)
+	}
+	fmt.Fprintln(stdout, "capacity planning (A5): minimal rate meeting all deadlines")
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdBacklog prints the switch buffer dimensioning table.
+func cmdBacklog(args []string) error {
+	fs := flag.NewFlagSet("backlog", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	backlogs, err := analysis.PortBacklogs(set, scen.AnalysisConfig())
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("output port", "backlog bound", "connections")
+	for _, st := range set.Stations() {
+		if b, ok := backlogs[st]; ok {
+			tbl.AddRow(st, fmt.Sprintf("%d B", b.ByteCount()), len(set.ByDest(st)))
+		}
+	}
+	fmt.Fprintln(stdout, "switch buffer dimensioning (prevents the overflow loss the paper warns about)")
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdAFDX maps the workload onto ARINC 664 virtual links and compares the
+// civil 2-priority profile with the paper's military 4-class one.
+func cmdAFDX(args []string) error {
+	fs := flag.NewFlagSet("afdx", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	cfg := scen.AnalysisConfig()
+	vls, err := afdx.FromMessages(set)
+	if err != nil {
+		return err
+	}
+	cmp, err := afdx.CompareBounds(set, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "AFDX mapping: %d virtual links at %v\n", len(vls), cfg.LinkRate)
+	if offenders := afdx.CheckJitterBudgets(vls, cfg.LinkRate); len(offenders) > 0 {
+		fmt.Fprintf(stdout, "ARINC 664 500µs ES-jitter budget exceeded by: %v (AFDX runs at 100 Mbps for a reason)\n", offenders)
+	}
+	fmt.Fprintln(stdout)
+	tbl := report.NewTable("connection", "BAG", "Lmax", "VL prio", "civil 2-class bound", "military 4-class bound")
+	for i, vl := range vls {
+		tbl.AddRow(vl.Msg.Name, vl.BAG, fmt.Sprintf("%dB", vl.Lmax), vl.Priority,
+			cmp[i].Civil, cmp[i].Military)
+	}
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// openPCAP creates the capture file for cmdSimulate's -pcap flag.
+func openPCAP(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pcap: %w", err)
+	}
+	return f, nil
+}
+
+// writeTraceCSV dumps a recorder to a CSV file.
+func writeTraceCSV(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return rec.WriteCSV(f)
+}
+
+// cmdSchedulers prints the four-discipline comparison of the urgent class
+// at the bottleneck (experiments A7/A8).
+func cmdSchedulers(args []string) error {
+	fs := flag.NewFlagSet("schedulers", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	cmp, err := analysis.CompareSchedulers(set, scen.AnalysisConfig(), analysis.EqualDRRQuanta())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "urgent-class bound at the bottleneck, per multiplexer discipline:")
+	tbl := report.NewTable("discipline", "P0 bound", "meets 3ms")
+	deadline := 3 * simtime.Millisecond
+	tbl.AddRow("FCFS (paper approach 1)", cmp.FCFS, mark(cmp.FCFS <= deadline))
+	tbl.AddRow("strict priority (paper approach 2)", cmp.StrictPriority, mark(cmp.StrictPriority <= deadline))
+	tbl.AddRow("preemptive priority (TSN express, ideal)", cmp.PreemptivePriority, mark(cmp.PreemptivePriority <= deadline))
+	if cmp.DRRStable {
+		tbl.AddRow("deficit round robin (equal quanta)", cmp.DeficitRoundRobin, mark(cmp.DeficitRoundRobin <= deadline))
+	} else {
+		tbl.AddRow("deficit round robin (equal quanta)", "unstable (class share too small)", "NO")
+	}
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// cmdTwoSwitch analyzes and simulates the cascaded two-switch topology.
+func cmdTwoSwitch(args []string) error {
+	fs := flag.NewFlagSet("twoswitch", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON")
+	fs.Parse(args)
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "cascaded two-switch architecture (front/back fuselage split)")
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		bounds, err := analysis.TwoSwitchEndToEnd(set, approach, scen.AnalysisConfig(), analysis.SplitByName)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultSimConfig(approach)
+		cfg.LinkRate = scen.AnalysisConfig().LinkRate
+		cfg.TTechno = scen.AnalysisConfig().TTechno
+		sim, err := core.SimulateTwoSwitch(set, cfg, analysis.SplitByName)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n== %v: %d violations; worst P0 bound %v, observed %v ==\n",
+			approach, bounds.Violations,
+			bounds.ClassWorst[0], sim.ClassWorst[0])
+		tbl := report.NewTable("connection", "class", "crosses trunk", "bound", "observed max", "ok")
+		for _, pb := range bounds.Flows {
+			crosses := analysis.SplitByName(pb.Spec.Msg.Source) != analysis.SplitByName(pb.Spec.Msg.Dest)
+			if pb.Spec.Msg.Priority != 0 && !crosses {
+				continue // keep the table focused: urgent + trunk crossers
+			}
+			tbl.AddRow(pb.Spec.Msg.Name, pb.Spec.Msg.Priority, crosses,
+				pb.EndToEnd, sim.Flows[pb.Spec.Msg.Name].Latency.Max(), mark(pb.Met))
+		}
+		if _, err := tbl.WriteTo(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command rtether drives the reproduction of "Real-Time Communication over
+// Switched Ethernet for Military Applications" (Mifdaoui, Frances, Fraboul;
+// CoNEXT 2005) from the command line.
+//
+// Usage:
+//
+//	rtether figure1   [-config file.json] [-csv]   # the paper's Figure 1
+//	rtether analyze   [-config file.json] [-e2e]   # per-connection bounds
+//	rtether simulate  [-config file.json] [-approach fcfs|priority] [-horizon 2s]
+//	rtether baseline  [-config file.json]          # MIL-STD-1553B baseline
+//	rtether sweep     [-config file.json]          # link-rate ablation
+//	rtether validate  [-config file.json]          # bounds vs simulation
+//	rtether scenario                               # print the built-in scenario JSON
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/topology"
+)
+
+// stdout is the destination of command output; tests swap it for a buffer.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "figure1":
+		err = cmdFigure1(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "baseline":
+		err = cmdBaseline(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "capacity":
+		err = cmdCapacity(args)
+	case "backlog":
+		err = cmdBacklog(args)
+	case "afdx":
+		err = cmdAFDX(args)
+	case "twoswitch":
+		err = cmdTwoSwitch(args)
+	case "schedulers":
+		err = cmdSchedulers(args)
+	case "scenario":
+		err = cmdScenario(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rtether: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtether %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rtether — real-time switched Ethernet for military applications (CoNEXT'05 reproduction)
+
+commands:
+  figure1    delay bounds of both approaches (the paper's Figure 1)
+  analyze    per-connection bounds (single-hop and end-to-end)
+  simulate   run the discrete-event simulation and report latencies
+  baseline   the same workload on a MIL-STD-1553B bus
+  sweep      bounds across link rates (10M/100M/1G)
+  validate   check simulated worst cases against analytic bounds
+  capacity   minimal link rate meeting all deadlines, per approach
+  backlog    switch buffer dimensioning (backlog bounds per port)
+  afdx       map the workload onto ARINC 664 virtual links and compare
+  twoswitch  bounds and simulation on a cascaded two-switch topology
+  schedulers urgent-class bound under FCFS / strict / preemptive / DRR
+  scenario   print the built-in scenario as JSON (edit & pass via -config)
+`)
+}
+
+// loadScenario reads -config or falls back to the built-in real case.
+func loadScenario(path string) (*topology.Config, error) {
+	if path == "" {
+		return topology.Default(), nil
+	}
+	return topology.LoadFile(path)
+}

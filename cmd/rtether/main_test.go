@@ -1,0 +1,228 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// capture runs a command function with stdout redirected to a buffer.
+func capture(t *testing.T, fn func([]string) error, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	old := stdout
+	stdout = &b
+	defer func() { stdout = old }()
+	if err := fn(args); err != nil {
+		t.Fatalf("command failed: %v", err)
+	}
+	return b.String()
+}
+
+func TestCmdFigure1(t *testing.T) {
+	out := capture(t, cmdFigure1)
+	for _, want := range []string{
+		"Figure 1", "10Mbps", "140µs",
+		"FCFS violations: 10 of 94",
+		"priority violations: 0",
+		"ew/threat-warning",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCmdFigure1CSV(t *testing.T) {
+	out := capture(t, cmdFigure1, "-csv")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 95 { // header + 94 connections
+		t.Errorf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "connection,class,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	out := capture(t, cmdAnalyze)
+	if !strings.Contains(out, "single-hop (paper-faithful)") {
+		t.Error("model line missing")
+	}
+	if !strings.Contains(out, "== FCFS: 10 violations ==") {
+		t.Errorf("FCFS section missing:\n%s", firstLines(out, 3))
+	}
+	out = capture(t, cmdAnalyze, "-e2e")
+	if !strings.Contains(out, "end-to-end (compositional)") {
+		t.Error("e2e model line missing")
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	out := capture(t, cmdSimulate, "-horizon", "100ms", "-approach", "fcfs")
+	if !strings.Contains(out, "simulated 100ms under FCFS") {
+		t.Errorf("header missing:\n%s", firstLines(out, 2))
+	}
+	if !strings.Contains(out, "nav/attitude") {
+		t.Error("per-connection rows missing")
+	}
+}
+
+func TestCmdSimulatePCAP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.pcap")
+	out := capture(t, cmdSimulate, "-horizon", "50ms", "-pcap", path)
+	if !strings.Contains(out, "wrote ") {
+		t.Error("pcap summary missing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 24 || data[0] != 0xd4 { // little-endian magic
+		t.Errorf("pcap file malformed (%d bytes)", len(data))
+	}
+}
+
+func TestCmdBaseline(t *testing.T) {
+	out := capture(t, cmdBaseline)
+	for _, want := range []string{"MIL-STD-1553B baseline", "utilization", "ew/threat-warning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	out := capture(t, cmdSweep)
+	for _, want := range []string{"10Mbps", "100Mbps", "1Gbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep missing %q", want)
+		}
+	}
+}
+
+func TestCmdCapacity(t *testing.T) {
+	out := capture(t, cmdCapacity)
+	if !strings.Contains(out, "FCFS") || !strings.Contains(out, "priority") {
+		t.Error("capacity rows missing")
+	}
+	if !strings.Contains(out, "needs more") || !strings.Contains(out, "fits") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+}
+
+func TestCmdBacklog(t *testing.T) {
+	out := capture(t, cmdBacklog)
+	if !strings.Contains(out, "mission-computer") {
+		t.Error("bottleneck port missing")
+	}
+}
+
+func TestCmdAFDX(t *testing.T) {
+	out := capture(t, cmdAFDX)
+	for _, want := range []string{"94 virtual links", "jitter budget exceeded", "BAG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("afdx output missing %q", want)
+		}
+	}
+}
+
+func TestCmdTwoSwitch(t *testing.T) {
+	out := capture(t, cmdTwoSwitch)
+	for _, want := range []string{"two-switch", "crosses trunk", "ew/threat-warning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCmdSimulateTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	out := capture(t, cmdSimulate, "-horizon", "50ms", "-trace", path)
+	if !strings.Contains(out, "lifecycle events") {
+		t.Error("trace summary missing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_ns,kind,") {
+		t.Error("trace CSV header missing")
+	}
+}
+
+func TestCmdSchedulers(t *testing.T) {
+	out := capture(t, cmdSchedulers)
+	for _, want := range []string{"FCFS", "strict priority", "preemptive", "deficit round robin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedulers output missing %q", want)
+		}
+	}
+}
+
+func TestCmdScenario(t *testing.T) {
+	out := capture(t, cmdScenario)
+	if !strings.Contains(out, `"link_rate_bps": 10000000`) {
+		t.Error("scenario JSON missing link rate")
+	}
+	// The emitted scenario must load back.
+	if _, err := topology.Load(strings.NewReader(out)); err != nil {
+		t.Errorf("emitted scenario does not load: %v", err)
+	}
+}
+
+func TestCommandsWithCustomConfig(t *testing.T) {
+	// Round-trip through a file to exercise the -config path.
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Default().Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := capture(t, cmdFigure1, "-config", path)
+	if !strings.Contains(out, "real-case") {
+		t.Error("config not honoured")
+	}
+	// Missing file errors.
+	if err := cmdFigure1([]string{"-config", path + ".missing"}); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestParseApproach(t *testing.T) {
+	if _, err := parseApproach("fcfs"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseApproach("PRIORITY"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseApproach("weird"); err == nil {
+		t.Error("bad approach accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if mark(true) != "yes" || mark(false) != "NO" {
+		t.Error("mark broken")
+	}
+	if got := firstN([]string{"a", "b", "c"}, 2); len(got) != 3 || got[2] != "…" {
+		t.Errorf("firstN = %v", got)
+	}
+	if got := firstN([]string{"a"}, 2); len(got) != 1 {
+		t.Errorf("firstN = %v", got)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,74 @@
+// Migration1553: the paper's motivation, quantified. The same real-case
+// military workload runs on (a) the legacy MIL-STD-1553B bus it was
+// designed for — word-accurate simulation of the 160 ms major frame /
+// 20 ms minor frame polling schedule at 1 Mbps — and (b) prioritized
+// Full-Duplex Switched Ethernet at 10 Mbps. The comparison shows why a
+// command/response bus at its limits cannot serve urgent traffic, and what
+// the migration buys.
+//
+// Run with:
+//
+//	go run ./examples/migration1553
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func main() {
+	set := traffic.RealCase()
+
+	// (a) The legacy bus.
+	base, err := core.RunBaseline1553(set, traffic.StationMC, 2*simtime.Second, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MIL-STD-1553B (1 Mbps, BC=%s):\n", traffic.StationMC)
+	fmt.Printf("  bus utilization:        %.1f%%  (the \"pushing the limits\" regime)\n", 100*base.Utilization)
+	fmt.Printf("  worst minor frame:      %v periodic + %v sporadic budget of %v\n",
+		base.Schedule.WorstPeriodicLoad(), base.Schedule.SporadicBudget(), simtime.Duration(traffic.MinorFrame))
+	fmt.Printf("  minor-frame overruns:   %d\n\n", base.Overruns)
+
+	// (b) Switched Ethernet with priorities.
+	eth, err := analysis.SingleHop(set, analysis.Priority, analysis.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Side-by-side for a representative connection of each class.
+	picks := []string{"ew/threat-warning", "nav/attitude", "display/operator-input", "engine/maintenance-log"}
+	tbl := report.NewTable("connection", "class", "deadline", "1553 worst case", "Ethernet priority bound", "speedup")
+	for _, name := range picks {
+		bf := base.Flows[name]
+		pb, ok := eth.ByName(name)
+		if !ok {
+			log.Fatalf("connection %s missing from Ethernet analysis", name)
+		}
+		m := set.Find(name)
+		tbl.AddRow(name, m.Priority, m.Deadline, bf.WorstCase, pb.EndToEnd,
+			fmt.Sprintf("%.1f×", bf.WorstCase.Seconds()/pb.EndToEnd.Seconds()))
+	}
+	fmt.Println("worst-case response times, legacy vs migrated:")
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("The urgent sporadic class is the decisive case: 1553 polling cannot")
+	fmt.Println("respond faster than one minor frame (20 ms) plus the frame's load,")
+	fmt.Println("while the prioritized switch bounds it below the 3 ms requirement.")
+
+	// The punchline numbers.
+	urgent1553 := base.Flows["ew/threat-warning"].WorstCase
+	urgentEth, _ := eth.ByName("ew/threat-warning")
+	fmt.Printf("\n  ew/threat-warning:  1553 %v  →  Ethernet %v  (deadline %v)\n",
+		urgent1553, urgentEth.EndToEnd, simtime.Duration(traffic.UrgentDeadline))
+}

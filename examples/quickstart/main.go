@@ -1,0 +1,79 @@
+// Quickstart: bound the worst-case latency of a handful of avionics
+// connections over 10 Mbps Full-Duplex Switched Ethernet, under the two
+// disciplines the paper compares — shaping + FCFS and shaping + 802.1p
+// strict priorities.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// A miniature scenario: two sensors and a controller feed a mission
+	// computer. One connection is an urgent alarm with a 3 ms deadline.
+	const ms = simtime.Millisecond
+	set := &traffic.Set{Messages: []*traffic.Message{
+		{
+			Name: "imu/attitude", Source: "imu", Dest: "mc",
+			Kind: traffic.Periodic, Period: 20 * ms,
+			Payload: simtime.Bytes(32), Deadline: 20 * ms,
+			Priority: traffic.Classify(traffic.Periodic, 20*ms),
+		},
+		{
+			Name: "radar/tracks", Source: "radar", Dest: "mc",
+			Kind: traffic.Periodic, Period: 40 * ms,
+			Payload: simtime.Bytes(64), Deadline: 40 * ms,
+			Priority: traffic.Classify(traffic.Periodic, 40*ms),
+		},
+		{
+			Name: "rwr/threat-alarm", Source: "rwr", Dest: "mc",
+			Kind: traffic.Sporadic, Period: 20 * ms,
+			Payload: simtime.Bytes(16), Deadline: 3 * ms,
+			Priority: traffic.Classify(traffic.Sporadic, 3*ms),
+		},
+		{
+			Name: "maint/log", Source: "maint", Dest: "mc",
+			Kind: traffic.Sporadic, Period: 320 * ms,
+			Payload: simtime.Bytes(64), Deadline: 640 * ms,
+			Priority: traffic.Classify(traffic.Sporadic, 640*ms),
+		},
+	}}
+
+	// The paper's network parameters: C = 10 Mbps, t_techno = 140 µs.
+	cfg := analysis.DefaultConfig()
+
+	fmt.Println("quickstart: four connections into one switch port at", cfg.LinkRate)
+	fmt.Println()
+	tbl := report.NewTable("connection", "class", "FCFS bound", "priority bound", "deadline")
+	fcfs, err := analysis.SingleHop(set, analysis.FCFS, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prio, err := analysis.SingleHop(set, analysis.Priority, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, f := range fcfs.Flows {
+		tbl.AddRow(f.Spec.Msg.Name, f.Spec.Msg.Priority,
+			f.EndToEnd, prio.Flows[i].EndToEnd, f.Spec.Msg.Deadline)
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Under FCFS every connection shares one bound (Σbᵢ/C + t_techno);")
+	fmt.Println("under strict priorities the alarm only waits for its own class")
+	fmt.Println("plus one blocking frame — the mechanism of the paper's result.")
+}

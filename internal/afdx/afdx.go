@@ -1,0 +1,281 @@
+// Package afdx models the ARINC 664 part 7 (AFDX) virtual-link layer —
+// the civil-avionics profile of switched Ethernet whose success on the
+// A380 motivates the paper ("specially after the successful civil
+// experience of A380's AFDX").
+//
+// An AFDX Virtual Link (VL) is exactly the paper's shaped connection in
+// certified form: traffic on a VL is limited to at most one frame of at
+// most Lmax bytes per Bandwidth Allocation Gap (BAG), where the BAG is a
+// power of two between 1 ms and 128 ms. That is a token bucket with
+// burst = one Lmax frame and rate = Lmax/BAG, so the paper's whole
+// analysis applies verbatim; AFDX switches then use two priority levels
+// rather than the paper's four.
+//
+// This package maps a military workload onto VLs, enforces the ARINC 664
+// constraints (BAG quantization, Lmax range, the 500 µs per-end-system
+// output jitter budget), and computes VL delay bounds through the same
+// machinery as the paper's analysis — quantifying what the military
+// profile (4 classes, arbitrary periods) buys over the certified civil
+// one.
+package afdx
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// ARINC 664 constants.
+const (
+	// MinBAG and MaxBAG bound the Bandwidth Allocation Gap.
+	MinBAG = 1 * simtime.Millisecond
+	MaxBAG = 128 * simtime.Millisecond
+	// MinLmax and MaxLmax bound the VL's maximum frame size (frame bytes,
+	// header through FCS).
+	MinLmax = 64
+	MaxLmax = 1518
+	// JitterBudget is the maximum output jitter ARINC 664 allows an end
+	// system to impose on any of its VLs.
+	JitterBudget = 500 * simtime.Microsecond
+)
+
+// VLPriority is an AFDX switch priority (two levels, unlike the paper's
+// four).
+type VLPriority int
+
+const (
+	// High priority serves flight-critical VLs.
+	High VLPriority = iota
+	// Low priority serves everything else.
+	Low
+)
+
+// String returns the priority name.
+func (p VLPriority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Low:
+		return "low"
+	default:
+		return fmt.Sprintf("VLPriority(%d)", int(p))
+	}
+}
+
+// VirtualLink is one configured VL.
+type VirtualLink struct {
+	// ID is the VL identifier (16 bits in ARINC 664).
+	ID uint16
+	// Msg is the carried connection.
+	Msg *traffic.Message
+	// BAG is the bandwidth allocation gap.
+	BAG simtime.Duration
+	// Lmax is the maximal frame size in bytes (header through FCS).
+	Lmax int
+	// Priority is the switch service class.
+	Priority VLPriority
+}
+
+// Validate enforces the ARINC 664 envelope.
+func (vl *VirtualLink) Validate() error {
+	switch {
+	case vl.Msg == nil:
+		return fmt.Errorf("afdx: VL %d carries no message", vl.ID)
+	case !validBAG(vl.BAG):
+		return fmt.Errorf("afdx: VL %d BAG %v is not a power-of-two ms in [1,128]", vl.ID, vl.BAG)
+	case vl.Lmax < MinLmax || vl.Lmax > MaxLmax:
+		return fmt.Errorf("afdx: VL %d Lmax %d outside [%d,%d]", vl.ID, vl.Lmax, MinLmax, MaxLmax)
+	case vl.Priority != High && vl.Priority != Low:
+		return fmt.Errorf("afdx: VL %d has invalid priority %d", vl.ID, vl.Priority)
+	}
+	return nil
+}
+
+// validBAG reports whether d is 2^k milliseconds, k ∈ [0,7].
+func validBAG(d simtime.Duration) bool {
+	for bag := MinBAG; bag <= MaxBAG; bag *= 2 {
+		if d == bag {
+			return true
+		}
+	}
+	return false
+}
+
+// QuantizeBAG returns the largest legal BAG not exceeding period — the
+// tightest certified envelope for a (T, b) connection. Connections faster
+// than 1 ms cannot be carried (error); slower than 128 ms saturate at 128.
+func QuantizeBAG(period simtime.Duration) (simtime.Duration, error) {
+	if period < MinBAG {
+		return 0, fmt.Errorf("afdx: period %v below the minimum BAG %v", period, MinBAG)
+	}
+	bag := MinBAG
+	for bag*2 <= MaxBAG && bag*2 <= period {
+		bag *= 2
+	}
+	return bag, nil
+}
+
+// wireSize returns the on-wire cost of an Lmax frame (preamble + frame +
+// IFG) in bits.
+func wireSize(lmax int) simtime.Size {
+	return simtime.Bytes(ethernet.PreambleBytes + lmax + ethernet.InterFrameGapBytes)
+}
+
+// FromMessages maps a workload onto virtual links: BAG = the quantized
+// period, Lmax = the frame carrying the payload, priority High for the
+// paper's P0/P1 classes and Low for P2/P3. VL IDs are assigned in catalog
+// order.
+func FromMessages(set *traffic.Set) ([]*VirtualLink, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	var vls []*VirtualLink
+	for i, m := range set.Messages {
+		bag, err := QuantizeBAG(m.Period)
+		if err != nil {
+			return nil, fmt.Errorf("afdx: %s: %w", m.Name, err)
+		}
+		frame := ethernet.Frame{Tagged: true, PayloadLen: m.Payload.ByteCount()}
+		prio := Low
+		if m.Priority == traffic.P0 || m.Priority == traffic.P1 {
+			prio = High
+		}
+		vl := &VirtualLink{
+			ID:       uint16(i + 1),
+			Msg:      m,
+			BAG:      bag,
+			Lmax:     frame.FrameBytes(),
+			Priority: prio,
+		}
+		if err := vl.Validate(); err != nil {
+			return nil, err
+		}
+		vls = append(vls, vl)
+	}
+	return vls, nil
+}
+
+// Spec converts the VL into the paper's flow shape: burst = one Lmax
+// frame on the wire, rate = that burst per BAG. Because the BAG is
+// quantized *down* from the period, the VL envelope is pessimistic — the
+// certification price quantified by CompareBounds.
+func (vl *VirtualLink) Spec() analysis.FlowSpec {
+	b := wireSize(vl.Lmax)
+	ns := int64(vl.BAG)
+	rate := simtime.Rate((b.Bits()*int64(simtime.Second) + ns - 1) / ns)
+	// The analysis machinery keys its classes on traffic.Priority; AFDX's
+	// two levels map onto the extreme classes so that High strictly
+	// precedes Low at every multiplexer.
+	m := *vl.Msg
+	if vl.Priority == High {
+		m.Priority = traffic.P0
+	} else {
+		m.Priority = traffic.P3
+	}
+	return analysis.FlowSpec{Msg: &m, B: b, R: rate}
+}
+
+// ESJitter returns the worst-case output jitter an end system imposes:
+// with N VLs multiplexed on one ES output, a frame can wait for the other
+// VLs' frames, ARINC 664: jitter ≤ Σ_j (20 B + Lmax_j)·8 / C across the
+// VLs of that ES (the standard's formula, preamble included).
+func ESJitter(vls []*VirtualLink, es string, c simtime.Rate) simtime.Duration {
+	var bits int64
+	for _, vl := range vls {
+		if vl.Msg.Source == es {
+			bits += wireSize(vl.Lmax).Bits()
+		}
+	}
+	return simtime.TransmissionTime(simtime.Size(bits), c)
+}
+
+// CheckJitterBudgets verifies every end system against the 500 µs budget,
+// returning the offenders sorted by name.
+func CheckJitterBudgets(vls []*VirtualLink, c simtime.Rate) (offenders []string) {
+	seen := map[string]bool{}
+	for _, vl := range vls {
+		es := vl.Msg.Source
+		if seen[es] {
+			continue
+		}
+		seen[es] = true
+		if ESJitter(vls, es, c) > JitterBudget {
+			offenders = append(offenders, es)
+		}
+	}
+	sort.Strings(offenders)
+	return offenders
+}
+
+// VLBound is the analysis outcome for one virtual link.
+type VLBound struct {
+	VL *VirtualLink
+	// Delay is the worst-case latency at the VL's destination multiplexer
+	// under AFDX 2-level priority service.
+	Delay simtime.Duration
+	// Met reports whether the carried message's deadline holds.
+	Met bool
+}
+
+// Analyze bounds every VL at its destination multiplexer under the
+// two-priority AFDX switch model.
+func Analyze(vls []*VirtualLink, cfg analysis.Config) ([]VLBound, error) {
+	byDest := map[string][]analysis.FlowSpec{}
+	specOf := make([]analysis.FlowSpec, len(vls))
+	for i, vl := range vls {
+		s := vl.Spec()
+		specOf[i] = s
+		byDest[vl.Msg.Dest] = append(byDest[vl.Msg.Dest], s)
+	}
+	out := make([]VLBound, len(vls))
+	for i, vl := range vls {
+		d, err := analysis.PriorityBound(byDest[vl.Msg.Dest], specOf[i].Msg.Priority, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("afdx: VL %d: %w", vl.ID, err)
+		}
+		out[i] = VLBound{VL: vl, Delay: d, Met: d <= simtime.Duration(vl.Msg.Deadline)}
+	}
+	return out, nil
+}
+
+// Comparison quantifies the certification price: the same workload bounded
+// under the paper's 4-class military profile versus the AFDX 2-class
+// civil profile with BAG quantization.
+type Comparison struct {
+	// Name identifies the connection.
+	Name string
+	// Military is the paper's 4-class bound with exact (T, b) shaping.
+	Military simtime.Duration
+	// Civil is the AFDX 2-class bound with BAG-quantized shaping.
+	Civil simtime.Duration
+}
+
+// CompareBounds computes the per-connection comparison at the destination
+// multiplexers.
+func CompareBounds(set *traffic.Set, cfg analysis.Config) ([]Comparison, error) {
+	military, err := analysis.SingleHop(set, analysis.Priority, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vls, err := FromMessages(set)
+	if err != nil {
+		return nil, err
+	}
+	civil, err := Analyze(vls, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Comparison, len(set.Messages))
+	for i := range set.Messages {
+		out[i] = Comparison{
+			Name:     set.Messages[i].Name,
+			Military: military.Flows[i].EndToEnd,
+			Civil:    civil[i].Delay,
+		}
+	}
+	return out, nil
+}

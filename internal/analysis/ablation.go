@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/netcalc"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// This file holds the ablation studies DESIGN.md calls out around the
+// paper's design choices: capacity planning (what link rate would FCFS
+// need?), shaper burst scaling (what does bᵢ = one message buy?), and
+// arrival-curve tightness (what does the token-bucket hull give away
+// against the exact staircase of a periodic source?).
+
+// MinimalRate returns the smallest link rate (to within `within`) at which
+// the given approach meets every deadline of the set, searched in
+// [lo, hi]. It returns an error if even hi fails — the workload is then
+// infeasible for the approach in that range.
+//
+// This inverts the paper's observation: instead of "10 Mbps is not enough
+// for FCFS", it answers "how much would be?" — the bandwidth cost of not
+// using priorities.
+func MinimalRate(set *traffic.Set, approach Approach, cfg Config, lo, hi, within simtime.Rate) (simtime.Rate, error) {
+	if lo <= 0 || hi < lo || within <= 0 {
+		return 0, fmt.Errorf("analysis: bad search range [%v, %v] / %v", lo, hi, within)
+	}
+	meets := func(rate simtime.Rate) bool {
+		c := cfg
+		c.LinkRate = rate
+		res, err := SingleHop(set, approach, c)
+		return err == nil && res.Violations == 0
+	}
+	if !meets(hi) {
+		return 0, fmt.Errorf("analysis: %v cannot meet the deadlines even at %v", approach, hi)
+	}
+	if meets(lo) {
+		return lo, nil
+	}
+	for hi-lo > within {
+		mid := lo + (hi-lo)/2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// SpecsWithBurst builds flow specs whose token buckets hold `burst`
+// messages instead of the paper's one: bᵢ' = burst·bᵢ, rᵢ unchanged. A
+// larger bucket lets the application send clumps without shaping delay, at
+// the price of every multiplexer bound growing linearly in Σbᵢ — the
+// trade-off the ablation quantifies.
+func SpecsWithBurst(set *traffic.Set, cfg Config, burst int) []FlowSpec {
+	if burst < 1 {
+		panic(fmt.Sprintf("analysis: burst multiplier %d < 1", burst))
+	}
+	specs := Specs(set, cfg)
+	for i := range specs {
+		specs[i].B *= simtime.Size(burst)
+	}
+	return specs
+}
+
+// BurstAblation evaluates the FCFS bound at the bottleneck multiplexer for
+// a range of bucket sizes.
+type BurstPoint struct {
+	// Burst is the bucket size in messages.
+	Burst int
+	// Bound is the FCFS bound of the busiest destination multiplexer.
+	Bound simtime.Duration
+}
+
+// RunBurstAblation computes the bottleneck FCFS bound for each burst
+// multiplier.
+func RunBurstAblation(set *traffic.Set, cfg Config, bursts []int) ([]BurstPoint, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]BurstPoint, 0, len(bursts))
+	for _, k := range bursts {
+		specs := SpecsWithBurst(set, cfg, k)
+		port := bottleneck(specs)
+		d, err := FCFSBound(port, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: burst %d: %w", k, err)
+		}
+		out = append(out, BurstPoint{Burst: k, Bound: d})
+	}
+	return out, nil
+}
+
+// bottleneck returns the specs of the destination carrying the most
+// connections.
+func bottleneck(specs []FlowSpec) []FlowSpec {
+	byDest := groupBy(specs, func(f FlowSpec) string { return f.Msg.Dest })
+	var best []FlowSpec
+	bestName := ""
+	for dest, port := range byDest {
+		if len(port) > len(best) || (len(port) == len(best) && dest < bestName) {
+			best, bestName = port, dest
+		}
+	}
+	return best
+}
+
+// StaircaseBound computes the exact FCFS delay bound of the bottleneck
+// multiplexer with every connection modelled by its staircase arrival
+// curve (one message per period, the exact envelope of a periodic or
+// greedy-sporadic source) instead of the token-bucket hull the paper's
+// shaper enforces. Comparing it with FCFSBound quantifies the tightness
+// the hull gives away.
+func StaircaseBound(set *traffic.Set, cfg Config) (simtime.Duration, error) {
+	if err := set.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	specs := Specs(set, cfg)
+	port := bottleneck(specs)
+	flows := make([]netcalc.Staircase, 0, len(port))
+	for _, f := range port {
+		flows = append(flows, netcalc.NewStaircase(float64(f.B.Bits()), f.Msg.Period.Seconds()))
+	}
+	beta := netcalc.RateLatency(float64(cfg.LinkRate.BitsPerSecond()), cfg.TTechno.Seconds())
+	d, err := netcalc.StaircaseDelayBound(flows, beta)
+	if err != nil {
+		return 0, ErrUnstable
+	}
+	return secondsToDuration(d), nil
+}

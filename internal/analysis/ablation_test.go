@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func TestMinimalRateFCFS(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	rate, err := MinimalRate(set, FCFS, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10 Mbps FCFS violates; the sweep (A1) showed 25 Mbps passing, so
+	// the minimum lies strictly between.
+	if rate <= 10*simtime.Mbps {
+		t.Errorf("minimal FCFS rate %v ≤ 10 Mbps, but 10 Mbps violates", rate)
+	}
+	if rate > 25*simtime.Mbps {
+		t.Errorf("minimal FCFS rate %v > 25 Mbps, but 25 Mbps meets", rate)
+	}
+	// Verify the returned rate actually meets and a notch below fails.
+	c := cfg
+	c.LinkRate = rate
+	res, err := SingleHop(set, FCFS, c)
+	if err != nil || res.Violations != 0 {
+		t.Errorf("returned rate %v does not meet (%v, %d violations)", rate, err, res.Violations)
+	}
+	c.LinkRate = rate - 200*simtime.Kbps
+	res, err = SingleHop(set, FCFS, c)
+	if err == nil && res.Violations == 0 {
+		t.Errorf("rate %v below the 'minimum' still meets", c.LinkRate)
+	}
+}
+
+func TestMinimalRatePriorityBeatsFCFS(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	fcfs, err := MinimalRate(set, FCFS, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := MinimalRate(set, Priority, cfg, simtime.Mbps, simtime.Gbps, 100*simtime.Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio >= fcfs {
+		t.Errorf("priority needs %v, FCFS %v — priorities should be cheaper", prio, fcfs)
+	}
+	// The headline: priorities make the paper's 10 Mbps sufficient.
+	if prio > 10*simtime.Mbps {
+		t.Errorf("priority minimal rate %v exceeds the paper's 10 Mbps", prio)
+	}
+}
+
+func TestMinimalRateErrors(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	if _, err := MinimalRate(set, FCFS, cfg, 0, simtime.Gbps, simtime.Kbps); err == nil {
+		t.Error("zero lo accepted")
+	}
+	if _, err := MinimalRate(set, FCFS, cfg, simtime.Gbps, simtime.Mbps, simtime.Kbps); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := MinimalRate(set, FCFS, cfg, simtime.Kbps, 2*simtime.Kbps, simtime.Kbps); err == nil {
+		t.Error("infeasible hi accepted")
+	}
+}
+
+func TestSpecsWithBurst(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	base := Specs(set, cfg)
+	doubled := SpecsWithBurst(set, cfg, 2)
+	for i := range base {
+		if doubled[i].B != 2*base[i].B {
+			t.Errorf("%s: burst not doubled", base[i].Msg.Name)
+		}
+		if doubled[i].R != base[i].R {
+			t.Errorf("%s: rate changed", base[i].Msg.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("burst 0 should panic")
+		}
+	}()
+	SpecsWithBurst(set, cfg, 0)
+}
+
+func TestRunBurstAblationLinear(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	points, err := RunBurstAblation(set, cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// D(k) = k·Σb/C + t_techno: the queueing part scales linearly.
+	q1 := points[0].Bound - cfg.TTechno
+	for i, k := range []int{1, 2, 4} {
+		want := simtime.Duration(k)*q1 + cfg.TTechno
+		got := points[i].Bound
+		if diff := got - want; diff < -simtime.Duration(k) || diff > simtime.Duration(k) {
+			t.Errorf("burst %d: bound %v, want %v (linear scaling)", k, got, want)
+		}
+	}
+}
+
+func TestStaircaseBoundTighter(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	exact, err := StaircaseBound(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Specs(set, cfg)
+	hull, err := FCFSBound(bottleneck(specs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sides ceil independently to the nanosecond grid; allow that.
+	if exact > hull+2 {
+		t.Errorf("staircase bound %v exceeds hull bound %v", exact, hull)
+	}
+	if exact <= cfg.TTechno {
+		t.Errorf("staircase bound %v vacuous", exact)
+	}
+	// For this workload (all bursts released at t=0) the two coincide at
+	// the critical instant, so the gap must be modest, not enormous.
+	if exact < hull/2 {
+		t.Logf("note: staircase bound %v is less than half the hull bound %v", exact, hull)
+	}
+}
+
+func TestStaircaseBoundErrors(t *testing.T) {
+	set := traffic.RealCase()
+	if _, err := StaircaseBound(set, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	tiny := Config{LinkRate: 10 * simtime.Kbps, Tagged: true}
+	if _, err := StaircaseBound(set, tiny); err == nil {
+		t.Error("unstable staircase system accepted")
+	}
+}

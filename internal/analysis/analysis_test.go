@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+const ms = simtime.Millisecond
+
+// handSpecs builds a small hand-checkable spec set:
+// P0: b=1000 bits, T=20ms; P1: b=2000, T=40ms; P2: b=1500, T=80ms;
+// P3: b=3000, T=320ms.
+func handSpecs() []FlowSpec {
+	mk := func(name string, prio traffic.Priority, kind traffic.Kind, b int64, period simtime.Duration, deadline simtime.Duration) FlowSpec {
+		m := &traffic.Message{
+			Name: name, Source: "s-" + name, Dest: "mc", Kind: kind,
+			Period: period, Payload: simtime.Size(b), Deadline: deadline, Priority: prio,
+		}
+		return FlowSpec{Msg: m, B: simtime.Size(b), R: m.Rate(simtime.Size(b))}
+	}
+	return []FlowSpec{
+		mk("urgent", traffic.P0, traffic.Sporadic, 1000, 20*ms, 3*ms),
+		mk("periodic", traffic.P1, traffic.Periodic, 2000, 40*ms, 40*ms),
+		mk("sporadic", traffic.P2, traffic.Sporadic, 1500, 80*ms, 80*ms),
+		mk("background", traffic.P3, traffic.Sporadic, 3000, 320*ms, 640*ms),
+	}
+}
+
+func cfg10M() Config {
+	return Config{LinkRate: 10 * simtime.Mbps, TTechno: 140 * simtime.Microsecond, Tagged: true}
+}
+
+func TestFCFSBoundHandComputed(t *testing.T) {
+	// D = (1000+2000+1500+3000)/10e6 + 140µs = 750µs + 140µs.
+	got, err := FCFSBound(handSpecs(), cfg10M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 750*simtime.Microsecond + 140*simtime.Microsecond; got != want {
+		t.Errorf("D = %v, want %v", got, want)
+	}
+}
+
+func TestPriorityBoundHandComputed(t *testing.T) {
+	specs := handSpecs()
+	cfg := cfg10M()
+	// D_0 = (1000 + max(2000,1500,3000))/10e6 + t = 400µs + 140µs.
+	// D_1 = (1000+2000 + max(1500,3000))/(10e6 − r0) + t, r0 = 1000/20ms = 50kbps.
+	// D_2 = (1000+2000+1500 + 3000)/(10e6 − r0 − r1), r1 = 2000/40ms = 50kbps.
+	// D_3 = (7500 + 0)/(10e6 − r0 − r1 − r2), r2 = 1500/80ms = 18750bps.
+	r0, r1, r2 := 50e3, 50e3, 18750.0
+	wants := []float64{
+		4000 / 10e6,
+		6000 / (10e6 - r0),
+		7500 / (10e6 - r0 - r1),
+		7500 / (10e6 - r0 - r1 - r2),
+	}
+	for p := traffic.P0; p < traffic.NumPriorities; p++ {
+		got, err := PriorityBound(specs, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := secondsToDuration(wants[p]) + cfg.TTechno
+		if got != want {
+			t.Errorf("D_%d = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestBoundsAgreeWithNetworkCalculus(t *testing.T) {
+	// The closed forms and the generic NC pipeline must agree to within
+	// the 1 ns rounding on every destination multiplexer of the real case.
+	set := traffic.RealCase()
+	cfg := cfg10M()
+	specs := Specs(set, cfg)
+	byDest := groupBy(specs, func(f FlowSpec) string { return f.Msg.Dest })
+	const tol = 2 // ns: both sides ceil independently
+	for dest, port := range byDest {
+		cf, err := FCFSBound(port, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := FCFSBoundNC(port, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := cf - nc; diff < -tol || diff > tol {
+			t.Errorf("%s: FCFS closed form %v vs NC %v", dest, cf, nc)
+		}
+		for p := traffic.P0; p < traffic.NumPriorities; p++ {
+			cf, err := PriorityBound(port, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nc, err := PriorityBoundNC(port, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := cf - nc; diff < -tol || diff > tol {
+				t.Errorf("%s class %v: closed form %v vs NC %v", dest, p, cf, nc)
+			}
+		}
+	}
+}
+
+func TestUnstableDetected(t *testing.T) {
+	m := &traffic.Message{Name: "hog", Source: "a", Dest: "b", Kind: traffic.Periodic,
+		Period: simtime.Millisecond, Payload: simtime.Bytes(1500),
+		Deadline: simtime.Millisecond, Priority: traffic.P1}
+	b := simtime.Bytes(1538)
+	hog := FlowSpec{Msg: m, B: b, R: m.Rate(b)} // ~12.3 Mbps > 10 Mbps
+	if _, err := FCFSBound([]FlowSpec{hog}, cfg10M()); !errors.Is(err, ErrUnstable) {
+		t.Errorf("FCFS err = %v", err)
+	}
+	if _, err := PriorityBound([]FlowSpec{hog}, traffic.P1, cfg10M()); !errors.Is(err, ErrUnstable) {
+		t.Errorf("priority err = %v", err)
+	}
+	if _, err := FCFSBoundNC([]FlowSpec{hog}, cfg10M()); !errors.Is(err, ErrUnstable) {
+		t.Errorf("FCFS NC err = %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{LinkRate: 0}).Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := (Config{LinkRate: 1, TTechno: -1}).Validate(); err == nil {
+		t.Error("negative t_techno accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if DefaultConfig().LinkRate != 10*simtime.Mbps {
+		t.Error("paper uses 10 Mbps")
+	}
+}
+
+func TestSpecsWireSizes(t *testing.T) {
+	set := traffic.RealCase()
+	specs := Specs(set, cfg10M())
+	if len(specs) != len(set.Messages) {
+		t.Fatalf("%d specs for %d messages", len(specs), len(set.Messages))
+	}
+	minWire := simtime.Bytes(84) // minimum frame + preamble + IFG
+	for _, f := range specs {
+		if f.B < minWire {
+			t.Errorf("%s: wire size %v below minimum-frame cost", f.Msg.Name, f.B)
+		}
+		// rᵢ ≥ bᵢ/Tᵢ (rounded up).
+		wantR := float64(f.B.Bits()) / f.Msg.Period.Seconds()
+		if float64(f.R.BitsPerSecond()) < wantR-1 {
+			t.Errorf("%s: rate %v below b/T = %.1f", f.Msg.Name, f.R, wantR)
+		}
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	specs := handSpecs()
+	if SumB(specs) != 7500 {
+		t.Errorf("SumB = %v", SumB(specs))
+	}
+	if MaxB(specs) != 3000 {
+		t.Errorf("MaxB = %v", MaxB(specs))
+	}
+	if MaxB(nil) != 0 {
+		t.Error("MaxB of empty should be 0")
+	}
+	classes := ByPriority(specs)
+	for p := traffic.P0; p < traffic.NumPriorities; p++ {
+		if len(classes[p]) != 1 {
+			t.Errorf("class %v has %d specs", p, len(classes[p]))
+		}
+	}
+}
+
+func TestBacklogBound(t *testing.T) {
+	specs := handSpecs()
+	got, err := BacklogBound(specs, cfg10M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = Σb + Σr·T = 7500 + (50e3+50e3+18750+9375)·140e-6 ≈ 7517.9 → 7518.
+	if got < 7500 || got > 7600 {
+		t.Errorf("backlog = %v, want ≈7518 bits", got)
+	}
+}
+
+func TestTransmissionFloor(t *testing.T) {
+	f := handSpecs()[0] // 1000 bits at 10 Mbps = 100 µs, + 140 µs.
+	if got := TransmissionFloor(f, cfg10M()); got != 240*simtime.Microsecond {
+		t.Errorf("floor = %v", got)
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	if FCFS.String() != "FCFS" || Priority.String() != "priority" {
+		t.Error("approach strings broken")
+	}
+	if Approach(9).String() == "" {
+		t.Error("unknown approach should format")
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/netcalc"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// This file bounds two alternative multiplexer disciplines against the
+// paper's non-preemptive strict priority, closing the design space around
+// its choice:
+//
+//   - ideal frame preemption (the 802.1Qbu/express-traffic direction TSN
+//     later standardized): removes the max_{q>p} bⱼ blocking term;
+//   - Deficit Round Robin: the classic fair scheduler, starvation-free but
+//     with a far larger latency term for urgent traffic.
+
+// PriorityBoundPreemptive computes D_p as PriorityBound but with an
+// ideally preemptible lower class: the blocking term vanishes, leaving
+//
+//	D_p = Σ_{q≤p} bᵢ / (C − Σ_{q<p} rᵢ) + t_techno
+//
+// the bound a TSN-style express class would enjoy (fragmentation overhead
+// ignored — this is the idealized best case of the ablation).
+func PriorityBoundPreemptive(specs []FlowSpec, p traffic.Priority, cfg Config) (simtime.Duration, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if !p.Valid() {
+		return 0, fmt.Errorf("analysis: invalid priority %v", p)
+	}
+	if SumR(specs) > cfg.LinkRate {
+		return 0, ErrUnstable
+	}
+	classes := ByPriority(specs)
+	var numBits int64
+	var higherRate simtime.Rate
+	for q := traffic.P0; q <= p; q++ {
+		numBits += int64(SumB(classes[q]))
+		if q < p {
+			higherRate += SumR(classes[q])
+		}
+	}
+	den := cfg.LinkRate - higherRate
+	if den <= 0 {
+		return 0, ErrUnstable
+	}
+	d := float64(numBits) / float64(den.BitsPerSecond())
+	return secondsToDuration(d) + cfg.TTechno, nil
+}
+
+// DRRQuanta is the per-class quantum configuration in bytes.
+type DRRQuanta [traffic.NumPriorities]int
+
+// EqualDRRQuanta returns the minimal legal equal-quanta configuration
+// (one maximum tagged frame each).
+func EqualDRRQuanta() DRRQuanta {
+	q := ethernet.MaxFrameBytes + ethernet.VLANTagBytes
+	return DRRQuanta{q, q, q, q}
+}
+
+// DRRBound computes the delay bound of class p under Deficit Round Robin
+// with the given quanta, via the latency-rate characterization of
+// Stiliadis & Varma: class i is guaranteed rate ρᵢ = φᵢ/F·C after latency
+// θᵢ = (3F − 2φᵢ)/C (F = Σφ). The class-p aggregate's horizontal deviation
+// against that rate-latency curve, plus t_techno, bounds the delay.
+func DRRBound(specs []FlowSpec, p traffic.Priority, quanta DRRQuanta, cfg Config) (simtime.Duration, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if !p.Valid() {
+		return 0, fmt.Errorf("analysis: invalid priority %v", p)
+	}
+	minQ := ethernet.MaxFrameBytes + ethernet.VLANTagBytes
+	F := 0
+	for i, q := range quanta {
+		if q < minQ {
+			return 0, fmt.Errorf("analysis: DRR quantum %d for class %d below one max frame (%d)", q, i, minQ)
+		}
+		F += q
+	}
+	C := float64(cfg.LinkRate.BitsPerSecond())
+	phi := float64(quanta[p])
+	rho := phi / float64(F) * C
+	theta := (3*float64(F) - 2*phi) * 8 / C // bytes → bits on the wire
+
+	classes := ByPriority(specs)
+	own := netcalc.Zero()
+	for _, f := range classes[p] {
+		own = own.Add(tokenBucketOf(f))
+	}
+	if float64(SumR(classes[p]).BitsPerSecond()) > rho {
+		return 0, ErrUnstable
+	}
+	d, err := netcalc.HorizontalDeviation(own, netcalc.RateLatency(rho, theta))
+	if err != nil {
+		return 0, ErrUnstable
+	}
+	return secondsToDuration(d) + cfg.TTechno, nil
+}
+
+// SchedulerComparison is one row of the A7/A8 scheduler ablation: the
+// urgent-class bound at the bottleneck multiplexer under four disciplines.
+type SchedulerComparison struct {
+	FCFS               simtime.Duration
+	StrictPriority     simtime.Duration
+	PreemptivePriority simtime.Duration
+	DeficitRoundRobin  simtime.Duration
+	DRRStable          bool
+}
+
+// CompareSchedulers evaluates the urgent class at the bottleneck under
+// every discipline.
+func CompareSchedulers(set *traffic.Set, cfg Config, quanta DRRQuanta) (*SchedulerComparison, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	port := bottleneck(Specs(set, cfg))
+	out := &SchedulerComparison{DRRStable: true}
+	var err error
+	if out.FCFS, err = FCFSBound(port, cfg); err != nil {
+		return nil, err
+	}
+	if out.StrictPriority, err = PriorityBound(port, traffic.P0, cfg); err != nil {
+		return nil, err
+	}
+	if out.PreemptivePriority, err = PriorityBoundPreemptive(port, traffic.P0, cfg); err != nil {
+		return nil, err
+	}
+	out.DeficitRoundRobin, err = DRRBound(port, traffic.P0, quanta, cfg)
+	if err == ErrUnstable {
+		out.DRRStable = false
+	} else if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

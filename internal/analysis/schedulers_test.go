@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func TestPreemptiveBoundHandComputed(t *testing.T) {
+	specs := handSpecs()
+	cfg := cfg10M()
+	// D_0 preemptive = 1000/10e6 + 140µs = 100µs + 140µs (no blocking).
+	got, err := PriorityBoundPreemptive(specs, traffic.P0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100*simtime.Microsecond + cfg.TTechno; got != want {
+		t.Errorf("preemptive D_0 = %v, want %v", got, want)
+	}
+}
+
+func TestPreemptiveAlwaysAtMostNonPreemptive(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	specs := Specs(set, cfg)
+	byDest := groupBy(specs, func(f FlowSpec) string { return f.Msg.Dest })
+	for dest, port := range byDest {
+		for p := traffic.P0; p < traffic.NumPriorities; p++ {
+			np, err := PriorityBound(port, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe, err := PriorityBoundPreemptive(port, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pe > np {
+				t.Errorf("%s %v: preemptive %v above non-preemptive %v", dest, p, pe, np)
+			}
+			// For the lowest class there is nothing to preempt: equal.
+			if p == traffic.P3 && pe != np {
+				t.Errorf("%s P3: preemptive %v != non-preemptive %v", dest, pe, np)
+			}
+		}
+	}
+}
+
+func TestDRRBoundHandComputed(t *testing.T) {
+	// Equal quanta φ = 1522 B, F = 6088 B: ρ_0 = C/4, θ = (3F−2φ)·8/C.
+	specs := handSpecs()
+	cfg := cfg10M()
+	quanta := EqualDRRQuanta()
+	got, err := DRRBound(specs, traffic.P0, quanta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	C := 10e6
+	F, phi := 4*1522.0, 1522.0
+	theta := (3*F - 2*phi) * 8 / C
+	rho := phi / F * C
+	want := secondsToDuration(theta+1000/rho) + cfg.TTechno
+	if got != want {
+		t.Errorf("DRR D_0 = %v, want %v", got, want)
+	}
+}
+
+func TestDRRBoundErrors(t *testing.T) {
+	specs := handSpecs()
+	cfg := cfg10M()
+	bad := EqualDRRQuanta()
+	bad[1] = 100
+	if _, err := DRRBound(specs, traffic.P0, bad, cfg); err == nil {
+		t.Error("small quantum accepted")
+	}
+	if _, err := DRRBound(specs, traffic.Priority(9), EqualDRRQuanta(), cfg); err == nil {
+		t.Error("bad priority accepted")
+	}
+	// A class whose rate exceeds its DRR share is unstable even though the
+	// link as a whole has room.
+	m := &traffic.Message{Name: "heavy", Source: "a", Dest: "b", Kind: traffic.Sporadic,
+		Period: 20 * ms, Payload: simtime.Bytes(64), Deadline: 3 * ms, Priority: traffic.P0}
+	b := simtime.Size(8 * 106 * 64) // make Σr_P0 > C/4
+	heavy := []FlowSpec{{Msg: m, B: b, R: 3 * simtime.Mbps}}
+	if _, err := DRRBound(heavy, traffic.P0, EqualDRRQuanta(), cfg); err != ErrUnstable {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestCompareSchedulersOrdering(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	cmp, err := CompareSchedulers(set, cfg, EqualDRRQuanta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The design space, urgent class at the bottleneck:
+	// preemptive ≤ strict ≤ FCFS, and DRR worst of all (latency term).
+	if cmp.PreemptivePriority > cmp.StrictPriority {
+		t.Errorf("preemptive %v above strict %v", cmp.PreemptivePriority, cmp.StrictPriority)
+	}
+	if cmp.StrictPriority >= cmp.FCFS {
+		t.Errorf("strict %v not below FCFS %v", cmp.StrictPriority, cmp.FCFS)
+	}
+	if cmp.DRRStable && cmp.DeficitRoundRobin <= cmp.FCFS {
+		t.Errorf("DRR %v not above FCFS %v for the urgent class", cmp.DeficitRoundRobin, cmp.FCFS)
+	}
+	// Only strict/preemptive priority meet the 3 ms requirement.
+	deadline := simtime.Duration(traffic.UrgentDeadline)
+	if cmp.StrictPriority >= deadline || cmp.PreemptivePriority >= deadline {
+		t.Error("priority disciplines should meet 3ms")
+	}
+	if cmp.DRRStable && cmp.DeficitRoundRobin < deadline {
+		t.Errorf("DRR bound %v unexpectedly meets 3ms — the trade-off story collapses", cmp.DeficitRoundRobin)
+	}
+}
+
+// TestDRRSimulationWithinBound validates the Stiliadis–Varma bound against
+// the DRR implementation: a contrived two-class overload where the urgent
+// class's observed delay must stay below DRRBound.
+func TestDRRSimulationWithinBound(t *testing.T) {
+	cfg := cfg10M()
+	cfg.TTechno = 0 // single multiplexer, no switch behind it
+	// Urgent class: one 64 B frame every 20 ms. Background: saturating
+	// 1500 B frames in P3.
+	urgent := &traffic.Message{Name: "u", Source: "a", Dest: "b", Kind: traffic.Sporadic,
+		Period: 20 * ms, Payload: simtime.Bytes(64), Deadline: 20 * ms, Priority: traffic.P0}
+	b := ethernet.WireSizeForPayload(64, true)
+	spec := FlowSpec{Msg: urgent, B: b, R: urgent.Rate(b)}
+	bound, err := DRRBound([]FlowSpec{spec}, traffic.P0, EqualDRRQuanta(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := des.New(1)
+	var lat stats.Summary
+	type meta struct{ release simtime.Time }
+	port := ethernet.NewPort("drr", sim, ethernet.NewDRRQueue([4]int{1522, 1522, 1522, 1522}, 0),
+		cfg.LinkRate, 0, func(f *ethernet.Frame) {
+			if m, ok := f.Meta.(meta); ok {
+				lat.Add(sim.Now().Sub(m.release))
+			}
+		})
+	// Background saturation: three lower classes permanently backlogged.
+	sim.Every(0, 5*ms, func() {
+		for class := 1; class < 4; class++ {
+			for i := 0; i < 5; i++ {
+				port.Send(&ethernet.Frame{Tagged: true, Priority: ethernet.PCPOfClass(class), PayloadLen: 1500})
+			}
+		}
+	})
+	// The urgent flow.
+	sim.Every(0, 20*ms, func() {
+		port.Send(&ethernet.Frame{Tagged: true, Priority: ethernet.PCPOfClass(0),
+			PayloadLen: 64, Meta: meta{sim.Now()}})
+	})
+	sim.RunFor(2 * simtime.Second)
+	if lat.N() == 0 {
+		t.Fatal("urgent flow never delivered under DRR")
+	}
+	if lat.Max() > bound {
+		t.Errorf("observed urgent delay %v exceeds DRR bound %v", lat.Max(), bound)
+	}
+	if lat.Max() <= simtime.TransmissionTime(b, cfg.LinkRate) {
+		t.Error("urgent flow saw no interference — background not saturating")
+	}
+}

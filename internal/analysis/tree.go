@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// This file generalizes the end-to-end analysis from one switch (EndToEnd)
+// and two (TwoSwitchEndToEnd) to an arbitrary tree of switches — the shape
+// avionics backbones take when a single switch cannot reach every
+// equipment bay. A connection crosses:
+//
+//	source uplink → one trunk multiplexer per switch-to-switch edge on
+//	its (unique) tree path → the destination output port
+//
+// Soundness of the composition relies on a structural property of trees:
+// the "crossed-before" relation on *directed* trunk edges is acyclic
+// (every flow crossing edge u→v has its source on u's side of the cut, so
+// any edge some flow crosses before u→v lies on u's side and no flow can
+// cross it after u→v). Directed edges are therefore processed in
+// topological order, each flow's token bucket inflated by the bounds of
+// its already-processed upstream stages.
+
+// Tree describes the switch topology.
+type Tree struct {
+	// Switches is the number of switches, identified 0..Switches-1.
+	Switches int
+	// Links are the undirected switch-to-switch edges; a valid tree has
+	// exactly Switches−1 of them, connected.
+	Links [][2]int
+	// StationSwitch maps every station to its switch.
+	StationSwitch map[string]int
+}
+
+// SingleSwitchTree returns the degenerate one-switch topology for a
+// station list (every station on switch 0).
+func SingleSwitchTree(stations []string) *Tree {
+	t := &Tree{Switches: 1, StationSwitch: map[string]int{}}
+	for _, s := range stations {
+		t.StationSwitch[s] = 0
+	}
+	return t
+}
+
+// Validate checks tree structure and station coverage.
+func (t *Tree) Validate(stations []string) error {
+	if t.Switches < 1 {
+		return fmt.Errorf("analysis: tree with %d switches", t.Switches)
+	}
+	if len(t.Links) != t.Switches-1 {
+		return fmt.Errorf("analysis: %d links for %d switches (want %d)", len(t.Links), t.Switches, t.Switches-1)
+	}
+	adj := make([][]int, t.Switches)
+	for _, l := range t.Links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= t.Switches || b < 0 || b >= t.Switches || a == b {
+			return fmt.Errorf("analysis: invalid link %v", l)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	// Connectivity via BFS from 0.
+	seen := make([]bool, t.Switches)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("analysis: switch %d unreachable", i)
+		}
+	}
+	for _, s := range stations {
+		sw, ok := t.StationSwitch[s]
+		if !ok {
+			return fmt.Errorf("analysis: station %q not placed on a switch", s)
+		}
+		if sw < 0 || sw >= t.Switches {
+			return fmt.Errorf("analysis: station %q on invalid switch %d", s, sw)
+		}
+	}
+	return nil
+}
+
+// adjacency returns the adjacency lists.
+func (t *Tree) adjacency() [][]int {
+	adj := make([][]int, t.Switches)
+	for _, l := range t.Links {
+		adj[l[0]] = append(adj[l[0]], l[1])
+		adj[l[1]] = append(adj[l[1]], l[0])
+	}
+	return adj
+}
+
+// SwitchPath returns the switch sequence from the switch of station a to
+// the switch of station b (inclusive; length 1 if co-located).
+func (t *Tree) SwitchPath(a, b string) ([]int, error) {
+	sa, ok := t.StationSwitch[a]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown station %q", a)
+	}
+	sb, ok := t.StationSwitch[b]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown station %q", b)
+	}
+	if sa == sb {
+		return []int{sa}, nil
+	}
+	// BFS from sa recording parents.
+	adj := t.adjacency()
+	parent := make([]int, t.Switches)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[sa] = sa
+	queue := []int{sa}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == sb {
+			break
+		}
+		for _, v := range adj[u] {
+			if parent[v] == -1 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if parent[sb] == -1 {
+		return nil, fmt.Errorf("analysis: no path between switches %d and %d", sa, sb)
+	}
+	var rev []int
+	for v := sb; v != sa; v = parent[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, sa)
+	path := make([]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, nil
+}
+
+// dirEdge is a directed trunk edge.
+type dirEdge struct{ from, to int }
+
+// TreeEndToEnd bounds every connection over the tree topology.
+func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("analysis: nil tree")
+	}
+	if err := tree.Validate(set.Stations()); err != nil {
+		return nil, err
+	}
+	specs := Specs(set, cfg)
+
+	// Per-flow directed edge sequences.
+	paths := make([][]dirEdge, len(specs))
+	for i, f := range specs {
+		sp, err := tree.SwitchPath(f.Msg.Source, f.Msg.Dest)
+		if err != nil {
+			return nil, err
+		}
+		for h := 0; h+1 < len(sp); h++ {
+			paths[i] = append(paths[i], dirEdge{sp[h], sp[h+1]})
+		}
+	}
+
+	// Stage 1: source uplinks.
+	srcCfg := cfg
+	srcCfg.TTechno = 0
+	bySource := groupBy(specs, func(f FlowSpec) string { return f.Msg.Source })
+	stage1 := make([]simtime.Duration, len(specs))
+	current := make([]FlowSpec, len(specs)) // spec after the last processed stage
+	for i, f := range specs {
+		d, err := muxBound(bySource[f.Msg.Source], f, approach, srcCfg)
+		if err != nil {
+			return nil, fmt.Errorf("station %s: %w", f.Msg.Source, err)
+		}
+		stage1[i] = d
+		current[i] = inflate(f, d)
+	}
+
+	// Topological order of directed edges under "crossed earlier by some
+	// flow". Kahn's algorithm over the dependency multigraph.
+	edgeFlows := map[dirEdge][]int{}
+	deps := map[dirEdge]map[dirEdge]bool{} // e2 depends on e1 (e1 first)
+	indeg := map[dirEdge]int{}
+	for i, p := range paths {
+		_ = i
+		for h, e := range p {
+			if _, ok := indeg[e]; !ok {
+				indeg[e] = 0
+			}
+			edgeFlows[e] = append(edgeFlows[e], i)
+			if h > 0 {
+				prev := p[h-1]
+				if deps[prev] == nil {
+					deps[prev] = map[dirEdge]bool{}
+				}
+				if !deps[prev][e] {
+					deps[prev][e] = true
+					indeg[e]++
+				}
+			}
+		}
+	}
+	var order []dirEdge
+	var ready []dirEdge
+	for e, d := range indeg {
+		if d == 0 {
+			ready = append(ready, e)
+		}
+	}
+	sort.Slice(ready, func(a, b int) bool {
+		return ready[a].from*1000+ready[a].to < ready[b].from*1000+ready[b].to
+	})
+	for len(ready) > 0 {
+		e := ready[0]
+		ready = ready[1:]
+		order = append(order, e)
+		for next := range deps[e] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			return ready[a].from*1000+ready[a].to < ready[b].from*1000+ready[b].to
+		})
+	}
+	if len(order) != len(indeg) {
+		return nil, fmt.Errorf("analysis: cyclic trunk dependencies — topology is not a tree")
+	}
+
+	// Stage 2: trunk multiplexers in dependency order.
+	trunkDelay := make([]simtime.Duration, len(specs)) // accumulated per flow
+	for _, e := range order {
+		flows := edgeFlows[e]
+		agg := make([]FlowSpec, 0, len(flows))
+		for _, i := range flows {
+			agg = append(agg, current[i])
+		}
+		for _, i := range flows {
+			d, err := muxBound(agg, current[i], approach, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("trunk %d→%d: %w", e.from, e.to, err)
+			}
+			trunkDelay[i] += d
+		}
+		// Inflate after all bounds at this edge are computed (every flow
+		// sees its peers' entering curves, not their exits).
+		for _, i := range flows {
+			d, err := muxBound(agg, current[i], approach, cfg)
+			if err != nil {
+				return nil, err
+			}
+			current[i] = inflate(current[i], d)
+		}
+	}
+
+	// Stage 3: destination ports.
+	byDest := groupBy(current, func(f FlowSpec) string { return f.Msg.Dest })
+	res := &Result{Approach: approach, Cfg: cfg}
+	for i, f := range specs {
+		d, err := muxBound(byDest[f.Msg.Dest], current[i], approach, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("port %s: %w", f.Msg.Dest, err)
+		}
+		hops := len(paths[i]) + 2 // uplink + trunks + dest port
+		pb := PathBound{
+			Spec:        f,
+			SourceDelay: stage1[i],
+			PortDelay:   trunkDelay[i] + d,
+			EndToEnd:    stage1[i] + trunkDelay[i] + d,
+			Floor: simtime.Duration(hops)*simtime.TransmissionTime(f.B, cfg.LinkRate) +
+				simtime.Duration(hops-1)*cfg.TTechno,
+		}
+		pb.Jitter = pb.EndToEnd - pb.Floor
+		pb.Met = pb.EndToEnd <= simtime.Duration(f.Msg.Deadline)
+		res.add(pb)
+	}
+	return res, nil
+}

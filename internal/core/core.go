@@ -1,0 +1,303 @@
+// Package core is the public orchestration layer of the reproduction: it
+// assembles the full system — traffic sources, per-connection token-bucket
+// shapers, station multiplexers, the store-and-forward switch — into a
+// running simulation, computes the paper's analytic bounds over the same
+// scenario, and drives every experiment (Figure 1, the prose claims, the
+// 1553B baseline, and the ablation sweeps).
+//
+// The architecture simulated is the paper's: a star of stations around one
+// Full-Duplex Switched Ethernet switch. Every connection is shaped at its
+// source to (bᵢ, rᵢ = bᵢ/Tᵢ); stations multiplex shaped frames onto their
+// uplink with the selected discipline (FCFS or 4-class strict priority);
+// the switch relays within t_techno and queues frames at the destination
+// output port under the same discipline.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/shaper"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// SimConfig parameterizes one simulation run.
+type SimConfig struct {
+	// Approach selects FCFS or strict-priority multiplexing everywhere.
+	Approach analysis.Approach
+	// LinkRate is the rate of every link (paper: 10 Mbps).
+	LinkRate simtime.Rate
+	// TTechno is the switch relaying latency (worst case, applied to every
+	// frame — the simulation realizes the bound's assumption).
+	TTechno simtime.Duration
+	// Horizon is the simulated time span.
+	Horizon simtime.Duration
+	// Seed drives sporadic phases and random gaps.
+	Seed uint64
+	// Mode is the sporadic release behaviour (Greedy reproduces the
+	// worst-case assumption of the analysis).
+	Mode traffic.SporadicMode
+	// AlignPhases releases every connection at t=0 (critical instant).
+	AlignPhases bool
+	// QueueCapacity bounds every queue in bytes (0 = unbounded; bounded
+	// queues expose the loss mode the paper warns about).
+	QueueCapacity simtime.Size
+	// BER is a residual bit-error rate applied to every link (0 = clean
+	// medium). Corrupted frames fail the receiver FCS and vanish.
+	BER float64
+	// Recorder, if non-nil, captures frame lifecycle events (released,
+	// shaped, delivered, dropped).
+	Recorder *trace.Recorder
+	// PCAP, if non-nil, receives every delivered frame as real wire bytes
+	// with its virtual timestamp.
+	PCAP *trace.PCAPWriter
+
+	// Babbler, if non-empty, names a connection whose source misbehaves:
+	// each release is repeated BabbleFactor times ("babbling idiot").
+	// Used by experiment R1 to show the shapers containing a fault.
+	Babbler string
+	// BabbleFactor is the misbehaviour multiplier (≥ 1; 0 treated as 1).
+	BabbleFactor int
+	// BypassShapers disconnects all traffic shapers, feeding frames
+	// straight into the station multiplexers — the uncontrolled network
+	// whose unpredictability motivates the paper.
+	BypassShapers bool
+}
+
+// DefaultSimConfig returns the paper-matched simulation parameters: 10 Mbps
+// links, 140 µs relaying latency, greedy aligned sources (critical
+// instant), and a 2 s horizon (12.5 major frames).
+func DefaultSimConfig(approach analysis.Approach) SimConfig {
+	return SimConfig{
+		Approach:    approach,
+		LinkRate:    10 * simtime.Mbps,
+		TTechno:     140 * simtime.Microsecond,
+		Horizon:     2 * simtime.Second,
+		Seed:        1,
+		Mode:        traffic.Greedy,
+		AlignPhases: true,
+	}
+}
+
+// AnalysisConfig derives the matching analytic configuration.
+func (c SimConfig) AnalysisConfig() analysis.Config {
+	return analysis.Config{LinkRate: c.LinkRate, TTechno: c.TTechno, Tagged: true}
+}
+
+// Validate checks the configuration.
+func (c SimConfig) Validate() error {
+	if c.LinkRate <= 0 {
+		return fmt.Errorf("core: non-positive link rate %v", c.LinkRate)
+	}
+	if c.TTechno < 0 {
+		return fmt.Errorf("core: negative t_techno %v", c.TTechno)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("core: non-positive horizon %v", c.Horizon)
+	}
+	return nil
+}
+
+// FlowSim is the measured behaviour of one connection.
+type FlowSim struct {
+	// Msg is the connection.
+	Msg *traffic.Message
+	// Latency summarizes observed release-to-delivery times.
+	Latency stats.Summary
+	// Released counts instances handed to the shaper.
+	Released int
+	// Delivered counts instances whose frame completed reception.
+	Delivered int
+	// DeadlineMisses counts deliveries later than the deadline.
+	DeadlineMisses int
+}
+
+// SimResult is the outcome of one simulation run.
+type SimResult struct {
+	Cfg SimConfig
+	// Flows maps connection name to its measurements.
+	Flows map[string]*FlowSim
+	// ClassWorst is the largest observed latency per priority class.
+	ClassWorst [traffic.NumPriorities]simtime.Duration
+	// Dropped counts frames lost to bounded queues anywhere.
+	Dropped int
+	// Corrupted counts frames lost to bit errors (BER model).
+	Corrupted int
+	// Shaped counts frames the token buckets had to delay — nonzero only
+	// when some source exceeded its declared contract.
+	Shaped int
+	// Events is the number of simulator events executed.
+	Events uint64
+}
+
+// WorstLatency returns the largest observed latency of one connection
+// (0 if it never delivered).
+func (r *SimResult) WorstLatency(name string) simtime.Duration {
+	f, ok := r.Flows[name]
+	if !ok {
+		return 0
+	}
+	return f.Latency.Max()
+}
+
+// TotalDelivered sums deliveries over all connections.
+func (r *SimResult) TotalDelivered() int {
+	n := 0
+	for _, f := range r.Flows {
+		n += f.Delivered
+	}
+	return n
+}
+
+// Simulate builds the star network for the message set and runs it.
+func Simulate(set *traffic.Set, cfg SimConfig) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New(cfg.Seed)
+
+	kind := ethernet.QueueFCFS
+	if cfg.Approach == analysis.Priority {
+		kind = ethernet.QueuePriority
+	}
+	sw := ethernet.NewSwitch(sim, ethernet.SwitchConfig{
+		Name:          "sw0",
+		RelayLatency:  cfg.TTechno,
+		Kind:          kind,
+		QueueCapacity: cfg.QueueCapacity,
+	})
+
+	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
+	for _, m := range set.Messages {
+		res.Flows[m.Name] = &FlowSim{Msg: m}
+	}
+
+	record := func(ev trace.Event) {
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(ev)
+		}
+	}
+	var pcapErr error
+
+	// Stations, in sorted name order for deterministic port numbering.
+	names := set.Stations()
+	stations := map[string]*ethernet.Station{}
+	addrs := map[string]ethernet.Addr{}
+	for i, name := range names {
+		name := name
+		addr := ethernet.StationAddr(i)
+		st := ethernet.NewStation(sim, name, addr, sw, i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
+		st.OnReceive = func(f *ethernet.Frame) {
+			in, ok := f.Meta.(traffic.Instance)
+			if !ok {
+				return
+			}
+			fs := res.Flows[in.Msg.Name]
+			lat := sim.Now().Sub(in.Release)
+			fs.Latency.Add(lat)
+			fs.Delivered++
+			if lat > simtime.Duration(in.Msg.Deadline) {
+				fs.DeadlineMisses++
+			}
+			if lat > res.ClassWorst[in.Msg.Priority] {
+				res.ClassWorst[in.Msg.Priority] = lat
+			}
+			record(trace.Event{At: sim.Now(), Kind: trace.Delivered, Conn: in.Msg.Name, Seq: in.Seq, Where: name})
+			if cfg.PCAP != nil && pcapErr == nil {
+				if wire, err := f.Marshal(); err == nil {
+					pcapErr = cfg.PCAP.WritePacket(sim.Now(), wire)
+				} else {
+					pcapErr = err
+				}
+			}
+		}
+		if cfg.BER > 0 {
+			st.Uplink().SetBitErrorRate(cfg.BER, sim.RNG())
+		}
+		stations[name] = st
+		addrs[name] = addr
+	}
+	if cfg.BER > 0 {
+		for _, id := range sw.PortIDs() {
+			sw.OutputPort(id).SetBitErrorRate(cfg.BER, sim.RNG())
+		}
+	}
+
+	// Per-connection shapers, releasing into the source station's uplink.
+	specs := analysis.Specs(set, cfg.AnalysisConfig())
+	shapers := map[string]*shaper.Shaper{}
+	for _, spec := range specs {
+		m := spec.Msg
+		src := stations[m.Source]
+		sh := shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
+			if !src.Send(f) {
+				res.Dropped++
+				if in, ok := f.Meta.(traffic.Instance); ok {
+					record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: in.Msg.Name, Seq: in.Seq, Where: m.Source})
+				}
+			}
+		})
+		if cfg.Recorder != nil {
+			sh.OnShaped = func(f *ethernet.Frame) {
+				if in, ok := f.Meta.(traffic.Instance); ok {
+					record(trace.Event{At: sim.Now(), Kind: trace.Shaped, Conn: in.Msg.Name, Seq: in.Seq, Where: m.Source})
+				}
+			}
+		}
+		shapers[m.Name] = sh
+	}
+
+	// Traffic sources feed the shapers (or, bypassed, the multiplexers).
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+		func(in traffic.Instance) {
+			res.Flows[in.Msg.Name].Released++
+			record(trace.Event{At: sim.Now(), Kind: trace.Released, Conn: in.Msg.Name, Seq: in.Seq, Where: in.Msg.Source})
+			copies := 1
+			if in.Msg.Name == cfg.Babbler && cfg.BabbleFactor > 1 {
+				copies = cfg.BabbleFactor
+			}
+			for c := 0; c < copies; c++ {
+				f := &ethernet.Frame{
+					Dst:        addrs[in.Msg.Dest],
+					Tagged:     true,
+					Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
+					Type:       ethernet.EtherTypeAvionics,
+					PayloadLen: in.Msg.Payload.ByteCount(),
+					Meta:       in,
+				}
+				if cfg.BypassShapers {
+					if !stations[in.Msg.Source].Send(f) {
+						res.Dropped++
+					}
+					continue
+				}
+				shapers[in.Msg.Name].Submit(f)
+			}
+		})
+
+	// Count switch-side drops and corruption too.
+	sim.RunFor(cfg.Horizon)
+	for _, id := range sw.PortIDs() {
+		res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
+		res.Corrupted += sw.OutputPort(id).Corrupted
+	}
+	for _, st := range stations {
+		res.Corrupted += st.Uplink().Corrupted
+	}
+	for _, sh := range shapers {
+		res.Shaped += sh.Shaped
+	}
+	res.Events = sim.Executed()
+	if pcapErr != nil {
+		return nil, fmt.Errorf("core: pcap: %w", pcapErr)
+	}
+	return res, nil
+}

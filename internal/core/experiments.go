@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/milstd1553"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// This file drives the experiments of EXPERIMENTS.md. Each Run* function
+// produces the data behind one figure, table or prose claim of the paper.
+
+// Figure1 holds the data of the paper's Figure 1: the delay bounds of the
+// two approaches over the real-case traffic.
+type Figure1 struct {
+	Cfg      analysis.Config
+	FCFS     *analysis.Result
+	Priority *analysis.Result
+}
+
+// RunFigure1 computes both analyses over the message set with the
+// paper-faithful single-hop model.
+func RunFigure1(set *traffic.Set, cfg analysis.Config) (*Figure1, error) {
+	fcfs, err := analysis.SingleHop(set, analysis.FCFS, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: FCFS analysis: %w", err)
+	}
+	prio, err := analysis.SingleHop(set, analysis.Priority, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: priority analysis: %w", err)
+	}
+	return &Figure1{Cfg: cfg, FCFS: fcfs, Priority: prio}, nil
+}
+
+// ValidationRow compares one connection's analytic bound with simulation.
+type ValidationRow struct {
+	Name     string
+	Priority traffic.Priority
+	// Bound is the compositional end-to-end bound (sound for the
+	// two-multiplexer path the simulator implements).
+	Bound simtime.Duration
+	// PaperBound is the single-hop bound the paper would report.
+	PaperBound simtime.Duration
+	// Observed is the worst simulated latency.
+	Observed simtime.Duration
+	// Delivered counts simulated deliveries backing Observed.
+	Delivered int
+}
+
+// Sound reports whether the observation respects the compositional bound.
+func (r ValidationRow) Sound() bool { return r.Observed <= r.Bound }
+
+// Validation is experiment S1: simulated worst cases versus bounds.
+type Validation struct {
+	Approach analysis.Approach
+	Rows     []ValidationRow
+	Sim      *SimResult
+}
+
+// AllSound reports whether every connection respected its bound.
+func (v *Validation) AllSound() bool {
+	for _, r := range v.Rows {
+		if !r.Sound() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunValidation simulates the scenario and compares every connection's
+// worst observed latency against the analytic bounds.
+func RunValidation(set *traffic.Set, cfg SimConfig) (*Validation, error) {
+	e2e, err := analysis.EndToEnd(set, cfg.Approach, cfg.AnalysisConfig())
+	if err != nil {
+		return nil, err
+	}
+	paper, err := analysis.SingleHop(set, cfg.Approach, cfg.AnalysisConfig())
+	if err != nil {
+		return nil, err
+	}
+	sim, err := Simulate(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	v := &Validation{Approach: cfg.Approach, Sim: sim}
+	for i, f := range e2e.Flows {
+		fs := sim.Flows[f.Spec.Msg.Name]
+		v.Rows = append(v.Rows, ValidationRow{
+			Name:       f.Spec.Msg.Name,
+			Priority:   f.Spec.Msg.Priority,
+			Bound:      f.EndToEnd,
+			PaperBound: paper.Flows[i].EndToEnd,
+			Observed:   fs.Latency.Max(),
+			Delivered:  fs.Delivered,
+		})
+	}
+	return v, nil
+}
+
+// RatePoint is one point of the link-rate ablation (A1): the paper's
+// observation that "having a Switched Ethernet with a higher rate is not
+// sufficient" inverted — at which rate does FCFS start meeting the urgent
+// deadline?
+type RatePoint struct {
+	Rate simtime.Rate
+	// FCFSUrgent and PriorityUrgent are the worst P0 end-to-end bounds.
+	FCFSUrgent, PriorityUrgent simtime.Duration
+	// FCFSViolations and PriorityViolations count missed deadlines over
+	// all classes.
+	FCFSViolations, PriorityViolations int
+}
+
+// RunRateSweep evaluates both approaches across link rates.
+func RunRateSweep(set *traffic.Set, rates []simtime.Rate, base analysis.Config) ([]RatePoint, error) {
+	var out []RatePoint
+	for _, rate := range rates {
+		cfg := base
+		cfg.LinkRate = rate
+		f, err := analysis.SingleHop(set, analysis.FCFS, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: rate %v FCFS: %w", rate, err)
+		}
+		p, err := analysis.SingleHop(set, analysis.Priority, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: rate %v priority: %w", rate, err)
+		}
+		out = append(out, RatePoint{
+			Rate:               rate,
+			FCFSUrgent:         f.ClassWorst[traffic.P0],
+			PriorityUrgent:     p.ClassWorst[traffic.P0],
+			FCFSViolations:     f.Violations,
+			PriorityViolations: p.Violations,
+		})
+	}
+	return out, nil
+}
+
+// LoadPoint is one point of the station-count ablation (A2).
+type LoadPoint struct {
+	ExtraRTs    int
+	Connections int
+	// Urgent bounds under both approaches at the bottleneck.
+	FCFSUrgent, PriorityUrgent simtime.Duration
+	FCFSViolations             int
+	PriorityViolations         int
+}
+
+// RunLoadSweep evaluates both approaches as generic remote terminals are
+// added to the catalog.
+func RunLoadSweep(extraRTs []int, cfg analysis.Config) ([]LoadPoint, error) {
+	var out []LoadPoint
+	for _, n := range extraRTs {
+		set := traffic.RealCaseWith(n)
+		f, err := analysis.SingleHop(set, analysis.FCFS, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d RTs FCFS: %w", n, err)
+		}
+		p, err := analysis.SingleHop(set, analysis.Priority, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d RTs priority: %w", n, err)
+		}
+		out = append(out, LoadPoint{
+			ExtraRTs:           n,
+			Connections:        len(set.Messages),
+			FCFSUrgent:         f.ClassWorst[traffic.P0],
+			PriorityUrgent:     p.ClassWorst[traffic.P0],
+			FCFSViolations:     f.Violations,
+			PriorityViolations: p.Violations,
+		})
+	}
+	return out, nil
+}
+
+// BaselineFlow is one connection's behaviour on the 1553B baseline.
+type BaselineFlow struct {
+	Name string
+	// WorstCase is the analytic bound on the 1553 schedule.
+	WorstCase simtime.Duration
+	// Observed summarizes simulated latencies.
+	Observed stats.Summary
+}
+
+// Baseline1553 is experiment B1: the same workload on the legacy bus.
+type Baseline1553 struct {
+	Schedule    *milstd1553.Schedule
+	Flows       map[string]*BaselineFlow
+	Overruns    int
+	Utilization float64
+}
+
+// SortedNames returns connection names in sorted order.
+func (b *Baseline1553) SortedNames() []string {
+	out := make([]string, 0, len(b.Flows))
+	for n := range b.Flows {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunBaseline1553 builds the 1553 schedule for the workload, simulates it,
+// and pairs analytic worst cases with observed latencies.
+func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, seed uint64) (*Baseline1553, error) {
+	schedule, err := milstd1553.Build(set, bc)
+	if err != nil {
+		return nil, err
+	}
+	if !schedule.Feasible() {
+		return nil, fmt.Errorf("core: 1553 schedule infeasible for this workload")
+	}
+	out := &Baseline1553{Schedule: schedule, Flows: map[string]*BaselineFlow{}}
+	for _, m := range set.Messages {
+		wc, err := schedule.WorstCaseLatency(m)
+		if err != nil {
+			return nil, err
+		}
+		out.Flows[m.Name] = &BaselineFlow{Name: m.Name, WorstCase: wc}
+	}
+
+	sim := des.New(seed)
+	bus := milstd1553.NewBus(sim, schedule)
+	bus.OnDeliver = func(d milstd1553.Delivery) {
+		out.Flows[d.Msg.Name].Observed.Add(d.Latency())
+	}
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}, bus.Release)
+	bus.Start()
+	sim.RunFor(horizon)
+
+	out.Overruns = bus.Overruns
+	out.Utilization = bus.MeasuredUtilization()
+	return out, nil
+}

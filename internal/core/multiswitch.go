@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/shaper"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// SimulateTwoSwitch runs the workload over a cascaded two-switch topology:
+// stations partitioned by assign, switches joined by a full-duplex trunk
+// of the same rate as the station links. Cross-switch frames traverse
+// both switches' relaying latencies and the trunk — the three-multiplexer
+// path analysis.TwoSwitchEndToEnd bounds.
+func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignment) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if assign == nil {
+		return nil, fmt.Errorf("core: nil assignment")
+	}
+	sim := des.New(cfg.Seed)
+
+	kind := ethernet.QueueFCFS
+	if cfg.Approach == analysis.Priority {
+		kind = ethernet.QueuePriority
+	}
+	swCfg := func(name string) ethernet.SwitchConfig {
+		return ethernet.SwitchConfig{
+			Name:          name,
+			RelayLatency:  cfg.TTechno,
+			Kind:          kind,
+			QueueCapacity: cfg.QueueCapacity,
+		}
+	}
+	sws := [2]*ethernet.Switch{
+		ethernet.NewSwitch(sim, swCfg("sw0")),
+		ethernet.NewSwitch(sim, swCfg("sw1")),
+	}
+
+	// The trunk: an egress port on each switch delivering into the other's
+	// ingress. The closures break the construction cycle.
+	const trunkPort = 999
+	var inTo [2]func(*ethernet.Frame)
+	in0 := sws[0].AttachPort(trunkPort, cfg.LinkRate, 0, func(f *ethernet.Frame) { inTo[1](f) })
+	in1 := sws[1].AttachPort(trunkPort, cfg.LinkRate, 0, func(f *ethernet.Frame) { inTo[0](f) })
+	inTo[0], inTo[1] = in0, in1
+
+	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
+	for _, m := range set.Messages {
+		res.Flows[m.Name] = &FlowSim{Msg: m}
+	}
+
+	names := set.Stations()
+	stations := map[string]*ethernet.Station{}
+	addrs := map[string]ethernet.Addr{}
+	for i, name := range names {
+		side := assign(name)
+		if side != 0 && side != 1 {
+			return nil, fmt.Errorf("core: station %q assigned to switch %d", name, side)
+		}
+		addr := ethernet.StationAddr(i)
+		st := ethernet.NewStation(sim, name, addr, sws[side], i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
+		st.OnReceive = func(f *ethernet.Frame) {
+			in, ok := f.Meta.(traffic.Instance)
+			if !ok {
+				return
+			}
+			fs := res.Flows[in.Msg.Name]
+			lat := sim.Now().Sub(in.Release)
+			fs.Latency.Add(lat)
+			fs.Delivered++
+			if lat > simtime.Duration(in.Msg.Deadline) {
+				fs.DeadlineMisses++
+			}
+			if lat > res.ClassWorst[in.Msg.Priority] {
+				res.ClassWorst[in.Msg.Priority] = lat
+			}
+		}
+		stations[name] = st
+		addrs[name] = addr
+		// Remote stations are reached via the trunk.
+		sws[1-side].Learn(addr, trunkPort)
+	}
+
+	specs := analysis.Specs(set, cfg.AnalysisConfig())
+	shapers := map[string]*shaper.Shaper{}
+	for _, spec := range specs {
+		m := spec.Msg
+		src := stations[m.Source]
+		shapers[m.Name] = shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
+			if !src.Send(f) {
+				res.Dropped++
+			}
+		})
+	}
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+		func(in traffic.Instance) {
+			res.Flows[in.Msg.Name].Released++
+			shapers[in.Msg.Name].Submit(&ethernet.Frame{
+				Dst:        addrs[in.Msg.Dest],
+				Tagged:     true,
+				Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
+				Type:       ethernet.EtherTypeAvionics,
+				PayloadLen: in.Msg.Payload.ByteCount(),
+				Meta:       in,
+			})
+		})
+
+	sim.RunFor(cfg.Horizon)
+	for _, sw := range sws {
+		for _, id := range sw.PortIDs() {
+			res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
+		}
+	}
+	res.Events = sim.Executed()
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// TestRandomizedSoundness is the S3 harness: for randomly generated valid
+// workloads — arbitrary star-biased topologies, mixed kinds, paper-envelope
+// parameters — the simulated worst case must respect the compositional
+// bound under BOTH approaches. This is the strongest property in the
+// repository: it asserts the analysis is sound for any workload, not just
+// the curated catalog.
+func TestRandomizedSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	params := traffic.DefaultRandomParams()
+	for seed := uint64(1); seed <= 12; seed++ {
+		set, err := traffic.Random(seed, params)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+			cfg := DefaultSimConfig(approach)
+			cfg.Seed = seed
+			cfg.Horizon = simtime.Second
+			bounds, err := analysis.EndToEnd(set, approach, cfg.AnalysisConfig())
+			if err != nil {
+				t.Fatalf("seed %d %v: analysis: %v", seed, approach, err)
+			}
+			sim, err := Simulate(set, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v: sim: %v", seed, approach, err)
+			}
+			for _, pb := range bounds.Flows {
+				observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+				if observed > pb.EndToEnd {
+					t.Errorf("seed %d %v %s: observed %v exceeds bound %v",
+						seed, approach, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedSoundnessTwoSwitch extends S3 to the cascaded topology
+// with a random-ish split (hub plus the even stations on switch 0).
+func TestRandomizedSoundnessTwoSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	split := func(station string) int {
+		if station == "hub" || station == "es02" || station == "es04" {
+			return 0
+		}
+		return 1
+	}
+	params := traffic.DefaultRandomParams()
+	for seed := uint64(20); seed <= 26; seed++ {
+		set, err := traffic.Random(seed, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Second
+		bounds, err := analysis.TwoSwitchEndToEnd(set, analysis.Priority, cfg.AnalysisConfig(), split)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sim, err := SimulateTwoSwitch(set, cfg, split)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pb := range bounds.Flows {
+			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+			if observed > pb.EndToEnd {
+				t.Errorf("seed %d %s: observed %v exceeds two-switch bound %v",
+					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+			}
+		}
+	}
+}
+
+// TestRandomizedNoMissesUnderPriorityWhenBoundsSay verifies agreement in
+// the other direction: whenever the analysis says every deadline is met
+// under priorities, the simulation must observe zero deadline misses.
+func TestRandomizedNoMissesUnderPriorityWhenBoundsSay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	params := traffic.DefaultRandomParams()
+	checked := 0
+	for seed := uint64(40); seed <= 52; seed++ {
+		set, err := traffic.Random(seed, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Second
+		bounds, err := analysis.EndToEnd(set, analysis.Priority, cfg.AnalysisConfig())
+		if err != nil || bounds.Violations > 0 {
+			continue // analysis does not promise anything for this seed
+		}
+		checked++
+		sim, err := Simulate(set, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, f := range sim.Flows {
+			if f.DeadlineMisses > 0 {
+				t.Errorf("seed %d: %s missed %d deadlines though bounds promised none",
+					seed, name, f.DeadlineMisses)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no seed produced an all-met analysis; harness checks nothing")
+	}
+}

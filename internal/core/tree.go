@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/shaper"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// SimulateTree runs the workload over an arbitrary switch-tree topology
+// (analysis.Tree): stations on their assigned switches, trunks of the
+// station link rate between adjacent switches, static routing along the
+// unique tree paths. It is the simulation counterpart of
+// analysis.TreeEndToEnd and subsumes Simulate (one switch) and
+// SimulateTwoSwitch (two).
+func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := tree.Validate(set.Stations()); err != nil {
+		return nil, err
+	}
+	sim := des.New(cfg.Seed)
+
+	kind := ethernet.QueueFCFS
+	if cfg.Approach == analysis.Priority {
+		kind = ethernet.QueuePriority
+	}
+	sws := make([]*ethernet.Switch, tree.Switches)
+	for i := range sws {
+		sws[i] = ethernet.NewSwitch(sim, ethernet.SwitchConfig{
+			Name:          fmt.Sprintf("sw%d", i),
+			RelayLatency:  cfg.TTechno,
+			Kind:          kind,
+			QueueCapacity: cfg.QueueCapacity,
+		})
+	}
+
+	// Trunks: one egress port per direction per link, cross-delivering.
+	// trunkPort[a][b] is a's port id toward b.
+	trunkPort := make([]map[int]int, tree.Switches)
+	for i := range trunkPort {
+		trunkPort[i] = map[int]int{}
+	}
+	for li, l := range tree.Links {
+		a, b := l[0], l[1]
+		pa, pb := 1000+2*li, 1000+2*li+1
+		trunkPort[a][b] = pa
+		trunkPort[b][a] = pb
+		var inA, inB func(*ethernet.Frame)
+		inA = sws[a].AttachPort(pa, cfg.LinkRate, 0, func(f *ethernet.Frame) { inB(f) })
+		inB = sws[b].AttachPort(pb, cfg.LinkRate, 0, func(f *ethernet.Frame) { inA(f) })
+	}
+
+	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
+	for _, m := range set.Messages {
+		res.Flows[m.Name] = &FlowSim{Msg: m}
+	}
+
+	names := set.Stations()
+	stations := map[string]*ethernet.Station{}
+	addrs := map[string]ethernet.Addr{}
+	for i, name := range names {
+		side := tree.StationSwitch[name]
+		addr := ethernet.StationAddr(i)
+		st := ethernet.NewStation(sim, name, addr, sws[side], i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
+		st.OnReceive = func(f *ethernet.Frame) {
+			in, ok := f.Meta.(traffic.Instance)
+			if !ok {
+				return
+			}
+			fs := res.Flows[in.Msg.Name]
+			lat := sim.Now().Sub(in.Release)
+			fs.Latency.Add(lat)
+			fs.Delivered++
+			if lat > simtime.Duration(in.Msg.Deadline) {
+				fs.DeadlineMisses++
+			}
+			if lat > res.ClassWorst[in.Msg.Priority] {
+				res.ClassWorst[in.Msg.Priority] = lat
+			}
+		}
+		stations[name] = st
+		addrs[name] = addr
+	}
+
+	// Static routing: on every switch, every remote station's address maps
+	// to the trunk port toward it (first hop of the switch-to-switch path).
+	for _, name := range names {
+		target := tree.StationSwitch[name]
+		for s := 0; s < tree.Switches; s++ {
+			if s == target {
+				continue // NewStation already learned the local port
+			}
+			path, err := switchToSwitchPath(tree, s, target)
+			if err != nil {
+				return nil, err
+			}
+			sws[s].Learn(addrs[name], trunkPort[s][path[1]])
+		}
+	}
+
+	specs := analysis.Specs(set, cfg.AnalysisConfig())
+	shapers := map[string]*shaper.Shaper{}
+	for _, spec := range specs {
+		m := spec.Msg
+		src := stations[m.Source]
+		shapers[m.Name] = shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
+			if !src.Send(f) {
+				res.Dropped++
+			}
+		})
+	}
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+		func(in traffic.Instance) {
+			res.Flows[in.Msg.Name].Released++
+			shapers[in.Msg.Name].Submit(&ethernet.Frame{
+				Dst:        addrs[in.Msg.Dest],
+				Tagged:     true,
+				Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
+				Type:       ethernet.EtherTypeAvionics,
+				PayloadLen: in.Msg.Payload.ByteCount(),
+				Meta:       in,
+			})
+		})
+
+	sim.RunFor(cfg.Horizon)
+	for _, sw := range sws {
+		for _, id := range sw.PortIDs() {
+			res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
+		}
+	}
+	res.Events = sim.Executed()
+	return res, nil
+}
+
+// switchToSwitchPath returns the switch sequence from s to target using a
+// throwaway pair of pseudo-stations (reuses Tree.SwitchPath's BFS).
+func switchToSwitchPath(tree *analysis.Tree, s, target int) ([]int, error) {
+	// Tree.SwitchPath works on stations; walk the tree directly instead.
+	if s == target {
+		return []int{s}, nil
+	}
+	adj := make([][]int, tree.Switches)
+	for _, l := range tree.Links {
+		adj[l[0]] = append(adj[l[0]], l[1])
+		adj[l[1]] = append(adj[l[1]], l[0])
+	}
+	parent := make([]int, tree.Switches)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[s] = s
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if parent[v] == -1 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if parent[target] == -1 {
+		return nil, fmt.Errorf("core: switches %d and %d not connected", s, target)
+	}
+	var rev []int
+	for v := target; v != s; v = parent[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, s)
+	path := make([]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, nil
+}

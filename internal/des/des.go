@@ -1,0 +1,224 @@
+// Package des implements the discrete-event simulation kernel that drives
+// every simulator in this repository (the switched-Ethernet model and the
+// MIL-STD-1553B baseline bus).
+//
+// The kernel is a classic event-list simulator: events carry a virtual
+// timestamp, a monotonically increasing sequence number for deterministic
+// tie-breaking, and a callback. The scheduler pops the earliest event,
+// advances the virtual clock to its timestamp, and runs the callback, which
+// may schedule further events. Because ties are broken by insertion order,
+// a simulation with a fixed seed is fully deterministic: the same inputs
+// always produce the same event trace, byte for byte.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Handler is the callback executed when an event fires. It runs with the
+// simulation clock already advanced to the event's timestamp.
+type Handler func()
+
+// event is a scheduled callback.
+type event struct {
+	at      simtime.Time
+	seq     uint64 // tie-break: FIFO among equal timestamps
+	fn      Handler
+	index   int // heap index, -1 once popped or canceled
+	cancled bool
+}
+
+// EventRef identifies a scheduled event so it can be canceled. The zero
+// value is not a valid reference.
+type EventRef struct{ ev *event }
+
+// Valid reports whether the reference points at a still-pending event.
+func (r EventRef) Valid() bool { return r.ev != nil && !r.ev.cancled && r.ev.index >= 0 }
+
+// eventQueue is a binary heap ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending event set. It is not safe
+// for concurrent use: a simulation is a single logical thread of control, and
+// all model code runs inside event handlers on one goroutine. (This is a
+// deliberate design choice — it is what makes runs reproducible.)
+type Simulator struct {
+	now     simtime.Time
+	queue   eventQueue
+	nextSeq uint64
+	rng     *RNG
+	// executed counts delivered events, for progress reporting and tests.
+	executed uint64
+	// tracer, if non-nil, observes every delivered event.
+	tracer func(at simtime.Time)
+}
+
+// New creates a simulator with its clock at the epoch and a deterministic
+// random number generator derived from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() simtime.Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Pending returns the number of scheduled, not-yet-delivered events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events delivered so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// SetTracer installs a hook called with the timestamp of every delivered
+// event. Passing nil removes the hook.
+func (s *Simulator) SetTracer(fn func(at simtime.Time)) { s.tracer = fn }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past is a model bug and panics, because silently reordering causality would
+// invalidate every latency measurement downstream.
+func (s *Simulator) At(at simtime.Time, fn Handler) EventRef {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event handler")
+	}
+	ev := &event{at: at, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d simtime.Duration, fn Handler) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel withdraws a pending event. Canceling an already-fired or
+// already-canceled event is a no-op so model code can cancel defensively.
+func (s *Simulator) Cancel(r EventRef) {
+	if !r.Valid() {
+		return
+	}
+	r.ev.cancled = true
+	heap.Remove(&s.queue, r.ev.index)
+}
+
+// Step delivers the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancled {
+			continue
+		}
+		s.now = ev.at
+		s.executed++
+		if s.tracer != nil {
+			s.tracer(ev.at)
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run delivers events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil delivers events with timestamps ≤ deadline, then advances the
+// clock to exactly deadline. Events scheduled beyond the deadline remain
+// pending; a subsequent RunUntil may deliver them.
+func (s *Simulator) RunUntil(deadline simtime.Time) {
+	for len(s.queue) > 0 {
+		// Peek: the heap root is the earliest event.
+		if s.queue[0].cancled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if s.queue[0].at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor runs the simulation for a span of virtual time from now.
+func (s *Simulator) RunFor(d simtime.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Every schedules fn to run now+phase, then every period thereafter, until
+// the returned stop function is called. It is the building block for
+// periodic traffic sources and for the 1553B minor-frame interrupt.
+func (s *Simulator) Every(phase, period simtime.Duration, fn Handler) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: non-positive period %v", period))
+	}
+	stopped := false
+	var ref EventRef
+	var tick Handler
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped { // fn may have called stop
+			ref = s.After(period, tick)
+		}
+	}
+	ref = s.After(phase, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ref)
+	}
+}

@@ -1,0 +1,108 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+func TestBERZeroLosesNothing(t *testing.T) {
+	sim := des.New(1)
+	got := 0
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(*Frame) { got++ })
+	p.SetBitErrorRate(0, nil)
+	sim.At(0, func() {
+		for i := 0; i < 100; i++ {
+			p.Send(frameOfSize(100, 0))
+		}
+	})
+	sim.Run()
+	if got != 100 || p.Corrupted != 0 {
+		t.Errorf("delivered %d, corrupted %d", got, p.Corrupted)
+	}
+}
+
+func TestBERDropsFrames(t *testing.T) {
+	sim := des.New(7)
+	got := 0
+	p := NewPort("p", sim, NewFCFSQueue(0), simtime.Gbps, 0, func(*Frame) { got++ })
+	// A harsh medium: 1e-4 per bit over ~1 kB frames → most frames die.
+	p.SetBitErrorRate(1e-4, sim.RNG())
+	const n = 500
+	sim.At(0, func() {
+		for i := 0; i < n; i++ {
+			p.Send(frameOfSize(1000, 0))
+		}
+	})
+	sim.Run()
+	if p.Corrupted == 0 {
+		t.Fatal("no corruption at BER 1e-4")
+	}
+	if got+p.Corrupted != n {
+		t.Errorf("delivered %d + corrupted %d != %d", got, p.Corrupted, n)
+	}
+	// ~8176 bits/frame → P(ok) = (1−1e-4)^8176 ≈ 0.44. Expect deliveries
+	// in a generous band around that.
+	if got < n/5 || got > 4*n/5 {
+		t.Errorf("delivered %d of %d — loss rate implausible for BER 1e-4", got, n)
+	}
+}
+
+func TestBERLossRateScalesWithFrameSize(t *testing.T) {
+	run := func(payload int) int {
+		sim := des.New(9)
+		got := 0
+		p := NewPort("p", sim, NewFCFSQueue(0), simtime.Gbps, 0, func(*Frame) { got++ })
+		p.SetBitErrorRate(5e-5, sim.RNG())
+		sim.At(0, func() {
+			for i := 0; i < 400; i++ {
+				p.Send(frameOfSize(payload, 0))
+			}
+		})
+		sim.Run()
+		return got
+	}
+	small, large := run(46), run(1500)
+	if large >= small {
+		t.Errorf("large frames survived (%d) at least as often as small (%d)", large, small)
+	}
+}
+
+func TestBERDeterministic(t *testing.T) {
+	run := func() int {
+		sim := des.New(11)
+		got := 0
+		p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(*Frame) { got++ })
+		p.SetBitErrorRate(1e-5, sim.RNG())
+		sim.At(0, func() {
+			for i := 0; i < 200; i++ {
+				p.Send(frameOfSize(500, 0))
+			}
+		})
+		sim.Run()
+		return got
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("BER model not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestBERValidation(t *testing.T) {
+	sim := des.New(1)
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(*Frame) {})
+	for name, fn := range map[string]func(){
+		"negative": func() { p.SetBitErrorRate(-0.1, sim.RNG()) },
+		"one":      func() { p.SetBitErrorRate(1, sim.RNG()) },
+		"nil rng":  func() { p.SetBitErrorRate(0.5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

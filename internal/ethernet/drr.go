@@ -1,0 +1,148 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// DRRQueue is a Deficit Round Robin scheduler over the four priority
+// classes — the classic fair alternative to the paper's strict-priority
+// multiplexer (Shreedhar & Varghese 1996). Each class i has a quantum φᵢ
+// (bytes); in every round a backlogged class may send up to its
+// accumulated deficit, which grows by φᵢ per visit. DRR guarantees each
+// class a bandwidth share φᵢ/Σφ and — unlike strict priority — cannot
+// starve any class, at the price of a much larger latency term for the
+// urgent class. The ablation experiment A8 quantifies that trade-off
+// against the paper's choice.
+//
+// DRR is a latency-rate server (Stiliadis & Varma 1998): class i is
+// guaranteed the rate ρᵢ = φᵢ/F·C with latency θᵢ = (3F − 2φᵢ)/C, F = Σφ,
+// which is what analysis.DRRBound builds on.
+type DRRQueue struct {
+	classes  [NumClasses]fifo
+	quantum  [NumClasses]int // bytes
+	deficit  [NumClasses]int // bytes
+	cur      int
+	granted  bool // whether cur has received its quantum this visit
+	capacity simtime.Size
+	drops    [NumClasses]DropStats
+	maxSeen  [NumClasses]simtime.Size
+}
+
+// NewDRRQueue creates a DRR scheduler with per-class quanta in bytes. For
+// the latency-rate bound to hold, every quantum must be at least the
+// class's maximum frame size; the constructor enforces the global maximum
+// (a tagged full frame) as a floor. perClassCapacity 0 means unbounded.
+func NewDRRQueue(quanta [NumClasses]int, perClassCapacity simtime.Size) *DRRQueue {
+	for i, q := range quanta {
+		if q < MaxFrameBytes+VLANTagBytes {
+			panic(fmt.Sprintf("ethernet: DRR quantum %d for class %d below one max frame (%d)",
+				q, i, MaxFrameBytes+VLANTagBytes))
+		}
+	}
+	if perClassCapacity < 0 {
+		panic("ethernet: negative capacity")
+	}
+	return &DRRQueue{quantum: quanta, capacity: perClassCapacity}
+}
+
+// Enqueue implements Queue, classifying by PCP like PriorityQueue.
+func (q *DRRQueue) Enqueue(f *Frame) bool {
+	class := NumClasses - 1
+	if f.Tagged {
+		class = ClassOfPCP(f.Priority)
+	}
+	sz := simtime.Bytes(f.FrameBytes())
+	if q.capacity > 0 && q.classes[class].backlog+sz > q.capacity {
+		q.drops[class].Frames++
+		q.drops[class].Bytes += f.FrameBytes()
+		return false
+	}
+	q.classes[class].push(f)
+	if q.classes[class].backlog > q.maxSeen[class] {
+		q.maxSeen[class] = q.classes[class].backlog
+	}
+	return true
+}
+
+// Dequeue implements Queue with the DRR discipline: serve the current
+// class while its deficit lasts, then rotate. A class's deficit resets
+// when it goes idle (the standard rule that keeps DRR's fairness bound).
+func (q *DRRQueue) Dequeue() *Frame {
+	if q.Len() == 0 {
+		return nil
+	}
+	// At most two full rotations: one to grant quanta, one to serve (a
+	// single grant always suffices for frames ≤ quantum).
+	for visits := 0; visits < 2*NumClasses+1; visits++ {
+		c := &q.classes[q.cur]
+		if c.empty() {
+			q.deficit[q.cur] = 0
+			q.advance()
+			continue
+		}
+		if !q.granted {
+			q.deficit[q.cur] += q.quantum[q.cur]
+			q.granted = true
+		}
+		head := c.frames[c.head]
+		if q.deficit[q.cur] >= head.FrameBytes() {
+			q.deficit[q.cur] -= head.FrameBytes()
+			f := c.pop()
+			if c.empty() {
+				q.deficit[q.cur] = 0
+				q.advance()
+			}
+			return f
+		}
+		q.advance()
+	}
+	panic("ethernet: DRR made no progress — quantum invariant broken")
+}
+
+// advance rotates to the next class, marking it un-granted.
+func (q *DRRQueue) advance() {
+	q.cur = (q.cur + 1) % NumClasses
+	q.granted = false
+}
+
+// Len implements Queue.
+func (q *DRRQueue) Len() int {
+	n := 0
+	for c := range q.classes {
+		n += q.classes[c].length()
+	}
+	return n
+}
+
+// Backlog implements Queue.
+func (q *DRRQueue) Backlog() simtime.Size {
+	var b simtime.Size
+	for c := range q.classes {
+		b += q.classes[c].backlog
+	}
+	return b
+}
+
+// Drops implements Queue.
+func (q *DRRQueue) Drops() DropStats {
+	var d DropStats
+	for _, cd := range q.drops {
+		d.Frames += cd.Frames
+		d.Bytes += cd.Bytes
+	}
+	return d
+}
+
+// MaxBacklog implements Queue (sum of per-class high-water marks).
+func (q *DRRQueue) MaxBacklog() simtime.Size {
+	var b simtime.Size
+	for _, m := range q.maxSeen {
+		b += m
+	}
+	return b
+}
+
+// ClassBacklog returns one class's backlog.
+func (q *DRRQueue) ClassBacklog(class int) simtime.Size { return q.classes[class].backlog }

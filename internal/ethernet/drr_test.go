@@ -1,0 +1,190 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+const drrQuantum = MaxFrameBytes + VLANTagBytes // 1522 B, the minimum legal
+
+func equalQuanta() [NumClasses]int {
+	return [NumClasses]int{drrQuantum, drrQuantum, drrQuantum, drrQuantum}
+}
+
+func TestDRRConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"small quantum": func() { NewDRRQueue([NumClasses]int{100, drrQuantum, drrQuantum, drrQuantum}, 0) },
+		"neg capacity":  func() { NewDRRQueue(equalQuanta(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDRRSingleClassIsFIFO(t *testing.T) {
+	q := NewDRRQueue(equalQuanta(), 0)
+	var in []*Frame
+	for i := 0; i < 8; i++ {
+		f := frameOfSize(100+i, PCPOfClass(1))
+		in = append(in, f)
+		q.Enqueue(f)
+	}
+	for i, want := range in {
+		if got := q.Dequeue(); got != want {
+			t.Fatalf("dequeue %d out of order", i)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("empty queue returned a frame")
+	}
+}
+
+func TestDRREqualQuantaInterleaves(t *testing.T) {
+	// Two persistently backlogged classes with equal quanta must be served
+	// ~alternately (equal byte shares), not in strict class order.
+	q := NewDRRQueue(equalQuanta(), 0)
+	for i := 0; i < 20; i++ {
+		q.Enqueue(frameOfSize(1000, PCPOfClass(0)))
+		q.Enqueue(frameOfSize(1000, PCPOfClass(3)))
+	}
+	counts := map[int]int{}
+	for i := 0; i < 10; i++ {
+		f := q.Dequeue()
+		counts[ClassOfPCP(f.Priority)]++
+	}
+	if counts[0] == 10 || counts[3] == 10 {
+		t.Errorf("one class monopolized the first 10 slots: %v", counts)
+	}
+	if diff := counts[0] - counts[3]; diff < -2 || diff > 2 {
+		t.Errorf("equal quanta gave unequal service: %v", counts)
+	}
+}
+
+func TestDRRProportionalShares(t *testing.T) {
+	// Class 0 with 3× the quantum of class 3 gets ~3× the bytes.
+	quanta := equalQuanta()
+	quanta[0] = 3 * drrQuantum
+	q := NewDRRQueue(quanta, 0)
+	for i := 0; i < 300; i++ {
+		q.Enqueue(frameOfSize(1000, PCPOfClass(0)))
+		q.Enqueue(frameOfSize(1000, PCPOfClass(3)))
+	}
+	bytes := map[int]int{}
+	for i := 0; i < 200; i++ {
+		f := q.Dequeue()
+		bytes[ClassOfPCP(f.Priority)] += f.FrameBytes()
+	}
+	ratio := float64(bytes[0]) / float64(bytes[3])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Errorf("share ratio %.2f, want ≈3", ratio)
+	}
+}
+
+func TestDRRNoStarvation(t *testing.T) {
+	// The property strict priority lacks: a low class is served even while
+	// the top class stays saturated.
+	sim := des.New(1)
+	var served []int
+	p := NewPort("p", sim, NewDRRQueue(equalQuanta(), 0), rate10M, 0, func(f *Frame) {
+		served = append(served, ClassOfPCP(f.Priority))
+	})
+	sim.At(0, func() {
+		for i := 0; i < 50; i++ {
+			p.Send(frameOfSize(1000, PCPOfClass(0)))
+		}
+		p.Send(frameOfSize(1000, PCPOfClass(3)))
+	})
+	sim.Run()
+	pos := -1
+	for i, c := range served {
+		if c == 3 {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		t.Fatal("low class starved")
+	}
+	if pos > 3 {
+		t.Errorf("low-class frame served at position %d; DRR should interleave promptly", pos)
+	}
+
+	// Contrast: the same scenario under strict priority serves it dead last.
+	sim2 := des.New(1)
+	var served2 []int
+	p2 := NewPort("p", sim2, NewPriorityQueue(0), rate10M, 0, func(f *Frame) {
+		served2 = append(served2, ClassOfPCP(f.Priority))
+	})
+	sim2.At(0, func() {
+		for i := 0; i < 50; i++ {
+			p2.Send(frameOfSize(1000, PCPOfClass(0)))
+		}
+		p2.Send(frameOfSize(1000, PCPOfClass(3)))
+	})
+	sim2.Run()
+	if served2[len(served2)-1] != 3 {
+		t.Error("strict priority did not serve the low frame last")
+	}
+}
+
+func TestDRRDeficitResetsOnIdle(t *testing.T) {
+	q := NewDRRQueue(equalQuanta(), 0)
+	// Serve a class to empty; its deficit must not carry to the next burst.
+	q.Enqueue(frameOfSize(46, PCPOfClass(0)))
+	q.Dequeue()
+	if q.deficit[0] != 0 {
+		t.Errorf("deficit %d after idle, want 0", q.deficit[0])
+	}
+}
+
+func TestDRRCapacityAndStats(t *testing.T) {
+	q := NewDRRQueue(equalQuanta(), simtime.Bytes(128))
+	a, b, c := frameOfSize(8, 7), frameOfSize(8, 7), frameOfSize(8, 7)
+	if !q.Enqueue(a) || !q.Enqueue(b) {
+		t.Fatal("within capacity dropped")
+	}
+	if q.Enqueue(c) {
+		t.Fatal("over capacity accepted")
+	}
+	if q.Drops().Frames != 1 {
+		t.Errorf("drops = %+v", q.Drops())
+	}
+	if q.Len() != 2 || q.Backlog() != simtime.Bytes(128) {
+		t.Errorf("Len/Backlog = %d/%v", q.Len(), q.Backlog())
+	}
+	if q.MaxBacklog() != simtime.Bytes(128) {
+		t.Errorf("MaxBacklog = %v", q.MaxBacklog())
+	}
+	if q.ClassBacklog(0) != simtime.Bytes(128) {
+		t.Errorf("ClassBacklog = %v", q.ClassBacklog(0))
+	}
+}
+
+func TestDRRConservation(t *testing.T) {
+	// Everything enqueued is eventually dequeued, regardless of mix.
+	q := NewDRRQueue(equalQuanta(), 0)
+	rng := des.NewRNG(3)
+	n := 0
+	for i := 0; i < 500; i++ {
+		q.Enqueue(frameOfSize(rng.Intn(1400)+46, PCP(rng.Intn(8))))
+		n++
+		if rng.Intn(3) == 0 {
+			if q.Dequeue() != nil {
+				n--
+			}
+		}
+	}
+	for q.Dequeue() != nil {
+		n--
+	}
+	if n != 0 {
+		t.Errorf("conservation broken: %d frames unaccounted", n)
+	}
+}

@@ -1,0 +1,238 @@
+// Package ethernet models the Full-Duplex Switched Ethernet substrate the
+// paper proposes for military avionics: IEEE 802.3 framing with 802.1Q/p
+// priority tagging, full-duplex point-to-point links, and store-and-forward
+// switches with per-output-port queueing (FCFS or 4-class strict priority).
+//
+// Frames carry real bytes and marshal to valid IEEE 802.3 wire format
+// (including the FCS); the simulator mostly reasons about sizes and
+// timestamps, but the codec is exercised end to end so the model cannot
+// drift from the real frame layout the delay arithmetic depends on.
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/simtime"
+)
+
+// Wire-format constants (octets), per IEEE 802.3.
+const (
+	// AddrLen is the length of a MAC address.
+	AddrLen = 6
+	// HeaderBytes is destination + source + EtherType.
+	HeaderBytes = 14
+	// VLANTagBytes is the 802.1Q tag (TPID + TCI).
+	VLANTagBytes = 4
+	// FCSBytes is the frame check sequence.
+	FCSBytes = 4
+	// MinFrameBytes is the minimum frame length (header..FCS inclusive);
+	// shorter frames are padded.
+	MinFrameBytes = 64
+	// MaxFrameBytes is the maximum untagged frame length; a tagged frame
+	// may carry VLANTagBytes more.
+	MaxFrameBytes = 1518
+	// PreambleBytes is preamble + start-of-frame delimiter, on the wire
+	// before every frame.
+	PreambleBytes = 8
+	// InterFrameGapBytes is the mandatory idle time between frames,
+	// expressed in byte-times.
+	InterFrameGapBytes = 12
+	// MaxPayloadBytes is the MTU.
+	MaxPayloadBytes = 1500
+)
+
+// TPID is the 802.1Q tag protocol identifier.
+const TPID = 0x8100
+
+// EtherType values used by the model.
+const (
+	// EtherTypeAvionics is a locally administered EtherType for the
+	// avionics payloads of the reproduction.
+	EtherTypeAvionics = 0x88B5 // IEEE local experimental
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [AddrLen]byte
+
+// Broadcast is the all-ones address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// StationAddr derives a deterministic locally administered unicast address
+// for a numbered station.
+func StationAddr(n int) Addr {
+	if n < 0 || n > 0xffff {
+		panic(fmt.Sprintf("ethernet: station number %d out of range", n))
+	}
+	// 0x02 = locally administered, unicast.
+	return Addr{0x02, 0x00, 0x5E, 0x10, byte(n >> 8), byte(n)}
+}
+
+// String formats the address in the conventional colon notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsMulticast reports whether the group bit is set.
+func (a Addr) IsMulticast() bool { return a[0]&0x01 != 0 }
+
+// PCP is an 802.1p priority code point (0–7; 7 is most urgent on the wire).
+type PCP uint8
+
+// Valid reports whether the PCP fits in 3 bits.
+func (p PCP) Valid() bool { return p <= 7 }
+
+// Frame is one Ethernet frame in flight through the model. Payload bytes
+// are optional: simulation frames may carry only PayloadLen (the simulators
+// reason about sizes), while codec tests and the examples carry real bytes.
+type Frame struct {
+	Dst, Src Addr
+	// Tagged selects 802.1Q encapsulation; Priority is only meaningful
+	// (and only encoded) when Tagged is true.
+	Tagged   bool
+	Priority PCP
+	VLANID   uint16 // 12 bits
+	Type     uint16
+	// Payload is the MAC client data. May be nil in size-only simulation
+	// frames, in which case PayloadLen is authoritative.
+	Payload []byte
+	// PayloadLen is the payload length in bytes. If Payload is non-nil it
+	// must equal len(Payload).
+	PayloadLen int
+
+	// Meta carries model bookkeeping (e.g. the traffic instance and its
+	// release time) through queues and links; it is not part of the wire
+	// format.
+	Meta any
+}
+
+// Validate checks structural invariants.
+func (f *Frame) Validate() error {
+	switch {
+	case f.Payload != nil && len(f.Payload) != f.PayloadLen:
+		return fmt.Errorf("ethernet: PayloadLen %d != len(Payload) %d", f.PayloadLen, len(f.Payload))
+	case f.PayloadLen < 0:
+		return fmt.Errorf("ethernet: negative payload length %d", f.PayloadLen)
+	case f.PayloadLen > MaxPayloadBytes:
+		return fmt.Errorf("ethernet: payload %dB exceeds MTU %dB", f.PayloadLen, MaxPayloadBytes)
+	case !f.Priority.Valid():
+		return fmt.Errorf("ethernet: PCP %d out of range", f.Priority)
+	case f.VLANID > 0xfff:
+		return fmt.Errorf("ethernet: VLAN ID %d out of range", f.VLANID)
+	}
+	return nil
+}
+
+// FrameBytes returns the frame length from destination address through FCS,
+// including tag and minimum-size padding — what "frame size" means in
+// switch buffers.
+func (f *Frame) FrameBytes() int {
+	n := HeaderBytes + f.PayloadLen + FCSBytes
+	if f.Tagged {
+		n += VLANTagBytes
+	}
+	if n < MinFrameBytes {
+		n = MinFrameBytes
+	}
+	return n
+}
+
+// WireBytes returns the full cost of the frame on the medium: preamble,
+// frame, and inter-frame gap. This is the bᵢ that enters every bound.
+func (f *Frame) WireBytes() int {
+	return PreambleBytes + f.FrameBytes() + InterFrameGapBytes
+}
+
+// WireSize returns WireBytes as a simtime.Size.
+func (f *Frame) WireSize() simtime.Size { return simtime.Bytes(f.WireBytes()) }
+
+// TransmissionTime returns the time the frame occupies a link of rate r.
+func (f *Frame) TransmissionTime(r simtime.Rate) simtime.Duration {
+	return simtime.TransmissionTime(f.WireSize(), r)
+}
+
+// WireSizeForPayload computes the on-wire cost (preamble + frame + IFG) of
+// carrying payloadBytes in one frame, with or without a VLAN tag. This is
+// how analysis converts a message length into its token-bucket bᵢ.
+func WireSizeForPayload(payloadBytes int, tagged bool) simtime.Size {
+	if payloadBytes < 0 || payloadBytes > MaxPayloadBytes {
+		panic(fmt.Sprintf("ethernet: payload %dB out of range", payloadBytes))
+	}
+	f := Frame{Tagged: tagged, PayloadLen: payloadBytes}
+	return f.WireSize()
+}
+
+// Marshal encodes the frame to wire format (without preamble and IFG, which
+// are line signalling, not bytes of the frame) and appends the FCS. A nil
+// Payload is encoded as PayloadLen zero bytes.
+func (f *Frame) Marshal() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, f.FrameBytes())
+	buf = append(buf, f.Dst[:]...)
+	buf = append(buf, f.Src[:]...)
+	if f.Tagged {
+		buf = binary.BigEndian.AppendUint16(buf, TPID)
+		tci := uint16(f.Priority)<<13 | f.VLANID&0xfff
+		buf = binary.BigEndian.AppendUint16(buf, tci)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, f.Type)
+	if f.Payload != nil {
+		buf = append(buf, f.Payload...)
+	} else {
+		buf = append(buf, make([]byte, f.PayloadLen)...)
+	}
+	// Pad to the minimum frame size, leaving room for the FCS.
+	for len(buf) < MinFrameBytes-FCSBytes {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// Unmarshal decodes a wire-format frame (as produced by Marshal) and
+// verifies the FCS. Padding cannot be distinguished from payload at this
+// layer, so the decoded PayloadLen may exceed the original for sub-minimum
+// frames — exactly as on real hardware, where the MAC client length is
+// carried in the payload when it matters.
+func Unmarshal(data []byte) (*Frame, error) {
+	if len(data) < MinFrameBytes {
+		return nil, fmt.Errorf("ethernet: frame of %dB below minimum %dB", len(data), MinFrameBytes)
+	}
+	if len(data) > MaxFrameBytes+VLANTagBytes {
+		return nil, fmt.Errorf("ethernet: frame of %dB above maximum", len(data))
+	}
+	body, fcs := data[:len(data)-FCSBytes], data[len(data)-FCSBytes:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(fcs); got != want {
+		return nil, fmt.Errorf("ethernet: FCS mismatch (got %08x, want %08x)", got, want)
+	}
+	f := &Frame{}
+	copy(f.Dst[:], body[0:6])
+	copy(f.Src[:], body[6:12])
+	rest := body[12:]
+	if binary.BigEndian.Uint16(rest) == TPID {
+		tci := binary.BigEndian.Uint16(rest[2:])
+		f.Tagged = true
+		f.Priority = PCP(tci >> 13)
+		f.VLANID = tci & 0xfff
+		rest = rest[4:]
+	}
+	f.Type = binary.BigEndian.Uint16(rest)
+	f.Payload = append([]byte(nil), rest[2:]...)
+	f.PayloadLen = len(f.Payload)
+	return f, nil
+}
+
+// String summarizes the frame for traces.
+func (f *Frame) String() string {
+	tag := ""
+	if f.Tagged {
+		tag = fmt.Sprintf(" pcp=%d", f.Priority)
+	}
+	return fmt.Sprintf("%s→%s type=%04x len=%dB%s", f.Src, f.Dst, f.Type, f.PayloadLen, tag)
+}

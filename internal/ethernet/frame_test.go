@@ -1,0 +1,266 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestStationAddr(t *testing.T) {
+	a := StationAddr(0x1234)
+	if a[0]&0x02 == 0 {
+		t.Error("station address should be locally administered")
+	}
+	if a[0]&0x01 != 0 {
+		t.Error("station address should be unicast")
+	}
+	if a[4] != 0x12 || a[5] != 0x34 {
+		t.Errorf("station number not embedded: %v", a)
+	}
+	if StationAddr(1) == StationAddr(2) {
+		t.Error("distinct stations share an address")
+	}
+}
+
+func TestStationAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range station should panic")
+		}
+	}()
+	StationAddr(-1)
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0x02, 0x00, 0x5e, 0x10, 0x00, 0x01}
+	if got := a.String(); got != "02:00:5e:10:00:01" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAddrPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast misclassified")
+	}
+	if StationAddr(1).IsBroadcast() || StationAddr(1).IsMulticast() {
+		t.Error("unicast misclassified")
+	}
+	mc := Addr{0x01, 0, 0, 0, 0, 1}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Error("multicast misclassified")
+	}
+}
+
+func TestFrameSizing(t *testing.T) {
+	tests := []struct {
+		name            string
+		payload         int
+		tagged          bool
+		wantFrame, wire int
+	}{
+		{"tiny untagged pads to 64", 8, false, 64, 84},
+		{"tiny tagged pads to 64", 8, true, 64, 84},
+		{"46B payload untagged exactly minimum", 46, false, 64, 84},
+		{"47B payload untagged", 47, false, 65, 85},
+		{"64B payload tagged", 64, true, 86, 106},
+		{"MTU untagged", 1500, false, 1518, 1538},
+		{"MTU tagged", 1500, true, 1522, 1542},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			f := Frame{Tagged: tc.tagged, PayloadLen: tc.payload}
+			if got := f.FrameBytes(); got != tc.wantFrame {
+				t.Errorf("FrameBytes = %d, want %d", got, tc.wantFrame)
+			}
+			if got := f.WireBytes(); got != tc.wire {
+				t.Errorf("WireBytes = %d, want %d", got, tc.wire)
+			}
+			if got := WireSizeForPayload(tc.payload, tc.tagged); got != simtime.Bytes(tc.wire) {
+				t.Errorf("WireSizeForPayload = %v, want %dB", got, tc.wire)
+			}
+		})
+	}
+}
+
+func TestTransmissionTimeAt10Mbps(t *testing.T) {
+	// A minimum frame costs 84 B on the wire = 672 bits = 67.2 µs at 10 Mbps.
+	f := Frame{PayloadLen: 8}
+	if got := f.TransmissionTime(10 * simtime.Mbps); got != 67200 {
+		t.Errorf("tx time = %v, want 67.2µs", got)
+	}
+}
+
+func TestWireSizeForPayloadPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative": func() { WireSizeForPayload(-1, false) },
+		"over MTU": func() { WireSizeForPayload(1501, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	good := Frame{Dst: StationAddr(1), Src: StationAddr(2), Tagged: true,
+		Priority: 5, VLANID: 10, Type: EtherTypeAvionics, PayloadLen: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Frame)
+	}{
+		{"payload mismatch", func(f *Frame) { f.Payload = make([]byte, 3); f.PayloadLen = 5 }},
+		{"negative payload", func(f *Frame) { f.PayloadLen = -1 }},
+		{"oversize payload", func(f *Frame) { f.PayloadLen = MaxPayloadBytes + 1 }},
+		{"bad pcp", func(f *Frame) { f.Priority = 8 }},
+		{"bad vlan", func(f *Frame) { f.VLANID = 0x1000 }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			f := good
+			tc.mut(&f)
+			if err := f.Validate(); err == nil {
+				t.Error("invalid frame accepted")
+			}
+		})
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	payload := []byte("attitude: pitch=1.5 roll=-0.25 yaw=359.9 valid=1 t=123456")
+	f := &Frame{
+		Dst: StationAddr(1), Src: StationAddr(2),
+		Tagged: true, Priority: 7, VLANID: 42,
+		Type: EtherTypeAvionics, Payload: payload, PayloadLen: len(payload),
+	}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != f.FrameBytes() {
+		t.Errorf("marshaled %dB, FrameBytes says %d", len(wire), f.FrameBytes())
+	}
+	g, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.Type != f.Type {
+		t.Error("addressing corrupted")
+	}
+	if !g.Tagged || g.Priority != 7 || g.VLANID != 42 {
+		t.Errorf("tag corrupted: %+v", g)
+	}
+	if !bytes.HasPrefix(g.Payload, payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestMarshalUntagged(t *testing.T) {
+	f := &Frame{Dst: StationAddr(3), Src: StationAddr(4), Type: 0x0800, PayloadLen: 100}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tagged {
+		t.Error("untagged frame decoded as tagged")
+	}
+	if g.PayloadLen != 100 {
+		t.Errorf("payload length %d, want 100", g.PayloadLen)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	f := &Frame{Dst: StationAddr(1), Src: StationAddr(2), Type: EtherTypeAvionics, PayloadLen: 64}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[20] ^= 0x01 // flip one payload bit
+	if _, err := Unmarshal(wire); err == nil {
+		t.Error("FCS corruption not detected")
+	}
+	if _, err := Unmarshal(wire[:32]); err == nil {
+		t.Error("runt frame accepted")
+	}
+	long := make([]byte, MaxFrameBytes+VLANTagBytes+1)
+	if _, err := Unmarshal(long); err == nil {
+		t.Error("giant frame accepted")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	f := &Frame{PayloadLen: MaxPayloadBytes + 1}
+	if _, err := f.Marshal(); err == nil {
+		t.Error("oversize frame marshaled")
+	}
+}
+
+func TestFrameStringSmoke(t *testing.T) {
+	f := &Frame{Dst: StationAddr(1), Src: StationAddr(2), Tagged: true, Priority: 3}
+	if f.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: marshal/unmarshal round-trips addressing, tag, and payload
+// prefix for arbitrary payload contents and sizes.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, pcpRaw uint8, vlanRaw uint16, tagged bool) bool {
+		if len(payload) > MaxPayloadBytes {
+			payload = payload[:MaxPayloadBytes]
+		}
+		fr := &Frame{
+			Dst: StationAddr(9), Src: StationAddr(10),
+			Tagged: tagged, Priority: PCP(pcpRaw % 8), VLANID: vlanRaw % 0x1000,
+			Type: EtherTypeAvionics, Payload: payload, PayloadLen: len(payload),
+		}
+		wire, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Unmarshal(wire)
+		if err != nil {
+			return false
+		}
+		if g.Dst != fr.Dst || g.Src != fr.Src || g.Tagged != fr.Tagged {
+			return false
+		}
+		if tagged && (g.Priority != fr.Priority || g.VLANID != fr.VLANID) {
+			return false
+		}
+		return bytes.HasPrefix(g.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WireBytes is monotone in payload size and respects the minimum.
+func TestWireBytesMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16, tagged bool) bool {
+		pa, pb := int(a)%(MaxPayloadBytes+1), int(b)%(MaxPayloadBytes+1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		wa := WireSizeForPayload(pa, tagged)
+		wb := WireSizeForPayload(pb, tagged)
+		min := simtime.Bytes(PreambleBytes + MinFrameBytes + InterFrameGapBytes)
+		return wa <= wb && wa >= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

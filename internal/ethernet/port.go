@@ -1,0 +1,158 @@
+package ethernet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+// PortStats accumulates transmitter-side counters of one simplex direction.
+type PortStats struct {
+	// Sent counts fully transmitted frames.
+	Sent int
+	// SentBytes counts frame bytes (without preamble/IFG) transmitted.
+	SentBytes int
+	// BusyTime is the cumulative time the transmitter was serializing
+	// frames or observing the inter-frame gap.
+	BusyTime simtime.Duration
+}
+
+// Port is one transmitting side of a full-duplex link: a queue feeding a
+// serializer of fixed rate, delivering each frame to the far end after the
+// serialization time plus propagation delay. Both station uplinks and
+// switch output ports are Ports; only their queues differ.
+//
+// The serializer is non-preemptive: once transmission starts the frame
+// finishes, which is the physical origin of the paper's max_{q>p} bⱼ
+// blocking term.
+type Port struct {
+	name    string
+	sim     *des.Simulator
+	queue   Queue
+	rate    simtime.Rate
+	prop    simtime.Duration
+	deliver func(*Frame)
+
+	transmitting bool
+	stats        PortStats
+
+	// OnDepart, if set, observes every frame with its transmission start
+	// and the instant its last bit arrives at the far end.
+	OnDepart func(f *Frame, start, delivered simtime.Time)
+
+	// ber is the residual bit-error rate of the medium; corrupted frames
+	// fail the receiver's FCS check and are discarded silently, exactly
+	// as on real hardware.
+	ber    float64
+	berRNG *des.RNG
+	// Corrupted counts frames lost to bit errors on this direction.
+	Corrupted int
+}
+
+// SetBitErrorRate installs a residual bit-error model: each transmitted
+// frame is independently corrupted with probability 1 − (1−ber)^bits and
+// then dropped by the receiver's FCS check. rng must come from the
+// simulation (deterministic replay). ber = 0 disables the model.
+func (p *Port) SetBitErrorRate(ber float64, rng *des.RNG) {
+	if ber < 0 || ber >= 1 {
+		panic(fmt.Sprintf("ethernet: bit error rate %g out of [0,1)", ber))
+	}
+	if ber > 0 && rng == nil {
+		panic("ethernet: bit error model without RNG")
+	}
+	p.ber = ber
+	p.berRNG = rng
+}
+
+// corrupted draws the fate of one frame under the error model.
+func (p *Port) corrupted(f *Frame) bool {
+	if p.ber == 0 {
+		return false
+	}
+	bits := float64(f.WireSize().Bits())
+	// P(no error) = (1-ber)^bits, computed in log space for tiny ber.
+	pOK := math.Exp(bits * math.Log1p(-p.ber))
+	return p.berRNG.Float64() >= pOK
+}
+
+// NewPort builds a transmitter. deliver is invoked when the last bit of a
+// frame reaches the far end (store-and-forward reception completion).
+func NewPort(name string, sim *des.Simulator, queue Queue, rate simtime.Rate, prop simtime.Duration, deliver func(*Frame)) *Port {
+	switch {
+	case sim == nil:
+		panic("ethernet: nil simulator")
+	case queue == nil:
+		panic("ethernet: nil queue")
+	case rate <= 0:
+		panic(fmt.Sprintf("ethernet: non-positive rate %v", rate))
+	case prop < 0:
+		panic(fmt.Sprintf("ethernet: negative propagation %v", prop))
+	case deliver == nil:
+		panic("ethernet: nil deliver")
+	}
+	return &Port{name: name, sim: sim, queue: queue, rate: rate, prop: prop, deliver: deliver}
+}
+
+// Name returns the port's name (for traces and error messages).
+func (p *Port) Name() string { return p.name }
+
+// Rate returns the link rate.
+func (p *Port) Rate() simtime.Rate { return p.rate }
+
+// Queue exposes the port's queue for statistics.
+func (p *Port) Queue() Queue { return p.queue }
+
+// Stats returns a copy of the transmitter counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Send enqueues a frame for transmission, returning false if the queue
+// dropped it. Transmission begins immediately if the serializer is idle.
+func (p *Port) Send(f *Frame) bool {
+	if !p.queue.Enqueue(f) {
+		return false
+	}
+	p.kick()
+	return true
+}
+
+// kick starts the transmitter if it is idle and work is pending.
+func (p *Port) kick() {
+	if p.transmitting {
+		return
+	}
+	f := p.queue.Dequeue()
+	if f == nil {
+		return
+	}
+	p.transmitting = true
+	start := p.sim.Now()
+
+	serialize := simtime.TransmissionTime(simtime.Bytes(PreambleBytes+f.FrameBytes()), p.rate)
+	ifg := simtime.TransmissionTime(simtime.Bytes(InterFrameGapBytes), p.rate)
+
+	// Last bit hits the far end after serialization plus propagation.
+	p.sim.After(serialize+p.prop, func() {
+		if p.corrupted(f) {
+			p.Corrupted++
+			return // receiver FCS check fails; frame vanishes
+		}
+		if p.OnDepart != nil {
+			p.OnDepart(f, start, p.sim.Now())
+		}
+		p.deliver(f)
+	})
+	// The transmitter is busy for the serialization plus the mandatory
+	// inter-frame gap, then picks up the next frame.
+	p.sim.After(serialize+ifg, func() {
+		p.stats.Sent++
+		p.stats.SentBytes += f.FrameBytes()
+		p.stats.BusyTime += serialize + ifg
+		p.transmitting = false
+		p.kick()
+	})
+}
+
+// Busy reports whether the serializer is mid-frame (or mid-IFG).
+func (p *Port) Busy() bool { return p.transmitting }

@@ -1,0 +1,179 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+const rate10M = 10 * simtime.Mbps
+
+func TestPortSingleFrameTiming(t *testing.T) {
+	sim := des.New(1)
+	var deliveredAt simtime.Time = -1
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(f *Frame) {
+		deliveredAt = sim.Now()
+	})
+	f := frameOfSize(8, 0) // pads to 64B; serialize = 72B = 57.6µs
+	sim.At(0, func() { p.Send(f) })
+	sim.Run()
+	if want := simtime.Time(57600); deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+	st := p.Stats()
+	if st.Sent != 1 || st.SentBytes != 64 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Busy time includes the IFG: 84B = 67.2µs.
+	if st.BusyTime != 67200 {
+		t.Errorf("busy = %v, want 67.2µs", st.BusyTime)
+	}
+}
+
+func TestPortPropagationDelay(t *testing.T) {
+	sim := des.New(1)
+	var deliveredAt simtime.Time
+	prop := 5 * simtime.Microsecond
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, prop, func(f *Frame) {
+		deliveredAt = sim.Now()
+	})
+	sim.At(0, func() { p.Send(frameOfSize(8, 0)) })
+	sim.Run()
+	if want := simtime.Time(57600 + 5000); deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestPortBackToBackSpacing(t *testing.T) {
+	sim := des.New(1)
+	var deliveries []simtime.Time
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(f *Frame) {
+		deliveries = append(deliveries, sim.Now())
+	})
+	sim.At(0, func() {
+		p.Send(frameOfSize(8, 0))
+		p.Send(frameOfSize(8, 0))
+	})
+	sim.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("%d deliveries", len(deliveries))
+	}
+	// Second frame starts after serialize+IFG of the first (67.2µs) and
+	// lands 57.6µs later.
+	if want := simtime.Time(67200 + 57600); deliveries[1] != want {
+		t.Errorf("second delivery at %v, want %v", deliveries[1], want)
+	}
+}
+
+func TestPortNonPreemptive(t *testing.T) {
+	sim := des.New(1)
+	var order []PCP
+	p := NewPort("p", sim, NewPriorityQueue(0), rate10M, 0, func(f *Frame) {
+		order = append(order, f.Priority)
+	})
+	sim.At(0, func() { p.Send(frameOfSize(1000, PCPOfClass(3))) }) // long low-priority
+	// Urgent frame arrives while the low one is mid-wire.
+	sim.At(100, func() { p.Send(frameOfSize(8, PCPOfClass(0))) })
+	sim.Run()
+	if len(order) != 2 || order[0] != PCPOfClass(3) || order[1] != PCPOfClass(0) {
+		t.Errorf("order = %v: transmission must not be preempted", order)
+	}
+}
+
+func TestPortPriorityOvertaking(t *testing.T) {
+	sim := des.New(1)
+	var order []PCP
+	p := NewPort("p", sim, NewPriorityQueue(0), rate10M, 0, func(f *Frame) {
+		order = append(order, f.Priority)
+	})
+	sim.At(0, func() {
+		p.Send(frameOfSize(1000, PCPOfClass(3))) // starts transmitting
+		p.Send(frameOfSize(500, PCPOfClass(3)))  // queued low
+		p.Send(frameOfSize(8, PCPOfClass(0)))    // queued urgent: overtakes
+	})
+	sim.Run()
+	want := []PCP{PCPOfClass(3), PCPOfClass(0), PCPOfClass(3)}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPortOnDepartHook(t *testing.T) {
+	sim := des.New(1)
+	var start, end simtime.Time
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, simtime.Microsecond, func(f *Frame) {})
+	p.OnDepart = func(f *Frame, s, e simtime.Time) { start, end = s, e }
+	sim.At(1000, func() { p.Send(frameOfSize(8, 0)) })
+	sim.Run()
+	if start != 1000 {
+		t.Errorf("start = %v, want 1000", start)
+	}
+	if end != simtime.Time(1000+57600+1000) {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestPortDropReporting(t *testing.T) {
+	sim := des.New(1)
+	p := NewPort("p", sim, NewFCFSQueue(simtime.Bytes(64)), rate10M, 0, func(f *Frame) {})
+	sim.At(0, func() {
+		// First frame dequeues immediately (transmitter idle), so the queue
+		// is empty again; fill it then overflow.
+		if !p.Send(frameOfSize(8, 0)) {
+			t.Error("first send dropped")
+		}
+		if !p.Send(frameOfSize(8, 0)) {
+			t.Error("second send dropped")
+		}
+		if p.Send(frameOfSize(8, 0)) {
+			t.Error("overflow send accepted")
+		}
+	})
+	sim.Run()
+	if p.Queue().Drops().Frames != 1 {
+		t.Errorf("drops = %+v", p.Queue().Drops())
+	}
+}
+
+func TestPortBusy(t *testing.T) {
+	sim := des.New(1)
+	p := NewPort("p", sim, NewFCFSQueue(0), rate10M, 0, func(f *Frame) {})
+	sim.At(0, func() {
+		p.Send(frameOfSize(8, 0))
+		if !p.Busy() {
+			t.Error("port should be busy mid-frame")
+		}
+	})
+	sim.Run()
+	if p.Busy() {
+		t.Error("port busy after drain")
+	}
+}
+
+func TestPortConstructorPanics(t *testing.T) {
+	sim := des.New(1)
+	q := NewFCFSQueue(0)
+	deliver := func(*Frame) {}
+	for name, fn := range map[string]func(){
+		"nil sim":     func() { NewPort("x", nil, q, rate10M, 0, deliver) },
+		"nil queue":   func() { NewPort("x", sim, nil, rate10M, 0, deliver) },
+		"zero rate":   func() { NewPort("x", sim, q, 0, 0, deliver) },
+		"neg prop":    func() { NewPort("x", sim, q, rate10M, -1, deliver) },
+		"nil deliver": func() { NewPort("x", sim, q, rate10M, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if p := NewPort("named", sim, q, rate10M, 0, deliver); p.Name() != "named" || p.Rate() != rate10M {
+		t.Error("accessors broken")
+	}
+}

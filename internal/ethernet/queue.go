@@ -1,0 +1,235 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// NumClasses is the number of strict-priority classes of the paper's
+// "4-FCFS multiplexer" (one FIFO per 802.1p class).
+const NumClasses = 4
+
+// ClassOfPCP maps an 802.1p priority code point to one of the four paper
+// classes (0 = most urgent). The mapping is the straightforward fold of the
+// eight wire priorities onto four queues: PCP 6–7 → class 0, 4–5 → 1,
+// 2–3 → 2, 0–1 → 3.
+func ClassOfPCP(p PCP) int {
+	if !p.Valid() {
+		panic(fmt.Sprintf("ethernet: invalid PCP %d", p))
+	}
+	return 3 - int(p)/2
+}
+
+// PCPOfClass is the encoding used by stations: class 0 → PCP 7,
+// 1 → 5, 2 → 3, 3 → 1. It round-trips through ClassOfPCP.
+func PCPOfClass(class int) PCP {
+	if class < 0 || class >= NumClasses {
+		panic(fmt.Sprintf("ethernet: invalid class %d", class))
+	}
+	return PCP(7 - 2*class)
+}
+
+// DropStats counts frames and bytes discarded by a queue.
+type DropStats struct {
+	Frames int
+	Bytes  int
+}
+
+// Queue is the buffering discipline of an output port. Implementations are
+// not safe for concurrent use; all access happens on the simulator thread.
+type Queue interface {
+	// Enqueue buffers the frame, returning false if it was dropped
+	// (capacity exhausted).
+	Enqueue(f *Frame) bool
+	// Dequeue removes and returns the next frame to transmit, or nil.
+	Dequeue() *Frame
+	// Len returns the number of buffered frames.
+	Len() int
+	// Backlog returns the buffered volume (frame bytes, as a buffer would
+	// account them).
+	Backlog() simtime.Size
+	// Drops returns the cumulative drop statistics.
+	Drops() DropStats
+	// MaxBacklog returns the high-water mark of Backlog.
+	MaxBacklog() simtime.Size
+}
+
+// fifo is a slice-backed FIFO of frames with byte-capacity accounting.
+type fifo struct {
+	frames  []*Frame
+	head    int
+	backlog simtime.Size
+}
+
+func (q *fifo) push(f *Frame) {
+	q.frames = append(q.frames, f)
+	q.backlog += simtime.Bytes(f.FrameBytes())
+}
+func (q *fifo) empty() bool { return q.head >= len(q.frames) }
+func (q *fifo) length() int { return len(q.frames) - q.head }
+func (q *fifo) pop() *Frame {
+	if q.empty() {
+		return nil
+	}
+	f := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head++
+	q.backlog -= simtime.Bytes(f.FrameBytes())
+	// Compact occasionally so memory does not grow with total throughput.
+	if q.head > 64 && q.head*2 >= len(q.frames) {
+		n := copy(q.frames, q.frames[q.head:])
+		q.frames = q.frames[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// FCFSQueue is a single FIFO shared by all priorities — the discipline of
+// the paper's first (shaping-only) approach.
+type FCFSQueue struct {
+	q        fifo
+	capacity simtime.Size // 0 = unbounded
+	drops    DropStats
+	maxSeen  simtime.Size
+}
+
+// NewFCFSQueue creates a FIFO with the given byte capacity (0 = unbounded).
+func NewFCFSQueue(capacity simtime.Size) *FCFSQueue {
+	if capacity < 0 {
+		panic("ethernet: negative capacity")
+	}
+	return &FCFSQueue{capacity: capacity}
+}
+
+// Enqueue implements Queue.
+func (q *FCFSQueue) Enqueue(f *Frame) bool {
+	sz := simtime.Bytes(f.FrameBytes())
+	if q.capacity > 0 && q.q.backlog+sz > q.capacity {
+		q.drops.Frames++
+		q.drops.Bytes += f.FrameBytes()
+		return false
+	}
+	q.q.push(f)
+	if q.q.backlog > q.maxSeen {
+		q.maxSeen = q.q.backlog
+	}
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *FCFSQueue) Dequeue() *Frame { return q.q.pop() }
+
+// Len implements Queue.
+func (q *FCFSQueue) Len() int { return q.q.length() }
+
+// Backlog implements Queue.
+func (q *FCFSQueue) Backlog() simtime.Size { return q.q.backlog }
+
+// Drops implements Queue.
+func (q *FCFSQueue) Drops() DropStats { return q.drops }
+
+// MaxBacklog implements Queue.
+func (q *FCFSQueue) MaxBacklog() simtime.Size { return q.maxSeen }
+
+// PriorityQueue is the paper's 4-FCFS multiplexer: four FIFOs served in
+// strict priority order (class 0 first), FCFS within a class. Service is
+// non-preemptive — a frame being transmitted finishes even if a more
+// urgent one arrives — which is exactly where the max_{q>p} bⱼ blocking
+// term of the paper's D_p bound comes from (the transmitter, not the
+// queue, enforces that; the queue only orders frames).
+type PriorityQueue struct {
+	classes  [NumClasses]fifo
+	capacity simtime.Size // per-class byte capacity, 0 = unbounded
+	drops    [NumClasses]DropStats
+	maxSeen  [NumClasses]simtime.Size
+}
+
+// NewPriorityQueue creates a 4-class strict priority queue with the given
+// per-class byte capacity (0 = unbounded).
+func NewPriorityQueue(perClassCapacity simtime.Size) *PriorityQueue {
+	if perClassCapacity < 0 {
+		panic("ethernet: negative capacity")
+	}
+	return &PriorityQueue{capacity: perClassCapacity}
+}
+
+// Enqueue implements Queue, classifying by the frame's PCP. Untagged
+// frames go to the lowest class.
+func (q *PriorityQueue) Enqueue(f *Frame) bool {
+	class := NumClasses - 1
+	if f.Tagged {
+		class = ClassOfPCP(f.Priority)
+	}
+	sz := simtime.Bytes(f.FrameBytes())
+	if q.capacity > 0 && q.classes[class].backlog+sz > q.capacity {
+		q.drops[class].Frames++
+		q.drops[class].Bytes += f.FrameBytes()
+		return false
+	}
+	q.classes[class].push(f)
+	if q.classes[class].backlog > q.maxSeen[class] {
+		q.maxSeen[class] = q.classes[class].backlog
+	}
+	return true
+}
+
+// Dequeue implements Queue: highest non-empty class first.
+func (q *PriorityQueue) Dequeue() *Frame {
+	for c := range q.classes {
+		if !q.classes[c].empty() {
+			return q.classes[c].pop()
+		}
+	}
+	return nil
+}
+
+// Len implements Queue.
+func (q *PriorityQueue) Len() int {
+	n := 0
+	for c := range q.classes {
+		n += q.classes[c].length()
+	}
+	return n
+}
+
+// Backlog implements Queue.
+func (q *PriorityQueue) Backlog() simtime.Size {
+	var b simtime.Size
+	for c := range q.classes {
+		b += q.classes[c].backlog
+	}
+	return b
+}
+
+// ClassBacklog returns the backlog of one class.
+func (q *PriorityQueue) ClassBacklog(class int) simtime.Size {
+	return q.classes[class].backlog
+}
+
+// Drops implements Queue (aggregate over classes).
+func (q *PriorityQueue) Drops() DropStats {
+	var d DropStats
+	for _, cd := range q.drops {
+		d.Frames += cd.Frames
+		d.Bytes += cd.Bytes
+	}
+	return d
+}
+
+// ClassDrops returns the drop statistics of one class.
+func (q *PriorityQueue) ClassDrops(class int) DropStats { return q.drops[class] }
+
+// MaxBacklog implements Queue: the largest aggregate high-water mark is not
+// tracked directly, so this returns the sum of per-class marks — an upper
+// bound on the true aggregate peak, which is what buffer sizing needs.
+func (q *PriorityQueue) MaxBacklog() simtime.Size {
+	var b simtime.Size
+	for _, m := range q.maxSeen {
+		b += m
+	}
+	return b
+}
+
+// ClassMaxBacklog returns the per-class high-water mark.
+func (q *PriorityQueue) ClassMaxBacklog(class int) simtime.Size { return q.maxSeen[class] }

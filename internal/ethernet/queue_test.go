@@ -1,0 +1,238 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestClassOfPCP(t *testing.T) {
+	tests := []struct {
+		pcp  PCP
+		want int
+	}{
+		{7, 0}, {6, 0}, {5, 1}, {4, 1}, {3, 2}, {2, 2}, {1, 3}, {0, 3},
+	}
+	for _, tc := range tests {
+		if got := ClassOfPCP(tc.pcp); got != tc.want {
+			t.Errorf("ClassOfPCP(%d) = %d, want %d", tc.pcp, got, tc.want)
+		}
+	}
+}
+
+func TestPCPOfClassRoundTrip(t *testing.T) {
+	for class := 0; class < NumClasses; class++ {
+		if got := ClassOfPCP(PCPOfClass(class)); got != class {
+			t.Errorf("class %d round-trips to %d", class, got)
+		}
+	}
+}
+
+func TestClassPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad pcp":       func() { ClassOfPCP(8) },
+		"class -1":      func() { PCPOfClass(-1) },
+		"class 4":       func() { PCPOfClass(4) },
+		"negative fcfs": func() { NewFCFSQueue(-1) },
+		"negative prio": func() { NewPriorityQueue(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func frameOfSize(payload int, pcp PCP) *Frame {
+	return &Frame{Tagged: true, Priority: pcp, PayloadLen: payload}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFSQueue(0)
+	var in []*Frame
+	for i := 0; i < 10; i++ {
+		f := frameOfSize(i+10, PCP(i%8))
+		in = append(in, f)
+		if !q.Enqueue(f) {
+			t.Fatal("unbounded queue dropped")
+		}
+	}
+	if q.Len() != 10 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Dequeue(); got != in[i] {
+			t.Fatalf("dequeue %d returned wrong frame", i)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("empty queue returned a frame")
+	}
+	if q.Backlog() != 0 {
+		t.Errorf("backlog %v after drain", q.Backlog())
+	}
+}
+
+func TestFCFSCapacityDrops(t *testing.T) {
+	// Capacity of exactly two minimum frames.
+	q := NewFCFSQueue(simtime.Bytes(128))
+	a, b, c := frameOfSize(8, 0), frameOfSize(8, 0), frameOfSize(8, 0)
+	if !q.Enqueue(a) || !q.Enqueue(b) {
+		t.Fatal("frames within capacity dropped")
+	}
+	if q.Enqueue(c) {
+		t.Fatal("frame beyond capacity accepted")
+	}
+	d := q.Drops()
+	if d.Frames != 1 || d.Bytes != 64 {
+		t.Errorf("drops = %+v", d)
+	}
+	if q.MaxBacklog() != simtime.Bytes(128) {
+		t.Errorf("max backlog = %v", q.MaxBacklog())
+	}
+	q.Dequeue()
+	if !q.Enqueue(c) {
+		t.Error("space freed but enqueue refused")
+	}
+}
+
+func TestFCFSCompaction(t *testing.T) {
+	q := NewFCFSQueue(0)
+	// Push/pop far more frames than the compaction threshold to exercise it.
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(frameOfSize(10, 0))
+		if i%2 == 1 {
+			q.Dequeue()
+			q.Dequeue()
+		}
+	}
+	for q.Dequeue() != nil {
+	}
+	if q.Len() != 0 || q.Backlog() != 0 {
+		t.Error("queue not empty after full drain")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	q := NewPriorityQueue(0)
+	low := frameOfSize(10, PCPOfClass(3))
+	mid := frameOfSize(10, PCPOfClass(2))
+	per := frameOfSize(10, PCPOfClass(1))
+	urg := frameOfSize(10, PCPOfClass(0))
+	for _, f := range []*Frame{low, mid, per, urg} {
+		q.Enqueue(f)
+	}
+	want := []*Frame{urg, per, mid, low}
+	for i, w := range want {
+		if got := q.Dequeue(); got != w {
+			t.Fatalf("dequeue %d: wrong class order", i)
+		}
+	}
+}
+
+func TestPriorityFCFSWithinClass(t *testing.T) {
+	q := NewPriorityQueue(0)
+	a := frameOfSize(10, 7)
+	b := frameOfSize(20, 6) // same class 0
+	q.Enqueue(a)
+	q.Enqueue(b)
+	if q.Dequeue() != a || q.Dequeue() != b {
+		t.Error("FCFS within class violated")
+	}
+}
+
+func TestPriorityUntaggedGoesLowest(t *testing.T) {
+	q := NewPriorityQueue(0)
+	untagged := &Frame{PayloadLen: 10}
+	low := frameOfSize(10, PCPOfClass(3))
+	q.Enqueue(untagged)
+	q.Enqueue(low)
+	if q.ClassBacklog(3) == 0 {
+		t.Error("untagged frame not in lowest class")
+	}
+	if q.Dequeue() != untagged {
+		t.Error("untagged frame should be FCFS-first in lowest class")
+	}
+}
+
+func TestPriorityPerClassCapacity(t *testing.T) {
+	q := NewPriorityQueue(simtime.Bytes(64))
+	u1, u2 := frameOfSize(8, 7), frameOfSize(8, 7)
+	l1 := frameOfSize(8, 1)
+	if !q.Enqueue(u1) {
+		t.Fatal("first urgent dropped")
+	}
+	if q.Enqueue(u2) {
+		t.Fatal("urgent class over capacity accepted")
+	}
+	if !q.Enqueue(l1) {
+		t.Error("other class should have its own capacity")
+	}
+	if q.ClassDrops(0).Frames != 1 {
+		t.Errorf("class 0 drops = %+v", q.ClassDrops(0))
+	}
+	if q.Drops().Frames != 1 {
+		t.Errorf("aggregate drops = %+v", q.Drops())
+	}
+}
+
+func TestPriorityBacklogAccounting(t *testing.T) {
+	q := NewPriorityQueue(0)
+	q.Enqueue(frameOfSize(100, 7))
+	q.Enqueue(frameOfSize(200, 1))
+	wantTotal := simtime.Bytes(100+22) + simtime.Bytes(200+22)
+	if got := q.Backlog(); got != wantTotal {
+		t.Errorf("backlog = %v, want %v", got, wantTotal)
+	}
+	if got := q.ClassBacklog(0); got != simtime.Bytes(122) {
+		t.Errorf("class 0 backlog = %v", got)
+	}
+	if got := q.ClassMaxBacklog(0); got != simtime.Bytes(122) {
+		t.Errorf("class 0 max backlog = %v", got)
+	}
+	if got := q.MaxBacklog(); got != wantTotal {
+		t.Errorf("max backlog = %v, want %v", got, wantTotal)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+// Property: for any enqueue sequence, the priority queue always dequeues
+// the lowest-numbered non-empty class, FCFS within the class.
+func TestPriorityInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewPriorityQueue(0)
+		var model [NumClasses][]*Frame
+		for _, op := range ops {
+			if op%2 == 0 || q.Len() == 0 { // enqueue
+				class := int(op/2) % NumClasses
+				fr := frameOfSize(int(op)+1, PCPOfClass(class))
+				q.Enqueue(fr)
+				model[class] = append(model[class], fr)
+			} else { // dequeue
+				got := q.Dequeue()
+				want := (*Frame)(nil)
+				for c := 0; c < NumClasses; c++ {
+					if len(model[c]) > 0 {
+						want = model[c][0]
+						model[c] = model[c][1:]
+						break
+					}
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+// Station is an end system on the switched network: a named node with one
+// full-duplex uplink to a switch. The traffic-shaping and multiplexing
+// stack of the paper (internal/shaper) sits above the station and calls
+// Send; received frames are handed to OnReceive at reception completion.
+type Station struct {
+	name string
+	addr Addr
+	up   *Port
+
+	// OnReceive, if set, observes every frame whose last bit arrived.
+	OnReceive func(*Frame)
+
+	// Received counts delivered frames.
+	Received int
+}
+
+// NewStation creates a station and wires it to switch port portID with a
+// full-duplex link of the given rate and propagation delay. The station's
+// MAC is registered statically in the switch FDB, as avionics networks are
+// statically configured.
+func NewStation(sim *des.Simulator, name string, addr Addr, sw *Switch, portID int, rate simtime.Rate, prop simtime.Duration, kind QueueKind, capacity simtime.Size) *Station {
+	st := &Station{name: name, addr: addr}
+	ingress := sw.AttachPort(portID, rate, prop, func(f *Frame) {
+		st.Received++
+		if st.OnReceive != nil {
+			st.OnReceive(f)
+		}
+	})
+	var q Queue
+	switch kind {
+	case QueueFCFS:
+		q = NewFCFSQueue(capacity)
+	case QueuePriority:
+		q = NewPriorityQueue(capacity)
+	default:
+		panic(fmt.Sprintf("ethernet: unknown queue kind %v", kind))
+	}
+	st.up = NewPort(name+".up", sim, q, rate, prop, ingress)
+	sw.Learn(addr, portID)
+	return st
+}
+
+// Name returns the station name.
+func (s *Station) Name() string { return s.name }
+
+// Addr returns the station MAC address.
+func (s *Station) Addr() Addr { return s.addr }
+
+// Uplink returns the station's transmit port (for statistics and hooks).
+func (s *Station) Uplink() *Port { return s.up }
+
+// Send queues a frame on the uplink, stamping the station as source.
+// It returns false if the uplink queue dropped the frame.
+func (s *Station) Send(f *Frame) bool {
+	f.Src = s.addr
+	return s.up.Send(f)
+}

@@ -1,0 +1,172 @@
+package ethernet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+// QueueKind selects the output-port discipline of a switch — the two
+// approaches the paper compares.
+type QueueKind int
+
+const (
+	// QueueFCFS is a single FIFO per output port (approach 1: traffic
+	// shaping only).
+	QueueFCFS QueueKind = iota
+	// QueuePriority is the 4-class strict-priority discipline of 802.1p
+	// (approach 2: shaping + priority handling).
+	QueuePriority
+)
+
+// String returns the kind name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueFCFS:
+		return "fcfs"
+	case QueuePriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// SwitchConfig parameterizes a store-and-forward switch.
+type SwitchConfig struct {
+	// Name identifies the switch in traces.
+	Name string
+	// RelayLatency is the technological latency t_techno: the fixed
+	// worst-case delay between complete reception of a frame on an input
+	// port and its availability in the output queue (lookup, fabric
+	// crossing). The paper carries it as an additive bound.
+	RelayLatency simtime.Duration
+	// Kind selects the output queue discipline.
+	Kind QueueKind
+	// QueueCapacity is the byte capacity per output FIFO (per class for
+	// QueuePriority); 0 means unbounded.
+	QueueCapacity simtime.Size
+}
+
+// Switch is a full-duplex store-and-forward Ethernet switch: frames are
+// received completely on an input port, looked up in the forwarding
+// database, moved across the fabric within RelayLatency, and queued on the
+// destination output port.
+type Switch struct {
+	cfg  SwitchConfig
+	sim  *des.Simulator
+	port map[int]*swPort
+	fdb  map[Addr]int
+
+	// Flooded counts frames replicated to all ports for lack of an FDB
+	// entry (or broadcast destination).
+	Flooded int
+}
+
+type swPort struct {
+	id  int
+	out *Port
+}
+
+// NewSwitch creates an empty switch; attach devices with AttachPort.
+func NewSwitch(sim *des.Simulator, cfg SwitchConfig) *Switch {
+	if sim == nil {
+		panic("ethernet: nil simulator")
+	}
+	if cfg.RelayLatency < 0 {
+		panic(fmt.Sprintf("ethernet: negative relay latency %v", cfg.RelayLatency))
+	}
+	return &Switch{cfg: cfg, sim: sim, port: map[int]*swPort{}, fdb: map[Addr]int{}}
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() SwitchConfig { return s.cfg }
+
+// newQueue builds one output queue per the configured kind.
+func (s *Switch) newQueue() Queue {
+	switch s.cfg.Kind {
+	case QueueFCFS:
+		return NewFCFSQueue(s.cfg.QueueCapacity)
+	case QueuePriority:
+		return NewPriorityQueue(s.cfg.QueueCapacity)
+	default:
+		panic(fmt.Sprintf("ethernet: unknown queue kind %v", s.cfg.Kind))
+	}
+}
+
+// AttachPort creates switch port id with a downlink of the given rate and
+// propagation delay toward a device, delivering received frames to
+// deliver. It returns the function the device calls to hand the switch a
+// fully received frame on that port (the uplink's deliver callback).
+func (s *Switch) AttachPort(id int, rate simtime.Rate, prop simtime.Duration, deliver func(*Frame)) (ingress func(*Frame)) {
+	if _, dup := s.port[id]; dup {
+		panic(fmt.Sprintf("ethernet: duplicate switch port %d", id))
+	}
+	name := fmt.Sprintf("%s.port%d", s.cfg.Name, id)
+	p := &swPort{id: id}
+	p.out = NewPort(name, s.sim, s.newQueue(), rate, prop, deliver)
+	s.port[id] = p
+	return func(f *Frame) { s.receive(id, f) }
+}
+
+// Learn installs a static FDB entry mapping addr to port id.
+func (s *Switch) Learn(addr Addr, portID int) {
+	if _, ok := s.port[portID]; !ok {
+		panic(fmt.Sprintf("ethernet: Learn on unknown port %d", portID))
+	}
+	s.fdb[addr] = portID
+}
+
+// Lookup returns the FDB entry for addr.
+func (s *Switch) Lookup(addr Addr) (portID int, ok bool) {
+	id, ok := s.fdb[addr]
+	return id, ok
+}
+
+// receive handles a fully received frame on input port in: source learning,
+// destination lookup, and relay to the output queue after RelayLatency.
+func (s *Switch) receive(in int, f *Frame) {
+	// Source learning, as a real switch does.
+	if !f.Src.IsMulticast() {
+		s.fdb[f.Src] = in
+	}
+	enqueue := func(p *swPort) {
+		s.sim.After(s.cfg.RelayLatency, func() { p.out.Send(f) })
+	}
+	if !f.Dst.IsBroadcast() {
+		if id, ok := s.fdb[f.Dst]; ok {
+			if id != in { // never reflect back out the ingress port
+				enqueue(s.port[id])
+			}
+			return
+		}
+	}
+	// Flood: broadcast or unknown unicast.
+	s.Flooded++
+	for id, p := range s.port {
+		if id != in {
+			enqueue(p)
+		}
+	}
+}
+
+// PortIDs returns the attached port ids in ascending order.
+func (s *Switch) PortIDs() []int {
+	ids := make([]int, 0, len(s.port))
+	for id := range s.port {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// OutputPort returns the egress Port of switch port id (for statistics and
+// departure hooks).
+func (s *Switch) OutputPort(id int) *Port {
+	p, ok := s.port[id]
+	if !ok {
+		panic(fmt.Sprintf("ethernet: unknown switch port %d", id))
+	}
+	return p.out
+}

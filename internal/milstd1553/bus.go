@@ -1,0 +1,224 @@
+package milstd1553
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// Delivery reports one completed message transfer on the bus.
+type Delivery struct {
+	Msg      *traffic.Message
+	Seq      int
+	Release  simtime.Time // when the application released the instance
+	Complete simtime.Time // when the last status word finished
+}
+
+// Latency returns the response time of the delivery.
+func (d Delivery) Latency() simtime.Duration { return d.Complete.Sub(d.Release) }
+
+// Bus simulates a MIL-STD-1553B bus executing a Schedule: the BC walks the
+// minor-frame transaction table, samples periodic data, serves its own
+// sporadic messages, and polls every RT for theirs. All word timings are
+// exact; the bus is a single shared medium, so everything is strictly
+// sequential.
+type Bus struct {
+	sim      *des.Simulator
+	schedule *Schedule
+
+	// pending holds released-but-unserved sporadic instances per
+	// connection (at most one per connection per minor frame by the
+	// traffic contract, but a FIFO keeps the model honest if violated).
+	pending map[*traffic.Message][]traffic.Instance
+	// fresh holds the newest released instance of each periodic connection
+	// (1553 periodic slots transport the latest sampled value).
+	fresh map[*traffic.Message]*traffic.Instance
+
+	// OnDeliver, if set, observes every completed transfer.
+	OnDeliver func(Delivery)
+	// OnTransfer, if set, observes every bus transaction including polls
+	// (the bus-monitor hook; see Monitor).
+	OnTransfer func(TransferRecord)
+
+	// Overruns counts minor frames whose transactions did not finish
+	// before the next frame interrupt — a broken schedule.
+	Overruns int
+	// Delivered counts completed transfers.
+	Delivered int
+	// busBusyUntil tracks the end of the current frame's work.
+	busBusyUntil simtime.Time
+	// busyTime accumulates bus occupation for utilization measurement.
+	busyTime simtime.Duration
+	stopped  bool
+}
+
+// NewBus creates a bus simulator for a schedule. Message releases are fed
+// in through Release (wire traffic.Start's emit to it).
+func NewBus(sim *des.Simulator, schedule *Schedule) *Bus {
+	if sim == nil {
+		panic("milstd1553: nil simulator")
+	}
+	return &Bus{
+		sim:      sim,
+		schedule: schedule,
+		pending:  map[*traffic.Message][]traffic.Instance{},
+		fresh:    map[*traffic.Message]*traffic.Instance{},
+	}
+}
+
+// Schedule returns the executing schedule.
+func (b *Bus) Schedule() *Schedule { return b.schedule }
+
+// Release hands the bus a newly released application message instance.
+func (b *Bus) Release(in traffic.Instance) {
+	if in.Msg.Kind == traffic.Periodic {
+		cp := in
+		b.fresh[in.Msg] = &cp
+		return
+	}
+	b.pending[in.Msg] = append(b.pending[in.Msg], in)
+}
+
+// Start begins executing minor frames at t=0 and returns a stop function.
+// Frame k of the major frame runs at k·20 ms, then the cycle repeats.
+func (b *Bus) Start() (stop func()) {
+	frame := 0
+	stopFn := b.sim.Every(0, simtime.Duration(traffic.MinorFrame), func() {
+		b.runMinorFrame(frame % b.schedule.NumMinor)
+		frame++
+	})
+	return func() {
+		b.stopped = true
+		stopFn()
+	}
+}
+
+// runMinorFrame executes one minor frame: the frame interrupt occurs, the
+// BC issues the frame's periodic transactions back to back, then the
+// sporadic phase (BC messages, then per-RT polls and transfers).
+func (b *Bus) runMinorFrame(f int) {
+	start := b.sim.Now()
+	if b.busBusyUntil > start {
+		// Previous frame's work ran past the interrupt: schedule overrun.
+		b.Overruns++
+	}
+	cursor := simtime.MaxTime(start, b.busBusyUntil)
+
+	advance := func(d simtime.Duration) {
+		cursor = cursor.Add(d)
+		b.busyTime += d
+	}
+	monitor := func(start simtime.Time, tr *Transaction) {
+		if b.OnTransfer != nil {
+			b.OnTransfer(TransferRecord{
+				Start: start, End: cursor,
+				Kind: tr.Kind, Conn: tr.Msg.Name, Words: tr.Words,
+			})
+		}
+	}
+
+	// Periodic phase: each transaction transfers the latest sampled value.
+	for _, tr := range b.schedule.Frames[f] {
+		tr := tr
+		start := cursor
+		advance(tr.Duration)
+		monitor(start, tr)
+		b.deliverAt(cursor, tr, b.takeFresh(tr.Msg))
+		advance(IntermessageGap)
+	}
+
+	// Sporadic phase, part 1: BC's own pending messages (no poll needed).
+	for _, tr := range b.schedule.BCSporadics {
+		tr := tr
+		for _, in := range b.takePending(tr.Msg, cursor) {
+			start := cursor
+			advance(tr.Duration)
+			monitor(start, tr)
+			b.deliverAt(cursor, tr, &in)
+			advance(IntermessageGap)
+		}
+	}
+
+	// Sporadic phase, part 2: poll every RT; serve what it reports.
+	for gi, group := range b.schedule.RTSporadics {
+		pollStart := cursor
+		advance(PollDuration())
+		if b.OnTransfer != nil {
+			b.OnTransfer(TransferRecord{
+				Start: pollStart, End: cursor,
+				Kind: RTToBC, Poll: true, RT: b.schedule.PolledRTs[gi],
+			})
+		}
+		advance(IntermessageGap)
+		pollTime := cursor
+		for _, tr := range group {
+			tr := tr
+			for _, in := range b.takePending(tr.Msg, pollTime) {
+				start := cursor
+				advance(tr.Duration)
+				monitor(start, tr)
+				b.deliverAt(cursor, tr, &in)
+				advance(IntermessageGap)
+			}
+		}
+	}
+
+	b.busBusyUntil = cursor
+}
+
+// takeFresh consumes the latest periodic sample (nil if none released yet).
+func (b *Bus) takeFresh(m *traffic.Message) *traffic.Instance {
+	in := b.fresh[m]
+	delete(b.fresh, m)
+	return in
+}
+
+// takePending consumes the sporadic instances of m released strictly before
+// the poll/service instant (later releases wait for the next frame).
+func (b *Bus) takePending(m *traffic.Message, by simtime.Time) []traffic.Instance {
+	q := b.pending[m]
+	cut := 0
+	for cut < len(q) && q[cut].Release <= by {
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	taken := make([]traffic.Instance, cut)
+	copy(taken, q[:cut])
+	b.pending[m] = q[cut:]
+	return taken
+}
+
+// deliverAt schedules the delivery callback at the transfer's completion.
+func (b *Bus) deliverAt(at simtime.Time, tr *Transaction, in *traffic.Instance) {
+	if in == nil {
+		return // periodic slot ran with no fresh data (startup)
+	}
+	d := Delivery{Msg: tr.Msg, Seq: in.Seq, Release: in.Release, Complete: at}
+	b.Delivered++
+	if b.OnDeliver != nil {
+		cb := b.OnDeliver
+		b.sim.At(at, func() { cb(d) })
+	}
+}
+
+// BusyTime returns the cumulative bus occupation.
+func (b *Bus) BusyTime() simtime.Duration { return b.busyTime }
+
+// MeasuredUtilization returns bus occupation divided by elapsed time.
+func (b *Bus) MeasuredUtilization() float64 {
+	now := b.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return b.busyTime.Seconds() / simtime.Duration(now).Seconds()
+}
+
+// String summarizes the bus state.
+func (b *Bus) String() string {
+	return fmt.Sprintf("1553 bus: %d delivered, %d overruns, util %.1f%%",
+		b.Delivered, b.Overruns, 100*b.MeasuredUtilization())
+}

@@ -1,0 +1,120 @@
+package milstd1553
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// MIL-STD-1553B defines three terminal types: bus controller, remote
+// terminal, and bus monitor (BM) — a passive listener recording all bus
+// traffic for flight test and maintenance. This file is the monitor: it
+// observes every transfer the simulated BC executes and reproduces the
+// utilization and activity accounting a real BM provides.
+
+// TransferRecord is one observed bus transaction.
+type TransferRecord struct {
+	// Start and End delimit the bus occupation (first command word to
+	// last status word).
+	Start, End simtime.Time
+	// Kind is the transfer format; polls are recorded with Poll set.
+	Kind TransferKind
+	// Poll marks a vector-word poll rather than a data transfer.
+	Poll bool
+	// Conn is the connection name ("" for polls, which name the RT).
+	Conn string
+	// RT is the polled station for poll records.
+	RT string
+	// Words is the data word count (0 for polls).
+	Words int
+}
+
+// Duration returns the bus time of the record.
+func (r TransferRecord) Duration() simtime.Duration { return r.End.Sub(r.Start) }
+
+// Monitor passively accumulates transfer records from a Bus.
+type Monitor struct {
+	records []TransferRecord
+}
+
+// Attach subscribes the monitor to a bus. It must be called before
+// Bus.Start; only one monitor hook is supported per bus (chain manually if
+// more are needed).
+func (m *Monitor) Attach(b *Bus) {
+	b.OnTransfer = func(r TransferRecord) { m.records = append(m.records, r) }
+}
+
+// Records returns everything observed so far.
+func (m *Monitor) Records() []TransferRecord { return m.records }
+
+// BusyTime returns the total observed bus occupation.
+func (m *Monitor) BusyTime() simtime.Duration {
+	var d simtime.Duration
+	for _, r := range m.records {
+		d += r.Duration()
+	}
+	return d
+}
+
+// Utilization returns observed occupation over the observation span
+// (first start to last end); 0 with fewer than one record.
+func (m *Monitor) Utilization() float64 {
+	if len(m.records) == 0 {
+		return 0
+	}
+	span := m.records[len(m.records)-1].End.Sub(m.records[0].Start)
+	if span <= 0 {
+		return 0
+	}
+	return m.BusyTime().Seconds() / span.Seconds()
+}
+
+// CountByConn returns transfer counts per connection (polls under
+// "poll:<rt>").
+func (m *Monitor) CountByConn() map[string]int {
+	out := map[string]int{}
+	for _, r := range m.records {
+		key := r.Conn
+		if r.Poll {
+			key = "poll:" + r.RT
+		}
+		out[key]++
+	}
+	return out
+}
+
+// WriteCSV exports the record log.
+func (m *Monitor) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "start_ns,end_ns,kind,poll,connection,rt,words\n"); err != nil {
+		return err
+	}
+	for _, r := range m.records {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%t,%s,%s,%d\n",
+			int64(r.Start), int64(r.End), r.Kind, r.Poll, r.Conn, r.RT, r.Words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Busiest returns the n connections with the most transfers, sorted by
+// count descending then name.
+func (m *Monitor) Busiest(n int) []string {
+	counts := m.CountByConn()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if n < len(names) {
+		names = names[:n]
+	}
+	return names
+}

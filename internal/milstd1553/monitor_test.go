@@ -1,0 +1,118 @@
+package milstd1553
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func monitoredRun(t *testing.T, horizon simtime.Duration) (*Monitor, *Bus) {
+	t.Helper()
+	sim := des.New(1)
+	set := traffic.RealCase()
+	schedule, err := Build(set, traffic.StationMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewBus(sim, schedule)
+	var m Monitor
+	m.Attach(bus)
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}, bus.Release)
+	bus.Start()
+	sim.RunFor(horizon)
+	return &m, bus
+}
+
+func TestMonitorObservesTraffic(t *testing.T) {
+	m, bus := monitoredRun(t, simtime.Second)
+	if len(m.Records()) == 0 {
+		t.Fatal("monitor saw nothing")
+	}
+	// Monitor busy time must equal the bus's own accounting: both count
+	// transfers + polls; the bus additionally counts intermessage gaps.
+	if m.BusyTime() >= bus.BusyTime() {
+		t.Errorf("monitor busy %v not below bus busy %v (gaps)", m.BusyTime(), bus.BusyTime())
+	}
+	if m.BusyTime() < bus.BusyTime()/2 {
+		t.Errorf("monitor busy %v implausibly small vs %v", m.BusyTime(), bus.BusyTime())
+	}
+	kinds := map[bool]int{}
+	for _, r := range m.Records() {
+		if r.End <= r.Start {
+			t.Fatalf("record with non-positive duration: %+v", r)
+		}
+		kinds[r.Poll]++
+		if r.Poll && r.RT == "" {
+			t.Error("poll without RT name")
+		}
+		if !r.Poll && r.Conn == "" {
+			t.Error("transfer without connection name")
+		}
+	}
+	if kinds[true] == 0 || kinds[false] == 0 {
+		t.Errorf("record mix: %v", kinds)
+	}
+}
+
+func TestMonitorUtilizationMatchesBus(t *testing.T) {
+	m, bus := monitoredRun(t, 2*simtime.Second)
+	mu, bu := m.Utilization(), bus.MeasuredUtilization()
+	// Monitor excludes gaps, so slightly below; same regime.
+	if mu <= 0 || mu > bu {
+		t.Errorf("monitor util %.3f vs bus %.3f", mu, bu)
+	}
+	if bu-mu > 0.1 {
+		t.Errorf("gap overhead %.3f implausibly large", bu-mu)
+	}
+}
+
+func TestMonitorCountsAndBusiest(t *testing.T) {
+	m, _ := monitoredRun(t, simtime.Second)
+	counts := m.CountByConn()
+	// 20 ms periodic messages run in every minor frame: t = 0, 20, …,
+	// 1000 ms inclusive → 51 frames over a 1 s horizon.
+	if got := counts["nav/attitude"]; got != 51 {
+		t.Errorf("nav/attitude observed %d times, want 51", got)
+	}
+	// Polls happen every minor frame for every polled RT.
+	if got := counts["poll:"+traffic.StationEW]; got != 51 {
+		t.Errorf("ew polled %d times, want 51", got)
+	}
+	busiest := m.Busiest(5)
+	if len(busiest) != 5 {
+		t.Fatalf("Busiest(5) returned %d", len(busiest))
+	}
+	for i := 1; i < len(busiest); i++ {
+		if counts[busiest[i-1]] < counts[busiest[i]] {
+			t.Error("Busiest not sorted by count")
+		}
+	}
+	if got := m.Busiest(100000); len(got) != len(counts) {
+		t.Error("Busiest with large n should return all")
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	m, _ := monitoredRun(t, 100*simtime.Millisecond)
+	var b strings.Builder
+	if err := m.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != len(m.Records())+1 {
+		t.Errorf("%d CSV lines for %d records", len(lines), len(m.Records()))
+	}
+	if !strings.HasPrefix(lines[0], "start_ns,end_ns,") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestMonitorEmpty(t *testing.T) {
+	var m Monitor
+	if m.Utilization() != 0 || m.BusyTime() != 0 || len(m.Busiest(3)) != 0 {
+		t.Error("empty monitor not inert")
+	}
+}

@@ -1,0 +1,304 @@
+package milstd1553
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// Transaction is one scheduled bus message: a connection mapped onto a 1553
+// transfer format with its exact bus duration.
+type Transaction struct {
+	Msg      *traffic.Message
+	Kind     TransferKind
+	Words    int
+	Duration simtime.Duration
+}
+
+// Schedule is a complete BC transaction table: the paper's structure of a
+// 160 ms major frame divided into 20 ms minor frames, each carrying the
+// periodic messages due in it, followed by a sporadic phase in which the
+// BC serves its own pending sporadic messages and polls every RT.
+type Schedule struct {
+	// BC is the bus-controller station (the mission computer).
+	BC string
+	// RTs maps every non-BC station to its terminal address.
+	RTs map[string]RTAddress
+	// NumMinor is the number of minor frames per major frame (8).
+	NumMinor int
+	// Frames lists the periodic transactions of each minor frame, in
+	// execution order.
+	Frames [][]*Transaction
+	// BCSporadics are sporadic connections sourced by the BC, served first
+	// in every sporadic phase (the BC needs no poll to know about them).
+	BCSporadics []*Transaction
+	// RTSporadics groups sporadic connections by source RT, in polling
+	// order (ascending RT address).
+	RTSporadics [][]*Transaction
+	// PolledRTs are the stations polled each sporadic phase, aligned with
+	// RTSporadics.
+	PolledRTs []string
+}
+
+// transferKindFor maps a connection onto a 1553 format given the BC.
+func transferKindFor(m *traffic.Message, bc string) TransferKind {
+	switch {
+	case m.Source == bc:
+		return BCToRT
+	case m.Dest == bc:
+		return RTToBC
+	default:
+		return RTToRT
+	}
+}
+
+// newTransaction sizes one connection as a bus transaction.
+func newTransaction(m *traffic.Message, bc string) *Transaction {
+	words := WordsForPayload(m.Payload)
+	kind := transferKindFor(m, bc)
+	return &Transaction{Msg: m, Kind: kind, Words: words, Duration: TransferDuration(kind, words)}
+}
+
+// Build constructs the BC transaction table for a message set with the
+// given bus-controller station. Periodic connections are placed in minor
+// frames by their harmonic period with greedy load balancing; sporadic
+// connections enter the polling plan.
+func Build(set *traffic.Set, bc string) (*Schedule, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		BC:       bc,
+		RTs:      map[string]RTAddress{},
+		NumMinor: int(traffic.MajorFrame / traffic.MinorFrame),
+	}
+	s.Frames = make([][]*Transaction, s.NumMinor)
+
+	// Assign RT addresses in sorted station order.
+	stations := set.Stations()
+	foundBC := false
+	next := RTAddress(0)
+	for _, st := range stations {
+		if st == bc {
+			foundBC = true
+			continue
+		}
+		if !next.Valid() {
+			return nil, fmt.Errorf("milstd1553: more than %d remote terminals", MaxRTAddress+1)
+		}
+		s.RTs[st] = next
+		next++
+	}
+	if !foundBC {
+		return nil, fmt.Errorf("milstd1553: BC station %q not in the message set", bc)
+	}
+
+	// Periodic placement: longest-period (rarest) messages first so the
+	// balancer can spread them, then heavier before lighter.
+	var periodic []*Transaction
+	for _, m := range set.Messages {
+		if m.Kind != traffic.Periodic {
+			continue
+		}
+		if m.Period%traffic.MinorFrame != 0 {
+			return nil, fmt.Errorf("milstd1553: period %v of %q is not a minor-frame multiple", m.Period, m.Name)
+		}
+		periodic = append(periodic, newTransaction(m, bc))
+	}
+	sort.SliceStable(periodic, func(i, j int) bool {
+		if periodic[i].Msg.Period != periodic[j].Msg.Period {
+			return periodic[i].Msg.Period > periodic[j].Msg.Period
+		}
+		return periodic[i].Duration > periodic[j].Duration
+	})
+	load := make([]simtime.Duration, s.NumMinor)
+	for _, tr := range periodic {
+		k := int(tr.Msg.Period / traffic.MinorFrame) // appears every k-th frame
+		// Pick the offset whose worst touched frame is lightest.
+		bestOff, bestLoad := 0, simtime.Forever
+		for off := 0; off < k; off++ {
+			worst := simtime.Duration(0)
+			for f := off; f < s.NumMinor; f += k {
+				if load[f] > worst {
+					worst = load[f]
+				}
+			}
+			if worst < bestLoad {
+				bestLoad, bestOff = worst, off
+			}
+		}
+		for f := bestOff; f < s.NumMinor; f += k {
+			s.Frames[f] = append(s.Frames[f], tr)
+			load[f] += tr.Duration + IntermessageGap
+		}
+	}
+
+	// Sporadic plan: BC-sourced first, then per-RT in polling order.
+	byRT := map[string][]*Transaction{}
+	for _, m := range set.Messages {
+		if m.Kind != traffic.Sporadic {
+			continue
+		}
+		tr := newTransaction(m, bc)
+		if m.Source == bc {
+			s.BCSporadics = append(s.BCSporadics, tr)
+		} else {
+			byRT[m.Source] = append(byRT[m.Source], tr)
+		}
+	}
+	var polled []string
+	for st := range byRT {
+		polled = append(polled, st)
+	}
+	sort.Slice(polled, func(i, j int) bool { return s.RTs[polled[i]] < s.RTs[polled[j]] })
+	s.PolledRTs = polled
+	for _, st := range polled {
+		s.RTSporadics = append(s.RTSporadics, byRT[st])
+	}
+	return s, nil
+}
+
+// PeriodicLoad returns the bus time of frame f's periodic phase, including
+// intermessage gaps.
+func (s *Schedule) PeriodicLoad(f int) simtime.Duration {
+	var d simtime.Duration
+	for _, tr := range s.Frames[f] {
+		d += tr.Duration + IntermessageGap
+	}
+	return d
+}
+
+// WorstPeriodicLoad returns the heaviest minor frame's periodic phase.
+func (s *Schedule) WorstPeriodicLoad() simtime.Duration {
+	var worst simtime.Duration
+	for f := range s.Frames {
+		if l := s.PeriodicLoad(f); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// SporadicBudget returns the worst-case bus time of one sporadic phase:
+// every BC sporadic pending, every RT polled, and every RT sporadic
+// pending at once.
+func (s *Schedule) SporadicBudget() simtime.Duration {
+	var d simtime.Duration
+	for _, tr := range s.BCSporadics {
+		d += tr.Duration + IntermessageGap
+	}
+	for _, group := range s.RTSporadics {
+		d += PollDuration() + IntermessageGap
+		for _, tr := range group {
+			d += tr.Duration + IntermessageGap
+		}
+	}
+	return d
+}
+
+// Feasible reports whether every minor frame fits: heaviest periodic phase
+// plus a full sporadic phase within one minor frame. This is the 1553
+// schedulability condition the polling design must satisfy.
+func (s *Schedule) Feasible() bool {
+	return s.WorstPeriodicLoad()+s.SporadicBudget() <= simtime.Duration(traffic.MinorFrame)
+}
+
+// Utilization returns the long-run bus utilization of the schedule: the
+// periodic load per major frame plus the per-frame polling overhead,
+// divided by the major frame. Sporadic data transfers are excluded (they
+// are event-driven); polls are not (they run every frame regardless).
+func (s *Schedule) Utilization() float64 {
+	var periodic simtime.Duration
+	for f := range s.Frames {
+		periodic += s.PeriodicLoad(f)
+	}
+	polls := simtime.Duration(s.NumMinor) * simtime.Duration(len(s.PolledRTs)) * simtime.Duration(PollDuration()+IntermessageGap)
+	return (periodic + polls).Seconds() / traffic.MajorFrame.Seconds()
+}
+
+// completionOffset returns the offset from minor-frame start to the end of
+// tr's transaction within frame f (preceding transactions plus its own).
+func (s *Schedule) completionOffset(f int, tr *Transaction) (simtime.Duration, bool) {
+	var d simtime.Duration
+	for _, t := range s.Frames[f] {
+		d += t.Duration
+		if t == tr {
+			return d, true
+		}
+		d += IntermessageGap
+	}
+	return 0, false
+}
+
+// sporadicCompletion returns the worst-case offset from the start of a
+// sporadic phase to the completion of msg's transfer, assuming every
+// sporadic message in the system is pending (the critical instant).
+func (s *Schedule) sporadicCompletion(msg *traffic.Message) (simtime.Duration, bool) {
+	var d simtime.Duration
+	for _, tr := range s.BCSporadics {
+		d += tr.Duration
+		if tr.Msg.Name == msg.Name {
+			return d, true
+		}
+		d += IntermessageGap
+	}
+	for _, group := range s.RTSporadics {
+		d += PollDuration() + IntermessageGap
+		for _, tr := range group {
+			d += tr.Duration
+			if tr.Msg.Name == msg.Name {
+				return d, true
+			}
+			d += IntermessageGap
+		}
+	}
+	return 0, false
+}
+
+// WorstCaseLatency returns the analytic worst-case response time of a
+// connection on this 1553 schedule: the time from application release to
+// complete delivery, under the critical instant (release just after the
+// message's slot or poll, every competitor pending).
+func (s *Schedule) WorstCaseLatency(msg *traffic.Message) (simtime.Duration, error) {
+	if msg.Kind == traffic.Periodic {
+		// Worst wait for the next scheduled slot is one full period, then
+		// the slot's completion offset inside its frame (worst over the
+		// frames the message appears in).
+		var worst simtime.Duration
+		found := false
+		for f := range s.Frames {
+			if off, ok := s.completionOffset(f, s.findPeriodic(msg, f)); ok {
+				found = true
+				if off > worst {
+					worst = off
+				}
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("milstd1553: %q not in the periodic schedule", msg.Name)
+		}
+		return simtime.Duration(msg.Period) + worst, nil
+	}
+	// Sporadic: released just after its service opportunity passed; wait
+	// one minor frame, then the worst periodic phase, then the sporadic
+	// phase up to its completion.
+	completion, ok := s.sporadicCompletion(msg)
+	if !ok {
+		return 0, fmt.Errorf("milstd1553: %q not in the sporadic plan", msg.Name)
+	}
+	return simtime.Duration(traffic.MinorFrame) + s.WorstPeriodicLoad() + completion, nil
+}
+
+// findPeriodic locates msg's transaction in frame f by connection name
+// (nil if absent). Name matching lets callers pass messages from any copy
+// of the catalog, not just the one the schedule was built from.
+func (s *Schedule) findPeriodic(msg *traffic.Message, f int) *Transaction {
+	for _, tr := range s.Frames[f] {
+		if tr.Msg.Name == msg.Name {
+			return tr
+		}
+	}
+	return nil
+}

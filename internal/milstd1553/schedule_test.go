@@ -1,0 +1,238 @@
+package milstd1553
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func buildRealCase(t *testing.T) *Schedule {
+	t.Helper()
+	s, err := Build(traffic.RealCase(), traffic.StationMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildAssignsAddresses(t *testing.T) {
+	s := buildRealCase(t)
+	if _, ok := s.RTs[traffic.StationMC]; ok {
+		t.Error("BC must not hold an RT address")
+	}
+	seen := map[RTAddress]string{}
+	for st, addr := range s.RTs {
+		if !addr.Valid() {
+			t.Errorf("%s: invalid address %d", st, addr)
+		}
+		if prev, dup := seen[addr]; dup {
+			t.Errorf("address %d assigned to both %s and %s", addr, prev, st)
+		}
+		seen[addr] = st
+	}
+	set := traffic.RealCase()
+	if len(s.RTs) != len(set.Stations())-1 {
+		t.Errorf("%d RTs for %d stations", len(s.RTs), len(set.Stations()))
+	}
+}
+
+func TestBuildPeriodicPlacement(t *testing.T) {
+	s := buildRealCase(t)
+	if s.NumMinor != 8 {
+		t.Fatalf("NumMinor = %d, want 8 (160ms / 20ms)", s.NumMinor)
+	}
+	set := traffic.RealCase()
+	// Every periodic message appears exactly MajorFrame/Period times per
+	// major frame, evenly spaced.
+	count := map[string][]int{}
+	for f, frame := range s.Frames {
+		for _, tr := range frame {
+			count[tr.Msg.Name] = append(count[tr.Msg.Name], f)
+		}
+	}
+	for _, m := range set.Messages {
+		if m.Kind != traffic.Periodic {
+			continue
+		}
+		frames := count[m.Name]
+		want := int(traffic.MajorFrame / m.Period)
+		if len(frames) != want {
+			t.Errorf("%s: scheduled %d times, want %d", m.Name, len(frames), want)
+			continue
+		}
+		k := int(m.Period / traffic.MinorFrame)
+		for i := 1; i < len(frames); i++ {
+			if frames[i]-frames[i-1] != k {
+				t.Errorf("%s: frames %v not spaced by %d", m.Name, frames, k)
+			}
+		}
+	}
+}
+
+func TestBuildBalancesLoad(t *testing.T) {
+	s := buildRealCase(t)
+	var min, max simtime.Duration = simtime.Forever, 0
+	for f := range s.Frames {
+		l := s.PeriodicLoad(f)
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max == 0 {
+		t.Fatal("no periodic load at all")
+	}
+	// The balancer should keep the spread moderate: the heaviest frame no
+	// more than ~2× the lightest (20 ms-period messages dominate and are in
+	// every frame, so frames can't diverge much).
+	if min == 0 || max > 2*min {
+		t.Errorf("frame load spread too wide: min %v, max %v", min, max)
+	}
+	if s.WorstPeriodicLoad() != max {
+		t.Error("WorstPeriodicLoad inconsistent")
+	}
+}
+
+func TestScheduleFeasibleForRealCase(t *testing.T) {
+	s := buildRealCase(t)
+	if !s.Feasible() {
+		t.Errorf("real-case schedule infeasible: worst periodic %v + sporadic budget %v > 20ms",
+			s.WorstPeriodicLoad(), s.SporadicBudget())
+	}
+	// And it should be genuinely loaded — the paper says 1553 is at its
+	// limits. Expect at least a third of the bus consumed.
+	if u := s.Utilization(); u < 0.30 || u > 1.0 {
+		t.Errorf("utilization %.2f outside the 'pushing the limits' regime", u)
+	}
+}
+
+func TestSporadicPlanCoversAll(t *testing.T) {
+	s := buildRealCase(t)
+	set := traffic.RealCase()
+	planned := map[string]bool{}
+	for _, tr := range s.BCSporadics {
+		if tr.Msg.Source != traffic.StationMC {
+			t.Errorf("%s in BC plan but sourced by %s", tr.Msg.Name, tr.Msg.Source)
+		}
+		planned[tr.Msg.Name] = true
+	}
+	for i, group := range s.RTSporadics {
+		for _, tr := range group {
+			if tr.Msg.Source != s.PolledRTs[i] {
+				t.Errorf("%s grouped under %s", tr.Msg.Name, s.PolledRTs[i])
+			}
+			planned[tr.Msg.Name] = true
+		}
+	}
+	for _, m := range set.Messages {
+		if m.Kind == traffic.Sporadic && !planned[m.Name] {
+			t.Errorf("sporadic %s missing from the plan", m.Name)
+		}
+	}
+	// Polling order follows RT addresses.
+	for i := 1; i < len(s.PolledRTs); i++ {
+		if s.RTs[s.PolledRTs[i-1]] >= s.RTs[s.PolledRTs[i]] {
+			t.Error("polled RTs not in address order")
+		}
+	}
+}
+
+func TestTransferKindMapping(t *testing.T) {
+	s := buildRealCase(t)
+	for _, frame := range s.Frames {
+		for _, tr := range frame {
+			var want TransferKind
+			switch {
+			case tr.Msg.Source == traffic.StationMC:
+				want = BCToRT
+			case tr.Msg.Dest == traffic.StationMC:
+				want = RTToBC
+			default:
+				want = RTToRT
+			}
+			if tr.Kind != want {
+				t.Errorf("%s: kind %v, want %v", tr.Msg.Name, tr.Kind, want)
+			}
+		}
+	}
+}
+
+func TestWorstCaseLatencyPeriodic(t *testing.T) {
+	s := buildRealCase(t)
+	m := traffic.RealCase().Find("nav/attitude")
+	wc, err := s.WorstCaseLatency(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one period (sampling delay), at most period + a full minor
+	// frame of transactions.
+	if wc < simtime.Duration(m.Period) {
+		t.Errorf("worst case %v below one period", wc)
+	}
+	if wc > simtime.Duration(m.Period)+simtime.Duration(traffic.MinorFrame) {
+		t.Errorf("worst case %v exceeds period + minor frame", wc)
+	}
+}
+
+func TestWorstCaseLatencySporadic(t *testing.T) {
+	s := buildRealCase(t)
+	m := traffic.RealCase().Find("ew/threat-warning")
+	wc, err := s.WorstCaseLatency(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The polling design cannot beat one minor frame — this is the paper's
+	// core criticism of the command/response architecture for urgent
+	// traffic (the Ethernet priority bound is ~20× smaller).
+	if wc < simtime.Duration(traffic.MinorFrame) {
+		t.Errorf("sporadic worst case %v below one minor frame — impossible under polling", wc)
+	}
+	if wc > 2*simtime.Duration(traffic.MinorFrame) {
+		t.Errorf("sporadic worst case %v exceeds two minor frames: schedule badly packed", wc)
+	}
+	// Urgent deadline is hopeless on 1553: document it via the test.
+	if wc <= simtime.Duration(traffic.UrgentDeadline) {
+		t.Errorf("1553 polling met a 3ms deadline (%v)? model must be wrong", wc)
+	}
+}
+
+func TestWorstCaseLatencyUnknownMessage(t *testing.T) {
+	s := buildRealCase(t)
+	ghost := &traffic.Message{Name: "ghost", Kind: traffic.Periodic, Period: 20 * simtime.Millisecond}
+	if _, err := s.WorstCaseLatency(ghost); err == nil {
+		t.Error("unknown periodic accepted")
+	}
+	ghost.Kind = traffic.Sporadic
+	if _, err := s.WorstCaseLatency(ghost); err == nil {
+		t.Error("unknown sporadic accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	set := traffic.RealCase()
+	if _, err := Build(set, "no-such-station"); err == nil {
+		t.Error("unknown BC accepted")
+	}
+	bad := &traffic.Set{Messages: []*traffic.Message{{
+		Name: "odd", Source: "a", Dest: "b", Kind: traffic.Periodic,
+		Period: 30 * simtime.Millisecond, Payload: simtime.Bytes(4),
+		Deadline: 30 * simtime.Millisecond, Priority: traffic.P1,
+	}}}
+	if _, err := Build(bad, "a"); err == nil {
+		t.Error("non-harmonic period accepted")
+	}
+	invalid := &traffic.Set{Messages: []*traffic.Message{{Name: ""}}}
+	if _, err := Build(invalid, "a"); err == nil {
+		t.Error("invalid set accepted")
+	}
+}
+
+func TestBuildTooManyRTs(t *testing.T) {
+	set := traffic.RealCaseWith(40) // 10 named + 40 generic > 31 RTs
+	if _, err := Build(set, traffic.StationMC); err == nil {
+		t.Error("more than 31 RTs accepted")
+	}
+}

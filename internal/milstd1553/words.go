@@ -1,0 +1,197 @@
+// Package milstd1553 implements the MIL-STD-1553B baseline the paper
+// compares switched Ethernet against: a 1 Mbps command/response multiplexer
+// data bus with a centralized bus controller (BC) polling remote terminals
+// (RTs) according to a transaction table organized in major and minor
+// frames [Zhang, Pervez, Sharma, "Avionics Data Buses: An Overview"].
+//
+// The model is word-accurate: 20-bit Manchester words at 1 Mbps (20 µs per
+// word), command/status word encodings, RT response-time gaps and
+// intermessage gaps, and the three transfer formats (BC→RT, RT→BC, RT→RT).
+// On top of it, a bus controller executes the paper's frame structure — a
+// 160 ms major frame of eight 20 ms minor frames, with sporadic traffic
+// served by per-RT vector-word polling once per minor frame.
+package milstd1553
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Bus physical constants.
+const (
+	// BusRate is the MIL-STD-1553B bit rate.
+	BusRate = 1 * simtime.Mbps
+	// WordBits is the on-bus length of every word: 3 bits of sync, 16 data
+	// bits, 1 parity bit.
+	WordBits = 20
+	// WordTime is the bus time of one word at 1 Mbps.
+	WordTime = 20 * simtime.Microsecond
+	// MaxDataWords is the largest word count of one message (a field value
+	// of 0 encodes 32).
+	MaxDataWords = 32
+	// MaxRTAddress is the highest assignable terminal address (31 is
+	// reserved for broadcast).
+	MaxRTAddress = 30
+	// ResponseTimeMax is the worst-case RT response gap (MIL-STD-1553B
+	// allows 4–12 µs; worst case is used so measured latencies are upper
+	// envelopes).
+	ResponseTimeMax = 12 * simtime.Microsecond
+	// IntermessageGap is the minimum gap the BC leaves between messages.
+	IntermessageGap = 4 * simtime.Microsecond
+)
+
+// RTAddress is a terminal address (0–30).
+type RTAddress uint8
+
+// Valid reports whether the address is assignable to a terminal.
+func (a RTAddress) Valid() bool { return a <= MaxRTAddress }
+
+// SubAddress is a subaddress/mode field value (0–31). Values 0 and 31
+// indicate a mode code rather than a data transfer.
+type SubAddress uint8
+
+// CommandWord is the 16-bit payload of a 1553 command word:
+// 5 bits RT address, 1 bit transmit/receive, 5 bits subaddress/mode,
+// 5 bits word count / mode code.
+type CommandWord struct {
+	RT        RTAddress
+	Transmit  bool // true: RT transmits; false: RT receives
+	Sub       SubAddress
+	WordCount int // 1–32 data words (encoded 0 for 32)
+}
+
+// Encode packs the command word fields into 16 bits.
+func (c CommandWord) Encode() (uint16, error) {
+	if !c.RT.Valid() {
+		return 0, fmt.Errorf("milstd1553: RT address %d out of range", c.RT)
+	}
+	if c.Sub > 31 {
+		return 0, fmt.Errorf("milstd1553: subaddress %d out of range", c.Sub)
+	}
+	if c.WordCount < 1 || c.WordCount > MaxDataWords {
+		return 0, fmt.Errorf("milstd1553: word count %d out of range", c.WordCount)
+	}
+	wc := c.WordCount % 32 // 32 encodes as 0
+	var tr uint16
+	if c.Transmit {
+		tr = 1
+	}
+	return uint16(c.RT)<<11 | tr<<10 | uint16(c.Sub)<<5 | uint16(wc), nil
+}
+
+// DecodeCommand unpacks a 16-bit command word.
+func DecodeCommand(w uint16) CommandWord {
+	wc := int(w & 0x1f)
+	if wc == 0 {
+		wc = 32
+	}
+	return CommandWord{
+		RT:        RTAddress(w >> 11),
+		Transmit:  w&(1<<10) != 0,
+		Sub:       SubAddress((w >> 5) & 0x1f),
+		WordCount: wc,
+	}
+}
+
+// StatusWord is the 16-bit payload of an RT status word (only the fields
+// the model uses: terminal address, service request, busy).
+type StatusWord struct {
+	RT             RTAddress
+	ServiceRequest bool // RT has sporadic data pending (drives BC polling)
+	Busy           bool
+}
+
+// Encode packs the status word.
+func (s StatusWord) Encode() (uint16, error) {
+	if !s.RT.Valid() {
+		return 0, fmt.Errorf("milstd1553: RT address %d out of range", s.RT)
+	}
+	var w uint16 = uint16(s.RT) << 11
+	if s.ServiceRequest {
+		w |= 1 << 8
+	}
+	if s.Busy {
+		w |= 1 << 3
+	}
+	return w, nil
+}
+
+// DecodeStatus unpacks a 16-bit status word.
+func DecodeStatus(w uint16) StatusWord {
+	return StatusWord{
+		RT:             RTAddress(w >> 11),
+		ServiceRequest: w&(1<<8) != 0,
+		Busy:           w&(1<<3) != 0,
+	}
+}
+
+// WordsForPayload returns the number of 16-bit data words needed for a
+// payload (1553 words are two bytes).
+func WordsForPayload(payload simtime.Size) int {
+	bytes := payload.ByteCount()
+	words := (bytes + 1) / 2
+	if words == 0 {
+		words = 1
+	}
+	return words
+}
+
+// TransferKind is one of the three 1553 message formats the model uses.
+type TransferKind int
+
+const (
+	// BCToRT: BC sends command + data; RT answers with its status word.
+	BCToRT TransferKind = iota
+	// RTToBC: BC sends a transmit command; RT answers status + data.
+	RTToBC
+	// RTToRT: BC sends receive then transmit commands; the source RT sends
+	// status + data; the destination RT answers with its status.
+	RTToRT
+)
+
+// String returns the format name.
+func (k TransferKind) String() string {
+	switch k {
+	case BCToRT:
+		return "BC→RT"
+	case RTToBC:
+		return "RT→BC"
+	case RTToRT:
+		return "RT→RT"
+	default:
+		return fmt.Sprintf("TransferKind(%d)", int(k))
+	}
+}
+
+// TransferDuration returns the bus occupation of one message of the given
+// format and data word count, from the first command word through the last
+// status word, using worst-case response gaps. The trailing intermessage
+// gap is not included (the BC adds it between messages).
+func TransferDuration(kind TransferKind, dataWords int) simtime.Duration {
+	if dataWords < 1 || dataWords > MaxDataWords {
+		panic(fmt.Sprintf("milstd1553: data word count %d out of range", dataWords))
+	}
+	w := func(n int) simtime.Duration { return simtime.Duration(n) * WordTime }
+	switch kind {
+	case BCToRT:
+		// cmd + n data, RT response gap, status.
+		return w(1+dataWords) + ResponseTimeMax + w(1)
+	case RTToBC:
+		// cmd, response gap, status + n data.
+		return w(1) + ResponseTimeMax + w(1+dataWords)
+	case RTToRT:
+		// rx cmd + tx cmd, src response gap, src status + n data,
+		// dst response gap, dst status.
+		return w(2) + ResponseTimeMax + w(1+dataWords) + ResponseTimeMax + w(1)
+	default:
+		panic(fmt.Sprintf("milstd1553: unknown transfer kind %d", kind))
+	}
+}
+
+// PollDuration is the cost of one sporadic poll: a "transmit vector word"
+// mode command, the RT's response gap, its status word and one vector data
+// word.
+func PollDuration() simtime.Duration {
+	return WordTime + ResponseTimeMax + 2*WordTime
+}

@@ -1,0 +1,168 @@
+package milstd1553
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestCommandWordRoundTrip(t *testing.T) {
+	tests := []CommandWord{
+		{RT: 0, Transmit: false, Sub: 1, WordCount: 1},
+		{RT: 15, Transmit: true, Sub: 30, WordCount: 16},
+		{RT: 30, Transmit: true, Sub: 1, WordCount: 32}, // 32 encodes as 0
+	}
+	for _, c := range tests {
+		w, err := c.Encode()
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got := DecodeCommand(w); got != c {
+			t.Errorf("round trip %+v → %+v", c, got)
+		}
+	}
+}
+
+func TestCommandWordEncodeErrors(t *testing.T) {
+	bad := []CommandWord{
+		{RT: 31, Sub: 1, WordCount: 1},
+		{RT: 1, Sub: 32, WordCount: 1},
+		{RT: 1, Sub: 1, WordCount: 0},
+		{RT: 1, Sub: 1, WordCount: 33},
+	}
+	for _, c := range bad {
+		if _, err := c.Encode(); err == nil {
+			t.Errorf("%+v encoded without error", c)
+		}
+	}
+}
+
+func TestStatusWordRoundTrip(t *testing.T) {
+	tests := []StatusWord{
+		{RT: 0},
+		{RT: 7, ServiceRequest: true},
+		{RT: 30, Busy: true},
+		{RT: 12, ServiceRequest: true, Busy: true},
+	}
+	for _, s := range tests {
+		w, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DecodeStatus(w); got != s {
+			t.Errorf("round trip %+v → %+v", s, got)
+		}
+	}
+	if _, err := (StatusWord{RT: 31}).Encode(); err == nil {
+		t.Error("invalid RT encoded")
+	}
+}
+
+func TestWordsForPayload(t *testing.T) {
+	tests := []struct {
+		bytes int
+		want  int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {64, 32}, {63, 32},
+	}
+	for _, tc := range tests {
+		if got := WordsForPayload(simtime.Bytes(tc.bytes)); got != tc.want {
+			t.Errorf("WordsForPayload(%dB) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+	// Sub-byte sizes still cost one word.
+	if got := WordsForPayload(simtime.Size(4)); got != 1 {
+		t.Errorf("WordsForPayload(4 bits) = %d", got)
+	}
+}
+
+func TestTransferDuration(t *testing.T) {
+	w := func(n int) simtime.Duration { return simtime.Duration(n) * WordTime }
+	tests := []struct {
+		kind  TransferKind
+		words int
+		want  simtime.Duration
+	}{
+		// BC→RT with 16 words: 17 words + gap + 1 status.
+		{BCToRT, 16, w(17) + ResponseTimeMax + w(1)},
+		// RT→BC with 16 words: 1 cmd + gap + 17 words.
+		{RTToBC, 16, w(1) + ResponseTimeMax + w(17)},
+		// RT→RT with 8: 2 cmds + gap + 9 + gap + 1.
+		{RTToRT, 8, w(2) + ResponseTimeMax + w(9) + ResponseTimeMax + w(1)},
+		{BCToRT, 1, w(2) + ResponseTimeMax + w(1)},
+	}
+	for _, tc := range tests {
+		if got := TransferDuration(tc.kind, tc.words); got != tc.want {
+			t.Errorf("TransferDuration(%v,%d) = %v, want %v", tc.kind, tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestTransferDurationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero words": func() { TransferDuration(BCToRT, 0) },
+		"33 words":   func() { TransferDuration(RTToBC, 33) },
+		"bad kind":   func() { TransferDuration(TransferKind(9), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPollDuration(t *testing.T) {
+	want := WordTime + ResponseTimeMax + 2*WordTime
+	if got := PollDuration(); got != want {
+		t.Errorf("PollDuration = %v, want %v", got, want)
+	}
+}
+
+func TestTransferKindString(t *testing.T) {
+	if BCToRT.String() != "BC→RT" || RTToBC.String() != "RT→BC" || RTToRT.String() != "RT→RT" {
+		t.Error("kind strings broken")
+	}
+	if TransferKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+// Property: command words round-trip for all valid field combinations.
+func TestCommandRoundTripProperty(t *testing.T) {
+	f := func(rt, sub, wc uint8, tr bool) bool {
+		c := CommandWord{
+			RT:        RTAddress(rt % 31),
+			Transmit:  tr,
+			Sub:       SubAddress(sub % 32),
+			WordCount: int(wc%32) + 1,
+		}
+		w, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		return DecodeCommand(w) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RT→BC and BC→RT transfers of equal word count cost the same bus
+// time (symmetric formats), and duration is strictly increasing in words.
+func TestTransferDurationProperties(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		if TransferDuration(BCToRT, n) != TransferDuration(RTToBC, n) {
+			return false
+		}
+		return TransferDuration(BCToRT, n+1) > TransferDuration(BCToRT, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

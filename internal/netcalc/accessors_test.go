@@ -1,0 +1,49 @@
+package netcalc
+
+import "testing"
+
+func TestSegmentsAccessor(t *testing.T) {
+	c := RateLatency(10, 2)
+	segs := c.Segments()
+	if len(segs) != c.NumSegments() || len(segs) != 2 {
+		t.Fatalf("Segments = %v", segs)
+	}
+	// Mutating the copy must not affect the curve.
+	segs[0].Y = 999
+	if c.Eval(0) != 0 {
+		t.Error("Segments returned a live reference")
+	}
+}
+
+func TestOutputArrivalAlias(t *testing.T) {
+	alpha := TokenBucket(100, 5)
+	beta := RateLatency(50, 0.1)
+	a, err := OutputArrival(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deconvolve(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("OutputArrival differs from Deconvolve")
+	}
+}
+
+func TestResidualPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"non-convex beta":   func() { ResidualStrictPriority(TokenBucket(5, 1), Zero(), 0) },
+		"non-concave inter": func() { ResidualStrictPriority(Affine(0, 10), RateLatency(5, 1), 0) },
+		"negative blocking": func() { ResidualStrictPriority(Affine(0, 10), Zero(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

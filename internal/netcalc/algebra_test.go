@@ -1,0 +1,180 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// This file checks the algebraic laws of the min-plus dioid that the
+// analysis silently relies on. Each law is verified on randomized curves
+// of the shapes the model produces (token buckets and rate-latency
+// curves), by evaluation at the union of breakpoints plus probe points.
+
+func randTB(b, r uint16) Curve { return TokenBucket(float64(b)+1, float64(r)+1) }
+func randRL(r, t uint16) Curve { return RateLatency(float64(r)+1, float64(t)/1e3) }
+func probePoints() []float64   { return []float64{0, 0.001, 0.1, 1, 7.3, 100} }
+func curvesEqualOn(a, b Curve) bool {
+	for _, x := range probePoints() {
+		if !almostEq(a.Eval(x), b.Eval(x)) {
+			return false
+		}
+	}
+	for _, x := range mergedBreakpoints(a, b) {
+		if !almostEq(a.Eval(x), b.Eval(x)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ⊗ is commutative on concave curves.
+func TestConvolveCommutativeConcave(t *testing.T) {
+	f := func(b1, r1, b2, r2 uint16) bool {
+		a, b := randTB(b1, r1), randTB(b2, r2)
+		return curvesEqualOn(Convolve(a, b), Convolve(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ⊗ is commutative and associative on convex service curves.
+func TestConvolveConvexLaws(t *testing.T) {
+	f := func(r1, t1, r2, t2, r3, t3 uint16) bool {
+		a, b, c := randRL(r1, t1), randRL(r2, t2), randRL(r3, t3)
+		if !curvesEqualOn(Convolve(a, b), Convolve(b, a)) {
+			return false
+		}
+		return curvesEqualOn(Convolve(Convolve(a, b), c), Convolve(a, Convolve(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Min is associative, commutative, idempotent on arbitrary mixes.
+func TestMinLattice(t *testing.T) {
+	f := func(b1, r1, b2, r2, b3, r3 uint16) bool {
+		a, b, c := randTB(b1, r1), randTB(b2, r2), randTB(b3, r3)
+		if !curvesEqualOn(a.Min(b), b.Min(a)) {
+			return false
+		}
+		if !curvesEqualOn(a.Min(b).Min(c), a.Min(b.Min(c))) {
+			return false
+		}
+		return curvesEqualOn(a.Min(a), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Add distributes over Min pointwise: (a+c) min-combined with (b+c) equals
+// min(a,b)+c.
+func TestAddDistributesOverMin(t *testing.T) {
+	f := func(b1, r1, b2, r2, b3, r3 uint16) bool {
+		a, b, c := randTB(b1, r1), randTB(b2, r2), randTB(b3, r3)
+		left := a.Min(b).Add(c)
+		right := a.Add(c).Min(b.Add(c))
+		return curvesEqualOn(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deconvolution undoes convolution conservatively: (α ⊗ β') ⊘ β ⊒ shaping
+// then serving never yields a tighter output than α itself when β' = β is
+// the shaper... the law exercised here is the simpler domination:
+// α ⊘ β ⊒ α for any service β with β(0)=0 (a node can only add burstiness).
+func TestDeconvolveDominates(t *testing.T) {
+	f := func(b1, r1Raw, rRaw, tRaw uint16) bool {
+		R := float64(rRaw) + 2
+		r := float64(r1Raw)
+		if r >= R {
+			r = R - 1
+		}
+		alpha := TokenBucket(float64(b1)+1, r)
+		beta := RateLatency(R, float64(tRaw)/1e3)
+		out, err := Deconvolve(alpha, beta)
+		if err != nil {
+			return false
+		}
+		for _, x := range probePoints() {
+			if out.Eval(x) < alpha.Eval(x)-eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Composition consistency: serving through two tandem nodes bounds delay by
+// at most the sum of per-node delays, and the convolution-based bound is
+// never larger than the sum (the "pay bursts only once" phenomenon).
+func TestPayBurstsOnlyOnce(t *testing.T) {
+	f := func(b1, r1Raw, R1Raw, T1Raw, R2Raw, T2Raw uint16) bool {
+		R1, R2 := float64(R1Raw)+10, float64(R2Raw)+10
+		Rmin := R1
+		if R2 < Rmin {
+			Rmin = R2
+		}
+		r := float64(r1Raw)
+		if r >= Rmin {
+			r = Rmin - 1
+		}
+		alpha := TokenBucket(float64(b1)+1, r)
+		b1c := RateLatency(R1, float64(T1Raw)/1e3)
+		b2c := RateLatency(R2, float64(T2Raw)/1e3)
+
+		// Tandem bound: h(α, β1 ⊗ β2).
+		tandem, err := HorizontalDeviation(alpha, Convolve(b1c, b2c))
+		if err != nil {
+			return false
+		}
+		// Per-node sum: h(α, β1) + h(α ⊘ β1, β2).
+		d1, err := HorizontalDeviation(alpha, b1c)
+		if err != nil {
+			return false
+		}
+		out, err := Deconvolve(alpha, b1c)
+		if err != nil {
+			return false
+		}
+		d2, err := HorizontalDeviation(out, b2c)
+		if err != nil {
+			return false
+		}
+		return tandem <= d1+d2+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Residual service monotonicity: more interference can only shrink the
+// residual service (pointwise) and grow the latency term.
+func TestResidualMonotone(t *testing.T) {
+	f := func(C0, b1, r1, b2, r2, blk uint16) bool {
+		C := float64(C0) + 2000
+		capRate := func(r uint16) float64 { return math.Mod(float64(r), C/4) }
+		i1 := TokenBucket(float64(b1), capRate(r1))
+		i2 := i1.Add(TokenBucket(float64(b2), capRate(r2)))
+		beta := Affine(0, C)
+		res1 := ResidualStrictPriority(beta, i1, float64(blk))
+		res2 := ResidualStrictPriority(beta, i2, float64(blk))
+		for _, x := range probePoints() {
+			if res2.Eval(x) > res1.Eval(x)+eps {
+				return false
+			}
+		}
+		return res2.LatencyTerm() >= res1.LatencyTerm()-eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

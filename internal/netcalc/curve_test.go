@@ -1,0 +1,293 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenBucketEval(t *testing.T) {
+	tb := TokenBucket(512, 1e6) // 64 B burst, 1 Mbps
+	tests := []struct{ t, want float64 }{
+		{0, 512},
+		{1e-3, 512 + 1000},
+		{1, 512 + 1e6},
+	}
+	for _, tc := range tests {
+		if got := tb.Eval(tc.t); !almostEq(got, tc.want) {
+			t.Errorf("Eval(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if tb.Burst() != 512 {
+		t.Errorf("Burst = %g", tb.Burst())
+	}
+	if tb.LongRunSlope() != 1e6 {
+		t.Errorf("LongRunSlope = %g", tb.LongRunSlope())
+	}
+	if !tb.IsConcave() || !tb.IsIncreasing() {
+		t.Error("token bucket should be concave and increasing")
+	}
+	if tb.IsConvex() {
+		t.Error("token bucket with burst is not convex")
+	}
+}
+
+func TestRateLatencyEval(t *testing.T) {
+	rl := RateLatency(10e6, 140e-6) // 10 Mbps, 140 µs
+	tests := []struct{ t, want float64 }{
+		{0, 0},
+		{140e-6, 0},
+		{140e-6 + 1e-3, 10e3},
+		{1, (1 - 140e-6) * 10e6},
+	}
+	for _, tc := range tests {
+		if got := rl.Eval(tc.t); !almostEq(got, tc.want) {
+			t.Errorf("Eval(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if !rl.IsConvex() || !rl.IsIncreasing() {
+		t.Error("rate-latency should be convex and increasing")
+	}
+	if rl.IsConcave() {
+		t.Error("rate-latency with positive latency is not concave")
+	}
+	if got := rl.LatencyTerm(); !almostEq(got, 140e-6) {
+		t.Errorf("LatencyTerm = %g", got)
+	}
+	if got := RateLatency(5e6, 0).LatencyTerm(); got != 0 {
+		t.Errorf("zero-latency LatencyTerm = %g", got)
+	}
+}
+
+func TestZeroAndConstant(t *testing.T) {
+	z := Zero()
+	if z.Eval(0) != 0 || z.Eval(100) != 0 {
+		t.Error("Zero is not zero")
+	}
+	if !math.IsInf(z.LatencyTerm(), 1) {
+		t.Errorf("Zero LatencyTerm = %g, want +inf", z.LatencyTerm())
+	}
+	c := Constant(42)
+	if c.Eval(0) != 42 || c.Eval(10) != 42 {
+		t.Error("Constant is not constant")
+	}
+}
+
+func TestEvalNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval(-1) should panic")
+		}
+	}()
+	Zero().Eval(-1)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative bucket":    func() { TokenBucket(-1, 1) },
+		"negative rate":      func() { RateLatency(-1, 0) },
+		"negative latency":   func() { RateLatency(1, -1) },
+		"empty curve":        func() { FromSegments() },
+		"first seg not at 0": func() { FromSegments(Segment{1, 0, 0}) },
+		"negative scale":     func() { Zero().Scale(-1) },
+		"negative shift":     func() { Zero().ShiftRight(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalizeMergesCollinear(t *testing.T) {
+	c := FromSegments(Segment{0, 0, 5}, Segment{2, 10, 5}, Segment{4, 20, 5})
+	if c.NumSegments() != 1 {
+		t.Errorf("collinear segments not merged: %v", c)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := TokenBucket(100, 10)
+	b := TokenBucket(50, 5)
+	sum := a.Add(b)
+	for _, x := range []float64{0, 0.5, 1, 7} {
+		want := a.Eval(x) + b.Eval(x)
+		if got := sum.Eval(x); !almostEq(got, want) {
+			t.Errorf("Add.Eval(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Adding curves with distinct breakpoints.
+	rl := RateLatency(10, 2)
+	mix := a.Add(rl)
+	if got, want := mix.Eval(3), a.Eval(3)+rl.Eval(3); !almostEq(got, want) {
+		t.Errorf("mixed Add = %g, want %g", got, want)
+	}
+}
+
+func TestSubAndPlusPart(t *testing.T) {
+	beta := Affine(0, 10) // C = 10
+	alpha := TokenBucket(5, 4)
+	res := beta.Sub(alpha).PlusPart()
+	// (10t − 5 − 4t)+ = (6t − 5)+ → zero until t = 5/6, then slope 6.
+	if got := res.Eval(0); got != 0 {
+		t.Errorf("residual at 0 = %g", got)
+	}
+	if got := res.Eval(5.0 / 6); !almostEq(got, 0) {
+		t.Errorf("residual at root = %g", got)
+	}
+	if got := res.Eval(2); !almostEq(got, 6*2-5) {
+		t.Errorf("residual at 2 = %g, want 7", got)
+	}
+	if !res.IsConvex() {
+		t.Errorf("residual should be convex: %v", res)
+	}
+	if got := res.LatencyTerm(); !almostEq(got, 5.0/6) {
+		t.Errorf("LatencyTerm = %g, want 5/6", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := TokenBucket(100, 1) // starts high, grows slow
+	b := TokenBucket(10, 20) // starts low, grows fast
+	// Cross at t where 100 + t = 10 + 20t → t = 90/19.
+	cross := 90.0 / 19
+	mn, mx := a.Min(b), a.Max(b)
+	for _, x := range []float64{0, 1, cross, 6, 100} {
+		wantMin := math.Min(a.Eval(x), b.Eval(x))
+		wantMax := math.Max(a.Eval(x), b.Eval(x))
+		if got := mn.Eval(x); !almostEq(got, wantMin) {
+			t.Errorf("Min.Eval(%g) = %g, want %g", x, got, wantMin)
+		}
+		if got := mx.Eval(x); !almostEq(got, wantMax) {
+			t.Errorf("Max.Eval(%g) = %g, want %g", x, got, wantMax)
+		}
+	}
+	if !mn.IsConcave() {
+		t.Errorf("min of concave curves should be concave: %v", mn)
+	}
+}
+
+func TestMinIdempotentAndCommutative(t *testing.T) {
+	a := TokenBucket(100, 7)
+	if !a.Min(a).Equal(a) {
+		t.Error("Min not idempotent")
+	}
+	c := TokenBucket(3, 50)
+	if !a.Min(c).Equal(c.Min(a)) {
+		t.Error("Min not commutative")
+	}
+	if !a.Max(c).Equal(c.Max(a)) {
+		t.Error("Max not commutative")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := TokenBucket(100, 10)
+	s := a.Scale(2.5)
+	for _, x := range []float64{0, 1, 4} {
+		if got, want := s.Eval(x), 2.5*a.Eval(x); !almostEq(got, want) {
+			t.Errorf("Scale.Eval(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if !Zero().Scale(0).Equal(Zero()) {
+		t.Error("scaling zero")
+	}
+}
+
+func TestShiftRight(t *testing.T) {
+	a := Affine(0, 10)
+	s := a.ShiftRight(2)
+	if got := s.Eval(1); got != 0 {
+		t.Errorf("shifted curve at 1 = %g, want 0", got)
+	}
+	if got := s.Eval(3); !almostEq(got, 10) {
+		t.Errorf("shifted curve at 3 = %g, want 10", got)
+	}
+	if !s.Equal(RateLatency(10, 2)) {
+		t.Error("ShiftRight of pure rate should equal rate-latency")
+	}
+	if !a.ShiftRight(0).Equal(a) {
+		t.Error("zero shift should be identity")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := TokenBucket(10, 5)
+	b := FromSegments(Segment{0, 10, 5})
+	if !a.Equal(b) {
+		t.Error("identical curves not Equal")
+	}
+	if a.Equal(TokenBucket(10, 6)) {
+		t.Error("different slopes Equal")
+	}
+	if a.Equal(TokenBucket(11, 5)) {
+		t.Error("different bursts Equal")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	if s := TokenBucket(512, 1e6).String(); s == "" {
+		t.Error("empty String")
+	}
+	if s := RateLatency(10e6, 1e-4).String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestIsIncreasingRejectsDecreasing(t *testing.T) {
+	c := FromSegments(Segment{0, 10, -5})
+	if c.IsIncreasing() {
+		t.Error("decreasing curve reported increasing")
+	}
+}
+
+func TestLatencyTermInterior(t *testing.T) {
+	c := FromSegments(Segment{0, 0, 0}, Segment{5, 0, 0}, Segment{10, 0, 2})
+	if got := c.LatencyTerm(); !almostEq(got, 10) {
+		t.Errorf("LatencyTerm = %g, want 10", got)
+	}
+}
+
+// Property: Min is the pointwise lower envelope at arbitrary sample points.
+func TestMinEnvelopeProperty(t *testing.T) {
+	f := func(b1, r1, b2, r2, xRaw uint16) bool {
+		a := TokenBucket(float64(b1), float64(r1))
+		b := TokenBucket(float64(b2), float64(r2))
+		x := float64(xRaw) / 100
+		got := a.Min(b).Eval(x)
+		want := math.Min(a.Eval(x), b.Eval(x))
+		return almostEq(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add evaluates to the pointwise sum everywhere.
+func TestAddPointwiseProperty(t *testing.T) {
+	f := func(b1, r1, rate, lat, xRaw uint16) bool {
+		a := TokenBucket(float64(b1), float64(r1))
+		b := RateLatency(float64(rate), float64(lat)/1000)
+		x := float64(xRaw) / 100
+		return almostEq(a.Add(b).Eval(x), a.Eval(x)+b.Eval(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concavity is preserved by Min and Add of token buckets.
+func TestConcavityClosedUnderMinAdd(t *testing.T) {
+	f := func(b1, r1, b2, r2 uint16) bool {
+		a := TokenBucket(float64(b1), float64(r1))
+		b := TokenBucket(float64(b2), float64(r2))
+		return a.Min(b).IsConcave() && a.Add(b).IsConcave()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

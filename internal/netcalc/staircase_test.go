@@ -1,0 +1,148 @@
+package netcalc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStaircaseEval(t *testing.T) {
+	s := NewStaircase(512, 20e-3)
+	tests := []struct{ t, want float64 }{
+		{0, 512},
+		{10e-3, 512},
+		{19.999e-3, 512},
+		{20e-3, 1024}, // jump at the period boundary (right-limit)
+		{39e-3, 1024},
+		{40e-3, 1536},
+		{160e-3, 512 * 9},
+	}
+	for _, tc := range tests {
+		if got := s.Eval(tc.t); !almostEq(got, tc.want) {
+			t.Errorf("Eval(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestStaircaseHullDominates(t *testing.T) {
+	s := NewStaircase(512, 20e-3)
+	hull := s.Hull()
+	for x := 0.0; x < 0.5; x += 1e-3 {
+		if hull.Eval(x) < s.Eval(x)-eps {
+			t.Fatalf("hull below staircase at %g: %g < %g", x, hull.Eval(x), s.Eval(x))
+		}
+	}
+	if !almostEq(s.LongRunRate(), 512/20e-3) {
+		t.Errorf("LongRunRate = %g", s.LongRunRate())
+	}
+}
+
+func TestStaircasePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero b":   func() { NewStaircase(0, 1) },
+		"zero T":   func() { NewStaircase(1, 0) },
+		"neg eval": func() { NewStaircase(1, 1).Eval(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStaircaseDelayBoundSingleFlow(t *testing.T) {
+	// One periodic flow through a fast link: worst delay is simply the time
+	// to serve one message after the latency: T_lat + b/R (same as hull,
+	// because a single staircase's worst backlog is one message when R·T ≥ b).
+	f := NewStaircase(512, 20e-3)
+	beta := RateLatency(10e6, 140e-6)
+	got, err := StaircaseDelayBound([]Staircase{f}, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 140e-6 + 512/10e6
+	if !almostEq(got, want) {
+		t.Errorf("delay = %g, want %g", got, want)
+	}
+}
+
+func TestStaircaseDelayBoundNeverExceedsHull(t *testing.T) {
+	flows := []Staircase{
+		NewStaircase(512, 20e-3),
+		NewStaircase(1024, 40e-3),
+		NewStaircase(2048, 80e-3),
+		NewStaircase(512, 160e-3),
+	}
+	beta := RateLatency(10e6, 140e-6)
+	exact, err := StaircaseDelayBound(flows, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hull := Zero()
+	for _, f := range flows {
+		hull = hull.Add(f.Hull())
+	}
+	hullBound, err := HorizontalDeviation(hull, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > hullBound+eps {
+		t.Errorf("staircase bound %g exceeds hull bound %g", exact, hullBound)
+	}
+	if exact <= 0 {
+		t.Errorf("staircase bound %g should be positive", exact)
+	}
+}
+
+func TestStaircaseDelayBoundEmpty(t *testing.T) {
+	got, err := StaircaseDelayBound(nil, RateLatency(10e6, 0))
+	if err != nil || got != 0 {
+		t.Errorf("empty = (%g, %v)", got, err)
+	}
+}
+
+func TestStaircaseDelayBoundUnstable(t *testing.T) {
+	// Aggregate rate 2 Mbps > 1 Mbps link.
+	flows := []Staircase{NewStaircase(2e4, 10e-3)}
+	_, err := StaircaseDelayBound(flows, RateLatency(1e6, 0))
+	if err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+// Property: for any small set of periodic flows fitting in the link, the
+// exact staircase bound never exceeds the token-bucket hull bound.
+func TestStaircaseTighterProperty(t *testing.T) {
+	f := func(b1, b2, t1Raw, t2Raw uint16) bool {
+		t1 := float64(t1Raw%100+1) * 1e-3
+		t2 := float64(t2Raw%100+1) * 1e-3
+		flows := []Staircase{
+			NewStaircase(float64(b1%2000+1), t1),
+			NewStaircase(float64(b2%2000+1), t2),
+		}
+		beta := RateLatency(10e6, 100e-6)
+		sum := 0.0
+		for _, fl := range flows {
+			sum += fl.LongRunRate()
+		}
+		if sum >= 10e6 {
+			return true // skip unstable combinations
+		}
+		exact, err := StaircaseDelayBound(flows, beta)
+		if err != nil {
+			return false
+		}
+		hull := flows[0].Hull().Add(flows[1].Hull())
+		hb, err := HorizontalDeviation(hull, beta)
+		if err != nil {
+			return false
+		}
+		return exact <= hb+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

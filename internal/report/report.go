@@ -1,0 +1,158 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and simple horizontal bar charts — the output formats of cmd/rtether and
+// the examples. It keeps formatting concerns out of the analysis and
+// simulation code.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("report: row of %d cells in a %d-column table", len(cells), len(t.header)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table, returning bytes written.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := displayWidth(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var total int64
+	emit := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+		}
+		line := strings.TrimRight(b.String(), " ") + "\n"
+		n, err := io.WriteString(w, line)
+		total += int64(n)
+		return err
+	}
+	if err := emit(t.header); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := emit(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := emit(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		panic("report: string build failed: " + err.Error())
+	}
+	return b.String()
+}
+
+// displayWidth counts runes, not bytes (headers contain µ and →).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// CSV renders the same rows as RFC-4180-ish CSV.
+func (t *Table) CSV(w io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			quoted[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(quoted, ",")+"\n")
+		return err
+	}
+	if err := write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bars renders a labeled horizontal bar chart: one row per (label, value)
+// pair, scaled to maxWidth characters against the largest value. Used to
+// sketch Figure 1 in terminal output.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) error {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("report: %d labels for %d values", len(labels), len(values)))
+	}
+	if maxWidth <= 0 {
+		panic("report: non-positive bar width")
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	var max float64
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if n := displayWidth(labels[i]); n > labelW {
+			labelW = n
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(maxWidth))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		pad := strings.Repeat(" ", labelW-displayWidth(labels[i]))
+		if _, err := fmt.Fprintf(w, "  %s%s %s %.4g\n", labels[i], pad, strings.Repeat("█", n), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

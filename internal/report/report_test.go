@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule line %q", lines[1])
+	}
+	// The value column must start at the same offset in all data rows.
+	idx2 := strings.Index(lines[2], "1")
+	idx3 := strings.Index(lines[3], "123456")
+	if idx2 != idx3 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx2, idx3, out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tb := NewTable("delay")
+	tb.AddRow("67.2µs") // contains a multi-byte rune
+	tb.AddRow("1538000ns")
+	out := tb.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing whitespace in %q", line)
+		}
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row should panic")
+		}
+	}()
+	NewTable("a", "b").AddRow(1)
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("name", "note")
+	tb.AddRow("plain", "ok")
+	tb.AddRow("with,comma", `say "hi"`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\nplain,ok\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	err := Bars(&b, "Delay bounds", []string{"P0", "P1", "FCFS"}, []float64{0.9, 3.4, 4.9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Delay bounds") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The largest value gets the longest bar.
+	if strings.Count(lines[3], "█") != 20 {
+		t.Errorf("max bar length %d, want 20", strings.Count(lines[3], "█"))
+	}
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Error("bars not proportional")
+	}
+}
+
+func TestBarsZeroAndTiny(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, "t", []string{"zero", "tiny", "big"}, []float64{0, 0.001, 100}, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if strings.Count(lines[1], "█") != 0 {
+		t.Error("zero value drew a bar")
+	}
+	if strings.Count(lines[2], "█") != 1 {
+		t.Error("tiny positive value should draw one block")
+	}
+}
+
+func TestBarsPanics(t *testing.T) {
+	var b strings.Builder
+	for name, fn := range map[string]func(){
+		"mismatch": func() { Bars(&b, "t", []string{"a"}, []float64{1, 2}, 10) },
+		"width":    func() { Bars(&b, "t", []string{"a"}, []float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+// Package shaper implements the traffic-shaping half of the paper's
+// contribution: per-connection token-bucket regulators installed in every
+// local node, plus a conformance checker that verifies a frame stream
+// against its declared arrival curve.
+//
+// The paper: "a traffic shaper regulates every packet stream i using a
+// token bucket characterized by its maximal size bᵢ and its rate
+// rᵢ = bᵢ/Tᵢ". The multiplexers behind the shapers (FCFS and 4-FCFS) are
+// the queue disciplines of internal/ethernet ports; this package provides
+// what sits between the application and the multiplexer.
+package shaper
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// TokenBucket is an exact integer-arithmetic token bucket: capacity and
+// token counts in bits, accrual at a fixed rate with sub-bit remainder
+// carried exactly (no drift, no float rounding), so a greedy source shaped
+// by this bucket produces precisely the γ_{r,b} worst case the analysis
+// assumes.
+type TokenBucket struct {
+	capacity simtime.Size
+	rate     simtime.Rate
+
+	tokens simtime.Size // whole bits available
+	rem    int64        // bit-nanoseconds toward the next whole bit (< 1e9·1)
+	last   simtime.Time // time of the last accrual
+}
+
+// NewTokenBucket creates a bucket that is full at time now — the worst-case
+// initial condition (a full burst can leave immediately), matching the
+// critical-instant assumption of the bounds.
+func NewTokenBucket(capacity simtime.Size, rate simtime.Rate, now simtime.Time) *TokenBucket {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("shaper: non-positive bucket capacity %v", capacity))
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("shaper: non-positive bucket rate %v", rate))
+	}
+	return &TokenBucket{capacity: capacity, rate: rate, tokens: capacity, last: now}
+}
+
+// Capacity returns b, the maximal bucket size in bits.
+func (tb *TokenBucket) Capacity() simtime.Size { return tb.capacity }
+
+// Rate returns r, the token accrual rate.
+func (tb *TokenBucket) Rate() simtime.Rate { return tb.rate }
+
+// advance accrues tokens up to now. Time must not run backwards.
+func (tb *TokenBucket) advance(now simtime.Time) {
+	if now < tb.last {
+		panic(fmt.Sprintf("shaper: bucket time ran backwards (%v < %v)", now, tb.last))
+	}
+	elapsed := int64(now.Sub(tb.last))
+	tb.last = now
+	if tb.tokens >= tb.capacity {
+		tb.rem = 0
+		return
+	}
+	const nsPerSec = int64(simtime.Second)
+	// Accrue elapsed·rate bit-nanoseconds, chunked to avoid overflow for
+	// pathologically long idle spans.
+	rate := int64(tb.rate)
+	maxChunk := (int64(1)<<62)/rate - 1
+	for elapsed > 0 {
+		chunk := elapsed
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		elapsed -= chunk
+		total := chunk*rate + tb.rem
+		tb.tokens += simtime.Size(total / nsPerSec)
+		tb.rem = total % nsPerSec
+		if tb.tokens >= tb.capacity {
+			tb.tokens = tb.capacity
+			tb.rem = 0
+			return
+		}
+	}
+}
+
+// Available returns the whole bits available at time now.
+func (tb *TokenBucket) Available(now simtime.Time) simtime.Size {
+	tb.advance(now)
+	return tb.tokens
+}
+
+// TryConsume atomically takes n bits if available at now, reporting success.
+func (tb *TokenBucket) TryConsume(now simtime.Time, n simtime.Size) bool {
+	if n < 0 {
+		panic(fmt.Sprintf("shaper: negative consume %v", n))
+	}
+	if n > tb.capacity {
+		panic(fmt.Sprintf("shaper: frame of %v exceeds bucket capacity %v — unschedulable", n, tb.capacity))
+	}
+	tb.advance(now)
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
+// WhenAvailable returns the earliest instant ≥ now at which n bits will be
+// available if nothing is consumed meanwhile.
+func (tb *TokenBucket) WhenAvailable(now simtime.Time, n simtime.Size) simtime.Time {
+	if n > tb.capacity {
+		panic(fmt.Sprintf("shaper: frame of %v exceeds bucket capacity %v — unschedulable", n, tb.capacity))
+	}
+	tb.advance(now)
+	if tb.tokens >= n {
+		return now
+	}
+	deficit := n - tb.tokens
+	const nsPerSec = int64(simtime.Second)
+	// Need deficit whole bits; we already hold rem bit-ns toward the next
+	// bit. Wait ceil((deficit·1e9 − rem) / rate) ns.
+	need := int64(deficit)*nsPerSec - tb.rem
+	rate := int64(tb.rate)
+	wait := (need + rate - 1) / rate
+	return now.Add(simtime.Duration(wait))
+}

@@ -1,0 +1,177 @@
+package shaper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestBucketStartsFull(t *testing.T) {
+	tb := NewTokenBucket(1000, simtime.Mbps, 0)
+	if got := tb.Available(0); got != 1000 {
+		t.Errorf("fresh bucket has %v, want 1000", got)
+	}
+	if tb.Capacity() != 1000 || tb.Rate() != simtime.Mbps {
+		t.Error("accessors broken")
+	}
+}
+
+func TestBucketConsumeAndRefill(t *testing.T) {
+	tb := NewTokenBucket(1000, simtime.Mbps, 0) // 1 bit per µs
+	if !tb.TryConsume(0, 1000) {
+		t.Fatal("full bucket refused its capacity")
+	}
+	if tb.TryConsume(0, 1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// After 500 µs at 1 Mbps: 500 bits.
+	at := simtime.Time(500 * simtime.Microsecond)
+	if got := tb.Available(at); got != 500 {
+		t.Errorf("after 500µs: %v tokens, want 500", got)
+	}
+	if !tb.TryConsume(at, 500) {
+		t.Error("consume of exactly available refused")
+	}
+}
+
+func TestBucketCapsAtCapacity(t *testing.T) {
+	tb := NewTokenBucket(100, simtime.Gbps, 0)
+	if got := tb.Available(simtime.Time(simtime.Second)); got != 100 {
+		t.Errorf("bucket overfilled: %v", got)
+	}
+}
+
+func TestBucketWhenAvailable(t *testing.T) {
+	tb := NewTokenBucket(1000, simtime.Mbps, 0)
+	tb.TryConsume(0, 1000)
+	// 600 bits at 1 bit/µs → 600 µs.
+	want := simtime.Time(600 * simtime.Microsecond)
+	if got := tb.WhenAvailable(0, 600); got != want {
+		t.Errorf("WhenAvailable = %v, want %v", got, want)
+	}
+	// And indeed consumable exactly then, not one ns earlier.
+	if tb.TryConsume(want.Add(-1), 600) {
+		t.Error("tokens available before WhenAvailable instant")
+	}
+	if !tb.TryConsume(want, 600) {
+		t.Error("tokens not available at WhenAvailable instant")
+	}
+}
+
+func TestBucketWhenAvailableNow(t *testing.T) {
+	tb := NewTokenBucket(100, simtime.Mbps, 0)
+	if got := tb.WhenAvailable(5, 50); got != 5 {
+		t.Errorf("WhenAvailable with tokens in hand = %v, want now", got)
+	}
+}
+
+func TestBucketExactSubBitAccrual(t *testing.T) {
+	// 3 bits per second: after 333,333,333 ns → 0 bits; after 333,333,334 →
+	// 1 bit (ceil boundary via remainder arithmetic).
+	tb := NewTokenBucket(10, 3, 0)
+	tb.TryConsume(0, 10)
+	if got := tb.Available(333333333); got != 0 {
+		t.Errorf("at 1/3s−ε: %v tokens, want 0", got)
+	}
+	if got := tb.Available(333333334); got != 1 {
+		t.Errorf("just past 1/3s: %v tokens, want 1", got)
+	}
+	// The remainder must carry: two more thirds give bits 2 and 3 with no
+	// cumulative drift.
+	if got := tb.Available(1000000000); got != 3 {
+		t.Errorf("at 1s: %v tokens, want 3", got)
+	}
+}
+
+func TestBucketNoDriftOverManyUpdates(t *testing.T) {
+	// Query the bucket at every nanosecond-odd step; total accrual after 1s
+	// at 7 bits/s must be exactly 7 bits regardless of query pattern.
+	tb := NewTokenBucket(1000, 7, 0)
+	tb.TryConsume(0, 1000)
+	var now simtime.Time
+	for i := 0; i < 1000; i++ {
+		now = now.Add(simtime.Duration(999999 + i%3))
+		tb.Available(now)
+	}
+	tb.Available(simtime.Time(simtime.Second))
+	if got := tb.Available(simtime.Time(simtime.Second)); got != 7 {
+		t.Errorf("after exactly 1s: %v tokens, want 7", got)
+	}
+}
+
+func TestBucketPanics(t *testing.T) {
+	tb := NewTokenBucket(100, simtime.Mbps, 0)
+	for name, fn := range map[string]func(){
+		"zero capacity":    func() { NewTokenBucket(0, 1, 0) },
+		"zero rate":        func() { NewTokenBucket(1, 0, 0) },
+		"negative consume": func() { tb.TryConsume(0, -1) },
+		"oversize consume": func() { tb.TryConsume(0, 101) },
+		"oversize when":    func() { tb.WhenAvailable(0, 101) },
+		"time backwards":   func() { tb.Available(10); tb.Available(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: WhenAvailable is exact — tokens are available at the returned
+// instant and (for positive waits) not one nanosecond earlier.
+func TestWhenAvailableExactProperty(t *testing.T) {
+	f := func(capRaw, drainRaw uint16, rateRaw uint32) bool {
+		capacity := simtime.Size(capRaw%5000) + 1
+		rate := simtime.Rate(rateRaw%1000000) + 1
+		drain := simtime.Size(drainRaw) % capacity
+		tb := NewTokenBucket(capacity, rate, 0)
+		tb.TryConsume(0, capacity) // empty it
+		n := drain + 1
+		at := tb.WhenAvailable(0, n)
+
+		tb2 := NewTokenBucket(capacity, rate, 0)
+		tb2.TryConsume(0, capacity)
+		if at > 0 && tb2.Available(at.Add(-1)) >= n {
+			return false // available earlier than promised
+		}
+		tb3 := NewTokenBucket(capacity, rate, 0)
+		tb3.TryConsume(0, capacity)
+		return tb3.Available(at) >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accrual is independent of the query pattern (no drift): probing
+// at arbitrary intermediate points never changes the final token count.
+func TestAccrualPatternIndependenceProperty(t *testing.T) {
+	f := func(rateRaw uint32, probes []uint16) bool {
+		rate := simtime.Rate(rateRaw%100000) + 1
+		end := simtime.Time(10 * simtime.Millisecond)
+		a := NewTokenBucket(1<<40, rate, 0)
+		a.TryConsume(0, 1<<40)
+		var now simtime.Time
+		for _, p := range probes {
+			next := now.Add(simtime.Duration(p))
+			if next > end {
+				break
+			}
+			now = next
+			a.Available(now)
+		}
+		gotA := a.Available(end)
+
+		b := NewTokenBucket(1<<40, rate, 0)
+		b.TryConsume(0, 1<<40)
+		gotB := b.Available(end)
+		return gotA == gotB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

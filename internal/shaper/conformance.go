@@ -1,0 +1,57 @@
+package shaper
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Conformance verifies a frame departure stream against a token-bucket
+// arrival curve γ_{r,b}: the stream conforms iff a virtual bucket of size b
+// filling at rate r never goes negative when each departure drains its wire
+// size. It is the measurement-side dual of the Shaper and is used in tests
+// and simulations to prove that shaped traffic really is (b, r)-constrained
+// — the premise of every bound in the paper.
+type Conformance struct {
+	bucket *TokenBucket
+
+	// Observed counts checked departures.
+	Observed int
+	// Violations counts departures that exceeded the curve.
+	Violations int
+	// WorstExcess is the largest observed overdraft in bits.
+	WorstExcess simtime.Size
+}
+
+// NewConformance builds a checker for γ with burst capacity (bits) and
+// rate, starting at time now with a full virtual bucket.
+func NewConformance(capacity simtime.Size, rate simtime.Rate, now simtime.Time) *Conformance {
+	return &Conformance{bucket: NewTokenBucket(capacity, rate, now)}
+}
+
+// Observe records a departure of size bits at time now and reports whether
+// it conformed. Non-conforming departures are still drained (by clamping),
+// so one violation does not cascade into spurious follow-ups.
+func (c *Conformance) Observe(now simtime.Time, size simtime.Size) bool {
+	c.Observed++
+	if c.bucket.TryConsume(now, size) {
+		return true
+	}
+	c.Violations++
+	avail := c.bucket.Available(now)
+	if excess := size - avail; excess > c.WorstExcess {
+		c.WorstExcess = excess
+	}
+	// Drain what is there so subsequent arrivals are judged fairly.
+	c.bucket.TryConsume(now, avail)
+	return false
+}
+
+// OK reports whether no violation has been observed.
+func (c *Conformance) OK() bool { return c.Violations == 0 }
+
+// String summarizes the checker state.
+func (c *Conformance) String() string {
+	return fmt.Sprintf("conformance: %d observed, %d violations (worst excess %v)",
+		c.Observed, c.Violations, c.WorstExcess)
+}

@@ -1,0 +1,105 @@
+package shaper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Arrival is one observed departure: a frame of Size bits at instant At.
+type Arrival struct {
+	At   simtime.Time
+	Size simtime.Size
+}
+
+// EstimateBurst computes the minimal token-bucket burst b such that the
+// observed arrival sequence conforms to γ_{r,b}: the empirical arrival
+// envelope evaluated against a candidate rate. It is the measurement dual
+// of the Shaper — run it over a recorded departure trace to find the
+// tightest (b, r) contract the traffic actually honoured, e.g. when
+// validating that legacy equipment can be put behind a shaper with the
+// catalog's declared parameters.
+//
+// The computation is the classic virtual-bucket recursion: with q the
+// bucket deficit after each arrival,
+//
+//	q_i = max(0, q_{i-1} − r·(t_i − t_{i-1})) + s_i
+//
+// and b = max_i q_i. It runs in O(n) over the trace.
+func EstimateBurst(trace []Arrival, rate simtime.Rate) (simtime.Size, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("shaper: non-positive rate %v", rate)
+	}
+	var q, b float64
+	last := simtime.Time(0)
+	for i, a := range trace {
+		if a.Size <= 0 {
+			return 0, fmt.Errorf("shaper: arrival %d has non-positive size %v", i, a.Size)
+		}
+		if i > 0 && a.At < last {
+			return 0, fmt.Errorf("shaper: arrival %d out of order (%v after %v)", i, a.At, last)
+		}
+		if i > 0 {
+			q -= float64(rate.BitsPerSecond()) * a.At.Sub(last).Seconds()
+			if q < 0 {
+				q = 0
+			}
+		}
+		q += float64(a.Size.Bits())
+		if q > b {
+			b = q
+		}
+		last = a.At
+	}
+	return simtime.Size(ceil(b)), nil
+}
+
+func ceil(f float64) int64 {
+	n := int64(f)
+	if float64(n) < f {
+		n++
+	}
+	return n
+}
+
+// EnvelopePoint is one point of the empirical arrival envelope: the
+// maximum traffic observed in any window of length Window.
+type EnvelopePoint struct {
+	Window simtime.Duration
+	Bits   simtime.Size
+}
+
+// EmpiricalEnvelope computes max_{s} Σ{ sizes in [s, s+w] } for each
+// requested window length — the measured arrival curve α̂(w), directly
+// comparable with the token bucket b + r·w the analysis assumes. O(n·k)
+// with a sliding window per requested length.
+func EmpiricalEnvelope(trace []Arrival, windows []simtime.Duration) ([]EnvelopePoint, error) {
+	for i := 1; i < len(trace); i++ {
+		if trace[i].At < trace[i-1].At {
+			return nil, fmt.Errorf("shaper: trace out of order at %d", i)
+		}
+	}
+	ws := append([]simtime.Duration(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	out := make([]EnvelopePoint, 0, len(ws))
+	for _, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("shaper: negative window %v", w)
+		}
+		var best, cur simtime.Size
+		lo := 0
+		for hi := range trace {
+			cur += trace[hi].Size
+			for trace[hi].At.Sub(trace[lo].At) > w {
+				cur -= trace[lo].Size
+				lo++
+			}
+			if cur > best {
+				best = cur
+			}
+		}
+		out = append(out, EnvelopePoint{Window: w, Bits: best})
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package shaper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+)
+
+func TestEstimateBurstSingleArrival(t *testing.T) {
+	b, err := EstimateBurst([]Arrival{{At: 0, Size: 672}}, simtime.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 672 {
+		t.Errorf("burst = %v, want 672", b)
+	}
+}
+
+func TestEstimateBurstPeriodicExact(t *testing.T) {
+	// One 672-bit frame every 20 ms at rate 672/20ms = 33.6 kbps: the
+	// bucket fully refills between frames, so b = one frame.
+	var trace []Arrival
+	for i := 0; i < 50; i++ {
+		trace = append(trace, Arrival{At: simtime.Time(i) * simtime.Time(20*simtime.Millisecond), Size: 672})
+	}
+	b, err := EstimateBurst(trace, 33600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 672 {
+		t.Errorf("burst = %v, want 672", b)
+	}
+	// At half the rate the bucket only half-refills between frames, so the
+	// deficit grows by 336 bits per period: after 50 frames the required
+	// burst is 672 + 49·336 — a sub-rate contract cannot hold long-term.
+	b, err = EstimateBurst(trace, 16800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simtime.Size(672 + 49*336); b != want {
+		t.Errorf("burst at half rate = %v bits, want %v", b.Bits(), want)
+	}
+}
+
+func TestEstimateBurstBackToBack(t *testing.T) {
+	// Three frames at the same instant need a 3-frame bucket.
+	trace := []Arrival{{0, 672}, {0, 672}, {0, 672}}
+	b, err := EstimateBurst(trace, simtime.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3*672 {
+		t.Errorf("burst = %v, want 2016", b)
+	}
+}
+
+func TestEstimateBurstErrors(t *testing.T) {
+	if _, err := EstimateBurst(nil, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := EstimateBurst([]Arrival{{0, 0}}, simtime.Mbps); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := EstimateBurst([]Arrival{{10, 1}, {5, 1}}, simtime.Mbps); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
+
+// TestEstimateBurstMatchesShaper closes the loop: a stream released by a
+// (b, r) shaper must measure back to a burst ≤ b at rate r.
+func TestEstimateBurstMatchesShaper(t *testing.T) {
+	sim := des.New(5)
+	const capacity = 3 * 672
+	rate := simtime.Rate(672) * 50
+	var trace []Arrival
+	s := New("conn", sim, capacity, rate, func(f *ethernet.Frame) {
+		trace = append(trace, Arrival{At: sim.Now(), Size: f.WireSize()})
+	})
+	// Adversarial bursts of 5 every ~30 ms.
+	for i := 0; i < 40; i++ {
+		at := simtime.Time(i) * simtime.Time(30*simtime.Millisecond)
+		sim.At(at, func() {
+			for j := 0; j < 5; j++ {
+				s.Submit(&ethernet.Frame{PayloadLen: 8})
+			}
+		})
+	}
+	sim.Run()
+	if len(trace) == 0 {
+		t.Fatal("no departures")
+	}
+	b, err := EstimateBurst(trace, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > capacity {
+		t.Errorf("measured burst %v exceeds shaper capacity %v", b, capacity)
+	}
+}
+
+func TestEmpiricalEnvelope(t *testing.T) {
+	trace := []Arrival{
+		{0, 100}, {simtime.Time(simtime.Millisecond), 200},
+		{simtime.Time(3 * simtime.Millisecond), 300},
+	}
+	pts, err := EmpiricalEnvelope(trace, []simtime.Duration{
+		0, simtime.Millisecond, 3 * simtime.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w=0: max single instant = 300. w=1ms: {100,200}=300 or {300}: 300.
+	// w=3ms: all = 600.
+	wants := []simtime.Size{300, 300, 600}
+	for i, p := range pts {
+		if p.Bits != wants[i] {
+			t.Errorf("window %v: %v bits, want %v", p.Window, p.Bits, wants[i])
+		}
+	}
+}
+
+func TestEmpiricalEnvelopeErrors(t *testing.T) {
+	if _, err := EmpiricalEnvelope([]Arrival{{10, 1}, {5, 1}}, []simtime.Duration{0}); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+	if _, err := EmpiricalEnvelope(nil, []simtime.Duration{-1}); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// Property: the empirical envelope of any shaped stream is dominated by
+// the shaping token bucket b + r·w at every probed window.
+func TestEnvelopeDominatedProperty(t *testing.T) {
+	f := func(seed uint16, burstFrames uint8) bool {
+		sim := des.New(uint64(seed) + 1)
+		frames := int(burstFrames%5) + 1
+		capacity := simtime.Size(frames) * 672
+		rate := simtime.Rate(672 * 100)
+		var trace []Arrival
+		s := New("conn", sim, capacity, rate, func(fr *ethernet.Frame) {
+			trace = append(trace, Arrival{At: sim.Now(), Size: fr.WireSize()})
+		})
+		for i := 0; i < 100; i++ {
+			at := simtime.Time(sim.RNG().Duration(int64(simtime.Second)))
+			sim.At(at, func() { s.Submit(&ethernet.Frame{PayloadLen: 8}) })
+		}
+		sim.Run()
+		windows := []simtime.Duration{0, simtime.Millisecond, 10 * simtime.Millisecond, 100 * simtime.Millisecond}
+		pts, err := EmpiricalEnvelope(trace, windows)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			bound := float64(capacity) + float64(rate)*p.Window.Seconds()
+			if float64(p.Bits) > bound+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

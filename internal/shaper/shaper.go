@@ -1,0 +1,114 @@
+package shaper
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+)
+
+// Shaper is one per-connection greedy traffic shaper: frames submitted by
+// the application wait in a FIFO until the token bucket holds enough
+// tokens for the head frame's wire size, then depart to the multiplexer.
+// "Greedy" means frames are released at the earliest conforming instant,
+// which is exactly the behaviour the γ_{r,b} arrival curve models.
+type Shaper struct {
+	name   string
+	sim    *des.Simulator
+	bucket *TokenBucket
+	out    func(*ethernet.Frame)
+
+	pending    []*ethernet.Frame
+	armed      bool
+	headWaited bool
+
+	// OnShaped, if set, observes every frame the moment the bucket delays
+	// it (trace hook).
+	OnShaped func(f *ethernet.Frame)
+	// Shaped counts frames that had to wait for tokens (a measure of how
+	// often the application exceeded its contract).
+	Shaped int
+	// Passed counts frames released immediately.
+	Passed int
+	// MaxQueue is the high-water mark of the internal FIFO.
+	MaxQueue int
+}
+
+// New creates a shaper releasing conforming frames to out. The bucket is
+// full at creation time.
+func New(name string, sim *des.Simulator, capacity simtime.Size, rate simtime.Rate, out func(*ethernet.Frame)) *Shaper {
+	if sim == nil {
+		panic("shaper: nil simulator")
+	}
+	if out == nil {
+		panic("shaper: nil output")
+	}
+	return &Shaper{
+		name:   name,
+		sim:    sim,
+		bucket: NewTokenBucket(capacity, rate, sim.Now()),
+		out:    out,
+	}
+}
+
+// Bucket exposes the underlying token bucket (for tests and statistics).
+func (s *Shaper) Bucket() *TokenBucket { return s.bucket }
+
+// Name returns the shaper's connection name.
+func (s *Shaper) Name() string { return s.name }
+
+// QueueLen returns the number of frames waiting for tokens.
+func (s *Shaper) QueueLen() int { return len(s.pending) }
+
+// Submit hands the shaper a frame from the application. Frames larger than
+// the bucket capacity are a configuration error and panic (they could
+// never be released).
+func (s *Shaper) Submit(f *ethernet.Frame) {
+	if f.WireSize() > s.bucket.Capacity() {
+		panic(fmt.Sprintf("shaper %s: frame of %v exceeds bucket %v", s.name, f.WireSize(), s.bucket.Capacity()))
+	}
+	s.pending = append(s.pending, f)
+	if len(s.pending) > s.MaxQueue {
+		s.MaxQueue = len(s.pending)
+	}
+	if len(s.pending) == 1 && !s.armed {
+		s.release()
+	}
+}
+
+// release sends every head frame whose tokens are available, then arms a
+// wake-up for the next one.
+func (s *Shaper) release() {
+	now := s.sim.Now()
+	for len(s.pending) > 0 {
+		f := s.pending[0]
+		if !s.bucket.TryConsume(now, f.WireSize()) {
+			break
+		}
+		copy(s.pending, s.pending[1:])
+		s.pending[len(s.pending)-1] = nil
+		s.pending = s.pending[:len(s.pending)-1]
+		if s.headWaited {
+			s.Shaped++
+			s.headWaited = false
+		} else {
+			s.Passed++
+		}
+		s.out(f)
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	// The head frame must wait for tokens: it is being shaped.
+	if !s.headWaited && s.OnShaped != nil {
+		s.OnShaped(s.pending[0])
+	}
+	s.headWaited = true
+	wake := s.bucket.WhenAvailable(now, s.pending[0].WireSize())
+	s.armed = true
+	s.sim.At(wake, func() {
+		s.armed = false
+		s.release()
+	})
+}

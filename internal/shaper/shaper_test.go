@@ -1,0 +1,194 @@
+package shaper
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+)
+
+// minFrame returns a frame that pads to the 64 B minimum (84 B = 672 bits
+// on the wire).
+func minFrame() *ethernet.Frame { return &ethernet.Frame{PayloadLen: 8} }
+
+const wireBits = 672 // 84 B on-wire cost of a minimum frame
+
+func TestShaperPassesConformingTraffic(t *testing.T) {
+	sim := des.New(1)
+	var releases []simtime.Time
+	s := New("conn", sim, wireBits, simtime.Rate(wireBits)*50, func(f *ethernet.Frame) {
+		releases = append(releases, sim.Now())
+	}) // bucket refills in 20 ms
+	// Submit one frame every 20 ms — exactly the declared period.
+	for i := 0; i < 5; i++ {
+		i := i
+		sim.At(simtime.Time(i)*simtime.Time(20*simtime.Millisecond), func() { s.Submit(minFrame()) })
+	}
+	sim.Run()
+	if len(releases) != 5 {
+		t.Fatalf("%d releases", len(releases))
+	}
+	for i, at := range releases {
+		if want := simtime.Time(i) * simtime.Time(20*simtime.Millisecond); at != want {
+			t.Errorf("release %d at %v, want %v (should be undelayed)", i, at, want)
+		}
+	}
+	if s.Shaped != 0 || s.Passed != 5 {
+		t.Errorf("Shaped=%d Passed=%d, want 0/5", s.Shaped, s.Passed)
+	}
+}
+
+func TestShaperDelaysBurst(t *testing.T) {
+	sim := des.New(1)
+	var releases []simtime.Time
+	rate := simtime.Rate(wireBits) * 50 // one frame per 20 ms
+	s := New("conn", sim, wireBits, rate, func(f *ethernet.Frame) {
+		releases = append(releases, sim.Now())
+	})
+	// The application misbehaves: three frames at once.
+	sim.At(0, func() {
+		s.Submit(minFrame())
+		s.Submit(minFrame())
+		s.Submit(minFrame())
+	})
+	sim.Run()
+	if len(releases) != 3 {
+		t.Fatalf("%d releases", len(releases))
+	}
+	period := simtime.Time(20 * simtime.Millisecond)
+	for i, want := range []simtime.Time{0, period, 2 * period} {
+		if releases[i] != want {
+			t.Errorf("release %d at %v, want %v", i, releases[i], want)
+		}
+	}
+	if s.Shaped != 2 || s.Passed != 1 {
+		t.Errorf("Shaped=%d Passed=%d, want 2/1", s.Shaped, s.Passed)
+	}
+	// The first frame departs synchronously inside its Submit, so only the
+	// two shaped frames ever coexist in the FIFO.
+	if s.MaxQueue != 2 {
+		t.Errorf("MaxQueue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestShaperOutputConforms(t *testing.T) {
+	// Whatever the input pattern, the output must satisfy γ_{r,b}.
+	sim := des.New(42)
+	rate := simtime.Rate(wireBits) * 50
+	check := NewConformance(wireBits, rate, 0)
+	s := New("conn", sim, wireBits, rate, func(f *ethernet.Frame) {
+		check.Observe(sim.Now(), f.WireSize())
+	})
+	// Adversarial arrivals: random clumps.
+	for i := 0; i < 200; i++ {
+		at := simtime.Time(sim.RNG().Duration(int64(simtime.Second)))
+		sim.At(at, func() { s.Submit(minFrame()) })
+	}
+	sim.Run()
+	if !check.OK() {
+		t.Errorf("shaped output violated its curve: %v", check)
+	}
+	if check.Observed != 200 {
+		t.Errorf("observed %d frames", check.Observed)
+	}
+}
+
+func TestShaperKeepsFIFOOrder(t *testing.T) {
+	sim := des.New(1)
+	var order []int
+	s := New("conn", sim, wireBits, simtime.Rate(wireBits), func(f *ethernet.Frame) {
+		order = append(order, f.Meta.(int))
+	})
+	sim.At(0, func() {
+		for i := 0; i < 5; i++ {
+			f := minFrame()
+			f.Meta = i
+			s.Submit(f)
+		}
+	})
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestShaperQueueLenAndAccessors(t *testing.T) {
+	sim := des.New(1)
+	s := New("nav/attitude", sim, wireBits, simtime.Rate(wireBits), func(f *ethernet.Frame) {})
+	if s.Name() != "nav/attitude" {
+		t.Error("Name broken")
+	}
+	if s.Bucket() == nil {
+		t.Error("Bucket broken")
+	}
+	sim.At(0, func() {
+		s.Submit(minFrame())
+		s.Submit(minFrame())
+		if s.QueueLen() != 1 { // first released instantly, second waits
+			t.Errorf("QueueLen = %d, want 1", s.QueueLen())
+		}
+	})
+	sim.Run()
+	if s.QueueLen() != 0 {
+		t.Errorf("QueueLen after drain = %d", s.QueueLen())
+	}
+}
+
+func TestShaperPanics(t *testing.T) {
+	sim := des.New(1)
+	for name, fn := range map[string]func(){
+		"nil sim": func() { New("x", nil, 100, 1, func(*ethernet.Frame) {}) },
+		"nil out": func() { New("x", sim, 100, 1, nil) },
+		"frame larger than bucket": func() {
+			s := New("x", sim, 10, 1, func(*ethernet.Frame) {})
+			s.Submit(minFrame())
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConformanceDetectsViolation(t *testing.T) {
+	c := NewConformance(wireBits, simtime.Rate(wireBits), 0) // refill 1 s
+	if !c.Observe(0, wireBits) {
+		t.Fatal("first burst should conform")
+	}
+	if c.Observe(simtime.Time(simtime.Millisecond), wireBits) {
+		t.Fatal("second burst 1 ms later must violate a 1 s refill")
+	}
+	if c.OK() {
+		t.Error("OK after violation")
+	}
+	if c.Violations != 1 || c.Observed != 2 {
+		t.Errorf("counts: %+v", c)
+	}
+	if c.WorstExcess == 0 {
+		t.Error("worst excess not recorded")
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConformanceRecoversAfterViolation(t *testing.T) {
+	c := NewConformance(1000, simtime.Kbps, 0)
+	c.Observe(0, 1000)
+	c.Observe(1, 1000) // violation, bucket clamped to empty
+	// One second later the bucket holds 1000 bits again: conforming.
+	if !c.Observe(simtime.Time(simtime.Second)+1, 1000) {
+		t.Error("checker did not recover after clamping")
+	}
+	if c.Violations != 1 {
+		t.Errorf("violations = %d, want 1", c.Violations)
+	}
+}

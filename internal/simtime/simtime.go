@@ -1,0 +1,256 @@
+// Package simtime provides the virtual-time foundation shared by every
+// simulator and analysis module in this repository.
+//
+// All timing in the reproduction is *virtual*: simulators advance a logical
+// clock measured in integer nanoseconds, and the network-calculus analysis
+// produces bounds expressed in the same unit. Using integer nanoseconds (as
+// opposed to float64 seconds) keeps event ordering exact and makes results
+// bit-for-bit reproducible across runs and machines — in particular, Go
+// garbage-collection pauses can never perturb a measured latency, which
+// addresses the main fidelity concern of reproducing a hard real-time paper
+// in a garbage-collected language.
+//
+// The package also provides the unit types the rest of the code base speaks:
+// data sizes (bits/bytes), link rates (bits per second), and the exact
+// integer arithmetic that converts between them (transmission times).
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant on the virtual clock, in nanoseconds since the start of
+// the simulation. The zero value is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is deliberately a
+// distinct type from time.Duration so that wall-clock and virtual quantities
+// cannot be mixed by accident, although the representation is identical.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Never is a sentinel instant later than any reachable simulation time.
+const Never Time = math.MaxInt64
+
+// Forever is a sentinel duration longer than any reachable simulation span.
+const Forever Duration = math.MaxInt64
+
+// Add returns the instant d after t. Adding Forever saturates at Never.
+func (t Time) Add(d Duration) Time {
+	if d == Forever || t == Never {
+		return Never
+	}
+	s := int64(t) + int64(d)
+	if d > 0 && s < int64(t) { // overflow
+		return Never
+	}
+	return Time(s)
+}
+
+// Sub returns the duration from u to t (t − u).
+func (t Time) Sub(u Time) Duration {
+	if t == Never {
+		return Forever
+	}
+	return Duration(int64(t) - int64(u))
+}
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant with the most natural unit, e.g. "12.5ms".
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return Duration(t).String()
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the earlier of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Std converts the virtual duration to a time.Duration (same representation).
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration with the most natural unit.
+func (d Duration) String() string {
+	if d == Forever {
+		return "forever"
+	}
+	if d < 0 {
+		return "-" + (-d).String()
+	}
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return trimUnit(float64(d)/float64(Microsecond), "µs")
+	case d < Second:
+		return trimUnit(float64(d)/float64(Millisecond), "ms")
+	default:
+		return trimUnit(float64(d)/float64(Second), "s")
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// MaxDuration returns the longer of a and b.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinDuration returns the shorter of a and b.
+func MinDuration(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FromStd converts a wall-clock style time.Duration into a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// Size is an amount of data in bits. Frame and message sizes are byte
+// multiples, but shaper token counts and network-calculus curves need
+// sub-byte resolution, so the canonical unit is the bit.
+type Size int64
+
+// Common sizes.
+const (
+	Bit      Size = 1
+	Byte          = 8 * Bit
+	Kilobyte      = 1000 * Byte
+	Kibibyte      = 1024 * Byte
+	Megabyte      = 1000 * Kilobyte
+)
+
+// Bytes builds a Size from a byte count.
+func Bytes(n int) Size { return Size(n) * Byte }
+
+// Bits returns the size in bits.
+func (s Size) Bits() int64 { return int64(s) }
+
+// ByteCount returns the size in whole bytes, rounding up.
+func (s Size) ByteCount() int { return int((s + Byte - 1) / Byte) }
+
+// String formats the size, e.g. "64B" or "1500B" or "12b".
+func (s Size) String() string {
+	if s%Byte == 0 {
+		return fmt.Sprintf("%dB", s/Byte)
+	}
+	return fmt.Sprintf("%db", int64(s))
+}
+
+// Rate is a data rate in bits per second. The paper's links are 10 Mbps
+// Ethernet and the 1 Mbps MIL-STD-1553B bus.
+type Rate int64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// BitsPerSecond returns the rate as a plain integer.
+func (r Rate) BitsPerSecond() int64 { return int64(r) }
+
+// String formats the rate, e.g. "10Mbps".
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// TransmissionTime returns the exact time needed to serialize s bits onto a
+// link of rate r, rounded up to the next nanosecond so that bounds remain
+// conservative. It panics if r is not positive: a zero-rate link is a
+// configuration error that must not be silently absorbed into timing.
+func TransmissionTime(s Size, r Rate) Duration {
+	if r <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive rate %d", r))
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("simtime: negative size %d", s))
+	}
+	// d = ceil(s * 1e9 / r) nanoseconds, computed without overflow for all
+	// realistic inputs (s up to ~9e9 bits before the multiply would wrap;
+	// Ethernet frames and avionics messages are far below that).
+	const nsPerSec = int64(Second)
+	bits := int64(s)
+	q := bits / int64(r)
+	rem := bits % int64(r)
+	d := q*nsPerSec + (rem*nsPerSec+int64(r)-1)/int64(r)
+	return Duration(d)
+}
+
+// SizeAt returns the number of whole bits a link of rate r serializes in d.
+// The computation is overflow-safe for durations up to years and rates up to
+// hundreds of Gbps by splitting d into whole seconds and a remainder.
+func SizeAt(d Duration, r Rate) Size {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	const nsPerSec = int64(Second)
+	secs := int64(d) / nsPerSec
+	rem := int64(d) % nsPerSec
+	return Size(secs*int64(r) + rem*int64(r)/nsPerSec)
+}

@@ -1,0 +1,274 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeAdd(t *testing.T) {
+	tests := []struct {
+		name string
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{"zero plus zero", 0, 0, 0},
+		{"epoch plus ms", 0, Millisecond, Time(Millisecond)},
+		{"chained", Time(Second), 500 * Millisecond, Time(1500 * Millisecond)},
+		{"negative duration", Time(Second), -Second, 0},
+		{"forever saturates", 0, Forever, Never},
+		{"never stays never", Never, Millisecond, Never},
+		{"overflow saturates", Time(math.MaxInt64 - 10), 100, Never},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.t.Add(tc.d); got != tc.want {
+				t.Errorf("(%d).Add(%d) = %d, want %d", tc.t, tc.d, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	if got := Time(Second).Sub(Time(Millisecond)); got != 999*Millisecond {
+		t.Errorf("Sub = %v, want 999ms", got)
+	}
+	if got := Never.Sub(0); got != Forever {
+		t.Errorf("Never.Sub(0) = %v, want Forever", got)
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	a, b := Time(10), Time(20)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before is wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After is wrong")
+	}
+	if MaxTime(a, b) != b || MinTime(a, b) != a {
+		t.Error("Max/MinTime wrong")
+	}
+	if MaxTime(b, a) != b || MinTime(b, a) != a {
+		t.Error("Max/MinTime not symmetric")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{Microsecond, "1µs"},
+		{1500, "1.5µs"},
+		{Millisecond, "1ms"},
+		{3 * Millisecond, "3ms"},
+		{2500 * Microsecond, "2.5ms"},
+		{Second, "1s"},
+		{-Millisecond, "-1ms"},
+		{Forever, "forever"},
+		{160 * Millisecond, "160ms"},
+	}
+	for _, tc := range tests {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(20 * Millisecond).String(); got != "20ms" {
+		t.Errorf("Time.String() = %q, want 20ms", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+}
+
+func TestTimeSecondsAndDurationExtremes(t *testing.T) {
+	if got := Time(2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Time.Seconds = %v", got)
+	}
+	if MaxDuration(Second, Millisecond) != Second || MaxDuration(Millisecond, Second) != Second {
+		t.Error("MaxDuration broken")
+	}
+	if MinDuration(Second, Millisecond) != Millisecond || MinDuration(Millisecond, Second) != Millisecond {
+		t.Error("MinDuration broken")
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 2500 * Microsecond
+	if got := d.Seconds(); got != 0.0025 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := d.Milliseconds(); got != 2.5 {
+		t.Errorf("Milliseconds = %v", got)
+	}
+	if got := d.Microseconds(); got != 2500 {
+		t.Errorf("Microseconds = %v", got)
+	}
+	if got := d.Std(); got != 2500*time.Microsecond {
+		t.Errorf("Std = %v", got)
+	}
+	if got := FromStd(3 * time.Millisecond); got != 3*Millisecond {
+		t.Errorf("FromStd = %v", got)
+	}
+}
+
+func TestSizeBasics(t *testing.T) {
+	if Bytes(64) != 512*Bit {
+		t.Errorf("Bytes(64) = %v", Bytes(64))
+	}
+	if got := Bytes(1500).ByteCount(); got != 1500 {
+		t.Errorf("ByteCount = %d", got)
+	}
+	if got := (Size(9)).ByteCount(); got != 2 {
+		t.Errorf("ByteCount(9 bits) = %d, want 2", got)
+	}
+	if got := Bytes(64).String(); got != "64B" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Size(12).String(); got != "12b" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Bytes(64).Bits(); got != 512 {
+		t.Errorf("Bits = %d", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	tests := []struct {
+		r    Rate
+		want string
+	}{
+		{10 * Mbps, "10Mbps"},
+		{Mbps, "1Mbps"},
+		{Gbps, "1Gbps"},
+		{64 * Kbps, "64Kbps"},
+		{1500, "1500bps"},
+	}
+	for _, tc := range tests {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.r), got, tc.want)
+		}
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Size
+		r    Rate
+		want Duration
+	}{
+		// A minimum Ethernet frame with overhead: 64B + 8B preamble = 72B;
+		// on the wire at 10 Mbps that is 57.6 µs.
+		{"72B at 10Mbps", Bytes(72), 10 * Mbps, 57600},
+		{"1 bit at 1bps", Bit, BitPerSecond, Second},
+		{"zero size", 0, 10 * Mbps, 0},
+		{"exact division", Bytes(125), Mbps, Millisecond},
+		{"rounds up", Size(1), 3 * BitPerSecond, Duration(333333334)},
+		{"1553 word 20 bits at 1Mbps", Size(20), Mbps, 20 * Microsecond},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := TransmissionTime(tc.s, tc.r); got != tc.want {
+				t.Errorf("TransmissionTime(%v,%v) = %v, want %v", tc.s, tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTransmissionTimePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero rate", func() { TransmissionTime(Bytes(1), 0) })
+	mustPanic("negative size", func() { TransmissionTime(-1, Mbps) })
+}
+
+func TestSizeAt(t *testing.T) {
+	if got := SizeAt(Millisecond, 10*Mbps); got != 10000 {
+		t.Errorf("SizeAt(1ms,10Mbps) = %d, want 10000 bits", got)
+	}
+	if got := SizeAt(0, Mbps); got != 0 {
+		t.Errorf("SizeAt(0) = %d", got)
+	}
+	if got := SizeAt(Second, Gbps); got != Size(Gbps) {
+		t.Errorf("SizeAt(1s,1Gbps) = %d", got)
+	}
+	if got := SizeAt(-Second, Mbps); got != 0 {
+		t.Errorf("negative duration should yield 0, got %d", got)
+	}
+}
+
+// Property: TransmissionTime never under-estimates — serializing the returned
+// duration's worth of bits at the same rate recovers at least s bits.
+func TestTransmissionTimeConservative(t *testing.T) {
+	f := func(sRaw uint32, rRaw uint32) bool {
+		s := Size(sRaw % 1_000_000)       // up to ~125 kB
+		r := Rate(rRaw%1_000_000_000) + 1 // 1 bps .. 1 Gbps
+		d := TransmissionTime(s, r)
+		return SizeAt(d, r) >= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TransmissionTime is within one nanosecond-quantum of exact,
+// i.e. one fewer nanosecond would not suffice to carry s bits.
+func TestTransmissionTimeTight(t *testing.T) {
+	f := func(sRaw uint32, rRaw uint32) bool {
+		s := Size(sRaw%1_000_000) + 1
+		r := Rate(rRaw%1_000_000_000) + 1
+		d := TransmissionTime(s, r)
+		if d == 0 {
+			return false
+		}
+		return SizeAt(d-1, r) < s || d == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add/Sub round-trip for in-range values.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(tRaw, dRaw uint32) bool {
+		tt := Time(tRaw)
+		d := Duration(dRaw)
+		return tt.Add(d).Sub(tt) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: additivity of transmission time — transmitting a+b bits takes at
+// most 1ns more than transmitting a then b (rounding), and never less than
+// either alone.
+func TestTransmissionTimeMonotone(t *testing.T) {
+	f := func(aRaw, bRaw, rRaw uint32) bool {
+		a := Size(aRaw % 1_000_000)
+		b := Size(bRaw % 1_000_000)
+		r := Rate(rRaw%999_999_999) + 1
+		da := TransmissionTime(a, r)
+		dab := TransmissionTime(a+b, r)
+		return dab >= da && dab <= da+TransmissionTime(b, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

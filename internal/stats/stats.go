@@ -1,0 +1,172 @@
+// Package stats provides the small online-statistics toolkit the
+// simulators use to summarize observed latencies: exact min/max, Welford
+// mean/variance, and a fixed-resolution histogram with quantile queries.
+// Everything operates on simtime.Duration samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Summary accumulates scalar statistics over duration samples using
+// Welford's numerically stable online algorithm.
+type Summary struct {
+	n        int
+	min, max simtime.Duration
+	mean, m2 float64 // seconds
+}
+
+// Add records one sample.
+func (s *Summary) Add(d simtime.Duration) {
+	v := d.Seconds()
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = d, d
+	} else {
+		if d < s.min {
+			s.min = d
+		}
+		if d > s.max {
+			s.max = d
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Min returns the smallest sample (0 if empty).
+func (s *Summary) Min() simtime.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (s *Summary) Max() simtime.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the average sample.
+func (s *Summary) Mean() simtime.Duration {
+	return simtime.Duration(math.Round(s.mean * float64(simtime.Second)))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Summary) StdDev() simtime.Duration {
+	if s.n < 2 {
+		return 0
+	}
+	return simtime.Duration(math.Round(math.Sqrt(s.m2/float64(s.n-1)) * float64(simtime.Second)))
+}
+
+// Merge folds another summary into s (parallel collection).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.n += o.n
+}
+
+// String renders the summary compactly.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d min=%v mean=%v max=%v σ=%v", s.n, s.Min(), s.Mean(), s.Max(), s.StdDev())
+}
+
+// Histogram collects duration samples for exact quantile queries. Samples
+// are kept (the experiment scales here are ≤ millions of frames), so
+// quantiles are exact rather than approximate — determinism is worth more
+// than memory in a reproduction artifact.
+type Histogram struct {
+	samples []simtime.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d simtime.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method; q=1 is the maximum. It panics on an empty histogram or
+// out-of-range q — quantiles of nothing are a caller bug.
+func (h *Histogram) Quantile(q float64) simtime.Duration {
+	if len(h.samples) == 0 {
+		panic("stats: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g out of range", q))
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Buckets partitions the samples into n equal-width bins between min and
+// max, returning the bin edges and counts (for ASCII rendering).
+func (h *Histogram) Buckets(n int) (edges []simtime.Duration, counts []int) {
+	if n <= 0 {
+		panic("stats: non-positive bucket count")
+	}
+	if len(h.samples) == 0 {
+		return nil, nil
+	}
+	lo := h.Quantile(0)
+	hi := h.Quantile(1)
+	if hi == lo {
+		return []simtime.Duration{lo, hi}, []int{len(h.samples)}
+	}
+	width := (hi - lo + simtime.Duration(n) - 1) / simtime.Duration(n)
+	counts = make([]int, n)
+	edges = make([]simtime.Duration, n+1)
+	for i := range edges {
+		edges[i] = lo + simtime.Duration(i)*width
+	}
+	for _, s := range h.samples {
+		b := int((s - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary not all-zero")
+	}
+	if s.String() != "no samples" {
+		t.Errorf("String = %q", s.String())
+	}
+	for _, v := range []simtime.Duration{10, 20, 30} {
+		s.Add(v * simtime.Millisecond)
+	}
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Min() != 10*simtime.Millisecond || s.Max() != 30*simtime.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 20*simtime.Millisecond {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// σ = 10ms for {10,20,30}.
+	if got := s.StdDev(); got != 10*simtime.Millisecond {
+		t.Errorf("stddev = %v", got)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(simtime.Millisecond)
+	if s.StdDev() != 0 {
+		t.Error("stddev of one sample should be 0")
+	}
+	if s.Min() != s.Max() || s.Min() != simtime.Millisecond {
+		t.Error("min/max of one sample")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	data := []simtime.Duration{5, 1, 9, 2, 8, 3, 7, 4, 6, 10}
+	for i, v := range data {
+		d := v * simtime.Microsecond
+		all.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged counts/extremes differ")
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if d := a.StdDev() - all.StdDev(); d < -1 || d > 1 {
+		t.Errorf("merged stddev %v vs %v", a.StdDev(), all.StdDev())
+	}
+	var empty Summary
+	a.Merge(&empty) // no-op
+	if a.N() != all.N() {
+		t.Error("merging empty changed the summary")
+	}
+	var fresh Summary
+	fresh.Merge(&a)
+	if fresh.N() != a.N() || fresh.Mean() != a.Mean() {
+		t.Error("merge into empty broken")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(simtime.Duration(i) * simtime.Microsecond)
+	}
+	tests := []struct {
+		q    float64
+		want simtime.Duration
+	}{
+		{0, simtime.Microsecond},
+		{0.5, 50 * simtime.Microsecond},
+		{0.99, 99 * simtime.Microsecond},
+		{1, 100 * simtime.Microsecond},
+	}
+	for _, tc := range tests {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramQuantileAfterMoreAdds(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Quantile(1)
+	h.Add(5) // must re-sort
+	if got := h.Quantile(0); got != 5 {
+		t.Errorf("Quantile(0) = %v after late add", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	var h Histogram
+	for name, fn := range map[string]func(){
+		"empty quantile": func() { h.Quantile(0.5) },
+		"bad q":          func() { h.Add(1); h.Quantile(1.5) },
+		"zero buckets":   func() { h.Buckets(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(simtime.Duration(i))
+	}
+	edges, counts := h.Buckets(10)
+	if len(edges) != 11 || len(counts) != 10 {
+		t.Fatalf("edges/counts lengths %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+	var empty Histogram
+	if e, c := empty.Buckets(5); e != nil || c != nil {
+		t.Error("empty histogram should produce nil buckets")
+	}
+	var constant Histogram
+	constant.Add(7)
+	constant.Add(7)
+	if _, c := constant.Buckets(4); len(c) != 1 || c[0] != 2 {
+		t.Errorf("constant histogram buckets = %v", c)
+	}
+}
+
+// Property: Summary mean/min/max agree with a brute-force computation.
+func TestSummaryAgainstBruteForce(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		min, max := simtime.Duration(math.MaxInt64), simtime.Duration(0)
+		for _, r := range raw {
+			d := simtime.Duration(r)
+			s.Add(d)
+			sum += d.Seconds()
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		wantMean := sum / float64(len(raw))
+		gotMean := s.Mean().Seconds()
+		return s.Min() == min && s.Max() == max &&
+			math.Abs(gotMean-wantMean) < 1e-9+1e-9*math.Abs(wantMean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Add(simtime.Duration(r))
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return h.Quantile(q1) <= h.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package topology provides the declarative scenario format of the
+// command-line tools: a JSON document describing the network parameters
+// and the message list, loadable into the analysis and simulation
+// pipelines. Avionics networks are statically configured; this file is
+// that static configuration.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// MessageConfig is one connection in the scenario file. Times are given in
+// microseconds to keep the JSON readable at avionics scales.
+type MessageConfig struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Dest   string `json:"dest"`
+	// Kind is "periodic" or "sporadic".
+	Kind string `json:"kind"`
+	// PeriodUs is the period (periodic) or minimal inter-arrival
+	// (sporadic), in microseconds.
+	PeriodUs int64 `json:"period_us"`
+	// PayloadBytes is the application payload per instance.
+	PayloadBytes int `json:"payload_bytes"`
+	// DeadlineUs is the requested maximal response time in microseconds.
+	DeadlineUs int64 `json:"deadline_us"`
+	// Priority optionally overrides the paper classification (0–3; -1 or
+	// absent selects automatic classification).
+	Priority *int `json:"priority,omitempty"`
+}
+
+// Config is a complete scenario.
+type Config struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// LinkRateBps is C in bits per second.
+	LinkRateBps int64 `json:"link_rate_bps"`
+	// TTechnoUs is the switch relaying latency bound in microseconds.
+	TTechnoUs int64 `json:"t_techno_us"`
+	// BusController names the station that acts as 1553 BC in baseline
+	// comparisons (defaults to the busiest destination).
+	BusController string `json:"bus_controller,omitempty"`
+	// Messages is the connection list.
+	Messages []MessageConfig `json:"messages"`
+}
+
+// Default returns the built-in real-case scenario with the paper's
+// parameters.
+func Default() *Config {
+	set := traffic.RealCase()
+	cfg := &Config{
+		Name:          "real-case",
+		LinkRateBps:   int64(10 * simtime.Mbps),
+		TTechnoUs:     140,
+		BusController: traffic.StationMC,
+	}
+	for _, m := range set.Messages {
+		kind := "periodic"
+		if m.Kind == traffic.Sporadic {
+			kind = "sporadic"
+		}
+		cfg.Messages = append(cfg.Messages, MessageConfig{
+			Name:         m.Name,
+			Source:       m.Source,
+			Dest:         m.Dest,
+			Kind:         kind,
+			PeriodUs:     int64(m.Period / simtime.Microsecond),
+			PayloadBytes: m.Payload.ByteCount(),
+			DeadlineUs:   int64(m.Deadline / simtime.Microsecond),
+		})
+	}
+	return cfg
+}
+
+// Load parses a scenario from JSON.
+func Load(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if _, err := cfg.ToSet(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// LoadFile parses a scenario file.
+func LoadFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the scenario as indented JSON.
+func (c *Config) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ToSet converts the scenario's message list into a validated traffic set.
+func (c *Config) ToSet() (*traffic.Set, error) {
+	if c.LinkRateBps <= 0 {
+		return nil, fmt.Errorf("topology: non-positive link rate %d", c.LinkRateBps)
+	}
+	if c.TTechnoUs < 0 {
+		return nil, fmt.Errorf("topology: negative t_techno %d", c.TTechnoUs)
+	}
+	set := &traffic.Set{}
+	for _, mc := range c.Messages {
+		var kind traffic.Kind
+		switch mc.Kind {
+		case "periodic":
+			kind = traffic.Periodic
+		case "sporadic":
+			kind = traffic.Sporadic
+		default:
+			return nil, fmt.Errorf("topology: message %q has kind %q (want periodic|sporadic)", mc.Name, mc.Kind)
+		}
+		deadline := simtime.Duration(mc.DeadlineUs) * simtime.Microsecond
+		prio := traffic.Classify(kind, deadline)
+		if mc.Priority != nil {
+			p := traffic.Priority(*mc.Priority)
+			if !p.Valid() {
+				return nil, fmt.Errorf("topology: message %q has priority %d (want 0–3)", mc.Name, *mc.Priority)
+			}
+			prio = p
+		}
+		set.Messages = append(set.Messages, &traffic.Message{
+			Name:     mc.Name,
+			Source:   mc.Source,
+			Dest:     mc.Dest,
+			Kind:     kind,
+			Period:   simtime.Duration(mc.PeriodUs) * simtime.Microsecond,
+			Payload:  simtime.Bytes(mc.PayloadBytes),
+			Deadline: deadline,
+			Priority: prio,
+		})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// AnalysisConfig derives the analysis parameters of the scenario.
+func (c *Config) AnalysisConfig() analysis.Config {
+	return analysis.Config{
+		LinkRate: simtime.Rate(c.LinkRateBps),
+		TTechno:  simtime.Duration(c.TTechnoUs) * simtime.Microsecond,
+		Tagged:   true,
+	}
+}
+
+// BC returns the bus-controller station for baseline comparisons: the
+// configured one, or the station receiving the most connections.
+func (c *Config) BC() (string, error) {
+	if c.BusController != "" {
+		return c.BusController, nil
+	}
+	set, err := c.ToSet()
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, st := range set.Stations() {
+		if n := len(set.ByDest(st)); n > bestN {
+			best, bestN = st, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("topology: no stations")
+	}
+	return best, nil
+}

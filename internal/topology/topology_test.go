@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func TestDefaultRoundTripsRealCase(t *testing.T) {
+	cfg := Default()
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := traffic.RealCase()
+	if len(set.Messages) != len(orig.Messages) {
+		t.Fatalf("%d messages, want %d", len(set.Messages), len(orig.Messages))
+	}
+	for i, m := range set.Messages {
+		o := orig.Messages[i]
+		if *m != *o {
+			t.Errorf("message %d differs: %+v vs %+v", i, m, o)
+		}
+	}
+	ac := cfg.AnalysisConfig()
+	if ac.LinkRate != 10*simtime.Mbps || ac.TTechno != 140*simtime.Microsecond {
+		t.Errorf("analysis config %+v", ac)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := Default()
+	var b strings.Builder
+	if err := cfg.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != cfg.Name || loaded.LinkRateBps != cfg.LinkRateBps {
+		t.Error("header fields lost")
+	}
+	if len(loaded.Messages) != len(cfg.Messages) {
+		t.Fatalf("message count lost")
+	}
+	if loaded.Messages[3] != cfg.Messages[3] {
+		t.Error("message content lost")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Default().Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "real-case" {
+		t.Errorf("Name = %q", cfg.Name)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "{nope",
+		"unknown field":  `{"name":"x","link_rate_bps":1,"t_techno_us":0,"bogus":1,"messages":[]}`,
+		"bad kind":       `{"name":"x","link_rate_bps":1,"t_techno_us":0,"messages":[{"name":"m","source":"a","dest":"b","kind":"weird","period_us":1000,"payload_bytes":8,"deadline_us":1000}]}`,
+		"bad priority":   `{"name":"x","link_rate_bps":1,"t_techno_us":0,"messages":[{"name":"m","source":"a","dest":"b","kind":"periodic","period_us":1000,"payload_bytes":8,"deadline_us":1000,"priority":9}]}`,
+		"zero link rate": `{"name":"x","link_rate_bps":0,"t_techno_us":0,"messages":[]}`,
+		"neg t_techno":   `{"name":"x","link_rate_bps":1,"t_techno_us":-5,"messages":[]}`,
+		"dup names":      `{"name":"x","link_rate_bps":1,"t_techno_us":0,"messages":[{"name":"m","source":"a","dest":"b","kind":"periodic","period_us":1000,"payload_bytes":8,"deadline_us":1000},{"name":"m","source":"b","dest":"a","kind":"periodic","period_us":1000,"payload_bytes":8,"deadline_us":1000}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPriorityOverride(t *testing.T) {
+	three := 3
+	cfg := &Config{
+		Name: "x", LinkRateBps: 1_000_000, TTechnoUs: 0,
+		Messages: []MessageConfig{{
+			Name: "m", Source: "a", Dest: "b", Kind: "sporadic",
+			PeriodUs: 20000, PayloadBytes: 8, DeadlineUs: 2000, Priority: &three,
+		}},
+	}
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classification would say P0 (2 ms deadline); the override wins.
+	if set.Messages[0].Priority != traffic.P3 {
+		t.Errorf("priority = %v, want P3", set.Messages[0].Priority)
+	}
+}
+
+func TestBCSelection(t *testing.T) {
+	cfg := Default()
+	bc, err := cfg.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc != traffic.StationMC {
+		t.Errorf("BC = %q", bc)
+	}
+	cfg.BusController = ""
+	bc, err = cfg.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc != traffic.StationMC {
+		t.Errorf("auto BC = %q, want the busiest destination", bc)
+	}
+	empty := &Config{Name: "e", LinkRateBps: 1, TTechnoUs: 0}
+	if _, err := empty.BC(); err == nil {
+		t.Error("empty scenario produced a BC")
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace records frame lifecycle events from the simulators and
+// exports them for inspection: a structured in-memory log with CSV output,
+// and a classic libpcap writer so simulated traffic opens in Wireshark —
+// the frames on the virtual wire are real IEEE 802.3 bytes (see
+// internal/ethernet's codec), so nothing needs to be faked.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/simtime"
+)
+
+// EventKind classifies a lifecycle event.
+type EventKind int
+
+const (
+	// Released: the application handed the instance to the network layer.
+	Released EventKind = iota
+	// Shaped: the token bucket delayed the frame.
+	Shaped
+	// Sent: the source station finished serializing the frame.
+	Sent
+	// Delivered: the last bit reached the destination.
+	Delivered
+	// Dropped: a bounded queue discarded the frame.
+	Dropped
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case Released:
+		return "released"
+	case Shaped:
+		return "shaped"
+	case Sent:
+		return "sent"
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	At   simtime.Time
+	Kind EventKind
+	// Conn is the connection name; Seq the instance number.
+	Conn string
+	Seq  int
+	// Where is the station or port involved.
+	Where string
+}
+
+// Recorder accumulates events up to a cap (0 = unbounded). It is not safe
+// for concurrent use; simulators are single-threaded.
+type Recorder struct {
+	cap     int
+	events  []Event
+	dropped int
+}
+
+// NewRecorder creates a recorder keeping at most cap events (0 keeps all).
+func NewRecorder(cap int) *Recorder {
+	if cap < 0 {
+		panic("trace: negative cap")
+	}
+	return &Recorder{cap: cap}
+}
+
+// Record appends an event (silently counted once the cap is reached).
+func (r *Recorder) Record(ev Event) {
+	if r.cap > 0 && len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events (not a copy; callers must not
+// mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Truncated returns how many events were discarded by the cap.
+func (r *Recorder) Truncated() int { return r.dropped }
+
+// ByConn returns the events of one connection, in order.
+func (r *Recorder) ByConn(conn string) []Event {
+	var out []Event
+	for _, ev := range r.events {
+		if ev.Conn == conn {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the log with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_ns,kind,connection,seq,where\n"); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s\n", int64(ev.At), ev.Kind, ev.Conn, ev.Seq, ev.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PCAPWriter emits classic libpcap (v2.4, LINKTYPE_ETHERNET) with virtual
+// timestamps at microsecond resolution.
+type PCAPWriter struct {
+	w       io.Writer
+	started bool
+	// Packets counts frames written.
+	Packets int
+}
+
+// NewPCAP wraps a writer; the file header is emitted lazily on the first
+// packet (so an unused writer produces an empty file, not a bare header).
+func NewPCAP(w io.Writer) *PCAPWriter {
+	if w == nil {
+		panic("trace: nil pcap writer")
+	}
+	return &PCAPWriter{w: w}
+}
+
+// pcap constants.
+const (
+	pcapMagic   = 0xa1b2c3d4
+	pcapVMajor  = 2
+	pcapVMinor  = 4
+	pcapSnaplen = 65535
+	pcapEth     = 1
+)
+
+// WriteHeader forces the global header out (normally automatic).
+func (p *PCAPWriter) WriteHeader() error {
+	if p.started {
+		return nil
+	}
+	p.started = true
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(h[4:], pcapVMajor)
+	binary.LittleEndian.PutUint16(h[6:], pcapVMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(h[16:], pcapSnaplen)
+	binary.LittleEndian.PutUint32(h[20:], pcapEth)
+	_, err := p.w.Write(h[:])
+	return err
+}
+
+// WritePacket emits one frame (wire bytes as produced by Frame.Marshal)
+// stamped at the virtual instant.
+func (p *PCAPWriter) WritePacket(at simtime.Time, frame []byte) error {
+	if err := p.WriteHeader(); err != nil {
+		return err
+	}
+	if len(frame) > pcapSnaplen {
+		return fmt.Errorf("trace: frame of %d bytes exceeds snaplen", len(frame))
+	}
+	var h [16]byte
+	sec := int64(at) / int64(simtime.Second)
+	usec := (int64(at) % int64(simtime.Second)) / 1000
+	binary.LittleEndian.PutUint32(h[0:], uint32(sec))
+	binary.LittleEndian.PutUint32(h[4:], uint32(usec))
+	binary.LittleEndian.PutUint32(h[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(frame)))
+	if _, err := p.w.Write(h[:]); err != nil {
+		return err
+	}
+	if _, err := p.w.Write(frame); err != nil {
+		return err
+	}
+	p.Packets++
+	return nil
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 10, Kind: Released, Conn: "a", Seq: 0, Where: "nav"})
+	r.Record(Event{At: 20, Kind: Delivered, Conn: "a", Seq: 0, Where: "mc"})
+	r.Record(Event{At: 15, Kind: Released, Conn: "b", Seq: 0, Where: "ew"})
+	if len(r.Events()) != 3 {
+		t.Fatalf("%d events", len(r.Events()))
+	}
+	byA := r.ByConn("a")
+	if len(byA) != 2 || byA[1].Kind != Delivered {
+		t.Errorf("ByConn = %+v", byA)
+	}
+	if r.Truncated() != 0 {
+		t.Error("unexpected truncation")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: simtime.Time(i), Kind: Sent, Conn: "x", Seq: i})
+	}
+	if len(r.Events()) != 2 {
+		t.Errorf("%d events kept", len(r.Events()))
+	}
+	if r.Truncated() != 3 {
+		t.Errorf("truncated = %d", r.Truncated())
+	}
+}
+
+func TestRecorderNegativeCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cap should panic")
+		}
+	}()
+	NewRecorder(-1)
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: simtime.Time(simtime.Millisecond), Kind: Released, Conn: "nav/attitude", Seq: 3, Where: "nav"})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "time_ns,kind,connection,seq,where" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "1000000,released,nav/attitude,3,nav" {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		Released: "released", Shaped: "shaped", Sent: "sent",
+		Delivered: "delivered", Dropped: "dropped",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestPCAPFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPCAP(&buf)
+
+	f := &ethernet.Frame{
+		Dst: ethernet.StationAddr(1), Src: ethernet.StationAddr(2),
+		Tagged: true, Priority: 7, Type: ethernet.EtherTypeAvionics,
+		PayloadLen: 46,
+	}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simtime.Time(1_500_000_000) // 1.5 s
+	if err := p.WritePacket(at, wire); err != nil {
+		t.Fatal(err)
+	}
+	if p.Packets != 1 {
+		t.Errorf("Packets = %d", p.Packets)
+	}
+
+	data := buf.Bytes()
+	if len(data) != 24+16+len(wire) {
+		t.Fatalf("file length %d", len(data))
+	}
+	// Global header.
+	if got := binary.LittleEndian.Uint32(data[0:]); got != 0xa1b2c3d4 {
+		t.Errorf("magic %08x", got)
+	}
+	if binary.LittleEndian.Uint16(data[4:]) != 2 || binary.LittleEndian.Uint16(data[6:]) != 4 {
+		t.Error("version not 2.4")
+	}
+	if binary.LittleEndian.Uint32(data[20:]) != 1 {
+		t.Error("linktype not Ethernet")
+	}
+	// Packet header.
+	ph := data[24:]
+	if sec := binary.LittleEndian.Uint32(ph[0:]); sec != 1 {
+		t.Errorf("ts_sec = %d", sec)
+	}
+	if usec := binary.LittleEndian.Uint32(ph[4:]); usec != 500000 {
+		t.Errorf("ts_usec = %d", usec)
+	}
+	if l := binary.LittleEndian.Uint32(ph[8:]); int(l) != len(wire) {
+		t.Errorf("incl_len = %d", l)
+	}
+	// Payload round-trips through the ethernet codec.
+	decoded, err := ethernet.Unmarshal(data[40:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Dst != f.Dst || decoded.Priority != 7 {
+		t.Error("frame corrupted through pcap")
+	}
+}
+
+func TestPCAPHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPCAP(&buf)
+	if err := p.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Errorf("header written twice: %d bytes", buf.Len())
+	}
+}
+
+func TestPCAPOversize(t *testing.T) {
+	p := NewPCAP(&bytes.Buffer{})
+	if err := p.WritePacket(0, make([]byte, 70000)); err == nil {
+		t.Error("oversize packet accepted")
+	}
+}
+
+func TestPCAPNilWriterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil writer should panic")
+		}
+	}()
+	NewPCAP(nil)
+}

@@ -1,0 +1,114 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestRealCaseEnvelope verifies that the synthetic catalog stays inside the
+// envelope the paper pins down for the real (unpublished) traffic.
+func TestRealCaseEnvelope(t *testing.T) {
+	s := RealCase()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s.Messages {
+		// Periodic periods are within [minor frame, major frame].
+		if m.Kind == Periodic {
+			if m.Period < MinorFrame || m.Period > MajorFrame {
+				t.Errorf("%s: periodic period %v outside [20ms, 160ms]", m.Name, m.Period)
+			}
+			if m.Priority != P1 {
+				t.Errorf("%s: periodic message not P1", m.Name)
+			}
+		}
+		// Sporadic inter-arrivals are at least one minor frame.
+		if m.Kind == Sporadic && m.Period < MinorFrame {
+			t.Errorf("%s: sporadic inter-arrival %v below minor frame", m.Name, m.Period)
+		}
+		// 1553-sized payloads: at most 32 data words of 16 bits.
+		if m.Payload > simtime.Bytes(64) {
+			t.Errorf("%s: payload %v exceeds a 1553 message (64B)", m.Name, m.Payload)
+		}
+		// Priorities follow the paper's classification.
+		if want := Classify(m.Kind, m.Deadline); m.Priority != want {
+			t.Errorf("%s: priority %v, classification says %v", m.Name, m.Priority, want)
+		}
+		// Urgent messages have the paper's 3 ms response requirement.
+		if m.Priority == P0 && m.Deadline != UrgentDeadline {
+			t.Errorf("%s: P0 deadline %v, want 3ms", m.Name, m.Deadline)
+		}
+	}
+}
+
+func TestRealCaseScale(t *testing.T) {
+	s := RealCase()
+	if n := len(s.Messages); n < 60 || n > 200 {
+		t.Errorf("catalog has %d messages; a real 1553 message list has on the order of 100", n)
+	}
+	// The mission computer must be the hot spot: the paper's congestion
+	// story needs a bottleneck multiplexer.
+	toMC := len(s.ByDest(StationMC))
+	if toMC < len(s.Messages)/2 {
+		t.Errorf("only %d of %d messages target the mission computer", toMC, len(s.Messages))
+	}
+}
+
+func TestRealCaseDeterministic(t *testing.T) {
+	a, b := RealCase(), RealCase()
+	if len(a.Messages) != len(b.Messages) {
+		t.Fatal("catalog size differs between calls")
+	}
+	for i := range a.Messages {
+		if *a.Messages[i] != *b.Messages[i] {
+			t.Fatalf("message %d differs: %+v vs %+v", i, a.Messages[i], b.Messages[i])
+		}
+	}
+}
+
+func TestRealCaseWithScaling(t *testing.T) {
+	base := RealCaseWith(0)
+	scaled := RealCaseWith(4)
+	const perRT = 7
+	if got, want := len(scaled.Messages)-len(base.Messages), 4*perRT; got != want {
+		t.Errorf("4 extra RTs added %d messages, want %d", got, want)
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each generic RT appears as a station.
+	found := false
+	for _, st := range scaled.Stations() {
+		if st == "rt03" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rt03 not among stations")
+	}
+}
+
+func TestRealCaseWithNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative extraRTs should panic")
+		}
+	}()
+	RealCaseWith(-1)
+}
+
+// TestRealCaseLoadRegime checks that the catalog's raw payload rate leaves
+// the system stable at 10 Mbps with ample headroom (the congestion in the
+// paper comes from bursts, not sustained overload) while being heavy for a
+// 1 Mbps 1553B bus — the motivation of the migration.
+func TestRealCaseLoadRegime(t *testing.T) {
+	s := RealCase()
+	rate := s.TotalPayloadRate()
+	if rate <= 100*simtime.Kbps {
+		t.Errorf("payload rate %v implausibly low", rate)
+	}
+	if rate >= 1*simtime.Mbps {
+		t.Errorf("payload rate %v exceeds the whole 1553 bus before overhead", rate)
+	}
+}

@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+// RandomParams controls synthetic workload generation. Random workloads
+// drive the randomized soundness harness (bounds must hold for *any*
+// valid workload, not just the curated catalog) and are exported for
+// users exploring their own load regimes.
+type RandomParams struct {
+	// Stations is the number of end systems (≥ 2).
+	Stations int
+	// Messages is the number of connections to generate.
+	Messages int
+	// SporadicFraction is the share of sporadic connections (0–1).
+	SporadicFraction float64
+	// MaxPayloadBytes caps payloads (1553-realistic default 64).
+	MaxPayloadBytes int
+}
+
+// DefaultRandomParams returns a small, always-stable configuration.
+func DefaultRandomParams() RandomParams {
+	return RandomParams{Stations: 6, Messages: 24, SporadicFraction: 0.4, MaxPayloadBytes: 64}
+}
+
+// harmonic periods of the 1553-derived envelope.
+var randomPeriods = []simtime.Duration{
+	20 * simtime.Millisecond, 40 * simtime.Millisecond,
+	80 * simtime.Millisecond, 160 * simtime.Millisecond,
+}
+
+// Random generates a valid workload from the seed: harmonic periods,
+// paper-envelope payloads, deadlines drawn per class, no self-loops, and
+// a star bias toward station 0 (the "mission computer") so that a
+// bottleneck multiplexer exists.
+func Random(seed uint64, p RandomParams) (*Set, error) {
+	if p.Stations < 2 {
+		return nil, fmt.Errorf("traffic: need ≥ 2 stations, got %d", p.Stations)
+	}
+	if p.Messages < 1 {
+		return nil, fmt.Errorf("traffic: need ≥ 1 message, got %d", p.Messages)
+	}
+	if p.SporadicFraction < 0 || p.SporadicFraction > 1 {
+		return nil, fmt.Errorf("traffic: sporadic fraction %g out of [0,1]", p.SporadicFraction)
+	}
+	if p.MaxPayloadBytes < 1 {
+		p.MaxPayloadBytes = 64
+	}
+	rng := des.NewRNG(seed)
+	stationName := func(i int) string {
+		if i == 0 {
+			return "hub"
+		}
+		return fmt.Sprintf("es%02d", i)
+	}
+	set := &Set{}
+	for i := 0; i < p.Messages; i++ {
+		src := rng.Intn(p.Stations)
+		dst := 0 // star bias: two thirds of traffic converges on the hub
+		if rng.Float64() > 0.66 || src == 0 {
+			for dst = rng.Intn(p.Stations); dst == src; dst = rng.Intn(p.Stations) {
+			}
+		}
+		kind := Periodic
+		if rng.Float64() < p.SporadicFraction {
+			kind = Sporadic
+		}
+		period := randomPeriods[rng.Intn(len(randomPeriods))]
+		payload := rng.Intn(p.MaxPayloadBytes) + 1
+		var deadline simtime.Duration
+		if kind == Periodic {
+			deadline = period
+		} else {
+			// Draw the class, then a deadline inside it.
+			switch rng.Intn(3) {
+			case 0:
+				deadline = UrgentDeadline
+			case 1:
+				deadline = simtime.Duration(20+rng.Intn(140)) * simtime.Millisecond
+			default:
+				deadline = simtime.Duration(161+rng.Intn(640)) * simtime.Millisecond
+			}
+		}
+		set.Messages = append(set.Messages, &Message{
+			Name:     fmt.Sprintf("%s/m%03d", stationName(src), i),
+			Source:   stationName(src),
+			Dest:     stationName(dst),
+			Kind:     kind,
+			Period:   period,
+			Payload:  simtime.Bytes(payload),
+			Deadline: deadline,
+			Priority: Classify(kind, deadline),
+		})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("traffic: generated invalid set: %w", err)
+	}
+	return set, nil
+}

@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestRandomGeneratesValidSets(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		set, err := Random(seed, DefaultRandomParams())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		if len(set.Messages) != DefaultRandomParams().Messages {
+			t.Errorf("seed %d: %d messages", seed, len(set.Messages))
+		}
+		for _, m := range set.Messages {
+			if m.Priority != Classify(m.Kind, m.Deadline) {
+				t.Errorf("seed %d %s: misclassified", seed, m.Name)
+			}
+			found := false
+			for _, p := range randomPeriods {
+				if m.Period == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %d %s: non-harmonic period %v", seed, m.Name, m.Period)
+			}
+			if m.Payload > simtime.Bytes(64) {
+				t.Errorf("seed %d %s: payload %v beyond envelope", seed, m.Name, m.Payload)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(7, DefaultRandomParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(7, DefaultRandomParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Messages {
+		if *a.Messages[i] != *b.Messages[i] {
+			t.Fatalf("seed 7 not deterministic at message %d", i)
+		}
+	}
+	c, err := Random(8, DefaultRandomParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Messages {
+		if *a.Messages[i] != *c.Messages[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestRandomStarBias(t *testing.T) {
+	set, err := Random(3, RandomParams{Stations: 8, Messages: 200, SporadicFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := len(set.ByDest("hub"))
+	if hub < len(set.Messages)/3 {
+		t.Errorf("only %d of %d messages target the hub — star bias lost", hub, len(set.Messages))
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	cases := []RandomParams{
+		{Stations: 1, Messages: 5},
+		{Stations: 3, Messages: 0},
+		{Stations: 3, Messages: 5, SporadicFraction: 1.5},
+		{Stations: 3, Messages: 5, SporadicFraction: -0.1},
+	}
+	for i, p := range cases {
+		if _, err := Random(1, p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	// Zero MaxPayloadBytes defaults rather than failing.
+	if _, err := Random(1, RandomParams{Stations: 2, Messages: 3}); err != nil {
+		t.Errorf("defaulting params rejected: %v", err)
+	}
+}

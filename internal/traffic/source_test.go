@@ -1,0 +1,135 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+)
+
+func smallSet() *Set {
+	return &Set{Messages: []*Message{
+		{Name: "p", Source: "a", Dest: "b", Kind: Periodic, Period: 20 * ms,
+			Payload: simtime.Bytes(32), Deadline: 20 * ms, Priority: P1},
+		{Name: "s", Source: "a", Dest: "b", Kind: Sporadic, Period: 20 * ms,
+			Payload: simtime.Bytes(16), Deadline: 3 * ms, Priority: P0},
+	}}
+}
+
+func TestStartPeriodicAligned(t *testing.T) {
+	sim := des.New(1)
+	var got []Instance
+	Start(sim, smallSet(), SourceConfig{Mode: Silent, AlignPhases: true}, func(in Instance) {
+		got = append(got, in)
+	})
+	sim.RunFor(100 * ms) // releases at 0,20,40,60,80,100 → 6 for periodic
+	var periodic []Instance
+	for _, in := range got {
+		if in.Msg.Name != "p" {
+			t.Fatalf("silent sporadic released %v", in)
+		}
+		periodic = append(periodic, in)
+	}
+	if len(periodic) != 6 {
+		t.Fatalf("%d periodic releases, want 6", len(periodic))
+	}
+	for i, in := range periodic {
+		if in.Seq != i {
+			t.Errorf("seq %d, want %d", in.Seq, i)
+		}
+		if want := simtime.Time(i * 20 * int(ms)); in.Release != want {
+			t.Errorf("release %v, want %v", in.Release, want)
+		}
+	}
+}
+
+func TestStartGreedySporadic(t *testing.T) {
+	sim := des.New(1)
+	count := map[string]int{}
+	Start(sim, smallSet(), SourceConfig{Mode: Greedy, AlignPhases: true}, func(in Instance) {
+		count[in.Msg.Name]++
+	})
+	sim.RunFor(99 * ms)
+	if count["s"] != 5 { // 0,20,40,60,80
+		t.Errorf("greedy sporadic released %d times, want 5", count["s"])
+	}
+}
+
+func TestStartRandomGapsRespectsMinInterarrival(t *testing.T) {
+	sim := des.New(7)
+	var last simtime.Time = -1
+	var gapsOK = true
+	set := &Set{Messages: smallSet().Messages[1:]} // sporadic only
+	Start(sim, set, SourceConfig{Mode: RandomGaps, MeanSlack: 10 * ms, AlignPhases: true}, func(in Instance) {
+		if last >= 0 && in.Release.Sub(last) < 20*ms {
+			gapsOK = false
+		}
+		last = in.Release
+	})
+	sim.RunFor(5 * simtime.Second)
+	if !gapsOK {
+		t.Error("random-gap sporadic violated its minimal inter-arrival time")
+	}
+	if last < 0 {
+		t.Error("random-gap sporadic never released")
+	}
+}
+
+func TestStartUnalignedPhasesWithinPeriod(t *testing.T) {
+	sim := des.New(3)
+	firsts := map[string]simtime.Time{}
+	Start(sim, RealCase(), SourceConfig{Mode: Greedy, AlignPhases: false}, func(in Instance) {
+		if _, ok := firsts[in.Msg.Name]; !ok {
+			firsts[in.Msg.Name] = in.Release
+		}
+	})
+	sim.RunFor(2 * simtime.Second)
+	set := RealCase()
+	for name, first := range firsts {
+		m := set.Find(name)
+		if simtime.Duration(first) >= m.Period {
+			t.Errorf("%s first release %v beyond its period %v", name, first, m.Period)
+		}
+	}
+	if len(firsts) != len(set.Messages) {
+		t.Errorf("only %d of %d connections released", len(firsts), len(set.Messages))
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	sim := des.New(1)
+	n := 0
+	stop := Start(sim, smallSet(), SourceConfig{Mode: Greedy, AlignPhases: true}, func(Instance) { n++ })
+	sim.RunFor(50 * ms)
+	before := n
+	stop()
+	sim.RunFor(simtime.Second)
+	if n != before {
+		t.Errorf("releases continued after stop: %d → %d", before, n)
+	}
+}
+
+func TestStartNilEmitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil emit should panic")
+		}
+	}()
+	Start(des.New(1), smallSet(), SourceConfig{}, nil)
+}
+
+func TestInstanceString(t *testing.T) {
+	in := Instance{Msg: &Message{Name: "nav/attitude"}, Seq: 12}
+	if got := in.String(); got != "nav/attitude#12" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSporadicModeString(t *testing.T) {
+	if Greedy.String() != "greedy" || RandomGaps.String() != "random" || Silent.String() != "silent" {
+		t.Error("mode strings broken")
+	}
+	if SporadicMode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}

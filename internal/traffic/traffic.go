@@ -1,0 +1,251 @@
+// Package traffic defines the workload model of the reproduction: the
+// message characterization the paper uses ((Tᵢ, bᵢ) pairs), its four
+// 802.1p priority classes, and the synthetic "real case" military avionics
+// message catalog the experiments run on.
+//
+// The paper characterizes every periodic message i by (Tᵢ, bᵢ) — period and
+// length — and every sporadic message j by (Tⱼ, bⱼ) — minimal inter-arrival
+// time and length. Deadlines ("requested maximal response times") drive the
+// priority assignment:
+//
+//	P0: urgent sporadic messages, response time ≤ 3 ms
+//	P1: periodic messages
+//	P2: sporadic messages, response time in [20 ms, 160 ms]
+//	P3: sporadic messages, response time > 160 ms
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Kind distinguishes the paper's two traffic types.
+type Kind int
+
+const (
+	// Periodic messages are sent unconditionally every Period.
+	Periodic Kind = iota
+	// Sporadic messages are sent at most once per Period (minimal
+	// inter-arrival time), in response to asynchronous events.
+	Sporadic
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Periodic:
+		return "periodic"
+	case Sporadic:
+		return "sporadic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Priority is an 802.1p-style strict priority level. Smaller is more
+// urgent, matching the paper's numbering (priority 0 preempts queueing of
+// priority 1, etc.). The paper uses exactly four levels.
+type Priority int
+
+const (
+	P0 Priority = iota // urgent sporadic, ≤ 3 ms response
+	P1                 // periodic
+	P2                 // sporadic, 20–160 ms response
+	P3                 // sporadic, > 160 ms response
+
+	// NumPriorities is the number of levels the paper's 4-FCFS multiplexer
+	// provides.
+	NumPriorities = 4
+)
+
+// String returns e.g. "P1".
+func (p Priority) String() string { return fmt.Sprintf("P%d", int(p)) }
+
+// Valid reports whether p is one of the paper's four levels.
+func (p Priority) Valid() bool { return p >= P0 && p < NumPriorities }
+
+// Paper-given class boundaries.
+const (
+	// UrgentDeadline is the requested maximal response time of the urgent
+	// sporadic class (priority 0).
+	UrgentDeadline = 3 * simtime.Millisecond
+	// MinorFrame is the 1553B minor frame: the smallest message period in
+	// the case study, and the paper's assumed minimal inter-arrival of
+	// sporadic messages ("at most one sporadic message of each type once
+	// every minor frame").
+	MinorFrame = 20 * simtime.Millisecond
+	// MajorFrame is the 1553B major frame: the biggest message period.
+	MajorFrame = 160 * simtime.Millisecond
+)
+
+// Classify maps a message's kind and deadline to the paper's priority
+// class. Periodic messages are always P1; sporadic messages split on their
+// requested maximal response time.
+func Classify(kind Kind, deadline simtime.Duration) Priority {
+	if kind == Periodic {
+		return P1
+	}
+	switch {
+	case deadline <= UrgentDeadline:
+		return P0
+	case deadline <= MajorFrame:
+		return P2
+	default:
+		return P3
+	}
+}
+
+// Message is one logical connection of the avionics application: a typed,
+// sized, deadline-constrained stream between two stations. It is the unit
+// the paper calls a "connection" and shapes with one token bucket.
+type Message struct {
+	// Name identifies the connection, e.g. "nav/attitude".
+	Name string
+	// Source and Dest are station names from the topology.
+	Source, Dest string
+	// Kind is Periodic or Sporadic.
+	Kind Kind
+	// Period is Tᵢ: the period of a periodic message, or the minimal
+	// inter-arrival time of a sporadic one.
+	Period simtime.Duration
+	// Payload is the application payload carried per message instance,
+	// before any link-layer encapsulation (bᵢ is derived from this plus
+	// the frame overhead of the carrying network).
+	Payload simtime.Size
+	// Deadline is the requested maximal response time.
+	Deadline simtime.Duration
+	// Priority is the 802.1p class; normally Classify(Kind, Deadline).
+	Priority Priority
+}
+
+// Validate checks the message for internal consistency.
+func (m *Message) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("traffic: message without a name")
+	case m.Source == "" || m.Dest == "":
+		return fmt.Errorf("traffic: message %q lacks source or dest", m.Name)
+	case m.Source == m.Dest:
+		return fmt.Errorf("traffic: message %q sent to itself", m.Name)
+	case m.Kind != Periodic && m.Kind != Sporadic:
+		return fmt.Errorf("traffic: message %q has invalid kind %d", m.Name, m.Kind)
+	case m.Period <= 0:
+		return fmt.Errorf("traffic: message %q has non-positive period %v", m.Name, m.Period)
+	case m.Payload <= 0:
+		return fmt.Errorf("traffic: message %q has non-positive payload %v", m.Name, m.Payload)
+	case m.Deadline <= 0:
+		return fmt.Errorf("traffic: message %q has non-positive deadline %v", m.Name, m.Deadline)
+	case !m.Priority.Valid():
+		return fmt.Errorf("traffic: message %q has invalid priority %d", m.Name, m.Priority)
+	}
+	return nil
+}
+
+// Rate returns the sustained rate rᵢ = bits/Period for a given on-wire
+// size per instance (the token rate of the paper's shaper).
+func (m *Message) Rate(onWire simtime.Size) simtime.Rate {
+	// rate = bits * 1e9 / period_ns, rounded up to stay conservative.
+	bits := onWire.Bits()
+	ns := int64(m.Period)
+	return simtime.Rate((bits*int64(simtime.Second) + ns - 1) / ns)
+}
+
+// Set is an ordered collection of messages forming a workload.
+type Set struct {
+	Messages []*Message
+}
+
+// Validate checks every message and name uniqueness.
+func (s *Set) Validate() error {
+	seen := make(map[string]bool, len(s.Messages))
+	for _, m := range s.Messages {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("traffic: duplicate message name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+// ByPriority returns the messages of one priority class, in catalog order.
+func (s *Set) ByPriority(p Priority) []*Message {
+	var out []*Message
+	for _, m := range s.Messages {
+		if m.Priority == p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// BySource returns the messages emitted by one station.
+func (s *Set) BySource(station string) []*Message {
+	var out []*Message
+	for _, m := range s.Messages {
+		if m.Source == station {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByDest returns the messages received by one station.
+func (s *Set) ByDest(station string) []*Message {
+	var out []*Message
+	for _, m := range s.Messages {
+		if m.Dest == station {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Stations returns the sorted set of station names appearing as source or
+// destination.
+func (s *Set) Stations() []string {
+	set := map[string]bool{}
+	for _, m := range s.Messages {
+		set[m.Source] = true
+		set[m.Dest] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the message with the given name, or nil.
+func (s *Set) Find(name string) *Message {
+	for _, m := range s.Messages {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// TotalPayloadRate returns the aggregate application-payload rate of the
+// set (useful for utilization sanity checks; excludes framing overhead).
+func (s *Set) TotalPayloadRate() simtime.Rate {
+	var total float64
+	for _, m := range s.Messages {
+		total += float64(m.Payload.Bits()) / m.Period.Seconds()
+	}
+	return simtime.Rate(total)
+}
+
+// Counts returns the number of messages per priority class.
+func (s *Set) Counts() [NumPriorities]int {
+	var c [NumPriorities]int
+	for _, m := range s.Messages {
+		c[m.Priority]++
+	}
+	return c
+}

@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name     string
+		kind     Kind
+		deadline simtime.Duration
+		want     Priority
+	}{
+		{"periodic any deadline", Periodic, 20 * ms, P1},
+		{"periodic long deadline", Periodic, 500 * ms, P1},
+		{"urgent sporadic", Sporadic, 3 * ms, P0},
+		{"sub-urgent sporadic", Sporadic, 1 * ms, P0},
+		{"sporadic 20ms", Sporadic, 20 * ms, P2},
+		{"sporadic 160ms", Sporadic, 160 * ms, P2},
+		{"sporadic just over 160ms", Sporadic, 161 * ms, P3},
+		{"sporadic 640ms", Sporadic, 640 * ms, P3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.kind, tc.deadline); got != tc.want {
+				t.Errorf("Classify(%v, %v) = %v, want %v", tc.kind, tc.deadline, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPriorityStringAndValid(t *testing.T) {
+	if P2.String() != "P2" {
+		t.Errorf("String = %q", P2.String())
+	}
+	if !P0.Valid() || !P3.Valid() {
+		t.Error("P0/P3 should be valid")
+	}
+	if Priority(4).Valid() || Priority(-1).Valid() {
+		t.Error("out-of-range priorities should be invalid")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Periodic.String() != "periodic" || Sporadic.String() != "sporadic" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestMessageValidate(t *testing.T) {
+	good := Message{
+		Name: "m", Source: "a", Dest: "b", Kind: Periodic,
+		Period: 20 * ms, Payload: simtime.Bytes(32), Deadline: 20 * ms, Priority: P1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Message)
+	}{
+		{"empty name", func(m *Message) { m.Name = "" }},
+		{"no source", func(m *Message) { m.Source = "" }},
+		{"no dest", func(m *Message) { m.Dest = "" }},
+		{"self loop", func(m *Message) { m.Dest = m.Source }},
+		{"bad kind", func(m *Message) { m.Kind = Kind(9) }},
+		{"zero period", func(m *Message) { m.Period = 0 }},
+		{"zero payload", func(m *Message) { m.Payload = 0 }},
+		{"zero deadline", func(m *Message) { m.Deadline = 0 }},
+		{"bad priority", func(m *Message) { m.Priority = Priority(7) }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good
+			tc.mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("mutated message accepted")
+			}
+		})
+	}
+}
+
+func TestMessageRate(t *testing.T) {
+	m := Message{Period: 20 * ms}
+	// 672 bits / 20 ms = 33600 bit/s.
+	if got := m.Rate(simtime.Size(672)); got != 33600 {
+		t.Errorf("Rate = %v, want 33600", got)
+	}
+	// Rounds up: 1 bit / 3 ns → ceil(1e9/3) ... with period 3ns.
+	m2 := Message{Period: 3}
+	if got := m2.Rate(1); got != simtime.Rate((1*int64(simtime.Second)+2)/3) {
+		t.Errorf("Rate = %v", got)
+	}
+}
+
+func TestSetValidateDuplicates(t *testing.T) {
+	s := Set{Messages: []*Message{
+		{Name: "x", Source: "a", Dest: "b", Kind: Periodic, Period: ms, Payload: 8, Deadline: ms, Priority: P1},
+		{Name: "x", Source: "b", Dest: "a", Kind: Periodic, Period: ms, Payload: 8, Deadline: ms, Priority: P1},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	s := RealCase()
+	if got := s.Find("nav/attitude"); got == nil || got.Source != StationNav {
+		t.Fatalf("Find returned %+v", got)
+	}
+	if got := s.Find("no-such"); got != nil {
+		t.Error("Find of missing name should be nil")
+	}
+	bySrc := s.BySource(StationNav)
+	for _, m := range bySrc {
+		if m.Source != StationNav {
+			t.Errorf("BySource returned %q from %q", m.Name, m.Source)
+		}
+	}
+	byDst := s.ByDest(StationMC)
+	if len(byDst) == 0 {
+		t.Fatal("no messages to the mission computer")
+	}
+	for _, m := range byDst {
+		if m.Dest != StationMC {
+			t.Errorf("ByDest returned %q to %q", m.Name, m.Dest)
+		}
+	}
+	for p := P0; p < NumPriorities; p++ {
+		for _, m := range s.ByPriority(p) {
+			if m.Priority != p {
+				t.Errorf("ByPriority(%v) returned %v message %q", p, m.Priority, m.Name)
+			}
+		}
+	}
+	stations := s.Stations()
+	if len(stations) < 10 {
+		t.Errorf("only %d stations", len(stations))
+	}
+	for i := 1; i < len(stations); i++ {
+		if stations[i-1] >= stations[i] {
+			t.Error("Stations not sorted/unique")
+		}
+	}
+}
+
+func TestSetCounts(t *testing.T) {
+	s := RealCase()
+	c := s.Counts()
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	if total != len(s.Messages) {
+		t.Errorf("counts %v do not sum to %d", c, len(s.Messages))
+	}
+	for p := P0; p < NumPriorities; p++ {
+		if c[p] == 0 {
+			t.Errorf("no %v messages in real case", p)
+		}
+	}
+}
+
+// Property: Classify is monotone in deadline for sporadic messages —
+// a longer deadline never yields a more urgent class.
+func TestClassifyMonotoneProperty(t *testing.T) {
+	f := func(d1Raw, d2Raw uint32) bool {
+		d1 := simtime.Duration(d1Raw) + 1
+		d2 := simtime.Duration(d2Raw) + 1
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return Classify(Sporadic, d1) <= Classify(Sporadic, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

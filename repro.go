@@ -1,0 +1,145 @@
+// Package repro is the public façade of the reproduction of
+//
+//	A. Mifdaoui, F. Frances, C. Fraboul,
+//	"Real-Time Communication over Switched Ethernet for Military
+//	Applications", CoNEXT 2005 (student workshop).
+//
+// It re-exports the pieces a downstream user needs to bound and simulate
+// shaped real-time traffic over Full-Duplex Switched Ethernet:
+//
+//   - workload modelling: Message, Set, the four 802.1p priority classes,
+//     and the built-in real-case military catalog (RealCase);
+//   - the paper's analysis: FCFS and strict-priority delay bounds per
+//     multiplexer, per-connection single-hop (paper-faithful) and
+//     compositional end-to-end network analyses, backlog and jitter
+//     bounds;
+//   - discrete-event simulation of the full star network (shapers,
+//     multiplexers, store-and-forward switch) and of the MIL-STD-1553B
+//     baseline bus;
+//   - the experiment drivers behind every figure, table and claim in
+//     EXPERIMENTS.md.
+//
+// See examples/ for runnable entry points and cmd/rtether for the CLI.
+package repro
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// Re-exported workload types.
+type (
+	// Message is one avionics connection: kind, period, payload, deadline.
+	Message = traffic.Message
+	// Set is a workload of messages.
+	Set = traffic.Set
+	// Priority is an 802.1p class, P0 (urgent) through P3 (background).
+	Priority = traffic.Priority
+	// Kind distinguishes periodic from sporadic connections.
+	Kind = traffic.Kind
+)
+
+// Re-exported analysis types.
+type (
+	// Approach selects FCFS or strict-priority multiplexing.
+	Approach = analysis.Approach
+	// AnalysisConfig fixes C, t_techno and framing.
+	AnalysisConfig = analysis.Config
+	// Result is a full network analysis.
+	Result = analysis.Result
+	// PathBound is the analysis outcome for one connection.
+	PathBound = analysis.PathBound
+	// FlowSpec is a connection reduced to its (bᵢ, rᵢ) shape.
+	FlowSpec = analysis.FlowSpec
+)
+
+// Re-exported simulation and experiment types.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = core.SimConfig
+	// SimResult is a simulation outcome.
+	SimResult = core.SimResult
+	// Figure1 holds the paper's Figure 1 data.
+	Figure1 = core.Figure1
+	// Validation compares bounds with simulation (experiment S1).
+	Validation = core.Validation
+	// Baseline1553 is the legacy-bus comparison (experiment B1).
+	Baseline1553 = core.Baseline1553
+)
+
+// Workload constants and constructors.
+const (
+	Periodic = traffic.Periodic
+	Sporadic = traffic.Sporadic
+	P0       = traffic.P0
+	P1       = traffic.P1
+	P2       = traffic.P2
+	P3       = traffic.P3
+
+	// FCFS is approach 1: shaping only.
+	FCFS = analysis.FCFS
+	// PriorityHandling is approach 2: shaping + 802.1p priorities.
+	PriorityHandling = analysis.Priority
+)
+
+// RealCase returns the built-in real-case military workload (94
+// connections; see internal/traffic/catalog.go for its derivation from
+// the paper's stated envelope).
+func RealCase() *Set { return traffic.RealCase() }
+
+// RealCaseWith returns the workload scaled by extra generic remote
+// terminals (the load ablation's knob).
+func RealCaseWith(extraRTs int) *Set { return traffic.RealCaseWith(extraRTs) }
+
+// Classify maps kind and deadline onto the paper's priority classes.
+func Classify(kind Kind, deadline simtime.Duration) Priority {
+	return traffic.Classify(kind, deadline)
+}
+
+// DefaultConfig returns the paper's analysis parameters (10 Mbps, 140 µs).
+func DefaultConfig() AnalysisConfig { return analysis.DefaultConfig() }
+
+// SingleHop runs the paper-faithful analysis (one multiplexer per
+// destination port).
+func SingleHop(set *Set, a Approach, cfg AnalysisConfig) (*Result, error) {
+	return analysis.SingleHop(set, a, cfg)
+}
+
+// EndToEnd runs the compositional two-stage analysis.
+func EndToEnd(set *Set, a Approach, cfg AnalysisConfig) (*Result, error) {
+	return analysis.EndToEnd(set, a, cfg)
+}
+
+// DefaultSimConfig returns paper-matched simulation parameters.
+func DefaultSimConfig(a Approach) SimConfig { return core.DefaultSimConfig(a) }
+
+// Simulate runs the star-network discrete-event simulation.
+func Simulate(set *Set, cfg SimConfig) (*SimResult, error) { return core.Simulate(set, cfg) }
+
+// RunFigure1 computes the paper's Figure 1 data.
+func RunFigure1(set *Set, cfg AnalysisConfig) (*Figure1, error) { return core.RunFigure1(set, cfg) }
+
+// RunValidation checks simulated worst cases against analytic bounds.
+func RunValidation(set *Set, cfg SimConfig) (*Validation, error) {
+	return core.RunValidation(set, cfg)
+}
+
+// RunBaseline1553 runs the workload on the legacy MIL-STD-1553B bus.
+func RunBaseline1553(set *Set, bc string, horizon simtime.Duration, seed uint64) (*Baseline1553, error) {
+	return core.RunBaseline1553(set, bc, horizon, seed)
+}
+
+// Tree describes a multi-switch topology (see analysis.Tree).
+type Tree = analysis.Tree
+
+// TreeEndToEnd bounds every connection over an arbitrary switch tree.
+func TreeEndToEnd(set *Set, a Approach, cfg AnalysisConfig, tree *Tree) (*Result, error) {
+	return analysis.TreeEndToEnd(set, a, cfg, tree)
+}
+
+// SimulateTree simulates the workload over a switch tree.
+func SimulateTree(set *Set, cfg SimConfig, tree *Tree) (*SimResult, error) {
+	return core.SimulateTree(set, cfg, tree)
+}
