@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"fmt"
+
 	"testing"
 
 	"repro/internal/afdx"
@@ -124,7 +126,7 @@ func Benchmark1553Baseline(b *testing.B) {
 	var base *Baseline1553
 	var err error
 	for i := 0; i < b.N; i++ {
-		base, err = RunBaseline1553(set, traffic.StationMC, 500*simtime.Millisecond, 1)
+		base, err = RunBaseline1553(set, traffic.StationMC, 500*simtime.Millisecond, Serial(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +186,7 @@ func BenchmarkRateSweep(b *testing.B) {
 	var points []core.RatePoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		points, err = core.RunRateSweep(set, rates, DefaultConfig())
+		points, err = core.RunRateSweep(set, rates, DefaultConfig(), Serial(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +201,7 @@ func BenchmarkLoadSweep(b *testing.B) {
 	var points []core.LoadPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		points, err = core.RunLoadSweep([]int{0, 8, 16}, DefaultConfig())
+		points, err = core.RunLoadSweep([]int{0, 8, 16}, DefaultConfig(), Serial(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -540,5 +542,36 @@ func Benchmark1553MinorFrame(b *testing.B) {
 		traffic.Start(sim, set, traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}, bus.Release)
 		bus.Start()
 		sim.RunFor(simtime.Second)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The scenario-sweep engine.
+// ---------------------------------------------------------------------------
+
+// BenchmarkSweep runs the rate-sweep grid cross-validation (S3) — 8 cells
+// × 4 simulation replications each — under growing worker counts. The
+// serial and parallel runs produce bit-identical cells; on a machine with
+// ≥ 8 CPUs the workers=8 case completes the same grid ≥ 3× faster than
+// workers=1 (on fewer CPUs the speedup is capped by GOMAXPROCS).
+func BenchmarkSweep(b *testing.B) {
+	grid := core.Grid([]simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps,
+		50 * simtime.Mbps, 100 * simtime.Mbps}, []int{0, 8})
+	cfg := core.DefaultSimConfig(PriorityHandling)
+	cfg.Horizon = 100 * simtime.Millisecond
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, err := core.RunGrid(grid, cfg, core.SweepOptions{Workers: workers, Reps: 4, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range cells {
+					if !c.Sound() {
+						b.Fatalf("%v/%d RTs: bound violated", c.Point.Rate, c.Point.ExtraRTs)
+					}
+				}
+			}
+		})
 	}
 }

@@ -179,6 +179,9 @@ func cmdSimulate(args []string) error {
 func cmdBaseline(args []string) error {
 	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON")
+	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
+	reps := fs.Int("reps", 1, "Monte-Carlo bus replications")
+	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -193,12 +196,13 @@ func cmdBaseline(args []string) error {
 	if err != nil {
 		return err
 	}
-	b, err := core.RunBaseline1553(set, bc, 2*simtime.Second, 1)
+	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
+	b, err := core.RunBaseline1553(set, bc, 2*simtime.Second, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "MIL-STD-1553B baseline: BC=%s, utilization %.1f%%, overruns %d\n",
-		bc, 100*b.Utilization, b.Overruns)
+	fmt.Fprintf(stdout, "MIL-STD-1553B baseline: BC=%s, utilization %.1f%%, overruns %d (%d replications)\n",
+		bc, 100*b.Utilization, b.Overruns, b.Reps)
 	fmt.Fprintf(stdout, "schedule: worst minor frame %v periodic + %v sporadic budget (limit %v)\n\n",
 		b.Schedule.WorstPeriodicLoad(), b.Schedule.SporadicBudget(), traffic.MinorFrame)
 	tbl := report.NewTable("connection", "kind", "1553 worst case", "1553 observed max", "observed mean")
@@ -211,10 +215,19 @@ func cmdBaseline(args []string) error {
 	return err
 }
 
-// cmdSweep runs the link-rate ablation.
+// cmdSweep drives the parallel scenario-sweep engine: the link-rate
+// ablation, then a rates × loads grid whose every cell cross-validates
+// the analytic bounds against opts.Reps simulation replications. For a
+// fixed -seed the output is bit-identical at any -parallel value.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (rate ablation only; the grid uses the built-in catalog)")
+	parallel := fs.Int("parallel", 1, "concurrent scenario evaluations (0 = all CPUs)")
+	reps := fs.Int("reps", 1, "Monte-Carlo simulation replications per grid cell")
+	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
+	approachFlag := fs.String("approach", "priority", "grid simulation discipline: fcfs or priority")
+	horizon := fs.Duration("horizon", 500_000_000, "simulated time span per grid replication")
+	noGrid := fs.Bool("nogrid", false, "skip the grid cross-validation (rate ablation only)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -225,9 +238,11 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
+
 	rates := []simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 50 * simtime.Mbps,
 		100 * simtime.Mbps, simtime.Gbps}
-	points, err := core.RunRateSweep(set, rates, scen.AnalysisConfig())
+	points, err := core.RunRateSweep(set, rates, scen.AnalysisConfig(), opts)
 	if err != nil {
 		return err
 	}
@@ -236,14 +251,64 @@ func cmdSweep(args []string) error {
 		tbl.AddRow(p.Rate, p.FCFSUrgent, p.PriorityUrgent, p.FCFSViolations, p.PriorityViolations)
 	}
 	fmt.Fprintln(stdout, "link-rate ablation (A1): \"a higher rate is not sufficient\"")
-	_, err = tbl.WriteTo(stdout)
-	return err
+	if _, err := tbl.WriteTo(stdout); err != nil {
+		return err
+	}
+	if *noGrid {
+		return nil
+	}
+
+	approach, err := parseApproach(*approachFlag)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultSimConfig(approach)
+	cfg.TTechno = scen.AnalysisConfig().TTechno
+	cfg.Horizon = simtime.FromStd(*horizon)
+	// A single replication checks the deterministic critical instant;
+	// actual Monte-Carlo needs randomness to sample, so multiple
+	// replications run with random phases and sporadic gaps instead.
+	if *reps > 1 {
+		cfg.Mode = traffic.RandomGaps
+		cfg.MeanSlack = core.DefaultMeanSlack
+		cfg.AlignPhases = false
+	}
+	grid := core.Grid([]simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 100 * simtime.Mbps},
+		[]int{0, 8, 16})
+	cells, err := core.RunGrid(grid, cfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\ngrid cross-validation (S3): bounds vs %d×%v simulation under %v (%s sources)\n",
+		*reps, cfg.Horizon, approach, sourceRegime(cfg))
+	gt := report.NewTable("link rate", "extra RTs", "connections", "worst e2e bound",
+		"observed worst", "observed p99", "delivered", "analytic misses", "sound")
+	for _, c := range cells {
+		gt.AddRow(c.Point.Rate, c.Point.ExtraRTs, c.Connections, c.BoundWorst,
+			c.ObservedWorst, c.ObservedP99, c.Delivered, c.Violations, mark(c.Sound()))
+	}
+	if _, err := gt.WriteTo(stdout); err != nil {
+		return err
+	}
+	unsound := 0
+	for _, c := range cells {
+		if !c.Sound() {
+			unsound++
+		}
+	}
+	fmt.Fprintf(stdout, "cells with bound violations: %d of %d\n", unsound, len(cells))
+	return nil
 }
 
-// cmdValidate compares simulation against bounds.
+// cmdValidate compares simulation against bounds, optionally as a
+// replicated Monte-Carlo experiment on the sweep engine.
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON")
+	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
+	reps := fs.Int("reps", 1, "Monte-Carlo replications per approach")
+	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
+	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span per replication")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -254,19 +319,33 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
 	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
 		cfg := core.DefaultSimConfig(approach)
 		cfg.LinkRate = scen.AnalysisConfig().LinkRate
 		cfg.TTechno = scen.AnalysisConfig().TTechno
-		v, err := core.RunValidation(set, cfg)
+		cfg.Horizon = simtime.FromStd(*horizon)
+		// As in cmdSweep: replicated runs sample random phases/gaps,
+		// a single run checks the deterministic critical instant.
+		if *reps > 1 {
+			cfg.Mode = traffic.RandomGaps
+			cfg.MeanSlack = core.DefaultMeanSlack
+			cfg.AlignPhases = false
+		}
+		v, err := core.RunValidation(set, cfg, opts)
 		if err != nil {
 			return err
 		}
-		tbl := report.NewTable("connection", "class", "observed max", "e2e bound", "paper bound", "sound")
+		tbl := report.NewTable("connection", "class", "observed max", "observed p99", "e2e bound", "paper bound", "sound")
 		for _, r := range v.Rows {
-			tbl.AddRow(r.Name, r.Priority, r.Observed, r.Bound, r.PaperBound, mark(r.Sound()))
+			p99 := simtime.Duration(0)
+			if r.Latencies.N() > 0 {
+				p99 = r.Latencies.Quantile(0.99)
+			}
+			tbl.AddRow(r.Name, r.Priority, r.Observed, p99, r.Bound, r.PaperBound, mark(r.Sound()))
 		}
-		fmt.Fprintf(stdout, "== %v: all sound = %v ==\n", approach, v.AllSound())
+		fmt.Fprintf(stdout, "== %v (%d replications, %s sources): all sound = %v ==\n",
+			approach, v.Reps, sourceRegime(cfg), v.AllSound())
 		if _, err := tbl.WriteTo(stdout); err != nil {
 			return err
 		}
@@ -299,6 +378,14 @@ func parseApproach(s string) (analysis.Approach, error) {
 	default:
 		return 0, fmt.Errorf("unknown approach %q (want fcfs|priority)", s)
 	}
+}
+
+// sourceRegime names the traffic-source regime of a simulation config.
+func sourceRegime(cfg core.SimConfig) string {
+	if cfg.AlignPhases && cfg.Mode == traffic.Greedy {
+		return "critical-instant"
+	}
+	return "randomized"
 }
 
 func mark(ok bool) string {

@@ -7,10 +7,15 @@
 //	rtether figure1   [-config file.json] [-csv]   # the paper's Figure 1
 //	rtether analyze   [-config file.json] [-e2e]   # per-connection bounds
 //	rtether simulate  [-config file.json] [-approach fcfs|priority] [-horizon 2s]
-//	rtether baseline  [-config file.json]          # MIL-STD-1553B baseline
-//	rtether sweep     [-config file.json]          # link-rate ablation
-//	rtether validate  [-config file.json]          # bounds vs simulation
+//	rtether baseline  [-config file.json] [-reps n] [-parallel w] [-seed s]
+//	rtether sweep     [-parallel w] [-reps n] [-seed s] [-nogrid]  # scenario sweeps
+//	rtether validate  [-config file.json] [-reps n] [-parallel w] [-seed s]
 //	rtether scenario                               # print the built-in scenario JSON
+//
+// The sweep-style commands run on the parallel scenario-sweep engine:
+// -parallel sets the worker count (0 = all CPUs), -reps the number of
+// Monte-Carlo replications, -seed the root of the per-replication RNG
+// substreams. Output is bit-identical at any -parallel value.
 package main
 
 import (
@@ -77,7 +82,7 @@ commands:
   analyze    per-connection bounds (single-hop and end-to-end)
   simulate   run the discrete-event simulation and report latencies
   baseline   the same workload on a MIL-STD-1553B bus
-  sweep      bounds across link rates (10M/100M/1G)
+  sweep      rate ablation + rates × loads grid cross-validation (parallel engine)
   validate   check simulated worst cases against analytic bounds
   capacity   minimal link rate meeting all deadlines, per approach
   backlog    switch buffer dimensioning (backlog bounds per port)

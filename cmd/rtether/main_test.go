@@ -88,7 +88,8 @@ func TestCmdSimulatePCAP(t *testing.T) {
 
 func TestCmdBaseline(t *testing.T) {
 	out := capture(t, cmdBaseline)
-	for _, want := range []string{"MIL-STD-1553B baseline", "utilization", "ew/threat-warning"} {
+	for _, want := range []string{"MIL-STD-1553B baseline", "utilization", "ew/threat-warning",
+		"(1 replications)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
@@ -96,11 +97,40 @@ func TestCmdBaseline(t *testing.T) {
 }
 
 func TestCmdSweep(t *testing.T) {
-	out := capture(t, cmdSweep)
-	for _, want := range []string{"10Mbps", "100Mbps", "1Gbps"} {
+	out := capture(t, cmdSweep, "-horizon", "50ms")
+	for _, want := range []string{"10Mbps", "100Mbps", "1Gbps",
+		"grid cross-validation", "cells with bound violations: 0 of 9"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sweep missing %q", want)
 		}
+	}
+	if !strings.Contains(capture(t, cmdSweep, "-nogrid"), "link-rate ablation") {
+		t.Error("-nogrid lost the ablation")
+	}
+}
+
+// The acceptance contract of the sweep engine: for the same seed, the
+// command's full output is byte-identical at any -parallel value.
+func TestCmdSweepParallelDeterministic(t *testing.T) {
+	args := []string{"-horizon", "50ms", "-reps", "3", "-seed", "42"}
+	serial := capture(t, cmdSweep, append([]string{"-parallel", "1"}, args...)...)
+	par := capture(t, cmdSweep, append([]string{"-parallel", "8"}, args...)...)
+	if serial != par {
+		t.Errorf("sweep output differs between -parallel=1 and -parallel=8:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+func TestCmdValidateReplicated(t *testing.T) {
+	args := []string{"-horizon", "50ms", "-reps", "2", "-seed", "3"}
+	serial := capture(t, cmdValidate, append([]string{"-parallel", "1"}, args...)...)
+	for _, want := range []string{"== FCFS (2 replications, randomized sources): all sound = true ==",
+		"== priority (2 replications, randomized sources): all sound = true ==", "observed p99"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("validate missing %q", want)
+		}
+	}
+	if par := capture(t, cmdValidate, append([]string{"-parallel", "4"}, args...)...); par != serial {
+		t.Error("validate output differs across -parallel values")
 	}
 }
 

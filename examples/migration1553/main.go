@@ -27,7 +27,7 @@ func main() {
 	set := traffic.RealCase()
 
 	// (a) The legacy bus.
-	base, err := core.RunBaseline1553(set, traffic.StationMC, 2*simtime.Second, 1)
+	base, err := core.RunBaseline1553(set, traffic.StationMC, 2*simtime.Second, core.Serial(1))
 	if err != nil {
 		log.Fatal(err)
 	}

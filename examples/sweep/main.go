@@ -1,0 +1,72 @@
+// Sweep: the parallel scenario-sweep engine at work. A rates × loads grid
+// is cross-validated — per cell, the compositional end-to-end bounds are
+// checked against Monte-Carlo replications of the full discrete-event
+// simulation, every replication on its own deterministic RNG substream.
+// All cells and replications share one worker pool sized to the machine,
+// yet the printed numbers are bit-identical to a serial run: results come
+// back in input order and no seed depends on scheduling.
+//
+// Run with:
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func main() {
+	grid := core.Grid(
+		[]simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 100 * simtime.Mbps},
+		[]int{0, 8, 16},
+	)
+	cfg := core.DefaultSimConfig(analysis.Priority)
+	cfg.Horizon = 200 * simtime.Millisecond
+	// Monte-Carlo needs randomness to sample: random release phases and
+	// sporadic gaps instead of the deterministic critical instant.
+	cfg.Mode = traffic.RandomGaps
+	cfg.MeanSlack = core.DefaultMeanSlack
+	cfg.AlignPhases = false
+	opts := core.SweepOptions{Workers: 0 /* all CPUs */, Reps: 5, Seed: 2005}
+
+	cells, err := core.RunGrid(grid, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d grid cells × %d replications on %d CPUs — bounds vs simulation:\n\n",
+		len(cells), opts.Reps, runtime.GOMAXPROCS(0))
+	tbl := report.NewTable("link rate", "extra RTs", "worst e2e bound", "observed worst",
+		"observed p99", "margin", "sound")
+	unsound := 0
+	for _, c := range cells {
+		margin := fmt.Sprintf("%.0f%%", 100*(1-c.ObservedWorst.Seconds()/c.BoundWorst.Seconds()))
+		ok := "yes"
+		if !c.Sound() {
+			ok = "NO"
+			unsound++
+		}
+		tbl.AddRow(c.Point.Rate, c.Point.ExtraRTs, c.BoundWorst, c.ObservedWorst,
+			c.ObservedP99, margin, ok)
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	if unsound == 0 {
+		fmt.Println("Every observed latency stays below its analytic bound, at every rate")
+		fmt.Println("and load — the paper's worst-case analysis survives Monte-Carlo attack.")
+	} else {
+		fmt.Printf("%d cells violate their bounds — the analysis would be refuted!\n", unsound)
+	}
+}

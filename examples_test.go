@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every examples/* main, asserting each
+// exits cleanly and prints something. The examples are the documentation's
+// executable half — they must never rot.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test compiles binaries; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := t.TempDir() + "/" + name
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				out, err := cmd.CombinedOutput()
+				if err != nil {
+					t.Errorf("run failed: %v\n%s", err, out)
+					return
+				}
+				if strings.TrimSpace(string(out)) == "" {
+					t.Error("example printed nothing")
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				_ = cmd.Process.Kill()
+				<-done
+				t.Fatal("example did not terminate within 2 minutes")
+			}
+		})
+	}
+}

@@ -42,6 +42,9 @@ type SimConfig struct {
 	// Mode is the sporadic release behaviour (Greedy reproduces the
 	// worst-case assumption of the analysis).
 	Mode traffic.SporadicMode
+	// MeanSlack is the mean extra exponential gap between sporadic
+	// releases in RandomGaps mode (0 degenerates to Greedy spacing).
+	MeanSlack simtime.Duration
 	// AlignPhases releases every connection at t=0 (critical instant).
 	AlignPhases bool
 	// QueueCapacity bounds every queue in bytes (0 = unbounded; bounded
@@ -50,6 +53,11 @@ type SimConfig struct {
 	// BER is a residual bit-error rate applied to every link (0 = clean
 	// medium). Corrupted frames fail the receiver FCS and vanish.
 	BER float64
+	// CollectLatencies additionally records every delivery latency in a
+	// per-connection Histogram (FlowSim.Latencies) so replicated runs can
+	// be merged into exact quantiles. Off by default: the Summary is
+	// enough for single runs and costs no memory.
+	CollectLatencies bool
 	// Recorder, if non-nil, captures frame lifecycle events (released,
 	// shaped, delivered, dropped).
 	Recorder *trace.Recorder
@@ -109,6 +117,9 @@ type FlowSim struct {
 	Msg *traffic.Message
 	// Latency summarizes observed release-to-delivery times.
 	Latency stats.Summary
+	// Latencies holds every delivery latency when
+	// SimConfig.CollectLatencies is set (nil otherwise).
+	Latencies *stats.Histogram
 	// Released counts instances handed to the shaper.
 	Released int
 	// Delivered counts instances whose frame completed reception.
@@ -177,7 +188,11 @@ func Simulate(set *traffic.Set, cfg SimConfig) (*SimResult, error) {
 
 	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
 	for _, m := range set.Messages {
-		res.Flows[m.Name] = &FlowSim{Msg: m}
+		fs := &FlowSim{Msg: m}
+		if cfg.CollectLatencies {
+			fs.Latencies = &stats.Histogram{}
+		}
+		res.Flows[m.Name] = fs
 	}
 
 	record := func(ev trace.Event) {
@@ -203,6 +218,9 @@ func Simulate(set *traffic.Set, cfg SimConfig) (*SimResult, error) {
 			fs := res.Flows[in.Msg.Name]
 			lat := sim.Now().Sub(in.Release)
 			fs.Latency.Add(lat)
+			if fs.Latencies != nil {
+				fs.Latencies.Add(lat)
+			}
 			fs.Delivered++
 			if lat > simtime.Duration(in.Msg.Deadline) {
 				fs.DeadlineMisses++
@@ -256,7 +274,7 @@ func Simulate(set *traffic.Set, cfg SimConfig) (*SimResult, error) {
 	}
 
 	// Traffic sources feed the shapers (or, bypassed, the multiplexers).
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
 		func(in traffic.Instance) {
 			res.Flows[in.Msg.Name].Released++
 			record(trace.Event{At: sim.Now(), Kind: trace.Released, Conn: in.Msg.Name, Seq: in.Seq, Where: in.Msg.Source})

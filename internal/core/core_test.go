@@ -67,7 +67,7 @@ func TestSimulateDeterministic(t *testing.T) {
 func TestSimulationRespectsBounds(t *testing.T) {
 	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
 		cfg := DefaultSimConfig(approach)
-		v, err := RunValidation(traffic.RealCase(), cfg)
+		v, err := RunValidation(traffic.RealCase(), cfg, Serial(1))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/milstd1553"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -46,10 +47,13 @@ type ValidationRow struct {
 	Bound simtime.Duration
 	// PaperBound is the single-hop bound the paper would report.
 	PaperBound simtime.Duration
-	// Observed is the worst simulated latency.
+	// Observed is the worst simulated latency over all replications.
 	Observed simtime.Duration
 	// Delivered counts simulated deliveries backing Observed.
 	Delivered int
+	// Latencies holds every delivered latency, merged across
+	// replications — exact quantiles of the Monte-Carlo experiment.
+	Latencies *stats.Histogram
 }
 
 // Sound reports whether the observation respects the compositional bound.
@@ -59,7 +63,10 @@ func (r ValidationRow) Sound() bool { return r.Observed <= r.Bound }
 type Validation struct {
 	Approach analysis.Approach
 	Rows     []ValidationRow
-	Sim      *SimResult
+	// Sim is the first replication's full result.
+	Sim *SimResult
+	// Reps is the number of Monte-Carlo replications aggregated.
+	Reps int
 }
 
 // AllSound reports whether every connection respected its bound.
@@ -73,8 +80,13 @@ func (v *Validation) AllSound() bool {
 }
 
 // RunValidation simulates the scenario and compares every connection's
-// worst observed latency against the analytic bounds.
-func RunValidation(set *traffic.Set, cfg SimConfig) (*Validation, error) {
+// worst observed latency against the analytic bounds. With opts.Reps > 1
+// it becomes a Monte-Carlo experiment: the replications run on the sweep
+// engine (opts.Workers at a time, each on its own RNG substream of
+// opts.Seed — cfg.Seed is ignored), and every row aggregates the worst
+// observation, total deliveries, and the merged latency histogram across
+// all replications. Sim holds the first replication's full result.
+func RunValidation(set *traffic.Set, cfg SimConfig, opts SweepOptions) (*Validation, error) {
 	e2e, err := analysis.EndToEnd(set, cfg.Approach, cfg.AnalysisConfig())
 	if err != nil {
 		return nil, err
@@ -83,21 +95,37 @@ func RunValidation(set *traffic.Set, cfg SimConfig) (*Validation, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := Simulate(set, cfg)
+	seeds := make([]uint64, opts.reps())
+	for j := range seeds {
+		seeds[j] = des.SplitSeed(opts.Seed, uint64(j))
+	}
+	sims, err := sweep.Run(seeds, opts.workers(), func(seed uint64) (*SimResult, error) {
+		c := cfg
+		c.Seed = seed
+		c.CollectLatencies = true
+		return Simulate(set, c)
+	})
 	if err != nil {
 		return nil, err
 	}
-	v := &Validation{Approach: cfg.Approach, Sim: sim}
+	v := &Validation{Approach: cfg.Approach, Sim: sims[0], Reps: len(sims)}
 	for i, f := range e2e.Flows {
-		fs := sim.Flows[f.Spec.Msg.Name]
-		v.Rows = append(v.Rows, ValidationRow{
+		row := ValidationRow{
 			Name:       f.Spec.Msg.Name,
 			Priority:   f.Spec.Msg.Priority,
 			Bound:      f.EndToEnd,
 			PaperBound: paper.Flows[i].EndToEnd,
-			Observed:   fs.Latency.Max(),
-			Delivered:  fs.Delivered,
-		})
+			Latencies:  &stats.Histogram{},
+		}
+		for _, sim := range sims {
+			fs := sim.Flows[f.Spec.Msg.Name]
+			if fs.Latency.Max() > row.Observed {
+				row.Observed = fs.Latency.Max()
+			}
+			row.Delivered += fs.Delivered
+			row.Latencies.Merge(fs.Latencies)
+		}
+		v.Rows = append(v.Rows, row)
 	}
 	return v, nil
 }
@@ -115,29 +143,29 @@ type RatePoint struct {
 	FCFSViolations, PriorityViolations int
 }
 
-// RunRateSweep evaluates both approaches across link rates.
-func RunRateSweep(set *traffic.Set, rates []simtime.Rate, base analysis.Config) ([]RatePoint, error) {
-	var out []RatePoint
-	for _, rate := range rates {
+// RunRateSweep evaluates both approaches across link rates on the sweep
+// engine (opts.Workers points at a time). The analysis is deterministic,
+// so opts.Reps and opts.Seed are ignored.
+func RunRateSweep(set *traffic.Set, rates []simtime.Rate, base analysis.Config, opts SweepOptions) ([]RatePoint, error) {
+	return sweep.Run(rates, opts.workers(), func(rate simtime.Rate) (RatePoint, error) {
 		cfg := base
 		cfg.LinkRate = rate
 		f, err := analysis.SingleHop(set, analysis.FCFS, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: rate %v FCFS: %w", rate, err)
+			return RatePoint{}, fmt.Errorf("core: rate %v FCFS: %w", rate, err)
 		}
 		p, err := analysis.SingleHop(set, analysis.Priority, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: rate %v priority: %w", rate, err)
+			return RatePoint{}, fmt.Errorf("core: rate %v priority: %w", rate, err)
 		}
-		out = append(out, RatePoint{
+		return RatePoint{
 			Rate:               rate,
 			FCFSUrgent:         f.ClassWorst[traffic.P0],
 			PriorityUrgent:     p.ClassWorst[traffic.P0],
 			FCFSViolations:     f.Violations,
 			PriorityViolations: p.Violations,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // LoadPoint is one point of the station-count ablation (A2).
@@ -151,29 +179,28 @@ type LoadPoint struct {
 }
 
 // RunLoadSweep evaluates both approaches as generic remote terminals are
-// added to the catalog.
-func RunLoadSweep(extraRTs []int, cfg analysis.Config) ([]LoadPoint, error) {
-	var out []LoadPoint
-	for _, n := range extraRTs {
+// added to the catalog, one sweep-engine point per station count. Like
+// RunRateSweep it is deterministic, so opts.Reps and opts.Seed are ignored.
+func RunLoadSweep(extraRTs []int, cfg analysis.Config, opts SweepOptions) ([]LoadPoint, error) {
+	return sweep.Run(extraRTs, opts.workers(), func(n int) (LoadPoint, error) {
 		set := traffic.RealCaseWith(n)
 		f, err := analysis.SingleHop(set, analysis.FCFS, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: %d RTs FCFS: %w", n, err)
+			return LoadPoint{}, fmt.Errorf("core: %d RTs FCFS: %w", n, err)
 		}
 		p, err := analysis.SingleHop(set, analysis.Priority, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: %d RTs priority: %w", n, err)
+			return LoadPoint{}, fmt.Errorf("core: %d RTs priority: %w", n, err)
 		}
-		out = append(out, LoadPoint{
+		return LoadPoint{
 			ExtraRTs:           n,
 			Connections:        len(set.Messages),
 			FCFSUrgent:         f.ClassWorst[traffic.P0],
 			PriorityUrgent:     p.ClassWorst[traffic.P0],
 			FCFSViolations:     f.Violations,
 			PriorityViolations: p.Violations,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BaselineFlow is one connection's behaviour on the 1553B baseline.
@@ -187,10 +214,15 @@ type BaselineFlow struct {
 
 // Baseline1553 is experiment B1: the same workload on the legacy bus.
 type Baseline1553 struct {
-	Schedule    *milstd1553.Schedule
-	Flows       map[string]*BaselineFlow
-	Overruns    int
+	Schedule *milstd1553.Schedule
+	Flows    map[string]*BaselineFlow
+	// Overruns totals minor-frame overruns across replications.
+	Overruns int
+	// Utilization is the measured bus utilization, averaged over
+	// replications.
 	Utilization float64
+	// Reps is the number of Monte-Carlo replications aggregated.
+	Reps int
 }
 
 // SortedNames returns connection names in sorted order.
@@ -203,9 +235,21 @@ func (b *Baseline1553) SortedNames() []string {
 	return out
 }
 
+// baselineRep is one replication's measurements of the 1553 bus.
+type baselineRep struct {
+	observed    map[string]*stats.Summary
+	overruns    int
+	utilization float64
+}
+
 // RunBaseline1553 builds the 1553 schedule for the workload, simulates it,
-// and pairs analytic worst cases with observed latencies.
-func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, seed uint64) (*Baseline1553, error) {
+// and pairs analytic worst cases with observed latencies. A single
+// replication runs the deterministic critical instant (greedy aligned
+// sources); with opts.Reps > 1 the bus instead runs that many Monte-Carlo
+// replications with randomized release phases and sporadic gaps, each on
+// its own RNG substream of opts.Seed (opts.Workers at a time), and
+// per-connection observations are merged across replications.
+func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, opts SweepOptions) (*Baseline1553, error) {
 	schedule, err := milstd1553.Build(set, bc)
 	if err != nil {
 		return nil, err
@@ -213,7 +257,7 @@ func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, seed
 	if !schedule.Feasible() {
 		return nil, fmt.Errorf("core: 1553 schedule infeasible for this workload")
 	}
-	out := &Baseline1553{Schedule: schedule, Flows: map[string]*BaselineFlow{}}
+	out := &Baseline1553{Schedule: schedule, Flows: map[string]*BaselineFlow{}, Reps: opts.reps()}
 	for _, m := range set.Messages {
 		wc, err := schedule.WorstCaseLatency(m)
 		if err != nil {
@@ -222,16 +266,49 @@ func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, seed
 		out.Flows[m.Name] = &BaselineFlow{Name: m.Name, WorstCase: wc}
 	}
 
-	sim := des.New(seed)
-	bus := milstd1553.NewBus(sim, schedule)
-	bus.OnDeliver = func(d milstd1553.Delivery) {
-		out.Flows[d.Msg.Name].Observed.Add(d.Latency())
+	src := traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}
+	if opts.reps() > 1 {
+		// The critical instant is deterministic — identical replications
+		// would sample nothing. Monte-Carlo replications randomize.
+		src = traffic.SourceConfig{Mode: traffic.RandomGaps, MeanSlack: DefaultMeanSlack, AlignPhases: false}
 	}
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: traffic.Greedy, AlignPhases: true}, bus.Release)
-	bus.Start()
-	sim.RunFor(horizon)
-
-	out.Overruns = bus.Overruns
-	out.Utilization = bus.MeasuredUtilization()
+	seeds := make([]uint64, opts.reps())
+	for j := range seeds {
+		seeds[j] = des.SplitSeed(opts.Seed, uint64(j))
+	}
+	reps, err := sweep.Run(seeds, opts.workers(), func(seed uint64) (baselineRep, error) {
+		// Each replication gets its own schedule instance: the bus owns
+		// the schedule's cursor state while running.
+		sched, err := milstd1553.Build(set, bc)
+		if err != nil {
+			return baselineRep{}, err
+		}
+		rep := baselineRep{observed: map[string]*stats.Summary{}}
+		for _, m := range set.Messages {
+			rep.observed[m.Name] = &stats.Summary{}
+		}
+		sim := des.New(seed)
+		bus := milstd1553.NewBus(sim, sched)
+		bus.OnDeliver = func(d milstd1553.Delivery) {
+			rep.observed[d.Msg.Name].Add(d.Latency())
+		}
+		traffic.Start(sim, set, src, bus.Release)
+		bus.Start()
+		sim.RunFor(horizon)
+		rep.overruns = bus.Overruns
+		rep.utilization = bus.MeasuredUtilization()
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reps {
+		for name, s := range rep.observed {
+			out.Flows[name].Observed.Merge(s)
+		}
+		out.Overruns += rep.overruns
+		out.Utilization += rep.utilization
+	}
+	out.Utilization /= float64(len(reps))
 	return out, nil
 }

@@ -37,7 +37,7 @@ func TestRunFigure1(t *testing.T) {
 
 func TestRunRateSweep(t *testing.T) {
 	rates := []simtime.Rate{10 * simtime.Mbps, 100 * simtime.Mbps, simtime.Gbps}
-	points, err := RunRateSweep(traffic.RealCase(), rates, analysis.DefaultConfig())
+	points, err := RunRateSweep(traffic.RealCase(), rates, analysis.DefaultConfig(), Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,13 +66,13 @@ func TestRunRateSweep(t *testing.T) {
 	if points[2].FCFSViolations != 0 {
 		t.Error("1 Gbps FCFS still violates — sweep shape wrong")
 	}
-	if _, err := RunRateSweep(traffic.RealCase(), []simtime.Rate{100 * simtime.Kbps}, analysis.DefaultConfig()); err == nil {
+	if _, err := RunRateSweep(traffic.RealCase(), []simtime.Rate{100 * simtime.Kbps}, analysis.DefaultConfig(), Serial(1)); err == nil {
 		t.Error("unstable rate accepted")
 	}
 }
 
 func TestRunLoadSweep(t *testing.T) {
-	points, err := RunLoadSweep([]int{0, 4, 8, 16}, analysis.DefaultConfig())
+	points, err := RunLoadSweep([]int{0, 4, 8, 16}, analysis.DefaultConfig(), Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRunLoadSweep(t *testing.T) {
 }
 
 func TestRunBaseline1553(t *testing.T) {
-	b, err := RunBaseline1553(traffic.RealCase(), traffic.StationMC, 2*simtime.Second, 1)
+	b, err := RunBaseline1553(traffic.RealCase(), traffic.StationMC, 2*simtime.Second, Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestRunBaseline1553(t *testing.T) {
 			t.Errorf("%s: observed %v exceeds analytic %v", name, f.Observed.Max(), f.WorstCase)
 		}
 	}
-	if _, err := RunBaseline1553(traffic.RealCase(), "ghost", simtime.Second, 1); err == nil {
+	if _, err := RunBaseline1553(traffic.RealCase(), "ghost", simtime.Second, Serial(1)); err == nil {
 		t.Error("unknown BC accepted")
 	}
 }
@@ -133,7 +133,7 @@ func TestRunBaseline1553(t *testing.T) {
 // traffic is hopeless on polled 1553 but comfortably bounded on prioritized
 // Ethernet — and periodic latencies improve by an order of magnitude.
 func TestMigrationComparison(t *testing.T) {
-	b, err := RunBaseline1553(traffic.RealCase(), traffic.StationMC, simtime.Second, 1)
+	b, err := RunBaseline1553(traffic.RealCase(), traffic.StationMC, simtime.Second, Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}

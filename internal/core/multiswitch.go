@@ -8,6 +8,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/shaper"
 	"repro/internal/simtime"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -55,7 +56,11 @@ func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignme
 
 	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
 	for _, m := range set.Messages {
-		res.Flows[m.Name] = &FlowSim{Msg: m}
+		fs := &FlowSim{Msg: m}
+		if cfg.CollectLatencies {
+			fs.Latencies = &stats.Histogram{}
+		}
+		res.Flows[m.Name] = fs
 	}
 
 	names := set.Stations()
@@ -76,6 +81,9 @@ func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignme
 			fs := res.Flows[in.Msg.Name]
 			lat := sim.Now().Sub(in.Release)
 			fs.Latency.Add(lat)
+			if fs.Latencies != nil {
+				fs.Latencies.Add(lat)
+			}
 			fs.Delivered++
 			if lat > simtime.Duration(in.Msg.Deadline) {
 				fs.DeadlineMisses++
@@ -101,7 +109,7 @@ func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignme
 			}
 		})
 	}
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
 		func(in traffic.Instance) {
 			res.Flows[in.Msg.Name].Released++
 			shapers[in.Msg.Name].Submit(&ethernet.Frame{

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/traffic"
+)
+
+// SweepOptions are the knobs of the parallel scenario-sweep engine shared
+// by every Run* driver. The zero value means: serial, one replication,
+// root seed 0.
+type SweepOptions struct {
+	// Workers is the number of concurrent scenario evaluations. ≤ 0
+	// selects GOMAXPROCS; results are bit-identical at any value.
+	Workers int
+	// Reps is the number of Monte-Carlo replications per stochastic
+	// scenario point (≤ 1 means a single run). Purely analytic sweeps
+	// ignore it.
+	Reps int
+	// Seed is the root seed. Replication j of point i draws the
+	// deterministic substream des.SplitSeed(Seed, i*Reps+j), so no driver
+	// uses Seed directly as a simulator seed.
+	Seed uint64
+}
+
+// Serial returns the engine configuration matching the historical serial
+// drivers: one worker, one replication, the given root seed.
+func Serial(seed uint64) SweepOptions { return SweepOptions{Workers: 1, Reps: 1, Seed: seed} }
+
+// DefaultMeanSlack is the mean extra exponential gap between sporadic
+// releases used when Monte-Carlo replications randomize the sources
+// (SimConfig.MeanSlack in RandomGaps mode). A quarter of the shortest
+// sporadic inter-arrival in the catalog: enough to decorrelate
+// replications without starving the bus of traffic.
+const DefaultMeanSlack = 5 * simtime.Millisecond
+
+func (o SweepOptions) workers() int {
+	return sweep.Workers(o.Workers)
+}
+
+func (o SweepOptions) reps() int {
+	if o.Reps < 1 {
+		return 1
+	}
+	return o.Reps
+}
+
+// GridPoint is one cell coordinate of the rates × loads cross-validation
+// grid: a link rate and a workload scale (extra generic remote terminals
+// on top of the real case, as in RunLoadSweep).
+type GridPoint struct {
+	Rate     simtime.Rate
+	ExtraRTs int
+}
+
+// GridCell is the aggregated outcome of one grid cell: the analytic
+// end-to-end bounds cross-validated against Reps independent simulation
+// replications.
+type GridCell struct {
+	Point       GridPoint
+	Connections int
+	// BoundWorst is the worst analytic end-to-end bound over all
+	// connections; Violations counts analytic deadline misses.
+	BoundWorst simtime.Duration
+	Violations int
+	// ObservedWorst is the worst simulated latency over all connections
+	// and replications; ObservedP99 is the 0.99 quantile of every
+	// delivered latency (merged across connections and replications).
+	ObservedWorst simtime.Duration
+	ObservedP99   simtime.Duration
+	// Delivered totals deliveries across replications; Unsound counts
+	// connections whose observed latency exceeded their analytic bound
+	// (must be 0 — the cross-validation's verdict).
+	Delivered int
+	Unsound   int
+	Reps      int
+}
+
+// Sound reports whether every connection respected its bound.
+func (c GridCell) Sound() bool { return c.Unsound == 0 }
+
+// Grid builds the cross product of rates × loads in row-major order
+// (loads vary fastest).
+func Grid(rates []simtime.Rate, loads []int) []GridPoint {
+	out := make([]GridPoint, 0, len(rates)*len(loads))
+	for _, r := range rates {
+		for _, l := range loads {
+			out = append(out, GridPoint{Rate: r, ExtraRTs: l})
+		}
+	}
+	return out
+}
+
+// RunGrid cross-validates the analytic bounds against simulated delays on
+// every grid point: per cell it computes the compositional end-to-end
+// bounds, runs opts.Reps independent simulation replications on RNG
+// substreams of opts.Seed, and checks every connection's observed latency
+// against its bound. The workload at each point is
+// traffic.RealCaseWith(ExtraRTs); base supplies every other simulation
+// parameter (its LinkRate and Seed are overridden per cell).
+func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell, error) {
+	reps := opts.reps()
+	sims, err := sweep.Replicate(points, reps, opts.workers(), opts.Seed,
+		func(p GridPoint, seed uint64) (*SimResult, error) {
+			cfg := base
+			cfg.LinkRate = p.Rate
+			cfg.Seed = seed
+			cfg.CollectLatencies = true
+			return Simulate(traffic.RealCaseWith(p.ExtraRTs), cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]GridCell, len(points))
+	for i, p := range points {
+		set := traffic.RealCaseWith(p.ExtraRTs)
+		cfg := base
+		cfg.LinkRate = p.Rate
+		e2e, err := analysis.EndToEnd(set, base.Approach, cfg.AnalysisConfig())
+		if err != nil {
+			return nil, fmt.Errorf("core: grid %v/%d RTs: %w", p.Rate, p.ExtraRTs, err)
+		}
+		cell := GridCell{Point: p, Connections: len(set.Messages), Violations: e2e.Violations, Reps: reps}
+		merged := &stats.Histogram{}
+		for _, f := range e2e.Flows {
+			if f.EndToEnd > cell.BoundWorst {
+				cell.BoundWorst = f.EndToEnd
+			}
+			worst := simtime.Duration(0)
+			for _, sim := range sims[i] {
+				fs := sim.Flows[f.Spec.Msg.Name]
+				merged.Merge(fs.Latencies)
+				cell.Delivered += fs.Delivered
+				if fs.Latency.Max() > worst {
+					worst = fs.Latency.Max()
+				}
+			}
+			if worst > f.EndToEnd {
+				cell.Unsound++
+			}
+			if worst > cell.ObservedWorst {
+				cell.ObservedWorst = worst
+			}
+		}
+		if merged.N() > 0 {
+			cell.ObservedP99 = merged.Quantile(0.99)
+		}
+		out[i] = cell
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/shaper"
 	"repro/internal/simtime"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -64,7 +65,11 @@ func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimRes
 
 	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
 	for _, m := range set.Messages {
-		res.Flows[m.Name] = &FlowSim{Msg: m}
+		fs := &FlowSim{Msg: m}
+		if cfg.CollectLatencies {
+			fs.Latencies = &stats.Histogram{}
+		}
+		res.Flows[m.Name] = fs
 	}
 
 	names := set.Stations()
@@ -82,6 +87,9 @@ func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimRes
 			fs := res.Flows[in.Msg.Name]
 			lat := sim.Now().Sub(in.Release)
 			fs.Latency.Add(lat)
+			if fs.Latencies != nil {
+				fs.Latencies.Add(lat)
+			}
 			fs.Delivered++
 			if lat > simtime.Duration(in.Msg.Deadline) {
 				fs.DeadlineMisses++
@@ -121,7 +129,7 @@ func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimRes
 			}
 		})
 	}
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, AlignPhases: cfg.AlignPhases},
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
 		func(in traffic.Instance) {
 			res.Flows[in.Msg.Name].Released++
 			shapers[in.Msg.Name].Submit(&ethernet.Frame{

@@ -31,6 +31,25 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// SplitSeed derives the seed of substream i from a root seed. It is a pure
+// function of (root, i): scenario sweeps hand substream i to the worker that
+// evaluates point i, so results are bit-identical at any worker count and
+// independent of scheduling order. The mixing is two rounds of the
+// splitmix64 finalizer over root and i, which decorrelates even adjacent
+// (root, i) pairs.
+func SplitSeed(root, i uint64) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	return mix(mix(root+0x9e3779b97f4a7c15) + i*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+}
+
+// Stream returns the generator of substream i of the given root seed; see
+// SplitSeed for the determinism contract.
+func Stream(root, i uint64) *RNG { return NewRNG(SplitSeed(root, i)) }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

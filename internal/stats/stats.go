@@ -141,14 +141,26 @@ func (h *Histogram) Quantile(q float64) simtime.Duration {
 	return h.samples[idx]
 }
 
+// Merge folds another histogram into h (parallel or replicated
+// collection). The other histogram is not modified.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
 // Buckets partitions the samples into n equal-width bins between min and
-// max, returning the bin edges and counts (for ASCII rendering).
+// max, returning the bin edges and counts (for ASCII rendering). Like
+// Quantile, it panics on an empty histogram or a non-positive bucket
+// count — bucketing nothing is a caller bug.
 func (h *Histogram) Buckets(n int) (edges []simtime.Duration, counts []int) {
 	if n <= 0 {
 		panic("stats: non-positive bucket count")
 	}
 	if len(h.samples) == 0 {
-		return nil, nil
+		panic("stats: buckets of empty histogram")
 	}
 	lo := h.Quantile(0)
 	hi := h.Quantile(1)

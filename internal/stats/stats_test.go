@@ -117,11 +117,14 @@ func TestHistogramQuantileAfterMoreAdds(t *testing.T) {
 }
 
 func TestHistogramPanics(t *testing.T) {
-	var h Histogram
-	for name, fn := range map[string]func(){
-		"empty quantile": func() { h.Quantile(0.5) },
-		"bad q":          func() { h.Add(1); h.Quantile(1.5) },
-		"zero buckets":   func() { h.Buckets(0) },
+	// Each subtest gets a fresh Histogram: map iteration order is random,
+	// and a shared histogram would let "bad q" (which Adds a sample) run
+	// before "empty quantile" and defeat its empty-state premise.
+	for name, fn := range map[string]func(h *Histogram){
+		"empty quantile": func(h *Histogram) { h.Quantile(0.5) },
+		"empty buckets":  func(h *Histogram) { h.Buckets(5) },
+		"bad q":          func(h *Histogram) { h.Add(1); h.Quantile(1.5) },
+		"zero buckets":   func(h *Histogram) { h.Add(1); h.Buckets(0) },
 	} {
 		func() {
 			defer func() {
@@ -129,8 +132,46 @@ func TestHistogramPanics(t *testing.T) {
 					t.Errorf("%s should panic", name)
 				}
 			}()
-			fn()
+			var h Histogram
+			fn(&h)
 		}()
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 50; i++ {
+		d := simtime.Duration(i) * simtime.Microsecond
+		all.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	a.Quantile(0.5) // force a sort; Merge must invalidate it
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %v after merge, want %v", q, got, want)
+		}
+	}
+	if b.N() != 25 {
+		t.Errorf("merge modified the source (N = %d)", b.N())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.N() != all.N() {
+		t.Error("merging empty/nil changed the histogram")
+	}
+	var fresh Histogram
+	fresh.Merge(&a)
+	if fresh.N() != a.N() || fresh.Quantile(1) != a.Quantile(1) {
+		t.Error("merge into empty broken")
 	}
 }
 
@@ -149,10 +190,6 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if total != 100 {
 		t.Errorf("bucket counts sum to %d", total)
-	}
-	var empty Histogram
-	if e, c := empty.Buckets(5); e != nil || c != nil {
-		t.Error("empty histogram should produce nil buckets")
 	}
 	var constant Histogram
 	constant.Add(7)

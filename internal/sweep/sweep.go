@@ -1,0 +1,143 @@
+// Package sweep is the parallel scenario-sweep engine: a generic,
+// order-preserving worker pool that evaluates many experiment points
+// (link rates, station counts, Monte-Carlo seeds, whole grid cells)
+// concurrently while keeping the output bit-identical to a serial run.
+//
+// Determinism contract: fn must be a pure function of its point (any
+// randomness must come from a seed carried inside the point, derived with
+// des.SplitSeed). Under that contract, Run returns the same []R for any
+// worker count — results are written to the slot of their input index, and
+// scheduling order never leaks into the output.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/des"
+)
+
+// Workers normalizes a worker-count knob: n ≥ 1 is used as given, and
+// n ≤ 0 selects GOMAXPROCS (the "use the machine" default for CLIs).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pool dispatches indices [0, n) to the given number of workers. It fails
+// fast: after the first error no new indices are dispatched, in-flight
+// evaluations finish, and the error of the lowest failing index is
+// returned with that index (so the report does not depend on the worker
+// count). Returns (-1, nil) on success.
+func pool(n, workers int, eval func(i int) error) (int, error) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := eval(i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+
+	var (
+		next    atomic.Int64 // next undispatched index
+		failed  atomic.Bool  // stops dispatch after the first error
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := eval(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errIdx, firstEr
+}
+
+// Run evaluates fn over every point with the given number of workers and
+// returns the results in input order. On error the results are nil and
+// the lowest failing point is named.
+func Run[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	return RunIndexed(points, workers, func(_ int, p P) (R, error) { return fn(p) })
+}
+
+// RunIndexed is Run with the point index passed to fn — the hook sweeps
+// use to derive per-point RNG substreams from a root seed.
+func RunIndexed[P, R any](points []P, workers int, fn func(i int, p P) (R, error)) ([]R, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	out := make([]R, len(points))
+	idx, err := pool(len(points), workers, func(i int) error {
+		r, err := fn(i, points[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: %w", idx, err)
+	}
+	return out, nil
+}
+
+// Replicate is the Monte-Carlo mode: every point is evaluated reps times,
+// replication j of point i receiving the deterministic RNG substream seed
+// des.SplitSeed(rootSeed, i*reps+j). All point×rep jobs share one worker
+// pool, so a sweep of few points with many replications still saturates
+// the machine. Results come back grouped per point, replications in order.
+func Replicate[P, R any](points []P, reps, workers int, rootSeed uint64, fn func(p P, seed uint64) (R, error)) ([][]R, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	flat := make([]R, len(points)*reps)
+	idx, err := pool(len(flat), workers, func(k int) error {
+		r, err := fn(points[k/reps], des.SplitSeed(rootSeed, uint64(k)))
+		if err != nil {
+			return err
+		}
+		flat[k] = r
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d replication %d: %w", idx/reps, idx%reps, err)
+	}
+	out := make([][]R, len(points))
+	for i := range points {
+		out[i] = flat[i*reps : (i+1)*reps]
+	}
+	return out, nil
+}

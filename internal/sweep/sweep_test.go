@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		got, err := Run(points, workers, func(p int) (int, error) { return p * p, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(nil, 4, func(p int) (int, error) { return p, nil })
+	if err != nil || got != nil {
+		t.Errorf("empty run = %v, %v", got, err)
+	}
+}
+
+func TestRunErrorLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	points := make([]int, 64)
+	for _, workers := range []int{1, 8} {
+		_, err := Run(points, workers, func(p int) (int, error) {
+			return 0, boom // every point fails; index 0 must win
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "point 0") {
+			t.Errorf("workers=%d: error not attributed to lowest index: %v", workers, err)
+		}
+	}
+}
+
+func TestRunFailsFast(t *testing.T) {
+	// After the first error no new points may be dispatched; with
+	// dispatch racing completion we can only assert "far fewer than all".
+	var calls atomic.Int64
+	points := make([]int, 10_000)
+	_, err := Run(points, 4, func(int) (int, error) {
+		if calls.Add(1) == 1 {
+			return 0, errors.New("first")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := calls.Load(); n > int64(len(points)/2) {
+		t.Errorf("fail-fast dispatched %d of %d points", n, len(points))
+	}
+}
+
+func TestRunIndexedPassesIndex(t *testing.T) {
+	points := []string{"a", "b", "c"}
+	got, err := RunIndexed(points, 2, func(i int, p string) (string, error) {
+		return fmt.Sprintf("%d:%s", i, p), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"0:a", "1:b", "2:c"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count not honoured")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Error("n <= 0 should select GOMAXPROCS")
+	}
+}
+
+func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
+	points := []int{10, 20, 30}
+	run := func(workers int) [][]uint64 {
+		out, err := Replicate(points, 4, workers, 99, func(p int, seed uint64) (uint64, error) {
+			return uint64(p) ^ des.Stream(seed, 0).Uint64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	if len(serial) != 3 || len(serial[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(serial), len(serial[0]))
+	}
+	if !reflect.DeepEqual(serial, run(8)) {
+		t.Error("replicated results differ across worker counts")
+	}
+	// Distinct (point, rep) jobs must see distinct seeds.
+	seen := map[uint64]bool{}
+	_, err := Replicate(points, 4, 1, 99, func(_ int, seed uint64) (int, error) {
+		if seen[seed] {
+			t.Errorf("seed %d reused", seed)
+		}
+		seen[seed] = true
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Replicate([]int{1, 2}, 3, 2, 1, func(p int, _ uint64) (int, error) {
+		if p == 2 {
+			return 0, boom
+		}
+		return p, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// The error names the caller's point and replication, not the
+	// flattened job index (which would be 3 here).
+	if !strings.Contains(err.Error(), "point 1 replication 0") {
+		t.Errorf("error not attributed to (point, replication): %v", err)
+	}
+}

@@ -67,6 +67,13 @@ type (
 	Validation = core.Validation
 	// Baseline1553 is the legacy-bus comparison (experiment B1).
 	Baseline1553 = core.Baseline1553
+	// SweepOptions configures the parallel scenario-sweep engine
+	// (workers, Monte-Carlo replications, root seed).
+	SweepOptions = core.SweepOptions
+	// GridPoint is one rates × loads cross-validation cell coordinate.
+	GridPoint = core.GridPoint
+	// GridCell is one cross-validation cell's aggregated outcome.
+	GridCell = core.GridCell
 )
 
 // Workload constants and constructors.
@@ -121,14 +128,29 @@ func Simulate(set *Set, cfg SimConfig) (*SimResult, error) { return core.Simulat
 // RunFigure1 computes the paper's Figure 1 data.
 func RunFigure1(set *Set, cfg AnalysisConfig) (*Figure1, error) { return core.RunFigure1(set, cfg) }
 
-// RunValidation checks simulated worst cases against analytic bounds.
-func RunValidation(set *Set, cfg SimConfig) (*Validation, error) {
-	return core.RunValidation(set, cfg)
+// Serial returns the sweep-engine options matching the historical serial
+// drivers: one worker, one replication, the given root seed.
+func Serial(seed uint64) SweepOptions { return core.Serial(seed) }
+
+// RunValidation checks simulated worst cases against analytic bounds,
+// optionally replicated and parallelized via opts.
+func RunValidation(set *Set, cfg SimConfig, opts SweepOptions) (*Validation, error) {
+	return core.RunValidation(set, cfg, opts)
 }
 
-// RunBaseline1553 runs the workload on the legacy MIL-STD-1553B bus.
-func RunBaseline1553(set *Set, bc string, horizon simtime.Duration, seed uint64) (*Baseline1553, error) {
-	return core.RunBaseline1553(set, bc, horizon, seed)
+// RunBaseline1553 runs the workload on the legacy MIL-STD-1553B bus,
+// optionally replicated and parallelized via opts.
+func RunBaseline1553(set *Set, bc string, horizon simtime.Duration, opts SweepOptions) (*Baseline1553, error) {
+	return core.RunBaseline1553(set, bc, horizon, opts)
+}
+
+// Grid builds the cross product of link rates × extra remote terminals.
+func Grid(rates []simtime.Rate, loads []int) []GridPoint { return core.Grid(rates, loads) }
+
+// RunGrid cross-validates analytic bounds against simulated delays on
+// every grid point using the parallel scenario-sweep engine.
+func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell, error) {
+	return core.RunGrid(points, base, opts)
 }
 
 // Tree describes a multi-switch topology (see analysis.Tree).

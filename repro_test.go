@@ -63,7 +63,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if fig.FCFS == nil || fig.Priority == nil {
 		t.Fatal("Figure1 series missing")
 	}
-	base, err := RunBaseline1553(RealCase(), traffic.StationMC, 200*simtime.Millisecond, 1)
+	base, err := RunBaseline1553(RealCase(), traffic.StationMC, 200*simtime.Millisecond, Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	cfg := DefaultSimConfig(FCFS)
 	cfg.Horizon = 200 * simtime.Millisecond
-	v, err := RunValidation(RealCase(), cfg)
+	v, err := RunValidation(RealCase(), cfg, Serial(1))
 	if err != nil {
 		t.Fatal(err)
 	}
