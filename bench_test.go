@@ -452,6 +452,60 @@ func BenchmarkTreeTopology(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// M3 — the unified engine's new scenario families (daisy-chain backbone and
+// dual-redundant network).
+// ---------------------------------------------------------------------------
+
+// BenchmarkChainTopology simulates the real case over a four-switch
+// daisy-chain backbone on the unified engine and reports the worst urgent
+// latency against the tree-composed bound.
+func BenchmarkChainTopology(b *testing.B) {
+	set := RealCase()
+	chain := ChainNetwork(set.Stations(), 4)
+	cfg := DefaultSimConfig(PriorityHandling)
+	cfg.Horizon = 250 * simtime.Millisecond
+	bounds, err := TreeEndToEnd(set, PriorityHandling, DefaultConfig(), chain.Tree())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *SimResult
+	for i := 0; i < b.N; i++ {
+		res, err = SimulateNetwork(set, cfg, chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bounds.ClassWorst[P0].Milliseconds(), "ms_P0_bound")
+	b.ReportMetric(res.ClassWorst[P0].Milliseconds(), "ms_P0_observed")
+	b.ReportMetric(float64(bounds.Violations), "violations")
+}
+
+// BenchmarkDualNetwork simulates the dual-redundant star under a lossy
+// medium and reports the delivery gain redundancy buys over one plane.
+func BenchmarkDualNetwork(b *testing.B) {
+	set := RealCase()
+	cfg := DefaultSimConfig(PriorityHandling)
+	cfg.Horizon = 250 * simtime.Millisecond
+	cfg.BER = 1e-5
+	dual := RedundantNetwork(StarNetwork(set.Stations()), 2)
+	var single, both *SimResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		single, err = Simulate(set, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		both, err = SimulateNetwork(set, cfg, dual)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(single.TotalDelivered()), "delivered_single")
+	b.ReportMetric(float64(both.TotalDelivered()), "delivered_dual")
+	b.ReportMetric(float64(both.Redundant), "redundant_copies")
+}
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks of the substrate hot paths.
 // ---------------------------------------------------------------------------
 

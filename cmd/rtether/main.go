@@ -10,6 +10,7 @@
 //	rtether baseline  [-config file.json] [-reps n] [-parallel w] [-seed s]
 //	rtether sweep     [-parallel w] [-reps n] [-seed s] [-nogrid]  # scenario sweeps
 //	rtether validate  [-config file.json] [-reps n] [-parallel w] [-seed s]
+//	rtether topo      [-grid] [-topologies star,chain,...]  # every architecture family
 //	rtether scenario                               # print the built-in scenario JSON
 //
 // The sweep-style commands run on the parallel scenario-sweep engine:
@@ -57,6 +58,8 @@ func main() {
 		err = cmdAFDX(args)
 	case "twoswitch":
 		err = cmdTwoSwitch(args)
+	case "topo":
+		err = cmdTopo(args)
 	case "schedulers":
 		err = cmdSchedulers(args)
 	case "scenario":
@@ -88,6 +91,7 @@ commands:
   backlog    switch buffer dimensioning (backlog bounds per port)
   afdx       map the workload onto ARINC 664 virtual links and compare
   twoswitch  bounds and simulation on a cascaded two-switch topology
+  topo       unified engine over every architecture family (add -grid for topology × rate × load)
   schedulers urgent-class bound under FCFS / strict / preemptive / DRR
   scenario   print the built-in scenario as JSON (edit & pass via -config)
 `)

@@ -169,6 +169,45 @@ func TestCmdTwoSwitch(t *testing.T) {
 	}
 }
 
+func TestCmdTopo(t *testing.T) {
+	out := capture(t, cmdTopo, "-horizon", "50ms", "-ber", "1e-5")
+	for _, want := range []string{"unified network engine", "star", "cascade", "tree", "chain", "dual",
+		"worst e2e bound", "redundant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("topo output missing %q", want)
+		}
+	}
+	// Every row must be sound.
+	if strings.Contains(out, "NO") {
+		t.Errorf("topo reports a bound violation:\n%s", out)
+	}
+	// Family selection narrows the table.
+	narrow := capture(t, cmdTopo, "-horizon", "50ms", "-topologies", "star,chain")
+	if strings.Contains(narrow, "cascade") {
+		t.Error("-topologies did not narrow the families")
+	}
+	// Unknown family errors.
+	if err := cmdTopo([]string{"-topologies", "hypercube"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestCmdTopoGridParallelDeterministic(t *testing.T) {
+	args := []string{"-grid", "-horizon", "30ms", "-reps", "2", "-seed", "9",
+		"-topologies", "star,dual"}
+	serial := capture(t, cmdTopo, append([]string{"-parallel", "1"}, args...)...)
+	par := capture(t, cmdTopo, append([]string{"-parallel", "8"}, args...)...)
+	if serial != par {
+		t.Errorf("topo -grid output differs between -parallel=1 and -parallel=8:\n%s\nvs\n%s", serial, par)
+	}
+	if !strings.Contains(serial, "cross-validation (M3)") {
+		t.Error("grid header missing")
+	}
+	if !strings.Contains(serial, "cells with bound violations: 0 of") {
+		t.Errorf("grid verdict missing:\n%s", serial)
+	}
+}
+
 func TestCmdSimulateTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	out := capture(t, cmdSimulate, "-horizon", "50ms", "-trace", path)

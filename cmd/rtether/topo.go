@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// cmdTopo drives the unified topology-generic engine (experiment M3):
+// per architecture family it computes the tree-composed end-to-end bounds
+// and cross-validates them against a simulation of the same scenario —
+// the multi-switch extension of the paper only makes sense if every
+// architecture runs under the same model. With -grid it sweeps the full
+// topology × rate × load cross product on the parallel scenario-sweep
+// engine (output bit-identical at any -parallel value).
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON (default: built-in real case; the -grid workload scales the built-in catalog)")
+	approachFlag := fs.String("approach", "priority", "fcfs or priority")
+	horizon := fs.Duration("horizon", 500_000_000, "simulated time span")
+	seed := fs.Uint64("seed", 1, "random seed (root seed in -grid mode)")
+	ber := fs.Float64("ber", 0, "residual bit-error rate on every link")
+	topos := fs.String("topologies", "", "comma-separated family keys (default: all)")
+	grid := fs.Bool("grid", false, "sweep topology × rate × load with Monte-Carlo replications")
+	parallel := fs.Int("parallel", 1, "concurrent scenario evaluations in -grid mode (0 = all CPUs)")
+	reps := fs.Int("reps", 1, "simulation replications per grid cell")
+	fs.Parse(args)
+
+	fams, err := selectFamilies(*topos)
+	if err != nil {
+		return err
+	}
+	approach, err := parseApproach(*approachFlag)
+	if err != nil {
+		return err
+	}
+
+	if *grid {
+		if *config != "" {
+			return fmt.Errorf("-config is not supported with -grid: the grid scales the built-in catalog per cell")
+		}
+		return topoGrid(fams, approach, *horizon, *seed, *ber, *parallel, *reps)
+	}
+
+	scen, err := loadScenario(*config)
+	if err != nil {
+		return err
+	}
+	set, err := scen.ToSet()
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultSimConfig(approach)
+	cfg.LinkRate = scen.AnalysisConfig().LinkRate
+	cfg.TTechno = scen.AnalysisConfig().TTechno
+	cfg.Horizon = simtime.FromStd(*horizon)
+	cfg.Seed = *seed
+	cfg.BER = *ber
+
+	fmt.Fprintf(stdout, "unified network engine: %s under %v (horizon %v, BER %g)\n\n",
+		scen.Name, approach, cfg.Horizon, cfg.BER)
+	tbl := report.NewTable("topology", "switches", "planes", "worst e2e bound",
+		"observed worst", "delivered", "redundant", "corrupted", "analytic misses", "sound")
+	for _, fam := range fams {
+		topo := fam.Build(set.Stations())
+		bounds, err := analysis.TreeEndToEnd(set, approach, cfg.AnalysisConfig(), topo.Tree())
+		if err != nil {
+			return fmt.Errorf("%s: %w", fam.Key, err)
+		}
+		sim, err := core.SimulateNetwork(set, cfg, topo)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fam.Key, err)
+		}
+		boundWorst, observedWorst := simtime.Duration(0), simtime.Duration(0)
+		sound := true
+		for _, pb := range bounds.Flows {
+			if pb.EndToEnd > boundWorst {
+				boundWorst = pb.EndToEnd
+			}
+			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+			if observed > observedWorst {
+				observedWorst = observed
+			}
+			if observed > pb.EndToEnd {
+				sound = false
+			}
+		}
+		tbl.AddRow(fam.Key, topo.Switches, topo.PlaneCount(), boundWorst, observedWorst,
+			sim.TotalDelivered(), sim.Redundant, sim.Corrupted, bounds.Violations, mark(sound))
+	}
+	_, err = tbl.WriteTo(stdout)
+	return err
+}
+
+// topoGrid runs the topology × rate × load cross-validation.
+func topoGrid(fams []topology.Family, approach analysis.Approach, horizon time.Duration, seed uint64, ber float64, parallel, reps int) error {
+	cfg := core.DefaultSimConfig(approach)
+	cfg.Horizon = simtime.FromStd(horizon)
+	cfg.BER = ber
+	// As in cmdSweep: replicated runs sample random phases/gaps, a single
+	// run checks the deterministic critical instant.
+	if reps > 1 {
+		cfg.Mode = traffic.RandomGaps
+		cfg.MeanSlack = core.DefaultMeanSlack
+		cfg.AlignPhases = false
+	}
+	points := core.TopoGrid(fams,
+		[]simtime.Rate{10 * simtime.Mbps, 100 * simtime.Mbps},
+		[]int{0, 8})
+	opts := core.SweepOptions{Workers: parallel, Reps: reps, Seed: seed}
+	cells, err := core.RunTopoGrid(points, cfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "topology × rate × load cross-validation (M3): bounds vs %d×%v simulation under %v\n",
+		reps, cfg.Horizon, approach)
+	tbl := report.NewTable("topology", "link rate", "extra RTs", "connections",
+		"worst e2e bound", "observed worst", "observed p99", "delivered", "analytic misses", "sound")
+	for _, c := range cells {
+		tbl.AddRow(c.Topology, c.Point.Rate, c.Point.ExtraRTs, c.Connections,
+			c.BoundWorst, c.ObservedWorst, c.ObservedP99, c.Delivered, c.Violations, mark(c.Sound()))
+	}
+	if _, err := tbl.WriteTo(stdout); err != nil {
+		return err
+	}
+	unsound := 0
+	for _, c := range cells {
+		if !c.Sound() {
+			unsound++
+		}
+	}
+	fmt.Fprintf(stdout, "cells with bound violations: %d of %d\n", unsound, len(cells))
+	return nil
+}
+
+// selectFamilies resolves the -topologies flag (empty = every family).
+func selectFamilies(keys string) ([]topology.Family, error) {
+	if keys == "" {
+		return topology.Families(), nil
+	}
+	var out []topology.Family
+	for _, key := range strings.Split(keys, ",") {
+		fam, err := topology.FamilyByKey(strings.TrimSpace(key))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fam)
+	}
+	return out, nil
+}

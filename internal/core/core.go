@@ -5,23 +5,24 @@
 // scenario, and drives every experiment (Figure 1, the prose claims, the
 // 1553B baseline, and the ablation sweeps).
 //
-// The architecture simulated is the paper's: a star of stations around one
-// Full-Duplex Switched Ethernet switch. Every connection is shaped at its
-// source to (bᵢ, rᵢ = bᵢ/Tᵢ); stations multiplex shaped frames onto their
-// uplink with the selected discipline (FCFS or 4-class strict priority);
-// the switch relays within t_techno and queues frames at the destination
-// output port under the same discipline.
+// One topology-generic engine, SimulateNetwork, simulates every
+// architecture over a declarative network description
+// (topology.Network): the paper's star of stations around one Full-Duplex
+// Switched Ethernet switch, cascaded and tree-shaped multi-switch
+// backbones, daisy-chain lines, and dual-redundant AFDX-style networks.
+// Every connection is shaped at its source to (bᵢ, rᵢ = bᵢ/Tᵢ); stations
+// multiplex shaped frames onto their uplink with the selected discipline
+// (FCFS or 4-class strict priority); switches relay within t_techno and
+// queue frames at the next output port under the same discipline.
 package core
 
 import (
 	"fmt"
 
 	"repro/internal/analysis"
-	"repro/internal/des"
-	"repro/internal/ethernet"
-	"repro/internal/shaper"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -144,6 +145,13 @@ type SimResult struct {
 	Shaped int
 	// Events is the number of simulator events executed.
 	Events uint64
+	// PlaneDelivered counts frame copies that completed reception per
+	// redundant network plane (nil on single-plane topologies). Unlike
+	// FlowSim.Delivered it counts every copy, including redundant ones.
+	PlaneDelivered []int
+	// Redundant counts copies discarded because another plane's copy of
+	// the same instance arrived first (0 on single-plane topologies).
+	Redundant int
 }
 
 // WorstLatency returns the largest observed latency of one connection
@@ -165,157 +173,9 @@ func (r *SimResult) TotalDelivered() int {
 	return n
 }
 
-// Simulate builds the star network for the message set and runs it.
+// Simulate builds the paper's star network for the message set and runs
+// it: every station around one switch. It delegates to SimulateNetwork —
+// the star is the one-switch topology.
 func Simulate(set *traffic.Set, cfg SimConfig) (*SimResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
-	sim := des.New(cfg.Seed)
-
-	kind := ethernet.QueueFCFS
-	if cfg.Approach == analysis.Priority {
-		kind = ethernet.QueuePriority
-	}
-	sw := ethernet.NewSwitch(sim, ethernet.SwitchConfig{
-		Name:          "sw0",
-		RelayLatency:  cfg.TTechno,
-		Kind:          kind,
-		QueueCapacity: cfg.QueueCapacity,
-	})
-
-	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
-	for _, m := range set.Messages {
-		fs := &FlowSim{Msg: m}
-		if cfg.CollectLatencies {
-			fs.Latencies = &stats.Histogram{}
-		}
-		res.Flows[m.Name] = fs
-	}
-
-	record := func(ev trace.Event) {
-		if cfg.Recorder != nil {
-			cfg.Recorder.Record(ev)
-		}
-	}
-	var pcapErr error
-
-	// Stations, in sorted name order for deterministic port numbering.
-	names := set.Stations()
-	stations := map[string]*ethernet.Station{}
-	addrs := map[string]ethernet.Addr{}
-	for i, name := range names {
-		name := name
-		addr := ethernet.StationAddr(i)
-		st := ethernet.NewStation(sim, name, addr, sw, i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
-		st.OnReceive = func(f *ethernet.Frame) {
-			in, ok := f.Meta.(traffic.Instance)
-			if !ok {
-				return
-			}
-			fs := res.Flows[in.Msg.Name]
-			lat := sim.Now().Sub(in.Release)
-			fs.Latency.Add(lat)
-			if fs.Latencies != nil {
-				fs.Latencies.Add(lat)
-			}
-			fs.Delivered++
-			if lat > simtime.Duration(in.Msg.Deadline) {
-				fs.DeadlineMisses++
-			}
-			if lat > res.ClassWorst[in.Msg.Priority] {
-				res.ClassWorst[in.Msg.Priority] = lat
-			}
-			record(trace.Event{At: sim.Now(), Kind: trace.Delivered, Conn: in.Msg.Name, Seq: in.Seq, Where: name})
-			if cfg.PCAP != nil && pcapErr == nil {
-				if wire, err := f.Marshal(); err == nil {
-					pcapErr = cfg.PCAP.WritePacket(sim.Now(), wire)
-				} else {
-					pcapErr = err
-				}
-			}
-		}
-		if cfg.BER > 0 {
-			st.Uplink().SetBitErrorRate(cfg.BER, sim.RNG())
-		}
-		stations[name] = st
-		addrs[name] = addr
-	}
-	if cfg.BER > 0 {
-		for _, id := range sw.PortIDs() {
-			sw.OutputPort(id).SetBitErrorRate(cfg.BER, sim.RNG())
-		}
-	}
-
-	// Per-connection shapers, releasing into the source station's uplink.
-	specs := analysis.Specs(set, cfg.AnalysisConfig())
-	shapers := map[string]*shaper.Shaper{}
-	for _, spec := range specs {
-		m := spec.Msg
-		src := stations[m.Source]
-		sh := shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
-			if !src.Send(f) {
-				res.Dropped++
-				if in, ok := f.Meta.(traffic.Instance); ok {
-					record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: in.Msg.Name, Seq: in.Seq, Where: m.Source})
-				}
-			}
-		})
-		if cfg.Recorder != nil {
-			sh.OnShaped = func(f *ethernet.Frame) {
-				if in, ok := f.Meta.(traffic.Instance); ok {
-					record(trace.Event{At: sim.Now(), Kind: trace.Shaped, Conn: in.Msg.Name, Seq: in.Seq, Where: m.Source})
-				}
-			}
-		}
-		shapers[m.Name] = sh
-	}
-
-	// Traffic sources feed the shapers (or, bypassed, the multiplexers).
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
-		func(in traffic.Instance) {
-			res.Flows[in.Msg.Name].Released++
-			record(trace.Event{At: sim.Now(), Kind: trace.Released, Conn: in.Msg.Name, Seq: in.Seq, Where: in.Msg.Source})
-			copies := 1
-			if in.Msg.Name == cfg.Babbler && cfg.BabbleFactor > 1 {
-				copies = cfg.BabbleFactor
-			}
-			for c := 0; c < copies; c++ {
-				f := &ethernet.Frame{
-					Dst:        addrs[in.Msg.Dest],
-					Tagged:     true,
-					Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
-					Type:       ethernet.EtherTypeAvionics,
-					PayloadLen: in.Msg.Payload.ByteCount(),
-					Meta:       in,
-				}
-				if cfg.BypassShapers {
-					if !stations[in.Msg.Source].Send(f) {
-						res.Dropped++
-					}
-					continue
-				}
-				shapers[in.Msg.Name].Submit(f)
-			}
-		})
-
-	// Count switch-side drops and corruption too.
-	sim.RunFor(cfg.Horizon)
-	for _, id := range sw.PortIDs() {
-		res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
-		res.Corrupted += sw.OutputPort(id).Corrupted
-	}
-	for _, st := range stations {
-		res.Corrupted += st.Uplink().Corrupted
-	}
-	for _, sh := range shapers {
-		res.Shaped += sh.Shaped
-	}
-	res.Events = sim.Executed()
-	if pcapErr != nil {
-		return nil, fmt.Errorf("core: pcap: %w", pcapErr)
-	}
-	return res, nil
+	return SimulateNetwork(set, cfg, topology.Star(set.Stations()))
 }

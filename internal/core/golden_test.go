@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The golden-equivalence harness pins the simulator's observable output on
+// the star topology to a fixture captured from the pre-refactor Simulate.
+// A refactor of the engine must not move any published number: for the same
+// seed, every per-flow counter and latency statistic must be byte-identical
+// to what the original single-switch simulator produced.
+//
+// Regenerate with REGEN_GOLDEN=1 go test ./internal/core -run TestGoldenStar
+// — only legitimate when the simulation *model* intentionally changes.
+
+// goldenConfigs are the pinned scenarios: the paper's critical instant, and
+// a randomized run exercising the RNG streams (BER + random gaps), so the
+// fixture also locks the order of random draws.
+func goldenConfigs() map[string]SimConfig {
+	greedy := DefaultSimConfig(analysis.Priority)
+	greedy.Horizon = 500 * simtime.Millisecond
+
+	random := DefaultSimConfig(analysis.FCFS)
+	random.Horizon = 300 * simtime.Millisecond
+	random.Seed = 3
+	random.BER = 1e-5
+	random.CollectLatencies = true
+	random.Mode = traffic.RandomGaps
+	random.MeanSlack = DefaultMeanSlack
+	random.AlignPhases = false
+
+	return map[string]SimConfig{
+		"priority-greedy": greedy,
+		"fcfs-ber-random": random,
+	}
+}
+
+// goldenReport renders a SimResult canonically: one line per connection in
+// catalog order, then the global counters. Durations print as raw int64
+// nanosecond counts so no formatting layer can mask a drift.
+func goldenReport(set *traffic.Set, res *SimResult) string {
+	var b strings.Builder
+	for _, m := range set.Messages {
+		f := res.Flows[m.Name]
+		fmt.Fprintf(&b, "%s released=%d delivered=%d misses=%d min=%d max=%d mean=%d stddev=%d",
+			m.Name, f.Released, f.Delivered, f.DeadlineMisses,
+			int64(f.Latency.Min()), int64(f.Latency.Max()),
+			int64(f.Latency.Mean()), int64(f.Latency.StdDev()))
+		if f.Latencies != nil && f.Latencies.N() > 0 {
+			fmt.Fprintf(&b, " histN=%d p50=%d p99=%d",
+				f.Latencies.N(), int64(f.Latencies.Quantile(0.5)), int64(f.Latencies.Quantile(0.99)))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "classworst=%d,%d,%d,%d dropped=%d corrupted=%d shaped=%d events=%d\n",
+		int64(res.ClassWorst[0]), int64(res.ClassWorst[1]),
+		int64(res.ClassWorst[2]), int64(res.ClassWorst[3]),
+		res.Dropped, res.Corrupted, res.Shaped, res.Events)
+	return b.String()
+}
+
+const goldenPath = "testdata/golden_star.txt"
+
+func TestGoldenStarEquivalence(t *testing.T) {
+	set := traffic.RealCase()
+	var names []string
+	for name := range goldenConfigs() {
+		names = append(names, name)
+	}
+	// Deterministic section order.
+	if len(names) == 2 && names[0] > names[1] {
+		names[0], names[1] = names[1], names[0]
+	}
+
+	var got strings.Builder
+	for _, name := range names {
+		cfg := goldenConfigs()[name]
+		res, err := Simulate(set, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&got, "== %s ==\n%s", name, goldenReport(set, res))
+
+		// The generic engine invoked directly on an explicit star topology
+		// must agree with the Simulate wrapper to the byte.
+		direct, err := SimulateNetwork(set, cfg, topology.Star(set.Stations()))
+		if err != nil {
+			t.Fatalf("%s: SimulateNetwork: %v", name, err)
+		}
+		if dr := goldenReport(set, direct); dr != goldenReport(set, res) {
+			t.Errorf("%s: SimulateNetwork(star) diverges from Simulate:\n%s",
+				name, firstDiff(goldenReport(set, res), dr))
+		}
+	}
+
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("fixture missing (run with REGEN_GOLDEN=1): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("star simulation drifted from the pre-refactor fixture:\n%s",
+			firstDiff(string(want), got.String()))
+	}
+}
+
+// firstDiff locates the first differing line of two reports.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(wl), len(gl))
+}

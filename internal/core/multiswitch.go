@@ -4,11 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
-	"repro/internal/des"
-	"repro/internal/ethernet"
-	"repro/internal/shaper"
-	"repro/internal/simtime"
-	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -16,118 +12,36 @@ import (
 // stations partitioned by assign, switches joined by a full-duplex trunk
 // of the same rate as the station links. Cross-switch frames traverse
 // both switches' relaying latencies and the trunk — the three-multiplexer
-// path analysis.TwoSwitchEndToEnd bounds.
+// path analysis.TwoSwitchEndToEnd bounds. It is a thin wrapper over
+// SimulateNetwork, so every SimConfig field behaves exactly as on the
+// star.
 func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignment) (*SimResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
 	if assign == nil {
 		return nil, fmt.Errorf("core: nil assignment")
 	}
-	sim := des.New(cfg.Seed)
-
-	kind := ethernet.QueueFCFS
-	if cfg.Approach == analysis.Priority {
-		kind = ethernet.QueuePriority
+	topo := &topology.Network{
+		Name:          "twoswitch",
+		Switches:      2,
+		Links:         [][2]int{{0, 1}},
+		StationSwitch: map[string]int{},
 	}
-	swCfg := func(name string) ethernet.SwitchConfig {
-		return ethernet.SwitchConfig{
-			Name:          name,
-			RelayLatency:  cfg.TTechno,
-			Kind:          kind,
-			QueueCapacity: cfg.QueueCapacity,
-		}
-	}
-	sws := [2]*ethernet.Switch{
-		ethernet.NewSwitch(sim, swCfg("sw0")),
-		ethernet.NewSwitch(sim, swCfg("sw1")),
-	}
-
-	// The trunk: an egress port on each switch delivering into the other's
-	// ingress. The closures break the construction cycle.
-	const trunkPort = 999
-	var inTo [2]func(*ethernet.Frame)
-	in0 := sws[0].AttachPort(trunkPort, cfg.LinkRate, 0, func(f *ethernet.Frame) { inTo[1](f) })
-	in1 := sws[1].AttachPort(trunkPort, cfg.LinkRate, 0, func(f *ethernet.Frame) { inTo[0](f) })
-	inTo[0], inTo[1] = in0, in1
-
-	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
-	for _, m := range set.Messages {
-		fs := &FlowSim{Msg: m}
-		if cfg.CollectLatencies {
-			fs.Latencies = &stats.Histogram{}
-		}
-		res.Flows[m.Name] = fs
-	}
-
-	names := set.Stations()
-	stations := map[string]*ethernet.Station{}
-	addrs := map[string]ethernet.Addr{}
-	for i, name := range names {
-		side := assign(name)
+	for _, st := range set.Stations() {
+		side := assign(st)
 		if side != 0 && side != 1 {
-			return nil, fmt.Errorf("core: station %q assigned to switch %d", name, side)
+			return nil, fmt.Errorf("core: station %q assigned to switch %d", st, side)
 		}
-		addr := ethernet.StationAddr(i)
-		st := ethernet.NewStation(sim, name, addr, sws[side], i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
-		st.OnReceive = func(f *ethernet.Frame) {
-			in, ok := f.Meta.(traffic.Instance)
-			if !ok {
-				return
-			}
-			fs := res.Flows[in.Msg.Name]
-			lat := sim.Now().Sub(in.Release)
-			fs.Latency.Add(lat)
-			if fs.Latencies != nil {
-				fs.Latencies.Add(lat)
-			}
-			fs.Delivered++
-			if lat > simtime.Duration(in.Msg.Deadline) {
-				fs.DeadlineMisses++
-			}
-			if lat > res.ClassWorst[in.Msg.Priority] {
-				res.ClassWorst[in.Msg.Priority] = lat
-			}
-		}
-		stations[name] = st
-		addrs[name] = addr
-		// Remote stations are reached via the trunk.
-		sws[1-side].Learn(addr, trunkPort)
+		topo.StationSwitch[st] = side
 	}
+	return SimulateNetwork(set, cfg, topo)
+}
 
-	specs := analysis.Specs(set, cfg.AnalysisConfig())
-	shapers := map[string]*shaper.Shaper{}
-	for _, spec := range specs {
-		m := spec.Msg
-		src := stations[m.Source]
-		shapers[m.Name] = shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
-			if !src.Send(f) {
-				res.Dropped++
-			}
-		})
+// SimulateTree runs the workload over an arbitrary switch-tree topology
+// (analysis.Tree): stations on their assigned switches, trunks of the
+// station link rate between adjacent switches, static routing along the
+// unique tree paths. It is a thin wrapper over SimulateNetwork.
+func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimResult, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
 	}
-	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
-		func(in traffic.Instance) {
-			res.Flows[in.Msg.Name].Released++
-			shapers[in.Msg.Name].Submit(&ethernet.Frame{
-				Dst:        addrs[in.Msg.Dest],
-				Tagged:     true,
-				Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
-				Type:       ethernet.EtherTypeAvionics,
-				PayloadLen: in.Msg.Payload.ByteCount(),
-				Meta:       in,
-			})
-		})
-
-	sim.RunFor(cfg.Horizon)
-	for _, sw := range sws {
-		for _, id := range sw.PortIDs() {
-			res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
-		}
-	}
-	res.Events = sim.Executed()
-	return res, nil
+	return SimulateNetwork(set, cfg, topology.FromTree("tree", tree))
 }

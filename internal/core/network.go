@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/shaper"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// frameMeta travels with every frame: the released instance plus the
+// application-level copy index. Babbling sources release several copies
+// sharing one Seq, so redundant-plane dedup must key on (Seq, copy) —
+// otherwise same-plane babble copies would be miscounted as cross-plane
+// redundancy and babbling-idiot results would not be comparable across
+// architectures.
+type frameMeta struct {
+	in   traffic.Instance
+	copy int
+}
+
+// copyKey identifies one application-level frame copy of a connection.
+type copyKey struct{ seq, copy int }
+
+// SimulateNetwork is the one simulator behind every architecture: it builds
+// the network described by topo — switches, full-duplex trunks, stations,
+// optionally several independent redundant planes — wires the paper's
+// shaping and multiplexing stack over it, and runs the workload. Star,
+// cascade and tree are thin wrappers that construct a topology and
+// delegate, so every SimConfig field (BER, Recorder, QueueCapacity,
+// CollectLatencies, babbling sources, shaper accounting, PCAP) is honored
+// on every architecture by construction.
+//
+// On a redundant network (topo.PlaneCount() > 1) every shaped frame is
+// replicated onto each plane; the receiver keeps the first copy per
+// instance and discards the rest, with per-plane delivery accounting in
+// SimResult.PlaneDelivered and the discard count in SimResult.Redundant.
+func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if err := topo.Validate(set.Stations()); err != nil {
+		return nil, err
+	}
+	nextHop, err := topo.NextHops()
+	if err != nil {
+		return nil, err
+	}
+	planes := topo.PlaneCount()
+	sim := des.New(cfg.Seed)
+
+	kind := ethernet.QueueFCFS
+	if cfg.Approach == analysis.Priority {
+		kind = ethernet.QueuePriority
+	}
+
+	// Switches, plane-major. Single-plane networks keep the historical
+	// "sw%d" names so traces and port labels are unchanged.
+	sws := make([][]*ethernet.Switch, planes)
+	for p := 0; p < planes; p++ {
+		sws[p] = make([]*ethernet.Switch, topo.Switches)
+		for s := 0; s < topo.Switches; s++ {
+			name := fmt.Sprintf("sw%d", s)
+			if planes > 1 {
+				name = fmt.Sprintf("n%d.sw%d", p, s)
+			}
+			sws[p][s] = ethernet.NewSwitch(sim, ethernet.SwitchConfig{
+				Name:          name,
+				RelayLatency:  cfg.TTechno,
+				Kind:          kind,
+				QueueCapacity: cfg.QueueCapacity,
+			})
+		}
+	}
+
+	// Trunks: one egress port per direction per link per plane, each
+	// cross-delivering into the adjacent switch's ingress. Port ids are
+	// 1000+2i / 1000+2i+1 for link i, identical on every plane.
+	trunkPort := make([]map[int]int, topo.Switches) // [switch][neighbor] → port id
+	for i := range trunkPort {
+		trunkPort[i] = map[int]int{}
+	}
+	for li, l := range topo.Links {
+		a, b := l[0], l[1]
+		pa, pb := 1000+2*li, 1000+2*li+1
+		trunkPort[a][b] = pa
+		trunkPort[b][a] = pb
+		for p := 0; p < planes; p++ {
+			var inA, inB func(*ethernet.Frame)
+			inA = sws[p][a].AttachPort(pa, cfg.LinkRate, 0, func(f *ethernet.Frame) { inB(f) })
+			inB = sws[p][b].AttachPort(pb, cfg.LinkRate, 0, func(f *ethernet.Frame) { inA(f) })
+		}
+	}
+
+	res := &SimResult{Cfg: cfg, Flows: map[string]*FlowSim{}}
+	for _, m := range set.Messages {
+		fs := &FlowSim{Msg: m}
+		if cfg.CollectLatencies {
+			fs.Latencies = &stats.Histogram{}
+		}
+		res.Flows[m.Name] = fs
+	}
+	// First-copy bookkeeping on redundant networks.
+	var seen map[string]map[copyKey]bool
+	if planes > 1 {
+		res.PlaneDelivered = make([]int, planes)
+		seen = map[string]map[copyKey]bool{}
+		for _, m := range set.Messages {
+			seen[m.Name] = map[copyKey]bool{}
+		}
+	}
+
+	record := func(ev trace.Event) {
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(ev)
+		}
+	}
+	var pcapErr error
+
+	// Stations, in sorted name order for deterministic port numbering.
+	// On redundant networks each station has one end system per plane,
+	// sharing the MAC address (the planes are physically independent).
+	names := set.Stations()
+	stations := make([]map[string]*ethernet.Station, planes)
+	for p := range stations {
+		stations[p] = map[string]*ethernet.Station{}
+	}
+	addrs := map[string]ethernet.Addr{}
+	for i, name := range names {
+		name := name
+		home := topo.StationSwitch[name]
+		addr := ethernet.StationAddr(i)
+		for p := 0; p < planes; p++ {
+			p := p
+			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
+			st.OnReceive = func(f *ethernet.Frame) {
+				meta, ok := f.Meta.(frameMeta)
+				if !ok {
+					return
+				}
+				in := meta.in
+				fs := res.Flows[in.Msg.Name]
+				if planes > 1 {
+					res.PlaneDelivered[p]++
+					key := copyKey{in.Seq, meta.copy}
+					if seen[in.Msg.Name][key] {
+						res.Redundant++
+						return // this copy already arrived on another plane
+					}
+					seen[in.Msg.Name][key] = true
+				}
+				lat := sim.Now().Sub(in.Release)
+				fs.Latency.Add(lat)
+				if fs.Latencies != nil {
+					fs.Latencies.Add(lat)
+				}
+				fs.Delivered++
+				if lat > simtime.Duration(in.Msg.Deadline) {
+					fs.DeadlineMisses++
+				}
+				if lat > res.ClassWorst[in.Msg.Priority] {
+					res.ClassWorst[in.Msg.Priority] = lat
+				}
+				record(trace.Event{At: sim.Now(), Kind: trace.Delivered, Conn: in.Msg.Name, Seq: in.Seq, Where: name})
+				if cfg.PCAP != nil && pcapErr == nil {
+					if wire, err := f.Marshal(); err == nil {
+						pcapErr = cfg.PCAP.WritePacket(sim.Now(), wire)
+					} else {
+						pcapErr = err
+					}
+				}
+			}
+			if cfg.BER > 0 {
+				st.Uplink().SetBitErrorRate(cfg.BER, sim.RNG())
+			}
+			stations[p][name] = st
+		}
+		addrs[name] = addr
+	}
+	// Static routing: on every switch, every remote station's address maps
+	// to the trunk port toward its home switch (precomputed next hop).
+	for _, name := range names {
+		home := topo.StationSwitch[name]
+		for s := 0; s < topo.Switches; s++ {
+			if s == home {
+				continue // NewStation already learned the local port
+			}
+			port := trunkPort[s][nextHop[s][home]]
+			for p := 0; p < planes; p++ {
+				sws[p][s].Learn(addrs[name], port)
+			}
+		}
+	}
+	if cfg.BER > 0 {
+		for p := 0; p < planes; p++ {
+			for _, sw := range sws[p] {
+				for _, id := range sw.PortIDs() {
+					sw.OutputPort(id).SetBitErrorRate(cfg.BER, sim.RNG())
+				}
+			}
+		}
+	}
+
+	// send pushes one application frame into the network: directly on a
+	// single-plane network, replicated per plane on a redundant one (each
+	// plane serializes its own copy, so the copies must not share state).
+	send := func(source string, f *ethernet.Frame) {
+		if planes == 1 {
+			if !stations[0][source].Send(f) {
+				res.Dropped++
+				if meta, ok := f.Meta.(frameMeta); ok {
+					record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: meta.in.Msg.Name, Seq: meta.in.Seq, Where: source})
+				}
+			}
+			return
+		}
+		for p := 0; p < planes; p++ {
+			g := *f
+			if !stations[p][source].Send(&g) {
+				res.Dropped++
+				if meta, ok := f.Meta.(frameMeta); ok {
+					record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: meta.in.Msg.Name, Seq: meta.in.Seq, Where: source})
+				}
+			}
+		}
+	}
+
+	// Per-connection shapers, releasing into the source station's uplink.
+	specs := analysis.Specs(set, cfg.AnalysisConfig())
+	shapers := map[string]*shaper.Shaper{}
+	for _, spec := range specs {
+		m := spec.Msg
+		sh := shaper.New(m.Name, sim, spec.B, spec.R, func(f *ethernet.Frame) {
+			send(m.Source, f)
+		})
+		if cfg.Recorder != nil {
+			sh.OnShaped = func(f *ethernet.Frame) {
+				if meta, ok := f.Meta.(frameMeta); ok {
+					record(trace.Event{At: sim.Now(), Kind: trace.Shaped, Conn: meta.in.Msg.Name, Seq: meta.in.Seq, Where: m.Source})
+				}
+			}
+		}
+		shapers[m.Name] = sh
+	}
+
+	// Traffic sources feed the shapers (or, bypassed, the multiplexers).
+	traffic.Start(sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases},
+		func(in traffic.Instance) {
+			res.Flows[in.Msg.Name].Released++
+			record(trace.Event{At: sim.Now(), Kind: trace.Released, Conn: in.Msg.Name, Seq: in.Seq, Where: in.Msg.Source})
+			copies := 1
+			if in.Msg.Name == cfg.Babbler && cfg.BabbleFactor > 1 {
+				copies = cfg.BabbleFactor
+			}
+			for c := 0; c < copies; c++ {
+				f := &ethernet.Frame{
+					Dst:        addrs[in.Msg.Dest],
+					Tagged:     true,
+					Priority:   ethernet.PCPOfClass(int(in.Msg.Priority)),
+					Type:       ethernet.EtherTypeAvionics,
+					PayloadLen: in.Msg.Payload.ByteCount(),
+					Meta:       frameMeta{in: in, copy: c},
+				}
+				if cfg.BypassShapers {
+					send(in.Msg.Source, f)
+					continue
+				}
+				shapers[in.Msg.Name].Submit(f)
+			}
+		})
+
+	// Count switch-side drops and corruption too — on every switch of
+	// every plane, trunk ports included.
+	sim.RunFor(cfg.Horizon)
+	for p := 0; p < planes; p++ {
+		for _, sw := range sws[p] {
+			for _, id := range sw.PortIDs() {
+				res.Dropped += sw.OutputPort(id).Queue().Drops().Frames
+				res.Corrupted += sw.OutputPort(id).Corrupted
+			}
+		}
+		for _, st := range stations[p] {
+			res.Corrupted += st.Uplink().Corrupted
+		}
+	}
+	for _, sh := range shapers {
+		res.Shaped += sh.Shaped
+	}
+	res.Events = sim.Executed()
+	if pcapErr != nil {
+		return nil, fmt.Errorf("core: pcap: %w", pcapErr)
+	}
+	return res, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -80,6 +81,76 @@ func TestRandomizedSoundnessTwoSwitch(t *testing.T) {
 			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
 			if observed > pb.EndToEnd {
 				t.Errorf("seed %d %s: observed %v exceeds two-switch bound %v",
+					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+			}
+		}
+	}
+}
+
+// TestRandomizedSoundnessChain extends S3 to the daisy-chain backbone:
+// for random workloads spread over a three-switch line, the simulated
+// worst case must respect the tree-composed bound.
+func TestRandomizedSoundnessChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	params := traffic.DefaultRandomParams()
+	for seed := uint64(60); seed <= 66; seed++ {
+		set, err := traffic.Random(seed, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain := topology.Chain(set.Stations(), 3)
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Second
+		bounds, err := analysis.TreeEndToEnd(set, analysis.Priority, cfg.AnalysisConfig(), chain.Tree())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sim, err := SimulateNetwork(set, cfg, chain)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pb := range bounds.Flows {
+			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+			if observed > pb.EndToEnd {
+				t.Errorf("seed %d %s: observed %v exceeds chain bound %v",
+					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+			}
+		}
+	}
+}
+
+// TestRandomizedSoundnessDual extends S3 to the dual-redundant network:
+// the first delivered copy is never later than any fixed plane's copy, so
+// the single-plane bound covers the redundant architecture too.
+func TestRandomizedSoundnessDual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	params := traffic.DefaultRandomParams()
+	for seed := uint64(70); seed <= 75; seed++ {
+		set, err := traffic.Random(seed, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual := topology.Redundify(topology.Star(set.Stations()), 2)
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Second
+		bounds, err := analysis.EndToEnd(set, analysis.Priority, cfg.AnalysisConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sim, err := SimulateNetwork(set, cfg, dual)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pb := range bounds.Flows {
+			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+			if observed > pb.EndToEnd {
+				t.Errorf("seed %d %s: first-copy latency %v exceeds plane bound %v",
 					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -83,6 +84,38 @@ type GridCell struct {
 // Sound reports whether every connection respected its bound.
 func (c GridCell) Sound() bool { return c.Unsound == 0 }
 
+// cellStats cross-validates one grid cell: the analytic bounds against
+// the cell's simulation replications. Shared by RunGrid and RunTopoGrid
+// so the soundness verdict and quantile aggregation can never drift
+// between the S3 and M3 experiments.
+func cellStats(e2e *analysis.Result, sims []*SimResult) (boundWorst, observedWorst, p99 simtime.Duration, delivered, unsound int) {
+	merged := &stats.Histogram{}
+	for _, f := range e2e.Flows {
+		if f.EndToEnd > boundWorst {
+			boundWorst = f.EndToEnd
+		}
+		worst := simtime.Duration(0)
+		for _, sim := range sims {
+			fs := sim.Flows[f.Spec.Msg.Name]
+			merged.Merge(fs.Latencies)
+			delivered += fs.Delivered
+			if fs.Latency.Max() > worst {
+				worst = fs.Latency.Max()
+			}
+		}
+		if worst > f.EndToEnd {
+			unsound++
+		}
+		if worst > observedWorst {
+			observedWorst = worst
+		}
+	}
+	if merged.N() > 0 {
+		p99 = merged.Quantile(0.99)
+	}
+	return boundWorst, observedWorst, p99, delivered, unsound
+}
+
 // Grid builds the cross product of rates × loads in row-major order
 // (loads vary fastest).
 func Grid(rates []simtime.Rate, loads []int) []GridPoint {
@@ -126,30 +159,118 @@ func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell,
 			return nil, fmt.Errorf("core: grid %v/%d RTs: %w", p.Rate, p.ExtraRTs, err)
 		}
 		cell := GridCell{Point: p, Connections: len(set.Messages), Violations: e2e.Violations, Reps: reps}
-		merged := &stats.Histogram{}
-		for _, f := range e2e.Flows {
-			if f.EndToEnd > cell.BoundWorst {
-				cell.BoundWorst = f.EndToEnd
-			}
-			worst := simtime.Duration(0)
-			for _, sim := range sims[i] {
-				fs := sim.Flows[f.Spec.Msg.Name]
-				merged.Merge(fs.Latencies)
-				cell.Delivered += fs.Delivered
-				if fs.Latency.Max() > worst {
-					worst = fs.Latency.Max()
-				}
-			}
-			if worst > f.EndToEnd {
-				cell.Unsound++
-			}
-			if worst > cell.ObservedWorst {
-				cell.ObservedWorst = worst
+		cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims[i])
+		out[i] = cell
+	}
+	return out, nil
+}
+
+// TopoPoint is one cell coordinate of the topology × rate × load grid:
+// an architecture family, a link rate, and a workload scale.
+type TopoPoint struct {
+	Family   topology.Family
+	Rate     simtime.Rate
+	ExtraRTs int
+}
+
+// TopoCell is the aggregated outcome of one topology-grid cell: the
+// tree-composed analytic end-to-end bounds cross-validated against Reps
+// simulation replications of the unified engine on that architecture.
+type TopoCell struct {
+	Topology    string
+	Point       TopoPoint
+	Switches    int
+	Planes      int
+	Connections int
+	// BoundWorst is the worst analytic end-to-end bound over all
+	// connections; Violations counts analytic deadline misses.
+	BoundWorst simtime.Duration
+	Violations int
+	// ObservedWorst is the worst simulated latency over all connections
+	// and replications; ObservedP99 the 0.99 quantile of all deliveries.
+	ObservedWorst simtime.Duration
+	ObservedP99   simtime.Duration
+	// Delivered totals unique deliveries across replications; Unsound
+	// counts connections whose observed latency exceeded their bound.
+	Delivered int
+	Unsound   int
+	Reps      int
+}
+
+// Sound reports whether every connection respected its bound.
+func (c TopoCell) Sound() bool { return c.Unsound == 0 }
+
+// TopoGrid builds the cross product of families × rates × loads in
+// row-major order (loads vary fastest, then rates, then families).
+func TopoGrid(fams []topology.Family, rates []simtime.Rate, loads []int) []TopoPoint {
+	out := make([]TopoPoint, 0, len(fams)*len(rates)*len(loads))
+	for _, f := range fams {
+		for _, r := range rates {
+			for _, l := range loads {
+				out = append(out, TopoPoint{Family: f, Rate: r, ExtraRTs: l})
 			}
 		}
-		if merged.N() > 0 {
-			cell.ObservedP99 = merged.Quantile(0.99)
+	}
+	return out
+}
+
+// RunTopoGrid is the scenario-diversity sweep (experiment M3): for every
+// TopoPoint it instantiates the architecture family on the scaled
+// workload, computes the tree-composed end-to-end bounds for one plane,
+// runs opts.Reps simulation replications on RNG substreams of opts.Seed,
+// and checks every connection's observed latency against its bound. The
+// bound of a redundant network is its single-plane bound: the first
+// delivered copy is never later than any fixed plane's copy.
+func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoCell, error) {
+	reps := opts.reps()
+	// Build each point's workload, topology and analytic bounds once, up
+	// front: the bounds are cheap and can fail, so they must not be
+	// preceded by the expensive simulations, and the replications share
+	// the topology (its routing table is built once, concurrently safe
+	// via the internal sync.Once).
+	sets := make([]*traffic.Set, len(points))
+	topos := make([]*topology.Network, len(points))
+	bounds := make([]*analysis.Result, len(points))
+	idx := make([]int, len(points))
+	for i, p := range points {
+		sets[i] = traffic.RealCaseWith(p.ExtraRTs)
+		topos[i] = p.Family.Build(sets[i].Stations())
+		cfg := base
+		cfg.LinkRate = p.Rate
+		e2e, err := analysis.TreeEndToEnd(sets[i], base.Approach, cfg.AnalysisConfig(), topos[i].Tree())
+		if err != nil {
+			return nil, fmt.Errorf("core: topo grid %s/%v/%d RTs: %w", p.Family.Key, p.Rate, p.ExtraRTs, err)
 		}
+		bounds[i] = e2e
+		idx[i] = i
+	}
+	sims, err := sweep.Replicate(idx, reps, opts.workers(), opts.Seed,
+		func(i int, seed uint64) (*SimResult, error) {
+			cfg := base
+			cfg.LinkRate = points[i].Rate
+			cfg.Seed = seed
+			cfg.CollectLatencies = true
+			return SimulateNetwork(sets[i], cfg, topos[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]TopoCell, len(points))
+	for i, p := range points {
+		set := sets[i]
+		topo := topos[i]
+		e2e := bounds[i]
+		cell := TopoCell{
+			Topology:    p.Family.Key,
+			Point:       p,
+			Switches:    topo.Switches,
+			Planes:      topo.PlaneCount(),
+			Connections: len(set.Messages),
+			Violations:  e2e.Violations,
+			Reps:        reps,
+		}
+		cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims[i])
 		out[i] = cell
 	}
 	return out, nil

@@ -1,0 +1,54 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// BenchmarkDES measures the kernel's hottest loop — schedule one event,
+// deliver it, schedule the next — the shape every port serializer and
+// periodic source reduces to. With the event free-list this path performs
+// zero heap allocations per event.
+func BenchmarkDES(b *testing.B) {
+	sim := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(1000, tick)
+		}
+	}
+	sim.At(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sim.Run()
+}
+
+// BenchmarkDESFanOut measures bursts: each delivered event schedules four
+// more (a frame arriving at a switch fans out to relay + serializer +
+// IFG + receiver completion), bounded by recycling the fired events.
+func BenchmarkDESFanOut(b *testing.B) {
+	sim := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			sim.After(simtime.Duration(j+1), func() {})
+		}
+		sim.RunFor(10)
+	}
+}
+
+// BenchmarkDESCancel measures the schedule-then-cancel path (shaper
+// wake-ups and stopped periodic sources).
+func BenchmarkDESCancel(b *testing.B) {
+	sim := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := sim.After(1000, func() {})
+		sim.Cancel(ref)
+	}
+}

@@ -9,6 +9,12 @@
 // may schedule further events. Because ties are broken by insertion order,
 // a simulation with a fixed seed is fully deterministic: the same inputs
 // always produce the same event trace, byte for byte.
+//
+// Event records are pooled: a fired or canceled event returns to a
+// free list and is reused by the next At/After, so the steady-state
+// scheduling path performs no heap allocation. A per-event generation
+// counter keeps stale EventRefs (to fired, canceled, or recycled events)
+// safely invalid.
 package des
 
 import (
@@ -24,19 +30,24 @@ type Handler func()
 
 // event is a scheduled callback.
 type event struct {
-	at      simtime.Time
-	seq     uint64 // tie-break: FIFO among equal timestamps
-	fn      Handler
-	index   int // heap index, -1 once popped or canceled
-	cancled bool
+	at    simtime.Time
+	seq   uint64 // tie-break: FIFO among equal timestamps
+	fn    Handler
+	index int // heap index, -1 once popped or canceled
+	// gen increments every time the record is recycled onto the free
+	// list, invalidating any EventRef still pointing at it.
+	gen uint64
 }
 
 // EventRef identifies a scheduled event so it can be canceled. The zero
 // value is not a valid reference.
-type EventRef struct{ ev *event }
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
 // Valid reports whether the reference points at a still-pending event.
-func (r EventRef) Valid() bool { return r.ev != nil && !r.ev.cancled && r.ev.index >= 0 }
+func (r EventRef) Valid() bool { return r.ev != nil && r.gen == r.ev.gen && r.ev.index >= 0 }
 
 // eventQueue is a binary heap ordered by (time, sequence).
 type eventQueue []*event
@@ -77,6 +88,11 @@ type Simulator struct {
 	queue   eventQueue
 	nextSeq uint64
 	rng     *RNG
+	// free is the pool of recycled event records.
+	free []*event
+	// pending counts scheduled, not-yet-delivered events (kept live so
+	// Pending is O(1)).
+	pending int
 	// executed counts delivered events, for progress reporting and tests.
 	executed uint64
 	// tracer, if non-nil, observes every delivered event.
@@ -96,15 +112,7 @@ func (s *Simulator) Now() simtime.Time { return s.now }
 func (s *Simulator) RNG() *RNG { return s.rng }
 
 // Pending returns the number of scheduled, not-yet-delivered events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancled {
-			n++
-		}
-	}
-	return n
-}
+func (s *Simulator) Pending() int { return s.pending }
 
 // Executed returns the number of events delivered so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
@@ -112,6 +120,27 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // SetTracer installs a hook called with the timestamp of every delivered
 // event. Passing nil removes the hook.
 func (s *Simulator) SetTracer(fn func(at simtime.Time)) { s.tracer = fn }
+
+// alloc takes an event record from the free list, or heap-allocates the
+// pool's next record.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates every outstanding reference to ev and returns the
+// record to the free list.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	s.free = append(s.free, ev)
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past is a model bug and panics, because silently reordering causality would
@@ -123,10 +152,14 @@ func (s *Simulator) At(at simtime.Time, fn Handler) EventRef {
 	if fn == nil {
 		panic("des: nil event handler")
 	}
-	ev := &event{at: at, seq: s.nextSeq, fn: fn}
+	ev := s.alloc()
+	ev.at = at
+	ev.seq = s.nextSeq
+	ev.fn = fn
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
-	return EventRef{ev}
+	s.pending++
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -143,27 +176,31 @@ func (s *Simulator) Cancel(r EventRef) {
 	if !r.Valid() {
 		return
 	}
-	r.ev.cancled = true
 	heap.Remove(&s.queue, r.ev.index)
+	s.pending--
+	s.recycle(r.ev)
 }
 
 // Step delivers the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.cancled {
-			continue
-		}
-		s.now = ev.at
-		s.executed++
-		if s.tracer != nil {
-			s.tracer(ev.at)
-		}
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&s.queue).(*event)
+	s.pending--
+	s.now = ev.at
+	s.executed++
+	at, fn := ev.at, ev.fn
+	// Recycle before running the handler: the handler may immediately
+	// schedule new events, reusing this record, and any stale reference
+	// to the fired event is already invalid (generation bumped).
+	s.recycle(ev)
+	if s.tracer != nil {
+		s.tracer(at)
+	}
+	fn()
+	return true
 }
 
 // Run delivers events until the queue drains.
@@ -176,15 +213,7 @@ func (s *Simulator) Run() {
 // clock to exactly deadline. Events scheduled beyond the deadline remain
 // pending; a subsequent RunUntil may deliver them.
 func (s *Simulator) RunUntil(deadline simtime.Time) {
-	for len(s.queue) > 0 {
-		// Peek: the heap root is the earliest event.
-		if s.queue[0].cancled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if s.queue[0].at > deadline {
-			break
-		}
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
 		s.Step()
 	}
 	if s.now < deadline {

@@ -126,6 +126,62 @@ func TestCancelOneOfMany(t *testing.T) {
 	}
 }
 
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	s := New(1)
+	ref := s.At(10, func() {})
+	s.Run()
+	if ref.Valid() {
+		t.Error("fired ref should be invalid")
+	}
+	// The fired record is back on the free list; a later schedule reuses
+	// it. Canceling the stale ref must not kill the new event.
+	fired := false
+	s.At(20, func() { fired = true })
+	s.Cancel(ref)
+	s.Run()
+	if !fired {
+		t.Error("stale Cancel killed a recycled event")
+	}
+}
+
+func TestPendingCounter(t *testing.T) {
+	s := New(1)
+	refs := make([]EventRef, 6)
+	for i := range refs {
+		refs[i] = s.At(simtime.Time(10*(i+1)), func() {})
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", s.Pending())
+	}
+	s.Cancel(refs[1])
+	s.Cancel(refs[1]) // double cancel must not double-decrement
+	if s.Pending() != 5 {
+		t.Errorf("pending after cancel = %d, want 5", s.Pending())
+	}
+	s.RunUntil(30) // delivers events at 10 and 30 (20 was canceled)
+	if s.Pending() != 3 {
+		t.Errorf("pending after partial run = %d, want 3", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("pending after drain = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventPoolRecycles(t *testing.T) {
+	// After a schedule/fire cycle the kernel must reuse records instead
+	// of growing: run many one-event generations and check the free list
+	// stays bounded at the high-water mark of concurrently pending events.
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		s.After(1, func() {})
+		s.Run()
+	}
+	if len(s.free) > 2 {
+		t.Errorf("free list grew to %d records for 1 pending event", len(s.free))
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	s := New(1)
 	var fired []simtime.Time

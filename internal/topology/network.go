@@ -1,0 +1,292 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// Network is the general architecture description driving the unified
+// simulator (core.SimulateNetwork): a set of switches joined by full-duplex
+// trunks into a tree, every station placed on one switch, and optionally
+// several independent redundant planes (the dual-network ARINC 664 shape:
+// each frame is sent on every plane, the receiver keeps the first copy).
+//
+// The star, cascaded two-switch, switch-tree, daisy-chain and
+// dual-redundant architectures are all instances of this one description,
+// which is what guarantees every SimConfig knob behaves identically on
+// every architecture.
+type Network struct {
+	// Name labels the topology in reports.
+	Name string
+	// Switches is the number of switches per plane, identified 0..n-1.
+	Switches int
+	// Links are the undirected switch-to-switch trunks; a valid network has
+	// exactly Switches−1 of them, connected (a tree — avionics backbones
+	// are loop-free by construction, and tree routing is unique).
+	Links [][2]int
+	// StationSwitch maps every station to its home switch.
+	StationSwitch map[string]int
+	// Planes is the number of independent redundant copies of the whole
+	// fabric (0 or 1 = a single network, 2 = dual-redundant).
+	Planes int
+
+	// nextHop caches the routing table built by NextHops (once; a
+	// Network may be shared by concurrent sweep workers).
+	nhOnce  sync.Once
+	nextHop [][]int
+	nhErr   error
+}
+
+// PlaneCount normalizes Planes (0 means one plane).
+func (n *Network) PlaneCount() int {
+	if n.Planes < 1 {
+		return 1
+	}
+	return n.Planes
+}
+
+// Redundant reports whether the network has more than one plane.
+func (n *Network) Redundant() bool { return n.PlaneCount() > 1 }
+
+// Validate checks structure and station coverage, mirroring
+// analysis.Tree.Validate plus the plane count.
+func (n *Network) Validate(stations []string) error {
+	if n == nil {
+		return fmt.Errorf("topology: nil network")
+	}
+	if n.Planes < 0 {
+		return fmt.Errorf("topology: negative plane count %d", n.Planes)
+	}
+	if err := n.Tree().Validate(stations); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Tree views one plane of the network as the analysis topology: bounds are
+// computed per plane, and every plane is identical, so the single-plane
+// tree bound covers redundant networks too (the first delivered copy is
+// never later than any fixed plane's copy).
+func (n *Network) Tree() *analysis.Tree {
+	return &analysis.Tree{
+		Switches:      n.Switches,
+		Links:         n.Links,
+		StationSwitch: n.StationSwitch,
+	}
+}
+
+// NextHops returns (building once, then cached) the static routing table:
+// next[s][t] is the neighbour of switch s on the unique tree path toward
+// switch t, and next[s][s] == s. One BFS per switch, run once per topology
+// — simulators must never recompute paths per (station, switch) pair.
+func (n *Network) NextHops() ([][]int, error) {
+	n.nhOnce.Do(func() { n.nextHop, n.nhErr = n.buildNextHops() })
+	return n.nextHop, n.nhErr
+}
+
+func (n *Network) buildNextHops() ([][]int, error) {
+	adj := make([][]int, n.Switches)
+	for _, l := range n.Links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= n.Switches || b < 0 || b >= n.Switches || a == b {
+			return nil, fmt.Errorf("topology: invalid link %v", l)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	next := make([][]int, n.Switches)
+	for s := 0; s < n.Switches; s++ {
+		row := make([]int, n.Switches)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = s
+		// BFS from s; firstHop[v] is the neighbour of s that discovered
+		// the branch containing v.
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if row[v] != -1 {
+					continue
+				}
+				if u == s {
+					row[v] = v
+				} else {
+					row[v] = row[u]
+				}
+				queue = append(queue, v)
+			}
+		}
+		for t, h := range row {
+			if h == -1 {
+				return nil, fmt.Errorf("topology: switch %d unreachable from %d", t, s)
+			}
+		}
+		next[s] = row
+	}
+	return next, nil
+}
+
+// Star returns the paper's architecture: every station on one switch.
+func Star(stations []string) *Network {
+	n := &Network{Name: "star", Switches: 1, StationSwitch: map[string]int{}}
+	for _, s := range stations {
+		n.StationSwitch[s] = 0
+	}
+	return n
+}
+
+// Cascade returns a two-switch trunk topology with stations assigned by
+// the given function (values 0 and 1) — the front/back fuselage split.
+func Cascade(stations []string, assign func(string) int) *Network {
+	n := &Network{Name: "cascade", Switches: 2, Links: [][2]int{{0, 1}}, StationSwitch: map[string]int{}}
+	for _, s := range stations {
+		n.StationSwitch[s] = assign(s)
+	}
+	return n
+}
+
+// Chain returns a daisy-chain backbone of the given length — the line
+// topology the paper's future-work section gestures at (equipment bays
+// strung along the fuselage). Stations are spread over the switches in
+// sorted order, contiguously, so placement is deterministic for any
+// workload.
+func Chain(stations []string, switches int) *Network {
+	if switches < 1 {
+		switches = 1
+	}
+	n := &Network{Name: fmt.Sprintf("chain%d", switches), Switches: switches, StationSwitch: map[string]int{}}
+	for i := 0; i+1 < switches; i++ {
+		n.Links = append(n.Links, [2]int{i, i + 1})
+	}
+	sorted := append([]string(nil), stations...)
+	sort.Strings(sorted)
+	for i, s := range sorted {
+		n.StationSwitch[s] = i * switches / len(sorted)
+	}
+	return n
+}
+
+// FromTree wraps an analysis tree as a single-plane network.
+func FromTree(name string, t *analysis.Tree) *Network {
+	return &Network{
+		Name:          name,
+		Switches:      t.Switches,
+		Links:         t.Links,
+		StationSwitch: t.StationSwitch,
+	}
+}
+
+// Redundify returns a copy of base with the given number of independent
+// planes — the dual-redundant AFDX-style network for planes = 2. Links
+// and placements are cloned so mutating either network never silently
+// changes the other (or invalidates its cached routing table).
+func Redundify(base *Network, planes int) *Network {
+	placement := make(map[string]int, len(base.StationSwitch))
+	for s, sw := range base.StationSwitch {
+		placement[s] = sw
+	}
+	n := &Network{
+		Name:          fmt.Sprintf("dual-%s", base.Name),
+		Switches:      base.Switches,
+		Links:         append([][2]int(nil), base.Links...),
+		StationSwitch: placement,
+		Planes:        planes,
+	}
+	if planes != 2 {
+		n.Name = fmt.Sprintf("%s-x%d", base.Name, planes)
+	}
+	return n
+}
+
+// Family is a topology generator parametric in the station list, so the
+// same architecture family can be instantiated for any workload (the sweep
+// engine varies the workload per grid cell).
+type Family struct {
+	// Key is the CLI / report identifier.
+	Key string
+	// Describe is a one-line description for usage text.
+	Describe string
+	// Build instantiates the family for a station list.
+	Build func(stations []string) *Network
+}
+
+// Families returns the built-in architecture families, in report order:
+// the paper's star, the cascaded two-switch split, a three-switch tree, a
+// four-switch daisy-chain backbone, and the dual-redundant star.
+func Families() []Family {
+	return []Family{
+		{
+			Key:      "star",
+			Describe: "single switch, every station attached (the paper's architecture)",
+			Build: func(stations []string) *Network {
+				return Star(stations)
+			},
+		},
+		{
+			Key:      "cascade",
+			Describe: "two switches joined by a trunk, stations split in sorted halves",
+			Build: func(stations []string) *Network {
+				sorted := append([]string(nil), stations...)
+				sort.Strings(sorted)
+				side := map[string]int{}
+				for i, s := range sorted {
+					side[s] = 2 * i / max(len(sorted), 1)
+				}
+				n := Cascade(stations, func(s string) int { return side[s] })
+				return n
+			},
+		},
+		{
+			Key:      "tree",
+			Describe: "hub switch with three leaf switches, stations round-robin on the leaves",
+			Build: func(stations []string) *Network {
+				n := &Network{
+					Name:          "tree",
+					Switches:      4,
+					Links:         [][2]int{{0, 1}, {0, 2}, {0, 3}},
+					StationSwitch: map[string]int{},
+				}
+				sorted := append([]string(nil), stations...)
+				sort.Strings(sorted)
+				for i, s := range sorted {
+					if i == 0 {
+						n.StationSwitch[s] = 0 // one station on the hub
+						continue
+					}
+					n.StationSwitch[s] = 1 + i%3
+				}
+				return n
+			},
+		},
+		{
+			Key:      "chain",
+			Describe: "four-switch daisy-chain backbone (line topology)",
+			Build: func(stations []string) *Network {
+				return Chain(stations, 4)
+			},
+		},
+		{
+			Key:      "dual",
+			Describe: "dual-redundant star (two independent planes, first copy wins)",
+			Build: func(stations []string) *Network {
+				return Redundify(Star(stations), 2)
+			},
+		},
+	}
+}
+
+// FamilyByKey finds a built-in family.
+func FamilyByKey(key string) (Family, error) {
+	for _, f := range Families() {
+		if f.Key == key {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("topology: unknown family %q", key)
+}

@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/traffic"
+)
+
+func TestNetworkValidate(t *testing.T) {
+	stations := []string{"a", "b", "c"}
+	good := Chain(stations, 3)
+	if err := good.Validate(stations); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Network{
+		nil,
+		{Switches: 0},
+		{Switches: 2, StationSwitch: map[string]int{"a": 0, "b": 0, "c": 0}},                                      // disconnected
+		{Switches: 2, Links: [][2]int{{0, 0}}, StationSwitch: map[string]int{"a": 0}},                             // self loop
+		{Switches: 1, StationSwitch: map[string]int{}},                                                            // stations unplaced
+		{Switches: 2, Links: [][2]int{{0, 1}}, Planes: -1, StationSwitch: map[string]int{"a": 0, "b": 1, "c": 1}}, // negative planes
+	}
+	for i, n := range bad {
+		if err := n.Validate(stations); err == nil {
+			t.Errorf("bad network %d accepted", i)
+		}
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	n := Chain([]string{"a", "b", "c", "d"}, 4) // 0—1—2—3
+	next, err := n.NextHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 1},
+		{3, 0, 2}, {2, 0, 1}, {1, 3, 2},
+	}
+	for _, c := range cases {
+		if got := next[c.from][c.to]; got != c.want {
+			t.Errorf("next[%d][%d] = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+	// Cached: second call returns the same table.
+	again, err := n.NextHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &next[0] {
+		t.Error("NextHops rebuilt instead of caching")
+	}
+}
+
+func TestNextHopsStar(t *testing.T) {
+	// Hub-and-leaves: every leaf reaches every other leaf via the hub.
+	n := &Network{
+		Switches:      4,
+		Links:         [][2]int{{0, 1}, {0, 2}, {0, 3}},
+		StationSwitch: map[string]int{},
+	}
+	next, err := n.NextHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[1][3] != 0 || next[2][1] != 0 || next[0][2] != 2 {
+		t.Errorf("star next hops wrong: %v", next)
+	}
+}
+
+func TestNextHopsDisconnected(t *testing.T) {
+	n := &Network{Switches: 2}
+	if _, err := n.NextHops(); err == nil {
+		t.Error("disconnected network produced a routing table")
+	}
+}
+
+func TestChainPlacement(t *testing.T) {
+	stations := []string{"d", "a", "c", "b", "e", "f", "g", "h"}
+	n := Chain(stations, 4)
+	if n.Switches != 4 || len(n.Links) != 3 {
+		t.Fatalf("chain shape: %d switches, %d links", n.Switches, len(n.Links))
+	}
+	// Sorted stations spread contiguously: a,b → 0; c,d → 1; e,f → 2; g,h → 3.
+	want := map[string]int{"a": 0, "b": 0, "c": 1, "d": 1, "e": 2, "f": 2, "g": 3, "h": 3}
+	for s, sw := range want {
+		if n.StationSwitch[s] != sw {
+			t.Errorf("station %s on switch %d, want %d", s, n.StationSwitch[s], sw)
+		}
+	}
+}
+
+func TestRedundify(t *testing.T) {
+	base := Star([]string{"a", "b"})
+	dual := Redundify(base, 2)
+	if dual.PlaneCount() != 2 || !dual.Redundant() {
+		t.Errorf("dual planes = %d", dual.PlaneCount())
+	}
+	if dual.Name != "dual-star" {
+		t.Errorf("name = %q", dual.Name)
+	}
+	if base.PlaneCount() != 1 || base.Redundant() {
+		t.Error("base mutated or misreports planes")
+	}
+	if err := dual.Validate([]string{"a", "b"}); err != nil {
+		t.Errorf("dual star invalid: %v", err)
+	}
+}
+
+func TestNetworkTreeView(t *testing.T) {
+	set := traffic.RealCase()
+	n := Chain(set.Stations(), 4)
+	tree := n.Tree()
+	if err := tree.Validate(set.Stations()); err != nil {
+		t.Fatal(err)
+	}
+	// The tree view powers the analysis: chain bounds must compute.
+	if _, err := analysis.TreeEndToEnd(set, analysis.Priority, analysis.DefaultConfig(), tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	set := traffic.RealCase()
+	stations := set.Stations()
+	seen := map[string]bool{}
+	for _, fam := range Families() {
+		if seen[fam.Key] {
+			t.Errorf("duplicate family key %q", fam.Key)
+		}
+		seen[fam.Key] = true
+		n := fam.Build(stations)
+		if err := n.Validate(stations); err != nil {
+			t.Errorf("family %s builds invalid network: %v", fam.Key, err)
+		}
+		if _, err := n.NextHops(); err != nil {
+			t.Errorf("family %s has no routing: %v", fam.Key, err)
+		}
+	}
+	for _, want := range []string{"star", "cascade", "tree", "chain", "dual"} {
+		if !seen[want] {
+			t.Errorf("family %q missing", want)
+		}
+	}
+	if _, err := FamilyByKey("star"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FamilyByKey("hypercube"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -164,4 +165,56 @@ func TreeEndToEnd(set *Set, a Approach, cfg AnalysisConfig, tree *Tree) (*Result
 // SimulateTree simulates the workload over a switch tree.
 func SimulateTree(set *Set, cfg SimConfig, tree *Tree) (*SimResult, error) {
 	return core.SimulateTree(set, cfg, tree)
+}
+
+// Network is the general architecture description behind the unified
+// simulator: switches joined into a tree by full-duplex trunks, stations
+// placed on switches, and optionally several independent redundant planes
+// (the dual-network AFDX shape).
+type Network = topology.Network
+
+// TopologyFamily is a topology generator parametric in the station list
+// (see topology.Families for the built-in architecture families).
+type TopologyFamily = topology.Family
+
+// TopoPoint is one topology × rate × load grid-cell coordinate.
+type TopoPoint = core.TopoPoint
+
+// TopoCell is one topology-grid cell's aggregated outcome.
+type TopoCell = core.TopoCell
+
+// TopologyFamilies returns the built-in architecture families: star,
+// cascade, tree, daisy-chain, and the dual-redundant star.
+func TopologyFamilies() []TopologyFamily { return topology.Families() }
+
+// StarNetwork returns the paper's architecture for a station list.
+func StarNetwork(stations []string) *Network { return topology.Star(stations) }
+
+// ChainNetwork returns a daisy-chain backbone of the given length.
+func ChainNetwork(stations []string, switches int) *Network {
+	return topology.Chain(stations, switches)
+}
+
+// RedundantNetwork returns base replicated into independent planes (2 =
+// dual-redundant; the receiver keeps the first copy of every instance).
+func RedundantNetwork(base *Network, planes int) *Network {
+	return topology.Redundify(base, planes)
+}
+
+// SimulateNetwork runs the workload over an arbitrary network description
+// — the one engine behind Simulate, SimulateTree and the architecture
+// families, honoring every SimConfig field on every topology.
+func SimulateNetwork(set *Set, cfg SimConfig, topo *Network) (*SimResult, error) {
+	return core.SimulateNetwork(set, cfg, topo)
+}
+
+// TopoGrid builds the topology × rate × load cross product.
+func TopoGrid(fams []TopologyFamily, rates []simtime.Rate, loads []int) []TopoPoint {
+	return core.TopoGrid(fams, rates, loads)
+}
+
+// RunTopoGrid cross-validates tree-composed bounds against simulation on
+// every topology-grid point using the parallel scenario-sweep engine.
+func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoCell, error) {
+	return core.RunTopoGrid(points, base, opts)
 }
