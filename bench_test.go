@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/netcalc"
 	"repro/internal/shaper"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -602,6 +604,37 @@ func Benchmark1553MinorFrame(b *testing.B) {
 // ---------------------------------------------------------------------------
 // The scenario-sweep engine.
 // ---------------------------------------------------------------------------
+
+// BenchmarkScenarioLoad measures the declarative config path: parse,
+// validate and route-precompute the real-case dual-redundant scenario
+// (94 connections, network + sim sections, per-link overrides) from its
+// JSON bytes — the fixed cost every `rtether ... -config` invocation and
+// every Experiment bind pays before the first simulated nanosecond.
+func BenchmarkScenarioLoad(b *testing.B) {
+	cfg, err := ScenarioTemplate("dual")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Make it heterogeneous: a fast mission-computer access link, as the
+	// migration study would configure.
+	cfg.Network.StationRates = map[string]simtime.Rate{"mission-computer": 100 * simtime.Mbps}
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	doc := buf.Bytes()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := topology.Load(bytes.NewReader(doc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewScenario(loaded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSweep runs the rate-sweep grid cross-validation (S3) — 8 cells
 // × 4 simulation replications each — under growing worker counts. The

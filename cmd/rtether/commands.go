@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -70,30 +71,37 @@ func cmdFigure1(args []string) error {
 	return err
 }
 
-// cmdAnalyze prints per-connection bounds under one or both models.
+// cmdAnalyze prints per-connection bounds under one or both models. With
+// a scenario declaring a custom network, the end-to-end model composes the
+// bounds over that architecture, pricing each hop at its own link rate.
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	e2e := fs.Bool("e2e", false, "use the compositional end-to-end analysis")
 	fs.Parse(args)
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
+	set := s.Set
+	run := func(set *traffic.Set, a analysis.Approach, cfg analysis.Config) (*analysis.Result, error) {
+		return analysis.SingleHop(set, a, cfg)
 	}
-	run := analysis.SingleHop
 	model := "single-hop (paper-faithful)"
 	if *e2e {
-		run = analysis.EndToEnd
+		run = func(set *traffic.Set, a analysis.Approach, cfg analysis.Config) (*analysis.Result, error) {
+			return s.Analyze(a)
+		}
 		model = "end-to-end (compositional)"
+		if s.Cfg != nil && s.Cfg.Network != nil {
+			model = fmt.Sprintf("end-to-end (tree-composed over %q: %d switches, %d planes)",
+				s.Net.Name, s.Net.Switches, s.Net.PlaneCount())
+		}
 	}
 	fmt.Fprintf(stdout, "analysis model: %s\n\n", model)
 	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
-		res, err := run(set, approach, scen.AnalysisConfig())
+		res, err := run(set, approach, s.Analysis())
 		if err != nil {
 			return err
 		}
@@ -111,10 +119,13 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
-// cmdSimulate runs the DES and reports observed latencies.
+// cmdSimulate runs the DES over the scenario's architecture — the network
+// section's switches, trunks, redundant planes and per-link overrides all
+// take effect — and reports observed latencies. Explicitly passed flags
+// override the scenario's sim section.
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	approachFlag := fs.String("approach", "priority", "fcfs or priority")
 	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -122,82 +133,90 @@ func cmdSimulate(args []string) error {
 	tracePath := fs.String("trace", "", "write the frame lifecycle log as CSV")
 	fs.Parse(args)
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
+	passed := fsFlagsSet(fs)
+	if passed["approach"] {
+		approach, err := parseApproach(*approachFlag)
+		if err != nil {
+			return err
+		}
+		s.Sim.Approach = approach
 	}
-	approach, err := parseApproach(*approachFlag)
-	if err != nil {
-		return err
+	if passed["horizon"] {
+		s.Sim.Horizon = simtime.FromStd(*horizon)
 	}
-	cfg := core.DefaultSimConfig(approach)
-	cfg.LinkRate = scen.AnalysisConfig().LinkRate
-	cfg.TTechno = scen.AnalysisConfig().TTechno
-	cfg.Horizon = simtime.FromStd(*horizon)
-	cfg.Seed = *seed
+	if passed["seed"] {
+		s.Sim.Seed = *seed
+	}
 	if *pcapPath != "" {
 		f, err := openPCAP(*pcapPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cfg.PCAP = trace.NewPCAP(f)
+		s.Sim.PCAP = trace.NewPCAP(f)
 	}
 	if *tracePath != "" {
-		cfg.Recorder = trace.NewRecorder(0)
+		s.Sim.Recorder = trace.NewRecorder(0)
 	}
-	res, err := core.Simulate(set, cfg)
+	res, err := s.Simulate()
 	if err != nil {
 		return err
 	}
-	if cfg.PCAP != nil {
-		fmt.Fprintf(stdout, "wrote %d frames to %s\n", cfg.PCAP.Packets, *pcapPath)
+	if s.Sim.PCAP != nil {
+		fmt.Fprintf(stdout, "wrote %d frames to %s\n", s.Sim.PCAP.Packets, *pcapPath)
 	}
-	if cfg.Recorder != nil {
-		if err := writeTraceCSV(*tracePath, cfg.Recorder); err != nil {
+	if s.Sim.Recorder != nil {
+		if err := writeTraceCSV(*tracePath, s.Sim.Recorder); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote %d lifecycle events to %s\n", len(cfg.Recorder.Events()), *tracePath)
+		fmt.Fprintf(stdout, "wrote %d lifecycle events to %s\n", len(s.Sim.Recorder.Events()), *tracePath)
 	}
 	tbl := report.NewTable("connection", "class", "delivered", "min", "mean", "max", "deadline misses")
-	for _, m := range set.Messages {
+	for _, m := range s.Set.Messages {
 		f := res.Flows[m.Name]
 		tbl.AddRow(m.Name, m.Priority, f.Delivered,
 			f.Latency.Min(), f.Latency.Mean(), f.Latency.Max(), f.DeadlineMisses)
 	}
-	fmt.Fprintf(stdout, "simulated %v under %v (%d events, %d deliveries, %d drops)\n\n",
-		cfg.Horizon, approach, res.Events, res.TotalDelivered(), res.Dropped)
+	fmt.Fprintf(stdout, "simulated %v under %v on %s (%d switches, %d planes; %d events, %d deliveries, %d drops)\n\n",
+		s.Sim.Horizon, s.Sim.Approach, s.Net.Name, s.Net.Switches, s.Net.PlaneCount(),
+		res.Events, res.TotalDelivered(), res.Dropped)
 	_, err = tbl.WriteTo(stdout)
 	return err
 }
 
-// cmdBaseline runs the MIL-STD-1553B comparison.
+// fsFlagsSet reports which flags were explicitly passed — those override
+// the scenario file; everything else defers to it.
+func fsFlagsSet(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// cmdBaseline runs the MIL-STD-1553B comparison over the scenario's
+// horizon and configured bus controller.
 func cmdBaseline(args []string) error {
 	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo bus replications")
 	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
 	fs.Parse(args)
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
-	}
-	bc, err := scen.BC()
+	set := s.Set
+	bc, err := s.BusController()
 	if err != nil {
 		return err
 	}
 	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
-	b, err := core.RunBaseline1553(set, bc, 2*simtime.Second, opts)
+	b, err := s.Baseline(opts)
 	if err != nil {
 		return err
 	}
@@ -221,7 +240,7 @@ func cmdBaseline(args []string) error {
 // fixed -seed the output is bit-identical at any -parallel value.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON (rate ablation only; the grid uses the built-in catalog)")
+	config := fs.String("config", "", "scenario JSON, path or - for stdin (rate ablation only; the grid uses the built-in catalog)")
 	parallel := fs.Int("parallel", 1, "concurrent scenario evaluations (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo simulation replications per grid cell")
 	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
@@ -230,19 +249,16 @@ func cmdSweep(args []string) error {
 	noGrid := fs.Bool("nogrid", false, "skip the grid cross-validation (rate ablation only)")
 	fs.Parse(args)
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
-	}
+	set := s.Set
 	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
 
 	rates := []simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 50 * simtime.Mbps,
 		100 * simtime.Mbps, simtime.Gbps}
-	points, err := core.RunRateSweep(set, rates, scen.AnalysisConfig(), opts)
+	points, err := core.RunRateSweep(set, rates, s.Analysis(), opts)
 	if err != nil {
 		return err
 	}
@@ -263,7 +279,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	cfg := core.DefaultSimConfig(approach)
-	cfg.TTechno = scen.AnalysisConfig().TTechno
+	cfg.TTechno = s.Sim.TTechno
 	cfg.Horizon = simtime.FromStd(*horizon)
 	// A single replication checks the deterministic critical instant;
 	// actual Monte-Carlo needs randomness to sample, so multiple
@@ -301,38 +317,42 @@ func cmdSweep(args []string) error {
 }
 
 // cmdValidate compares simulation against bounds, optionally as a
-// replicated Monte-Carlo experiment on the sweep engine.
+// replicated Monte-Carlo experiment on the sweep engine. The scenario's
+// network section takes full effect: on a custom architecture the bounds
+// are the tree-composed ones and the simulation runs the same topology,
+// per-link overrides included.
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo replications per approach")
 	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
 	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span per replication")
 	fs.Parse(args)
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
-	}
+	passed := fsFlagsSet(fs)
 	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
 	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
-		cfg := core.DefaultSimConfig(approach)
-		cfg.LinkRate = scen.AnalysisConfig().LinkRate
-		cfg.TTechno = scen.AnalysisConfig().TTechno
-		cfg.Horizon = simtime.FromStd(*horizon)
-		// As in cmdSweep: replicated runs sample random phases/gaps,
-		// a single run checks the deterministic critical instant.
-		if *reps > 1 {
-			cfg.Mode = traffic.RandomGaps
-			cfg.MeanSlack = core.DefaultMeanSlack
-			cfg.AlignPhases = false
+		sc := s.WithApproach(approach)
+		if passed["horizon"] || s.Cfg == nil || s.Cfg.Sim == nil || s.Cfg.Sim.HorizonUs == 0 {
+			sc.Sim.Horizon = simtime.FromStd(*horizon)
 		}
-		v, err := core.RunValidation(set, cfg, opts)
+		// As in cmdSweep: replicated runs sample random phases/gaps, a
+		// single run checks the deterministic critical instant — unless
+		// the scenario file pins the source regime itself (mode or
+		// align_phases set explicitly).
+		pinnedSource := s.Cfg != nil && s.Cfg.Sim != nil &&
+			(s.Cfg.Sim.Mode != "" || s.Cfg.Sim.AlignPhases != nil)
+		if *reps > 1 && !pinnedSource {
+			sc.Sim.Mode = traffic.RandomGaps
+			sc.Sim.MeanSlack = core.DefaultMeanSlack
+			sc.Sim.AlignPhases = false
+		}
+		v, err := sc.Validate(opts)
 		if err != nil {
 			return err
 		}
@@ -345,7 +365,7 @@ func cmdValidate(args []string) error {
 			tbl.AddRow(r.Name, r.Priority, r.Observed, p99, r.Bound, r.PaperBound, mark(r.Sound()))
 		}
 		fmt.Fprintf(stdout, "== %v (%d replications, %s sources): all sound = %v ==\n",
-			approach, v.Reps, sourceRegime(cfg), v.AllSound())
+			approach, v.Reps, sourceRegime(sc.Sim), v.AllSound())
 		if _, err := tbl.WriteTo(stdout); err != nil {
 			return err
 		}
@@ -354,15 +374,20 @@ func cmdValidate(args []string) error {
 	return nil
 }
 
-// cmdScenario dumps the built-in scenario.
+// cmdScenario dumps a scenario JSON template: the built-in real case, or —
+// with -topology — the real case on any built-in architecture family,
+// network section included, as a starting point for custom architectures.
 func cmdScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	family := fs.String("topology", "", "built-in family (star|cascade|tree|chain|dual): include that architecture as a network section")
 	fs.Parse(args)
-	return loadAndSaveDefault()
-}
-
-func loadAndSaveDefault() error {
-	scen, err := loadScenario("")
+	var scen *topology.Config
+	var err error
+	if *family == "" {
+		scen, err = loadScenario("")
+	} else {
+		scen, err = topology.Template(*family)
+	}
 	if err != nil {
 		return err
 	}
@@ -370,14 +395,7 @@ func loadAndSaveDefault() error {
 }
 
 func parseApproach(s string) (analysis.Approach, error) {
-	switch strings.ToLower(s) {
-	case "fcfs":
-		return analysis.FCFS, nil
-	case "priority", "prio":
-		return analysis.Priority, nil
-	default:
-		return 0, fmt.Errorf("unknown approach %q (want fcfs|priority)", s)
-	}
+	return analysis.ParseApproach(s)
 }
 
 // sourceRegime names the traffic-source regime of a simulation config.

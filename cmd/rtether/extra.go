@@ -17,7 +17,7 @@ import (
 // smallest link rate at which each approach meets every deadline?
 func cmdCapacity(args []string) error {
 	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -49,7 +49,7 @@ func cmdCapacity(args []string) error {
 // cmdBacklog prints the switch buffer dimensioning table.
 func cmdBacklog(args []string) error {
 	fs := flag.NewFlagSet("backlog", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -79,7 +79,7 @@ func cmdBacklog(args []string) error {
 // civil 2-priority profile with the paper's military 4-class one.
 func cmdAFDX(args []string) error {
 	fs := flag.NewFlagSet("afdx", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -136,7 +136,7 @@ func writeTraceCSV(path string, rec *trace.Recorder) error {
 // at the bottleneck (experiments A7/A8).
 func cmdSchedulers(args []string) error {
 	fs := flag.NewFlagSet("schedulers", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)
@@ -169,7 +169,7 @@ func cmdSchedulers(args []string) error {
 // cmdTwoSwitch analyzes and simulates the cascaded two-switch topology.
 func cmdTwoSwitch(args []string) error {
 	fs := flag.NewFlagSet("twoswitch", flag.ExitOnError)
-	config := fs.String("config", "", "scenario JSON")
+	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	fs.Parse(args)
 
 	scen, err := loadScenario(*config)

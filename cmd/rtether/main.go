@@ -11,7 +11,16 @@
 //	rtether sweep     [-parallel w] [-reps n] [-seed s] [-nogrid]  # scenario sweeps
 //	rtether validate  [-config file.json] [-reps n] [-parallel w] [-seed s]
 //	rtether topo      [-grid] [-topologies star,chain,...]  # every architecture family
-//	rtether scenario                               # print the built-in scenario JSON
+//	rtether scenario  [-topology family]           # print a scenario JSON template
+//
+// Every -config flag accepts a path or "-" for stdin, so scenarios pipe:
+//
+//	rtether scenario -topology dual | rtether validate -config -
+//
+// The scenario file is the single currency of the system: its network
+// section (switches, trunks, station placement, redundant planes,
+// per-link rate/propagation-delay overrides) and sim section (horizon,
+// seed, source mode, BER, …) reach every pipeline.
 //
 // The sweep-style commands run on the parallel scenario-sweep engine:
 // -parallel sets the worker count (0 = all CPUs), -reps the number of
@@ -24,11 +33,15 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/topology"
 )
 
 // stdout is the destination of command output; tests swap it for a buffer.
 var stdout io.Writer = os.Stdout
+
+// stdin is the source of `-config -` documents; tests swap it for a reader.
+var stdin io.Reader = os.Stdin
 
 func main() {
 	if len(os.Args) < 2 {
@@ -93,14 +106,32 @@ commands:
   twoswitch  bounds and simulation on a cascaded two-switch topology
   topo       unified engine over every architecture family (add -grid for topology × rate × load)
   schedulers urgent-class bound under FCFS / strict / preemptive / DRR
-  scenario   print the built-in scenario as JSON (edit & pass via -config)
+  scenario   print a scenario JSON template (-topology star|cascade|tree|chain|dual
+             adds that architecture as a network section; edit & pass via -config,
+             where "-" reads stdin)
 `)
 }
 
-// loadScenario reads -config or falls back to the built-in real case.
+// loadScenario reads -config ("-" = stdin) or falls back to the built-in
+// real case.
 func loadScenario(path string) (*topology.Config, error) {
-	if path == "" {
+	switch path {
+	case "":
 		return topology.Default(), nil
+	case "-":
+		return topology.Load(stdin)
+	default:
+		return topology.LoadFile(path)
 	}
-	return topology.LoadFile(path)
+}
+
+// bindScenario loads -config and binds it into a runnable Scenario:
+// workload and network validated, routing precomputed, sim section folded
+// over the paper-matched defaults.
+func bindScenario(path string) (*core.Scenario, error) {
+	cfg, err := loadScenario(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewScenario(cfg)
 }

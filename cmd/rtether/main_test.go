@@ -264,6 +264,122 @@ func TestCommandsWithCustomConfig(t *testing.T) {
 	}
 }
 
+// heteroFixture is the committed dual-redundant heterogeneous-rate
+// scenario pinned by the topology package's golden round-trip test.
+const heteroFixture = "../../internal/topology/testdata/dual_hetero.json"
+
+func TestCmdScenarioTopologyTemplate(t *testing.T) {
+	out := capture(t, cmdScenario, "-topology", "dual")
+	for _, want := range []string{`"network"`, `"planes": 2`, `"stations"`, "real-case-dual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("template missing %q", want)
+		}
+	}
+	// The emitted template must load back.
+	if _, err := topology.Load(strings.NewReader(out)); err != nil {
+		t.Errorf("emitted template does not load: %v", err)
+	}
+	// Unknown family errors.
+	if err := cmdScenario([]string{"-topology", "hypercube"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+// TestCmdConfigStdin proves the shell round trip the CI smoke step relies
+// on: rtether scenario | rtether validate -config -.
+func TestCmdConfigStdin(t *testing.T) {
+	template := capture(t, cmdScenario, "-topology", "dual")
+	old := stdin
+	stdin = strings.NewReader(template)
+	defer func() { stdin = old }()
+	out := capture(t, cmdValidate, "-config", "-", "-horizon", "30ms")
+	if !strings.Contains(out, "all sound = true") {
+		t.Errorf("piped scenario validation not sound:\n%s", firstLines(out, 3))
+	}
+}
+
+func TestCmdSimulateCustomNetwork(t *testing.T) {
+	out := capture(t, cmdSimulate, "-config", heteroFixture)
+	// The sim section fixes the horizon (100ms) and the network section
+	// the architecture (2 switches, 2 planes).
+	if !strings.Contains(out, "simulated 100ms under priority on dual-split (2 switches, 2 planes;") {
+		t.Errorf("scenario sections not honoured:\n%s", firstLines(out, 2))
+	}
+	// Explicit flags override the sim section.
+	out = capture(t, cmdSimulate, "-config", heteroFixture, "-horizon", "40ms", "-approach", "fcfs")
+	if !strings.Contains(out, "simulated 40ms under FCFS on dual-split") {
+		t.Errorf("flags did not override sim section:\n%s", firstLines(out, 2))
+	}
+}
+
+// TestCmdValidateCustomNetworkDeterministic is the acceptance criterion:
+// a custom heterogeneous-rate dual-redundant scenario runs through
+// validate with same-seed output bit-identical at any -parallel value,
+// and every connection sound.
+func TestCmdValidateCustomNetworkDeterministic(t *testing.T) {
+	args := []string{"-config", heteroFixture, "-horizon", "50ms", "-reps", "3", "-seed", "42"}
+	serial := capture(t, cmdValidate, append([]string{"-parallel", "1"}, args...)...)
+	par := capture(t, cmdValidate, append([]string{"-parallel", "8"}, args...)...)
+	if serial != par {
+		t.Errorf("custom-network validate differs across -parallel values:\n%s\nvs\n%s", serial, par)
+	}
+	if strings.Count(serial, "all sound = true") != 2 {
+		t.Errorf("custom-network validation not sound:\n%s", firstLines(serial, 3))
+	}
+}
+
+func TestCmdTopoWithScenarioNetwork(t *testing.T) {
+	out := capture(t, cmdTopo, "-config", heteroFixture, "-horizon", "30ms")
+	if !strings.Contains(out, "scenario:dual-split") {
+		t.Errorf("custom network row missing:\n%s", firstLines(out, 5))
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("custom network row unsound:\n%s", out)
+	}
+}
+
+// TestCmdTopoHonoursSimSection: without explicit flags, the scenario's
+// sim section (horizon 100ms, priority) drives the topo run; explicit
+// flags still override.
+func TestCmdTopoHonoursSimSection(t *testing.T) {
+	out := capture(t, cmdTopo, "-config", heteroFixture, "-topologies", "star")
+	if !strings.Contains(out, "(horizon 100ms, BER 0)") {
+		t.Errorf("sim-section horizon not honoured:\n%s", firstLines(out, 1))
+	}
+	out = capture(t, cmdTopo, "-config", heteroFixture, "-topologies", "star", "-horizon", "20ms")
+	if !strings.Contains(out, "(horizon 20ms, BER 0)") {
+		t.Errorf("explicit -horizon did not override:\n%s", firstLines(out, 1))
+	}
+}
+
+// TestCmdValidatePinnedSourceRegime: a scenario explicitly pinning
+// align_phases keeps the critical instant even under -reps > 1.
+func TestCmdValidatePinnedSourceRegime(t *testing.T) {
+	out := capture(t, cmdValidate, "-config", heteroFixture, "-reps", "2", "-horizon", "30ms")
+	if !strings.Contains(out, "critical-instant sources") {
+		t.Errorf("pinned source regime clobbered by -reps:\n%s", firstLines(out, 1))
+	}
+	// The built-in scenario pins nothing: -reps > 1 randomizes as before.
+	out = capture(t, cmdValidate, "-reps", "2", "-horizon", "30ms")
+	if !strings.Contains(out, "randomized sources") {
+		t.Errorf("unpinned scenario did not randomize:\n%s", firstLines(out, 1))
+	}
+}
+
+func TestCmdBaselineWithScenario(t *testing.T) {
+	out := capture(t, cmdBaseline, "-config", heteroFixture)
+	if !strings.Contains(out, "BC=mc") {
+		t.Errorf("scenario bus controller not honoured:\n%s", firstLines(out, 2))
+	}
+}
+
+func TestCmdAnalyzeTreeComposed(t *testing.T) {
+	out := capture(t, cmdAnalyze, "-config", heteroFixture, "-e2e")
+	if !strings.Contains(out, `tree-composed over "dual-split": 2 switches, 2 planes`) {
+		t.Errorf("tree-composed model line missing:\n%s", firstLines(out, 2))
+	}
+}
+
 func TestParseApproach(t *testing.T) {
 	if _, err := parseApproach("fcfs"); err != nil {
 		t.Error(err)

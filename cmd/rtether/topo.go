@@ -50,34 +50,58 @@ func cmdTopo(args []string) error {
 		return topoGrid(fams, approach, *horizon, *seed, *ber, *parallel, *reps)
 	}
 
-	scen, err := loadScenario(*config)
+	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set, err := scen.ToSet()
-	if err != nil {
-		return err
+	set := s.Set
+	cfg := s.Sim
+	// Explicit flags override the scenario's sim section; otherwise the
+	// section wins, except the horizon, whose command default (500 ms,
+	// shorter than the simulate default) applies when neither names one.
+	passed := fsFlagsSet(fs)
+	if passed["approach"] {
+		cfg.Approach = approach
 	}
-	cfg := core.DefaultSimConfig(approach)
-	cfg.LinkRate = scen.AnalysisConfig().LinkRate
-	cfg.TTechno = scen.AnalysisConfig().TTechno
-	cfg.Horizon = simtime.FromStd(*horizon)
-	cfg.Seed = *seed
-	cfg.BER = *ber
+	if passed["horizon"] || s.Cfg == nil || s.Cfg.Sim == nil || s.Cfg.Sim.HorizonUs == 0 {
+		cfg.Horizon = simtime.FromStd(*horizon)
+	}
+	if passed["seed"] {
+		cfg.Seed = *seed
+	}
+	if passed["ber"] {
+		cfg.BER = *ber
+	}
+	approach = cfg.Approach
+
+	// The scenario's own architecture (when it declares one) leads the
+	// table, ahead of the built-in families — a custom network reaches
+	// the same bounds-versus-simulation pipeline as every built-in.
+	type entry struct {
+		key  string
+		topo *topology.Network
+	}
+	var entries []entry
+	if s.Cfg != nil && s.Cfg.Network != nil {
+		entries = append(entries, entry{"scenario:" + s.Net.Name, s.Net})
+	}
+	for _, fam := range fams {
+		entries = append(entries, entry{fam.Key, fam.Build(set.Stations())})
+	}
 
 	fmt.Fprintf(stdout, "unified network engine: %s under %v (horizon %v, BER %g)\n\n",
-		scen.Name, approach, cfg.Horizon, cfg.BER)
+		s.Name, approach, cfg.Horizon, cfg.BER)
 	tbl := report.NewTable("topology", "switches", "planes", "worst e2e bound",
 		"observed worst", "delivered", "redundant", "corrupted", "analytic misses", "sound")
-	for _, fam := range fams {
-		topo := fam.Build(set.Stations())
+	for _, ent := range entries {
+		topo := ent.topo
 		bounds, err := analysis.TreeEndToEnd(set, approach, cfg.AnalysisConfig(), topo.Tree())
 		if err != nil {
-			return fmt.Errorf("%s: %w", fam.Key, err)
+			return fmt.Errorf("%s: %w", ent.key, err)
 		}
 		sim, err := core.SimulateNetwork(set, cfg, topo)
 		if err != nil {
-			return fmt.Errorf("%s: %w", fam.Key, err)
+			return fmt.Errorf("%s: %w", ent.key, err)
 		}
 		boundWorst, observedWorst := simtime.Duration(0), simtime.Duration(0)
 		sound := true
@@ -93,7 +117,7 @@ func cmdTopo(args []string) error {
 				sound = false
 			}
 		}
-		tbl.AddRow(fam.Key, topo.Switches, topo.PlaneCount(), boundWorst, observedWorst,
+		tbl.AddRow(ent.key, topo.Switches, topo.PlaneCount(), boundWorst, observedWorst,
 			sim.TotalDelivered(), sim.Redundant, sim.Corrupted, bounds.Violations, mark(sound))
 	}
 	_, err = tbl.WriteTo(stdout)

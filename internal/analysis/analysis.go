@@ -22,6 +22,7 @@ package analysis
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/ethernet"
 	"repro/internal/netcalc"
@@ -39,6 +40,19 @@ const (
 	// multiplexer of 802.1p.
 	Priority
 )
+
+// ParseApproach resolves an approach name ("fcfs", "priority" or "prio",
+// case-insensitive) — the format of CLI flags and scenario files.
+func ParseApproach(s string) (Approach, error) {
+	switch strings.ToLower(s) {
+	case "fcfs":
+		return FCFS, nil
+	case "priority", "prio":
+		return Priority, nil
+	default:
+		return 0, fmt.Errorf("analysis: unknown approach %q (want fcfs|priority)", s)
+	}
+}
 
 // String returns the approach name.
 func (a Approach) String() string {

@@ -33,6 +33,66 @@ type Tree struct {
 	Links [][2]int
 	// StationSwitch maps every station to its switch.
 	StationSwitch map[string]int
+
+	// TrunkRates optionally overrides the capacity of individual trunks:
+	// TrunkRates[i] is the rate of Links[i], 0 meaning Config.LinkRate.
+	// Nil (or shorter than Links) leaves the remaining trunks at the
+	// default — the homogeneous network of the paper.
+	TrunkRates []simtime.Rate
+	// TrunkProps holds per-trunk propagation delays (TrunkProps[i] for
+	// Links[i]); propagation is a constant shift, so it adds to the bound
+	// and the floor without inflating any arrival curve.
+	TrunkProps []simtime.Duration
+	// StationRates optionally overrides the full-duplex access-link rate
+	// of individual stations (uplink and switch-side output port alike).
+	StationRates map[string]simtime.Rate
+	// StationProps holds per-station access-link propagation delays.
+	StationProps map[string]simtime.Duration
+}
+
+// TrunkRate returns the capacity of trunk i, falling back to def.
+func (t *Tree) TrunkRate(i int, def simtime.Rate) simtime.Rate {
+	if i < len(t.TrunkRates) && t.TrunkRates[i] > 0 {
+		return t.TrunkRates[i]
+	}
+	return def
+}
+
+// TrunkProp returns the propagation delay of trunk i (0 if unset).
+func (t *Tree) TrunkProp(i int) simtime.Duration {
+	if i < len(t.TrunkProps) {
+		return t.TrunkProps[i]
+	}
+	return 0
+}
+
+// StationRate returns the access-link rate of a station, falling back to
+// def.
+func (t *Tree) StationRate(name string, def simtime.Rate) simtime.Rate {
+	if r, ok := t.StationRates[name]; ok && r > 0 {
+		return r
+	}
+	return def
+}
+
+// StationProp returns the access-link propagation delay of a station.
+func (t *Tree) StationProp(name string) simtime.Duration {
+	return t.StationProps[name]
+}
+
+// Heterogeneous reports whether any per-link override is set.
+func (t *Tree) Heterogeneous() bool {
+	for _, r := range t.TrunkRates {
+		if r > 0 {
+			return true
+		}
+	}
+	for _, p := range t.TrunkProps {
+		if p > 0 {
+			return true
+		}
+	}
+	return len(t.StationRates) > 0 || len(t.StationProps) > 0
 }
 
 // SingleSwitchTree returns the degenerate one-switch topology for a
@@ -88,6 +148,38 @@ func (t *Tree) Validate(stations []string) error {
 		}
 		if sw < 0 || sw >= t.Switches {
 			return fmt.Errorf("analysis: station %q on invalid switch %d", s, sw)
+		}
+	}
+	if len(t.TrunkRates) > len(t.Links) {
+		return fmt.Errorf("analysis: %d trunk rates for %d links", len(t.TrunkRates), len(t.Links))
+	}
+	for i, r := range t.TrunkRates {
+		if r < 0 {
+			return fmt.Errorf("analysis: negative rate %v on trunk %v", r, t.Links[i])
+		}
+	}
+	if len(t.TrunkProps) > len(t.Links) {
+		return fmt.Errorf("analysis: %d trunk propagation delays for %d links", len(t.TrunkProps), len(t.Links))
+	}
+	for i, p := range t.TrunkProps {
+		if p < 0 {
+			return fmt.Errorf("analysis: negative propagation delay %v on trunk %v", p, t.Links[i])
+		}
+	}
+	for s, r := range t.StationRates {
+		if _, ok := t.StationSwitch[s]; !ok {
+			return fmt.Errorf("analysis: rate override for unplaced station %q", s)
+		}
+		if r < 0 {
+			return fmt.Errorf("analysis: negative rate %v for station %q", r, s)
+		}
+	}
+	for s, p := range t.StationProps {
+		if _, ok := t.StationSwitch[s]; !ok {
+			return fmt.Errorf("analysis: propagation override for unplaced station %q", s)
+		}
+		if p < 0 {
+			return fmt.Errorf("analysis: negative propagation delay %v for station %q", p, s)
 		}
 	}
 	return nil
@@ -172,7 +264,13 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 	}
 	specs := Specs(set, cfg)
 
-	// Per-flow directed edge sequences.
+	// Per-flow directed edge sequences, and the undirected link index of
+	// every edge (for the per-trunk rate and propagation overrides).
+	linkIdx := map[dirEdge]int{}
+	for i, l := range tree.Links {
+		linkIdx[dirEdge{l[0], l[1]}] = i
+		linkIdx[dirEdge{l[1], l[0]}] = i
+	}
 	paths := make([][]dirEdge, len(specs))
 	for i, f := range specs {
 		sp, err := tree.SwitchPath(f.Msg.Source, f.Msg.Dest)
@@ -184,18 +282,23 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		}
 	}
 
-	// Stage 1: source uplinks.
-	srcCfg := cfg
-	srcCfg.TTechno = 0
+	// Stage 1: source uplinks, each at the station's access-link rate.
+	// Propagation delays are constant shifts: they accumulate into fixed[i]
+	// (added to bound and floor alike) without inflating any arrival curve.
 	bySource := groupBy(specs, func(f FlowSpec) string { return f.Msg.Source })
 	stage1 := make([]simtime.Duration, len(specs))
+	fixed := make([]simtime.Duration, len(specs))
 	current := make([]FlowSpec, len(specs)) // spec after the last processed stage
 	for i, f := range specs {
+		srcCfg := cfg
+		srcCfg.TTechno = 0
+		srcCfg.LinkRate = tree.StationRate(f.Msg.Source, cfg.LinkRate)
 		d, err := muxBound(bySource[f.Msg.Source], f, approach, srcCfg)
 		if err != nil {
 			return nil, fmt.Errorf("station %s: %w", f.Msg.Source, err)
 		}
 		stage1[i] = d
+		fixed[i] = tree.StationProp(f.Msg.Source)
 		current[i] = inflate(f, d)
 	}
 
@@ -251,25 +354,33 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		return nil, fmt.Errorf("analysis: cyclic trunk dependencies — topology is not a tree")
 	}
 
-	// Stage 2: trunk multiplexers in dependency order.
+	// Stage 2: trunk multiplexers in dependency order, each at its trunk's
+	// capacity.
 	trunkDelay := make([]simtime.Duration, len(specs)) // accumulated per flow
 	for _, e := range order {
+		li, ok := linkIdx[e]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no link for trunk %d→%d", e.from, e.to)
+		}
+		edgeCfg := cfg
+		edgeCfg.LinkRate = tree.TrunkRate(li, cfg.LinkRate)
 		flows := edgeFlows[e]
 		agg := make([]FlowSpec, 0, len(flows))
 		for _, i := range flows {
 			agg = append(agg, current[i])
 		}
 		for _, i := range flows {
-			d, err := muxBound(agg, current[i], approach, cfg)
+			d, err := muxBound(agg, current[i], approach, edgeCfg)
 			if err != nil {
 				return nil, fmt.Errorf("trunk %d→%d: %w", e.from, e.to, err)
 			}
 			trunkDelay[i] += d
+			fixed[i] += tree.TrunkProp(li)
 		}
 		// Inflate after all bounds at this edge are computed (every flow
 		// sees its peers' entering curves, not their exits).
 		for _, i := range flows {
-			d, err := muxBound(agg, current[i], approach, cfg)
+			d, err := muxBound(agg, current[i], approach, edgeCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -277,22 +388,32 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		}
 	}
 
-	// Stage 3: destination ports.
+	// Stage 3: destination ports, serializing onto the destination
+	// station's access link.
 	byDest := groupBy(current, func(f FlowSpec) string { return f.Msg.Dest })
 	res := &Result{Approach: approach, Cfg: cfg}
 	for i, f := range specs {
-		d, err := muxBound(byDest[f.Msg.Dest], current[i], approach, cfg)
+		destCfg := cfg
+		destCfg.LinkRate = tree.StationRate(f.Msg.Dest, cfg.LinkRate)
+		d, err := muxBound(byDest[f.Msg.Dest], current[i], approach, destCfg)
 		if err != nil {
 			return nil, fmt.Errorf("port %s: %w", f.Msg.Dest, err)
 		}
+		fixed[i] += tree.StationProp(f.Msg.Dest)
 		hops := len(paths[i]) + 2 // uplink + trunks + dest port
+		// The floor crosses each hop's own serialization rate.
+		floor := simtime.TransmissionTime(f.B, tree.StationRate(f.Msg.Source, cfg.LinkRate)) +
+			simtime.TransmissionTime(f.B, destCfg.LinkRate) +
+			simtime.Duration(hops-1)*cfg.TTechno + fixed[i]
+		for _, e := range paths[i] {
+			floor += simtime.TransmissionTime(f.B, tree.TrunkRate(linkIdx[e], cfg.LinkRate))
+		}
 		pb := PathBound{
 			Spec:        f,
 			SourceDelay: stage1[i],
 			PortDelay:   trunkDelay[i] + d,
-			EndToEnd:    stage1[i] + trunkDelay[i] + d,
-			Floor: simtime.Duration(hops)*simtime.TransmissionTime(f.B, cfg.LinkRate) +
-				simtime.Duration(hops-1)*cfg.TTechno,
+			EndToEnd:    stage1[i] + trunkDelay[i] + d + fixed[i],
+			Floor:       floor,
 		}
 		pb.Jitter = pb.EndToEnd - pb.Floor
 		pb.Met = pb.EndToEnd <= simtime.Duration(f.Msg.Deadline)

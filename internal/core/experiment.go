@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/sweep"
+)
+
+// Experiment is the one generic cross-validation runner behind every grid
+// and replication driver: each point of a parameter space binds to a
+// Scenario, its analytic bounds are computed once, opts.Reps independent
+// simulation replications run on the parallel sweep engine, and a Cell
+// function folds bounds and replications into the experiment's row type.
+//
+// RunGrid (rates × loads, experiment S3), RunTopoGrid (topology × rate ×
+// load, experiment M3), Scenario.Validate (experiment S1) and
+// Scenario.Sweep are all instances of this one runner, which is what
+// guarantees the soundness verdict, the replication seeding
+// (des.SplitSeed(opts.Seed, point*reps+rep)) and the bit-identical-at-any-
+// worker-count contract can never drift between experiments.
+type Experiment[P, C any] struct {
+	// Points enumerates the parameter space.
+	Points []P
+	// Bind builds the scenario of one point: workload, architecture and
+	// simulation parameters. Bounds are computed (and can fail) before any
+	// expensive simulation runs.
+	Bind func(P) (*Scenario, error)
+	// Cell folds one point's analytic bounds and simulation replications
+	// into the experiment's row. Replications carry merged-quantile
+	// histograms (CollectLatencies is forced on).
+	Cell func(p P, s *Scenario, bounds *analysis.Result, sims []*SimResult) (C, error)
+}
+
+// Run executes the experiment: bind and bound every point first (cheap,
+// fallible), then all point×replication simulations share one worker pool,
+// then cells are folded in point order. For a fixed opts.Seed the result
+// is bit-identical at any opts.Workers value.
+func (e Experiment[P, C]) Run(opts SweepOptions) ([]C, error) {
+	reps := opts.reps()
+	scens := make([]*Scenario, len(e.Points))
+	bounds := make([]*analysis.Result, len(e.Points))
+	idx := make([]int, len(e.Points))
+	for i, p := range e.Points {
+		s, err := e.Bind(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: experiment point %d: %w", i, err)
+		}
+		b, err := s.Analyze(s.Sim.Approach)
+		if err != nil {
+			return nil, fmt.Errorf("core: experiment point %d (%s): %w", i, s.Name, err)
+		}
+		scens[i], bounds[i], idx[i] = s, b, i
+	}
+	sims, err := sweep.Replicate(idx, reps, opts.workers(), opts.Seed,
+		func(i int, seed uint64) (*SimResult, error) {
+			cfg := scens[i].Sim
+			cfg.Seed = seed
+			cfg.CollectLatencies = true
+			return SimulateNetwork(scens[i].Set, cfg, scens[i].Net)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]C, len(e.Points))
+	for i, p := range e.Points {
+		c, err := e.Cell(p, scens[i], bounds[i], sims[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: experiment point %d (%s): %w", i, scens[i].Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -86,48 +86,12 @@ func (v *Validation) AllSound() bool {
 // opts.Seed — cfg.Seed is ignored), and every row aggregates the worst
 // observation, total deliveries, and the merged latency histogram across
 // all replications. Sim holds the first replication's full result.
+//
+// Deprecated: build a Scenario (core.StarScenario, or core.NewScenario
+// from a declarative config) and call its Validate method, which also
+// handles custom architectures and per-link rate overrides.
 func RunValidation(set *traffic.Set, cfg SimConfig, opts SweepOptions) (*Validation, error) {
-	e2e, err := analysis.EndToEnd(set, cfg.Approach, cfg.AnalysisConfig())
-	if err != nil {
-		return nil, err
-	}
-	paper, err := analysis.SingleHop(set, cfg.Approach, cfg.AnalysisConfig())
-	if err != nil {
-		return nil, err
-	}
-	seeds := make([]uint64, opts.reps())
-	for j := range seeds {
-		seeds[j] = des.SplitSeed(opts.Seed, uint64(j))
-	}
-	sims, err := sweep.Run(seeds, opts.workers(), func(seed uint64) (*SimResult, error) {
-		c := cfg
-		c.Seed = seed
-		c.CollectLatencies = true
-		return Simulate(set, c)
-	})
-	if err != nil {
-		return nil, err
-	}
-	v := &Validation{Approach: cfg.Approach, Sim: sims[0], Reps: len(sims)}
-	for i, f := range e2e.Flows {
-		row := ValidationRow{
-			Name:       f.Spec.Msg.Name,
-			Priority:   f.Spec.Msg.Priority,
-			Bound:      f.EndToEnd,
-			PaperBound: paper.Flows[i].EndToEnd,
-			Latencies:  &stats.Histogram{},
-		}
-		for _, sim := range sims {
-			fs := sim.Flows[f.Spec.Msg.Name]
-			if fs.Latency.Max() > row.Observed {
-				row.Observed = fs.Latency.Max()
-			}
-			row.Delivered += fs.Delivered
-			row.Latencies.Merge(fs.Latencies)
-		}
-		v.Rows = append(v.Rows, row)
-	}
-	return v, nil
+	return StarScenario(set, cfg).Validate(opts)
 }
 
 // RatePoint is one point of the link-rate ablation (A1): the paper's

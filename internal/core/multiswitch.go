@@ -15,6 +15,11 @@ import (
 // path analysis.TwoSwitchEndToEnd bounds. It is a thin wrapper over
 // SimulateNetwork, so every SimConfig field behaves exactly as on the
 // star.
+//
+// Deprecated: describe the architecture in a scenario's network section
+// (or build a topology.Network) and use Scenario.Simulate — the Scenario
+// API also expresses per-link rates, propagation delays and redundant
+// planes, which this wrapper cannot.
 func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignment) (*SimResult, error) {
 	if assign == nil {
 		return nil, fmt.Errorf("core: nil assignment")
@@ -39,6 +44,10 @@ func SimulateTwoSwitch(set *traffic.Set, cfg SimConfig, assign analysis.Assignme
 // (analysis.Tree): stations on their assigned switches, trunks of the
 // station link rate between adjacent switches, static routing along the
 // unique tree paths. It is a thin wrapper over SimulateNetwork.
+//
+// Deprecated: describe the tree in a scenario's network section (or build
+// a topology.Network) and use Scenario.Simulate — the Scenario API also
+// expresses per-link rates, propagation delays and redundant planes.
 func SimulateTree(set *traffic.Set, cfg SimConfig, tree *analysis.Tree) (*SimResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("core: nil tree")

@@ -87,7 +87,10 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 
 	// Trunks: one egress port per direction per link per plane, each
 	// cross-delivering into the adjacent switch's ingress. Port ids are
-	// 1000+2i / 1000+2i+1 for link i, identical on every plane.
+	// 1000+2i / 1000+2i+1 for link i, identical on every plane. Each trunk
+	// serializes at its own rate and adds its own propagation delay —
+	// per-link overrides from the scenario's network section, defaulting
+	// to the uniform SimConfig.LinkRate.
 	trunkPort := make([]map[int]int, topo.Switches) // [switch][neighbor] → port id
 	for i := range trunkPort {
 		trunkPort[i] = map[int]int{}
@@ -97,10 +100,11 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		pa, pb := 1000+2*li, 1000+2*li+1
 		trunkPort[a][b] = pa
 		trunkPort[b][a] = pb
+		rate, prop := topo.TrunkRate(li, cfg.LinkRate), topo.TrunkProp(li)
 		for p := 0; p < planes; p++ {
 			var inA, inB func(*ethernet.Frame)
-			inA = sws[p][a].AttachPort(pa, cfg.LinkRate, 0, func(f *ethernet.Frame) { inB(f) })
-			inB = sws[p][b].AttachPort(pb, cfg.LinkRate, 0, func(f *ethernet.Frame) { inA(f) })
+			inA = sws[p][a].AttachPort(pa, rate, prop, func(f *ethernet.Frame) { inB(f) })
+			inB = sws[p][b].AttachPort(pb, rate, prop, func(f *ethernet.Frame) { inA(f) })
 		}
 	}
 
@@ -142,9 +146,10 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		name := name
 		home := topo.StationSwitch[name]
 		addr := ethernet.StationAddr(i)
+		stRate, stProp := topo.StationRate(name, cfg.LinkRate), topo.StationProp(name)
 		for p := 0; p < planes; p++ {
 			p := p
-			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, cfg.LinkRate, 0, kind, cfg.QueueCapacity)
+			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, stRate, stProp, kind, cfg.QueueCapacity)
 			st.OnReceive = func(f *ethernet.Frame) {
 				meta, ok := f.Meta.(frameMeta)
 				if !ok {

@@ -134,35 +134,26 @@ func Grid(rates []simtime.Rate, loads []int) []GridPoint {
 // substreams of opts.Seed, and checks every connection's observed latency
 // against its bound. The workload at each point is
 // traffic.RealCaseWith(ExtraRTs); base supplies every other simulation
-// parameter (its LinkRate and Seed are overridden per cell).
+// parameter (its LinkRate and Seed are overridden per cell). It is one
+// instance of the generic Experiment runner, on the paper's star.
 func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell, error) {
-	reps := opts.reps()
-	sims, err := sweep.Replicate(points, reps, opts.workers(), opts.Seed,
-		func(p GridPoint, seed uint64) (*SimResult, error) {
+	exp := Experiment[GridPoint, GridCell]{
+		Points: points,
+		Bind: func(p GridPoint) (*Scenario, error) {
+			set := traffic.RealCaseWith(p.ExtraRTs)
 			cfg := base
 			cfg.LinkRate = p.Rate
-			cfg.Seed = seed
-			cfg.CollectLatencies = true
-			return Simulate(traffic.RealCaseWith(p.ExtraRTs), cfg)
-		})
-	if err != nil {
-		return nil, err
+			s := StarScenario(set, cfg)
+			s.Name = fmt.Sprintf("grid %v/%d RTs", p.Rate, p.ExtraRTs)
+			return s, nil
+		},
+		Cell: func(p GridPoint, s *Scenario, e2e *analysis.Result, sims []*SimResult) (GridCell, error) {
+			cell := GridCell{Point: p, Connections: len(s.Set.Messages), Violations: e2e.Violations, Reps: len(sims)}
+			cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims)
+			return cell, nil
+		},
 	}
-
-	out := make([]GridCell, len(points))
-	for i, p := range points {
-		set := traffic.RealCaseWith(p.ExtraRTs)
-		cfg := base
-		cfg.LinkRate = p.Rate
-		e2e, err := analysis.EndToEnd(set, base.Approach, cfg.AnalysisConfig())
-		if err != nil {
-			return nil, fmt.Errorf("core: grid %v/%d RTs: %w", p.Rate, p.ExtraRTs, err)
-		}
-		cell := GridCell{Point: p, Connections: len(set.Messages), Violations: e2e.Violations, Reps: reps}
-		cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims[i])
-		out[i] = cell
-	}
-	return out, nil
+	return exp.Run(opts)
 }
 
 // TopoPoint is one cell coordinate of the topology × rate × load grid:
@@ -222,56 +213,36 @@ func TopoGrid(fams []topology.Family, rates []simtime.Rate, loads []int) []TopoP
 // bound of a redundant network is its single-plane bound: the first
 // delivered copy is never later than any fixed plane's copy.
 func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoCell, error) {
-	reps := opts.reps()
-	// Build each point's workload, topology and analytic bounds once, up
-	// front: the bounds are cheap and can fail, so they must not be
-	// preceded by the expensive simulations, and the replications share
-	// the topology (its routing table is built once, concurrently safe
-	// via the internal sync.Once).
-	sets := make([]*traffic.Set, len(points))
-	topos := make([]*topology.Network, len(points))
-	bounds := make([]*analysis.Result, len(points))
-	idx := make([]int, len(points))
-	for i, p := range points {
-		sets[i] = traffic.RealCaseWith(p.ExtraRTs)
-		topos[i] = p.Family.Build(sets[i].Stations())
-		cfg := base
-		cfg.LinkRate = p.Rate
-		e2e, err := analysis.TreeEndToEnd(sets[i], base.Approach, cfg.AnalysisConfig(), topos[i].Tree())
-		if err != nil {
-			return nil, fmt.Errorf("core: topo grid %s/%v/%d RTs: %w", p.Family.Key, p.Rate, p.ExtraRTs, err)
-		}
-		bounds[i] = e2e
-		idx[i] = i
-	}
-	sims, err := sweep.Replicate(idx, reps, opts.workers(), opts.Seed,
-		func(i int, seed uint64) (*SimResult, error) {
+	// One instance of the generic Experiment runner: bounds are cheap and
+	// can fail, so Bind computes them before any expensive simulation, and
+	// the replications of one point share the bound topology (its routing
+	// table is built once, concurrently safe via the internal sync.Once).
+	exp := Experiment[TopoPoint, TopoCell]{
+		Points: points,
+		Bind: func(p TopoPoint) (*Scenario, error) {
+			set := traffic.RealCaseWith(p.ExtraRTs)
 			cfg := base
-			cfg.LinkRate = points[i].Rate
-			cfg.Seed = seed
-			cfg.CollectLatencies = true
-			return SimulateNetwork(sets[i], cfg, topos[i])
-		})
-	if err != nil {
-		return nil, err
+			cfg.LinkRate = p.Rate
+			return &Scenario{
+				Name: fmt.Sprintf("topo grid %s/%v/%d RTs", p.Family.Key, p.Rate, p.ExtraRTs),
+				Set:  set,
+				Net:  p.Family.Build(set.Stations()),
+				Sim:  cfg,
+			}, nil
+		},
+		Cell: func(p TopoPoint, s *Scenario, e2e *analysis.Result, sims []*SimResult) (TopoCell, error) {
+			cell := TopoCell{
+				Topology:    p.Family.Key,
+				Point:       p,
+				Switches:    s.Net.Switches,
+				Planes:      s.Net.PlaneCount(),
+				Connections: len(s.Set.Messages),
+				Violations:  e2e.Violations,
+				Reps:        len(sims),
+			}
+			cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims)
+			return cell, nil
+		},
 	}
-
-	out := make([]TopoCell, len(points))
-	for i, p := range points {
-		set := sets[i]
-		topo := topos[i]
-		e2e := bounds[i]
-		cell := TopoCell{
-			Topology:    p.Family.Key,
-			Point:       p,
-			Switches:    topo.Switches,
-			Planes:      topo.PlaneCount(),
-			Connections: len(set.Messages),
-			Violations:  e2e.Violations,
-			Reps:        reps,
-		}
-		cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims[i])
-		out[i] = cell
-	}
-	return out, nil
+	return exp.Run(opts)
 }

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// This file gives topology.Network a lossless JSON form, so a scenario file
+// can carry a custom architecture — switches, trunks, station placement,
+// redundant planes, and per-link rate/propagation overrides — instead of
+// being limited to the built-in families. The routing cache stays private:
+// it is rebuilt on demand after load, never serialized. Loading validates
+// the structure, so a malformed network never reaches a simulator.
+
+// trunkJSON is one switch-to-switch link in the scenario file.
+type trunkJSON struct {
+	// A and B are the switch ids the trunk joins.
+	A int `json:"a"`
+	B int `json:"b"`
+	// RateBps overrides the scenario's default link rate on this trunk
+	// (0 or absent = default).
+	RateBps int64 `json:"rate_bps,omitempty"`
+	// PropDelayNs is the trunk's propagation delay in nanoseconds.
+	PropDelayNs int64 `json:"prop_delay_ns,omitempty"`
+}
+
+// stationJSON is one station placement in the scenario file.
+type stationJSON struct {
+	// Switch is the station's home switch id.
+	Switch int `json:"switch"`
+	// RateBps overrides the scenario's default link rate on the station's
+	// full-duplex access link (0 or absent = default).
+	RateBps int64 `json:"rate_bps,omitempty"`
+	// PropDelayNs is the access link's propagation delay in nanoseconds.
+	PropDelayNs int64 `json:"prop_delay_ns,omitempty"`
+}
+
+// networkJSON is the serialized shape of a Network.
+type networkJSON struct {
+	Name     string                 `json:"name,omitempty"`
+	Switches int                    `json:"switches"`
+	Planes   int                    `json:"planes,omitempty"`
+	Trunks   []trunkJSON            `json:"trunks,omitempty"`
+	Stations map[string]stationJSON `json:"stations"`
+}
+
+// MarshalJSON serializes the network declaratively (the routing cache is
+// never written). Map keys sort, trunk order is preserved, and zero-valued
+// overrides are omitted, so marshal → unmarshal → marshal is byte-stable.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	nj := networkJSON{
+		Name:     n.Name,
+		Switches: n.Switches,
+		Planes:   n.Planes,
+		Stations: make(map[string]stationJSON, len(n.StationSwitch)),
+	}
+	for i, l := range n.Links {
+		nj.Trunks = append(nj.Trunks, trunkJSON{
+			A:           l[0],
+			B:           l[1],
+			RateBps:     int64(n.TrunkRate(i, 0)),
+			PropDelayNs: int64(n.TrunkProp(i)),
+		})
+	}
+	for s, sw := range n.StationSwitch {
+		nj.Stations[s] = stationJSON{
+			Switch:      sw,
+			RateBps:     int64(n.StationRate(s, 0)),
+			PropDelayNs: int64(n.StationProp(s)),
+		}
+	}
+	return json.Marshal(nj)
+}
+
+// UnmarshalJSON parses and validates a declarative network. Unknown fields
+// are rejected (a typoed override must never silently fall back to the
+// default rate), and the structure is validated immediately so errors name
+// the scenario file, not a simulator internals frame.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var nj networkJSON
+	if err := dec.Decode(&nj); err != nil {
+		return fmt.Errorf("topology: network: %w", err)
+	}
+	n.invalidateRouting()
+	n.Name = nj.Name
+	n.Switches = nj.Switches
+	n.Planes = nj.Planes
+	n.Links = nil
+	n.TrunkRates = nil
+	n.TrunkProps = nil
+	n.StationSwitch = make(map[string]int, len(nj.Stations))
+	n.StationRates = nil
+	n.StationProps = nil
+	for _, t := range nj.Trunks {
+		n.Links = append(n.Links, [2]int{t.A, t.B})
+		n.TrunkRates = append(n.TrunkRates, simtime.Rate(t.RateBps))
+		n.TrunkProps = append(n.TrunkProps, simtime.Duration(t.PropDelayNs))
+	}
+	if allZeroRates(n.TrunkRates) {
+		n.TrunkRates = nil
+	}
+	if allZeroProps(n.TrunkProps) {
+		n.TrunkProps = nil
+	}
+	for s, st := range nj.Stations {
+		n.StationSwitch[s] = st.Switch
+		if st.RateBps != 0 {
+			if n.StationRates == nil {
+				n.StationRates = map[string]simtime.Rate{}
+			}
+			n.StationRates[s] = simtime.Rate(st.RateBps)
+		}
+		if st.PropDelayNs != 0 {
+			if n.StationProps == nil {
+				n.StationProps = map[string]simtime.Duration{}
+			}
+			n.StationProps[s] = simtime.Duration(st.PropDelayNs)
+		}
+	}
+	if err := n.Validate(nil); err != nil {
+		return err
+	}
+	if _, err := n.NextHops(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func allZeroRates(rs []simtime.Rate) bool {
+	for _, r := range rs {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func allZeroProps(ps []simtime.Duration) bool {
+	for _, p := range ps {
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}

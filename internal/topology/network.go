@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/simtime"
 )
 
 // Network is the general architecture description driving the unified
@@ -33,11 +34,58 @@ type Network struct {
 	// fabric (0 or 1 = a single network, 2 = dual-redundant).
 	Planes int
 
-	// nextHop caches the routing table built by NextHops (once; a
-	// Network may be shared by concurrent sweep workers).
-	nhOnce  sync.Once
+	// TrunkRates optionally overrides the capacity of individual trunks:
+	// TrunkRates[i] is the rate of Links[i], 0 meaning the scenario's
+	// default link rate. Nil (or shorter than Links) leaves the remaining
+	// trunks at the default.
+	TrunkRates []simtime.Rate
+	// TrunkProps holds per-trunk propagation delays (TrunkProps[i] for
+	// Links[i]; missing entries are 0).
+	TrunkProps []simtime.Duration
+	// StationRates optionally overrides the full-duplex access-link rate
+	// of individual stations (uplink and switch output port alike).
+	StationRates map[string]simtime.Rate
+	// StationProps holds per-station access-link propagation delays.
+	StationProps map[string]simtime.Duration
+
+	// nextHop caches the routing table built by NextHops (built once
+	// under nhMu; a Network may be shared by concurrent sweep workers).
+	// UnmarshalJSON invalidates the cache, so a reused Network value
+	// never routes with a previous topology's table.
+	nhMu    sync.Mutex
+	nhDone  bool
 	nextHop [][]int
 	nhErr   error
+}
+
+// TrunkRate returns the capacity of trunk i, falling back to def.
+func (n *Network) TrunkRate(i int, def simtime.Rate) simtime.Rate {
+	if i < len(n.TrunkRates) && n.TrunkRates[i] > 0 {
+		return n.TrunkRates[i]
+	}
+	return def
+}
+
+// TrunkProp returns the propagation delay of trunk i (0 if unset).
+func (n *Network) TrunkProp(i int) simtime.Duration {
+	if i < len(n.TrunkProps) {
+		return n.TrunkProps[i]
+	}
+	return 0
+}
+
+// StationRate returns the access-link rate of a station, falling back to
+// def.
+func (n *Network) StationRate(name string, def simtime.Rate) simtime.Rate {
+	if r, ok := n.StationRates[name]; ok && r > 0 {
+		return r
+	}
+	return def
+}
+
+// StationProp returns the access-link propagation delay of a station.
+func (n *Network) StationProp(name string) simtime.Duration {
+	return n.StationProps[name]
 }
 
 // PlaneCount normalizes Planes (0 means one plane).
@@ -52,13 +100,24 @@ func (n *Network) PlaneCount() int {
 func (n *Network) Redundant() bool { return n.PlaneCount() > 1 }
 
 // Validate checks structure and station coverage, mirroring
-// analysis.Tree.Validate plus the plane count.
+// analysis.Tree.Validate plus the plane count. A network that places no
+// station at all is rejected here, descriptively, instead of failing deep
+// inside routing or simulation setup — Star(nil) and Chain(nil, k) produce
+// such networks, and the empty workload they imply is never intentional.
 func (n *Network) Validate(stations []string) error {
 	if n == nil {
 		return fmt.Errorf("topology: nil network")
 	}
+	if len(n.StationSwitch) == 0 {
+		return fmt.Errorf("topology: network %q places no stations (empty station list?)", n.Name)
+	}
 	if n.Planes < 0 {
 		return fmt.Errorf("topology: negative plane count %d", n.Planes)
+	}
+	for s, sw := range n.StationSwitch {
+		if sw < 0 || sw >= n.Switches {
+			return fmt.Errorf("topology: station %q on invalid switch %d", s, sw)
+		}
 	}
 	if err := n.Tree().Validate(stations); err != nil {
 		return err
@@ -69,12 +128,17 @@ func (n *Network) Validate(stations []string) error {
 // Tree views one plane of the network as the analysis topology: bounds are
 // computed per plane, and every plane is identical, so the single-plane
 // tree bound covers redundant networks too (the first delivered copy is
-// never later than any fixed plane's copy).
+// never later than any fixed plane's copy). Per-link rate and propagation
+// overrides carry over, so the bounds price each hop at its own capacity.
 func (n *Network) Tree() *analysis.Tree {
 	return &analysis.Tree{
 		Switches:      n.Switches,
 		Links:         n.Links,
 		StationSwitch: n.StationSwitch,
+		TrunkRates:    n.TrunkRates,
+		TrunkProps:    n.TrunkProps,
+		StationRates:  n.StationRates,
+		StationProps:  n.StationProps,
 	}
 }
 
@@ -83,8 +147,21 @@ func (n *Network) Tree() *analysis.Tree {
 // switch t, and next[s][s] == s. One BFS per switch, run once per topology
 // — simulators must never recompute paths per (station, switch) pair.
 func (n *Network) NextHops() ([][]int, error) {
-	n.nhOnce.Do(func() { n.nextHop, n.nhErr = n.buildNextHops() })
+	n.nhMu.Lock()
+	defer n.nhMu.Unlock()
+	if !n.nhDone {
+		n.nextHop, n.nhErr = n.buildNextHops()
+		n.nhDone = true
+	}
 	return n.nextHop, n.nhErr
+}
+
+// invalidateRouting drops the cached routing table (after the topology
+// changed under deserialization).
+func (n *Network) invalidateRouting() {
+	n.nhMu.Lock()
+	n.nhDone, n.nextHop, n.nhErr = false, nil, nil
+	n.nhMu.Unlock()
 }
 
 func (n *Network) buildNextHops() ([][]int, error) {
@@ -197,11 +274,27 @@ func Redundify(base *Network, planes int) *Network {
 		Links:         append([][2]int(nil), base.Links...),
 		StationSwitch: placement,
 		Planes:        planes,
+		TrunkRates:    append([]simtime.Rate(nil), base.TrunkRates...),
+		TrunkProps:    append([]simtime.Duration(nil), base.TrunkProps...),
+		StationRates:  cloneMap(base.StationRates),
+		StationProps:  cloneMap(base.StationProps),
 	}
 	if planes != 2 {
 		n.Name = fmt.Sprintf("%s-x%d", base.Name, planes)
 	}
 	return n
+}
+
+// cloneMap copies a nilable override map, preserving nil.
+func cloneMap[V any](m map[string]V) map[string]V {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // Family is a topology generator parametric in the station list, so the

@@ -1,0 +1,255 @@
+package topology
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// heteroDualConfig builds the reference custom scenario: a dual-redundant
+// two-switch network with a fast trunk, one fast station, and propagation
+// delays — exercising every extension of the scenario schema at once.
+// The committed fixture testdata/dual_hetero.json is its serialized form.
+func heteroDualConfig() *Config {
+	seed := uint64(7)
+	align := true
+	return &Config{
+		Name:          "dual-hetero",
+		LinkRateBps:   int64(10 * simtime.Mbps),
+		TTechnoUs:     140,
+		BusController: "mc",
+		Network: &Network{
+			Name:     "dual-split",
+			Switches: 2,
+			Links:    [][2]int{{0, 1}},
+			StationSwitch: map[string]int{
+				"mc": 0, "nav": 0, "radar": 1, "ew": 1,
+			},
+			Planes:       2,
+			TrunkRates:   []simtime.Rate{100 * simtime.Mbps},
+			TrunkProps:   []simtime.Duration{500 * simtime.Nanosecond},
+			StationRates: map[string]simtime.Rate{"mc": 100 * simtime.Mbps},
+			StationProps: map[string]simtime.Duration{"radar": 200 * simtime.Nanosecond},
+		},
+		Sim: &SimJSON{
+			Approach:    "priority",
+			HorizonUs:   100_000,
+			Seed:        &seed,
+			Mode:        "greedy",
+			AlignPhases: &align,
+		},
+		Messages: []MessageConfig{
+			{Name: "nav/attitude", Source: "nav", Dest: "mc", Kind: "periodic", PeriodUs: 20_000, PayloadBytes: 32, DeadlineUs: 20_000},
+			{Name: "radar/track", Source: "radar", Dest: "mc", Kind: "periodic", PeriodUs: 40_000, PayloadBytes: 56, DeadlineUs: 40_000},
+			{Name: "ew/threat", Source: "ew", Dest: "mc", Kind: "sporadic", PeriodUs: 50_000, PayloadBytes: 64, DeadlineUs: 3_000},
+			{Name: "mc/display", Source: "mc", Dest: "nav", Kind: "periodic", PeriodUs: 80_000, PayloadBytes: 64, DeadlineUs: 80_000},
+			{Name: "mc/cue", Source: "mc", Dest: "ew", Kind: "sporadic", PeriodUs: 100_000, PayloadBytes: 48, DeadlineUs: 10_000},
+		},
+	}
+}
+
+const heteroFixture = "testdata/dual_hetero.json"
+
+// TestScenarioGoldenRoundTrip pins the extended scenario schema to a
+// committed fixture and proves the round trip is lossless to the byte:
+// marshal(unmarshal(fixture)) == fixture, and the in-code reference
+// scenario marshals to exactly the fixture.
+// Regenerate with REGEN_GOLDEN=1 go test ./internal/topology -run Golden.
+func TestScenarioGoldenRoundTrip(t *testing.T) {
+	var want bytes.Buffer
+	if err := heteroDualConfig().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(heteroFixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(heteroFixture, want.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", heteroFixture)
+		return
+	}
+
+	fixture, err := os.ReadFile(heteroFixture)
+	if err != nil {
+		t.Fatalf("fixture missing (run with REGEN_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(fixture, want.Bytes()) {
+		t.Errorf("scenario schema drifted from fixture:\nfixture:\n%s\nmarshal:\n%s", fixture, want.String())
+	}
+
+	// Lossless round trip: load the fixture, marshal again, byte-compare.
+	loaded, err := Load(bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatalf("fixture does not load: %v", err)
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixture, again.Bytes()) {
+		t.Errorf("round trip is lossy:\nfixture:\n%s\nre-marshal:\n%s", fixture, again.String())
+	}
+
+	// The loaded network must carry every override.
+	n := loaded.Network
+	if n.PlaneCount() != 2 {
+		t.Errorf("planes = %d", n.PlaneCount())
+	}
+	if got := n.TrunkRate(0, 10*simtime.Mbps); got != 100*simtime.Mbps {
+		t.Errorf("trunk rate = %v", got)
+	}
+	if got := n.TrunkProp(0); got != 500*simtime.Nanosecond {
+		t.Errorf("trunk prop = %v", got)
+	}
+	if got := n.StationRate("mc", 10*simtime.Mbps); got != 100*simtime.Mbps {
+		t.Errorf("mc rate = %v", got)
+	}
+	if got := n.StationRate("nav", 10*simtime.Mbps); got != 10*simtime.Mbps {
+		t.Errorf("nav rate = %v (default expected)", got)
+	}
+	if got := n.StationProp("radar"); got != 200*simtime.Nanosecond {
+		t.Errorf("radar prop = %v", got)
+	}
+}
+
+func TestScenarioUnknownFieldsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := heteroDualConfig().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"top level":       `"name"`,
+		"network section": `"switches"`,
+		"sim section":     `"horizon_us"`,
+		"trunk entry":     `"rate_bps"`,
+	}
+	for where, anchor := range cases {
+		doc := strings.Replace(buf.String(), anchor, `"typoed_field": 1, `+anchor, 1)
+		if doc == buf.String() {
+			t.Fatalf("%s: anchor %s not found", where, anchor)
+		}
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: unknown field accepted", where)
+		}
+	}
+}
+
+func TestScenarioNetworkMustPlaceWorkloadStations(t *testing.T) {
+	cfg := heteroDualConfig()
+	delete(cfg.Network.StationSwitch, "ew")
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("network missing a workload station accepted")
+	}
+}
+
+func TestScenarioSimSectionValidation(t *testing.T) {
+	bad := []*SimJSON{
+		{Approach: "roundrobin"},
+		{Mode: "bursty"},
+		{HorizonUs: -1},
+		{MeanSlackUs: -5},
+		{QueueCapacityBytes: -1},
+		{BER: 1.5},
+		{BER: -0.1},
+		{BabbleFactor: -2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sim section %d accepted", i)
+		}
+	}
+	var nilSim *SimJSON
+	if err := nilSim.Validate(); err != nil {
+		t.Errorf("nil sim section rejected: %v", err)
+	}
+}
+
+func TestEmptyStationListRejected(t *testing.T) {
+	// The historical trap: Star(nil) and Chain(nil, k) built "valid-looking"
+	// networks that failed deep inside routing. Validation now names the
+	// problem directly.
+	for name, n := range map[string]*Network{
+		"star":  Star(nil),
+		"chain": Chain(nil, 3),
+	} {
+		err := n.Validate(nil)
+		if err == nil {
+			t.Errorf("%s: empty station list accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "no stations") {
+			t.Errorf("%s: undescriptive error %v", name, err)
+		}
+	}
+}
+
+// TestUnmarshalInvalidatesRouting guards against a reused Network value
+// keeping the previous topology's routing table across deserializations.
+func TestUnmarshalInvalidatesRouting(t *testing.T) {
+	var n Network
+	chain := `{"name":"c","switches":3,"trunks":[{"a":0,"b":1},{"a":1,"b":2}],"stations":{"a":{"switch":0},"b":{"switch":2}}}`
+	if err := n.UnmarshalJSON([]byte(chain)); err != nil {
+		t.Fatal(err)
+	}
+	next, err := n.NextHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0][2] != 1 {
+		t.Fatalf("chain next[0][2] = %d", next[0][2])
+	}
+	star := `{"name":"s","switches":2,"trunks":[{"a":0,"b":1}],"stations":{"a":{"switch":0},"b":{"switch":1}}}`
+	if err := n.UnmarshalJSON([]byte(star)); err != nil {
+		t.Fatal(err)
+	}
+	next, err = n.NextHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != 2 || next[0][1] != 1 {
+		t.Errorf("stale routing table survived re-unmarshal: %v", next)
+	}
+}
+
+func TestTemplate(t *testing.T) {
+	for _, fam := range Families() {
+		cfg, err := Template(fam.Key)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Key, err)
+		}
+		if cfg.Network == nil {
+			t.Fatalf("%s: template has no network section", fam.Key)
+		}
+		// The template must survive its own round trip.
+		var buf bytes.Buffer
+		if err := cfg.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		doc := buf.String()
+		loaded, err := Load(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%s: template does not load: %v", fam.Key, err)
+		}
+		var again bytes.Buffer
+		if err := loaded.Save(&again); err != nil {
+			t.Fatal(err)
+		}
+		if doc != again.String() {
+			t.Errorf("%s: template round trip lossy", fam.Key)
+		}
+	}
+	if _, err := Template("hypercube"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -36,17 +36,95 @@ type MessageConfig struct {
 	Priority *int `json:"priority,omitempty"`
 }
 
-// Config is a complete scenario.
+// SimJSON is the optional "sim" section of a scenario: the simulation
+// parameters that used to live only in code (core.SimConfig) expressed
+// declaratively. Zero-valued fields fall back to the paper-matched
+// defaults, so a minimal scenario stays minimal.
+type SimJSON struct {
+	// Approach is "fcfs" or "priority" (default: priority).
+	Approach string `json:"approach,omitempty"`
+	// HorizonUs is the simulated time span in microseconds.
+	HorizonUs int64 `json:"horizon_us,omitempty"`
+	// Seed drives sporadic phases and random gaps (default: 1).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Mode is the sporadic release behaviour: "greedy" (the analysis's
+	// worst-case assumption, the default) or "random-gaps".
+	Mode string `json:"mode,omitempty"`
+	// MeanSlackUs is the mean extra exponential gap between sporadic
+	// releases in random-gaps mode, in microseconds (0 in random-gaps
+	// mode selects a catalog-derived default rather than degenerating
+	// to greedy spacing).
+	MeanSlackUs int64 `json:"mean_slack_us,omitempty"`
+	// AlignPhases releases every connection at t=0 (critical instant;
+	// default true, matching the analysis).
+	AlignPhases *bool `json:"align_phases,omitempty"`
+	// QueueCapacityBytes bounds every queue (0 = unbounded).
+	QueueCapacityBytes int `json:"queue_capacity_bytes,omitempty"`
+	// BER is a residual bit-error rate applied to every link.
+	BER float64 `json:"ber,omitempty"`
+	// Babbler names a connection whose source misbehaves, releasing
+	// BabbleFactor copies per instance ("babbling idiot").
+	Babbler string `json:"babbler,omitempty"`
+	// BabbleFactor is the misbehaviour multiplier (≥ 1).
+	BabbleFactor int `json:"babble_factor,omitempty"`
+	// BypassShapers disconnects all traffic shapers — the uncontrolled
+	// network whose unpredictability motivates the paper.
+	BypassShapers bool `json:"bypass_shapers,omitempty"`
+}
+
+// Validate checks the sim section.
+func (s *SimJSON) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Approach != "" {
+		if _, err := analysis.ParseApproach(s.Approach); err != nil {
+			return fmt.Errorf("topology: sim: %w", err)
+		}
+	}
+	switch s.Mode {
+	case "", "greedy", "random-gaps":
+	default:
+		return fmt.Errorf("topology: sim: unknown mode %q (want greedy|random-gaps)", s.Mode)
+	}
+	if s.HorizonUs < 0 {
+		return fmt.Errorf("topology: sim: negative horizon %d", s.HorizonUs)
+	}
+	if s.MeanSlackUs < 0 {
+		return fmt.Errorf("topology: sim: negative mean slack %d", s.MeanSlackUs)
+	}
+	if s.QueueCapacityBytes < 0 {
+		return fmt.Errorf("topology: sim: negative queue capacity %d", s.QueueCapacityBytes)
+	}
+	if s.BER < 0 || s.BER >= 1 {
+		return fmt.Errorf("topology: sim: bit-error rate %g outside [0, 1)", s.BER)
+	}
+	if s.BabbleFactor < 0 {
+		return fmt.Errorf("topology: sim: negative babble factor %d", s.BabbleFactor)
+	}
+	return nil
+}
+
+// Config is a complete scenario: the single serializable value that drives
+// analysis, simulation, validation and sweeps alike.
 type Config struct {
 	// Name labels the scenario in reports.
 	Name string `json:"name"`
-	// LinkRateBps is C in bits per second.
+	// LinkRateBps is C in bits per second — the default rate of every
+	// link; individual links may override it in the network section.
 	LinkRateBps int64 `json:"link_rate_bps"`
 	// TTechnoUs is the switch relaying latency bound in microseconds.
 	TTechnoUs int64 `json:"t_techno_us"`
 	// BusController names the station that acts as 1553 BC in baseline
 	// comparisons (defaults to the busiest destination).
 	BusController string `json:"bus_controller,omitempty"`
+	// Network optionally describes a custom architecture: switches,
+	// trunks, station placement, redundant planes, and per-link rate /
+	// propagation-delay overrides. Absent = the paper's single-switch
+	// star.
+	Network *Network `json:"network,omitempty"`
+	// Sim optionally pins the simulation parameters.
+	Sim *SimJSON `json:"sim,omitempty"`
 	// Messages is the connection list.
 	Messages []MessageConfig `json:"messages"`
 }
@@ -79,7 +157,29 @@ func Default() *Config {
 	return cfg
 }
 
-// Load parses a scenario from JSON.
+// Template returns the built-in real-case scenario with the network
+// section filled in from a built-in architecture family — the starting
+// point `rtether scenario -topology <family>` dumps for editing into a
+// custom architecture.
+func Template(familyKey string) (*Config, error) {
+	fam, err := FamilyByKey(familyKey)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Default()
+	set, err := cfg.ToSet()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Name = fmt.Sprintf("real-case-%s", fam.Key)
+	cfg.Network = fam.Build(set.Stations())
+	return cfg, nil
+}
+
+// Load parses and validates a scenario from JSON: the message list must
+// form a valid traffic set, the network section (if any) must be a valid
+// architecture placing every station of the workload, and the sim section
+// must be coherent. Unknown fields are rejected at every level.
 func Load(r io.Reader) (*Config, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -87,7 +187,16 @@ func Load(r io.Reader) (*Config, error) {
 	if err := dec.Decode(&cfg); err != nil {
 		return nil, fmt.Errorf("topology: %w", err)
 	}
-	if _, err := cfg.ToSet(); err != nil {
+	set, err := cfg.ToSet()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Network != nil {
+		if err := cfg.Network.Validate(set.Stations()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Sim.Validate(); err != nil {
 		return nil, err
 	}
 	return &cfg, nil
@@ -153,6 +262,15 @@ func (c *Config) ToSet() (*traffic.Set, error) {
 		return nil, err
 	}
 	return set, nil
+}
+
+// BuildNetwork returns the scenario's architecture: the declared network
+// section, or the paper's star over the given stations when absent.
+func (c *Config) BuildNetwork(stations []string) *Network {
+	if c.Network != nil {
+		return c.Network
+	}
+	return Star(stations)
 }
 
 // AnalysisConfig derives the analysis parameters of the scenario.

@@ -4,8 +4,23 @@
 //	"Real-Time Communication over Switched Ethernet for Military
 //	Applications", CoNEXT 2005 (student workshop).
 //
-// It re-exports the pieces a downstream user needs to bound and simulate
-// shaped real-time traffic over Full-Duplex Switched Ethernet:
+// The primary API is the Scenario: one serializable value — workload,
+// network architecture (with per-link rate and propagation overrides,
+// redundant planes), analysis parameters and simulation parameters — that
+// drives every pipeline. Load one from a JSON file (LoadScenario), bind a
+// declarative config (NewScenario), or wrap a workload on the paper's star
+// (StarScenario), then call its methods:
+//
+//	s, _ := repro.LoadScenario("scenario.json")
+//	bounds, _ := s.Analyze(repro.PriorityHandling) // tree-composed e2e bounds
+//	sim, _ := s.Simulate()                         // DES on the unified engine
+//	v, _ := s.Validate(repro.Serial(1))            // bounds vs simulation
+//
+// Parameter-space studies build on the generic Experiment runner, which
+// binds every point to a Scenario and cross-validates bounds against
+// Monte-Carlo simulation replications on the parallel sweep engine.
+//
+// The package additionally re-exports the underlying pieces:
 //
 //   - workload modelling: Message, Set, the four 802.1p priority classes,
 //     and the built-in real-case military catalog (RealCase);
@@ -13,9 +28,9 @@
 //     multiplexer, per-connection single-hop (paper-faithful) and
 //     compositional end-to-end network analyses, backlog and jitter
 //     bounds;
-//   - discrete-event simulation of the full star network (shapers,
-//     multiplexers, store-and-forward switch) and of the MIL-STD-1553B
-//     baseline bus;
+//   - discrete-event simulation of arbitrary switch-tree networks
+//     (shapers, multiplexers, store-and-forward switches, redundant
+//     planes) and of the MIL-STD-1553B baseline bus;
 //   - the experiment drivers behind every figure, table and claim in
 //     EXPERIMENTS.md.
 //
@@ -55,6 +70,46 @@ type (
 	// FlowSpec is a connection reduced to its (bᵢ, rᵢ) shape.
 	FlowSpec = analysis.FlowSpec
 )
+
+// Scenario is the single currency of the system: one configured avionics
+// network — workload, architecture, analysis and simulation parameters —
+// whose methods (Analyze, Simulate, Validate, Sweep, Baseline) drive every
+// pipeline. It round-trips losslessly to the JSON scenario format.
+type Scenario = core.Scenario
+
+// ScenarioConfig is the declarative JSON form of a scenario, including
+// the optional network section (switches, trunks, station placement,
+// redundant planes, per-link rate/propagation-delay overrides) and sim
+// section (horizon, seed, source mode, BER, queue capacity, …).
+type ScenarioConfig = topology.Config
+
+// Experiment is the generic cross-validation runner behind every grid and
+// replication driver: each point binds to a Scenario, bounds are computed
+// once, replications run on the parallel sweep engine, and a Cell function
+// folds both into the experiment's row type.
+type Experiment[P, C any] = core.Experiment[P, C]
+
+// LoadScenario reads, validates and binds a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return core.LoadScenario(path) }
+
+// NewScenario binds a declarative scenario config into a runnable
+// Scenario: workload and network validated, routing precomputed, sim
+// section folded over the paper-matched defaults.
+func NewScenario(cfg *ScenarioConfig) (*Scenario, error) { return core.NewScenario(cfg) }
+
+// StarScenario wraps a bare workload and simulation config as a Scenario
+// on the paper's star architecture.
+func StarScenario(set *Set, cfg SimConfig) *Scenario { return core.StarScenario(set, cfg) }
+
+// DefaultScenarioConfig returns the built-in real-case scenario document.
+func DefaultScenarioConfig() *ScenarioConfig { return topology.Default() }
+
+// ScenarioTemplate returns the real-case scenario with the network section
+// filled in from a built-in architecture family — a starting point for
+// custom architectures.
+func ScenarioTemplate(familyKey string) (*ScenarioConfig, error) {
+	return topology.Template(familyKey)
+}
 
 // Re-exported simulation and experiment types.
 type (
@@ -135,6 +190,9 @@ func Serial(seed uint64) SweepOptions { return core.Serial(seed) }
 
 // RunValidation checks simulated worst cases against analytic bounds,
 // optionally replicated and parallelized via opts.
+//
+// Deprecated: use StarScenario(set, cfg).Validate(opts), or LoadScenario
+// and Scenario.Validate for custom architectures.
 func RunValidation(set *Set, cfg SimConfig, opts SweepOptions) (*Validation, error) {
 	return core.RunValidation(set, cfg, opts)
 }
@@ -150,6 +208,10 @@ func Grid(rates []simtime.Rate, loads []int) []GridPoint { return core.Grid(rate
 
 // RunGrid cross-validates analytic bounds against simulated delays on
 // every grid point using the parallel scenario-sweep engine.
+//
+// Deprecated: RunGrid is a fixed instance of the generic Experiment
+// runner over the built-in catalog; new studies should declare their own
+// Experiment (or use Scenario.Sweep for a rate sweep of one scenario).
 func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell, error) {
 	return core.RunGrid(points, base, opts)
 }
@@ -163,6 +225,10 @@ func TreeEndToEnd(set *Set, a Approach, cfg AnalysisConfig, tree *Tree) (*Result
 }
 
 // SimulateTree simulates the workload over a switch tree.
+//
+// Deprecated: describe the tree in a scenario's network section (or build
+// a Network) and use Scenario.Simulate — the Scenario API also expresses
+// per-link rates, propagation delays and redundant planes.
 func SimulateTree(set *Set, cfg SimConfig, tree *Tree) (*SimResult, error) {
 	return core.SimulateTree(set, cfg, tree)
 }
@@ -215,6 +281,10 @@ func TopoGrid(fams []TopologyFamily, rates []simtime.Rate, loads []int) []TopoPo
 
 // RunTopoGrid cross-validates tree-composed bounds against simulation on
 // every topology-grid point using the parallel scenario-sweep engine.
+//
+// Deprecated: RunTopoGrid is a fixed instance of the generic Experiment
+// runner over the built-in families; new studies should declare their own
+// Experiment binding each point to a Scenario.
 func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoCell, error) {
 	return core.RunTopoGrid(points, base, opts)
 }

@@ -100,6 +100,62 @@ func ExampleSingleHop() {
 	// urgent class bound: FCFS 4.938ms, priority 896.8µs (deadline 3ms)
 }
 
+// TestFacadeScenario drives the primary API end to end through the public
+// façade: load the committed heterogeneous dual-redundant scenario, then
+// analyze, simulate and validate it — results must be deterministic across
+// independent loads (the acceptance contract of the declarative format).
+func TestFacadeScenario(t *testing.T) {
+	const fixture = "internal/topology/testdata/dual_hetero.json"
+	s, err := LoadScenario(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := s.Analyze(PriorityHandling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pb := range bounds.Flows {
+		name := pb.Spec.Msg.Name
+		if obs := res.WorstLatency(name); obs > pb.EndToEnd {
+			t.Errorf("%s: observed %v exceeds bound %v", name, obs, pb.EndToEnd)
+		}
+	}
+	if res.Redundant == 0 {
+		t.Error("dual-redundant scenario discarded no redundant copies")
+	}
+
+	// A second, independent load must reproduce the run exactly.
+	s2, err := LoadScenario(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != res2.Events || res.TotalDelivered() != res2.TotalDelivered() {
+		t.Errorf("independent loads diverge: %d/%d events, %d/%d deliveries",
+			res.Events, res2.Events, res.TotalDelivered(), res2.TotalDelivered())
+	}
+	for name, f := range res.Flows {
+		if g := res2.Flows[name]; f.Latency.Max() != g.Latency.Max() || f.Delivered != g.Delivered {
+			t.Errorf("%s: runs diverge", name)
+		}
+	}
+
+	v, err := s.Validate(Serial(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllSound() {
+		t.Error("scenario validation unsound")
+	}
+}
+
 // ExampleClassify shows the paper's deadline-driven classification.
 func ExampleClassify() {
 	fmt.Println(Classify(Sporadic, 3*simtime.Millisecond))
