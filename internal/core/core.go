@@ -150,8 +150,14 @@ type SimResult struct {
 	// FlowSim.Delivered it counts every copy, including redundant ones.
 	PlaneDelivered []int
 	// Redundant counts copies discarded because another plane's copy of
-	// the same instance arrived first (0 on single-plane topologies).
+	// the same instance arrived first, within the acceptance window
+	// (0 on single-plane topologies).
 	Redundant int
+	// Discarded counts copies rejected by the ARINC 664 integrity-checking
+	// window: a duplicate arriving after the acceptance window of its
+	// instance closed. Always 0 when the window is unbounded — then every
+	// duplicate counts as Redundant.
+	Discarded int
 }
 
 // WorstLatency returns the largest observed latency of one connection

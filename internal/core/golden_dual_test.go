@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The dual golden fixture pins the redundant-plane receiver to the
+// first-copy-wins behaviour captured BEFORE the redundancy-management
+// rework (per-plane skew, ARINC 664 integrity-checking windows): with
+// identical planes, zero skew and an unbounded acceptance window, every
+// per-flow counter, latency statistic, per-plane delivery count and
+// redundant-discard count must stay byte-identical to this fixture.
+//
+// Regenerate with REGEN_GOLDEN=1 go test ./internal/core -run TestGoldenDual
+// — only legitimate when the redundancy model intentionally changes.
+
+// dualGoldenConfigs mirrors goldenConfigs: the deterministic critical
+// instant, plus a randomized lossy run so the fixture also locks the RNG
+// draw order across both planes.
+func dualGoldenConfigs() map[string]SimConfig {
+	greedy := DefaultSimConfig(analysis.Priority)
+	greedy.Horizon = 500 * simtime.Millisecond
+
+	random := DefaultSimConfig(analysis.FCFS)
+	random.Horizon = 300 * simtime.Millisecond
+	random.Seed = 3
+	random.BER = 1e-5
+	random.CollectLatencies = true
+	random.Mode = traffic.RandomGaps
+	random.MeanSlack = DefaultMeanSlack
+	random.AlignPhases = false
+
+	return map[string]SimConfig{
+		"priority-greedy": greedy,
+		"fcfs-ber-random": random,
+	}
+}
+
+const goldenDualPath = "testdata/golden_dual.txt"
+
+func TestGoldenDualEquivalence(t *testing.T) {
+	set := traffic.RealCase()
+	dual := topology.Redundify(topology.Star(set.Stations()), 2)
+	var names []string
+	for name := range dualGoldenConfigs() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var got strings.Builder
+	for _, name := range names {
+		cfg := dualGoldenConfigs()[name]
+		res, err := SimulateNetwork(set, cfg, dual)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&got, "== %s ==\n%s", name, goldenReport(set, res))
+	}
+
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenDualPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDualPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenDualPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenDualPath)
+	if err != nil {
+		t.Fatalf("fixture missing (run with REGEN_GOLDEN=1): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("dual first-copy-wins behaviour drifted from the pre-rework fixture:\n%s",
+			firstDiff(string(want), got.String()))
+	}
+}

@@ -65,6 +65,10 @@ func goldenReport(set *traffic.Set, res *SimResult) string {
 		int64(res.ClassWorst[0]), int64(res.ClassWorst[1]),
 		int64(res.ClassWorst[2]), int64(res.ClassWorst[3]),
 		res.Dropped, res.Corrupted, res.Shaped, res.Events)
+	if res.PlaneDelivered != nil {
+		fmt.Fprintf(&b, "planes=%v redundant=%d discarded=%d\n",
+			res.PlaneDelivered, res.Redundant, res.Discarded)
+	}
 	return b.String()
 }
 
