@@ -379,7 +379,7 @@ func cmdValidate(args []string) error {
 // network section included, as a starting point for custom architectures.
 func cmdScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
-	family := fs.String("topology", "", "built-in family (star|cascade|tree|chain|dual): include that architecture as a network section")
+	family := fs.String("topology", "", "built-in family (star|cascade|tree|chain|dual|dualskew): include that architecture as a network section")
 	fs.Parse(args)
 	var scen *topology.Config
 	var err error

@@ -18,9 +18,10 @@
 //	rtether scenario -topology dual | rtether validate -config -
 //
 // The scenario file is the single currency of the system: its network
-// section (switches, trunks, station placement, redundant planes,
-// per-link rate/propagation-delay overrides) and sim section (horizon,
-// seed, source mode, BER, …) reach every pipeline.
+// section (switches, trunks, station placement, redundant planes with
+// per-plane skew/rate-scale/failure specs, per-link rate/propagation-delay
+// overrides) and sim section (horizon, seed, source mode, BER, the ARINC
+// 664 skew_max integrity window, …) reach every pipeline.
 //
 // The sweep-style commands run on the parallel scenario-sweep engine:
 // -parallel sets the worker count (0 = all CPUs), -reps the number of
@@ -101,12 +102,12 @@ commands:
   sweep      rate ablation + rates × loads grid cross-validation (parallel engine)
   validate   check simulated worst cases against analytic bounds
   capacity   minimal link rate meeting all deadlines, per approach
-  backlog    switch buffer dimensioning (backlog bounds per port)
+  backlog    switch buffer dimensioning (backlog bounds per port, grouped per switch)
   afdx       map the workload onto ARINC 664 virtual links and compare
   twoswitch  bounds and simulation on a cascaded two-switch topology
   topo       unified engine over every architecture family (add -grid for topology × rate × load)
   schedulers urgent-class bound under FCFS / strict / preemptive / DRR
-  scenario   print a scenario JSON template (-topology star|cascade|tree|chain|dual
+  scenario   print a scenario JSON template (-topology star|cascade|tree|chain|dual|dualskew
              adds that architecture as a network section; edit & pass via -config,
              where "-" reads stdin)
 `)

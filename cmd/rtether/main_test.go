@@ -149,6 +149,34 @@ func TestCmdBacklog(t *testing.T) {
 	if !strings.Contains(out, "mission-computer") {
 		t.Error("bottleneck port missing")
 	}
+	// The paper's star groups everything under the single switch.
+	for _, want := range []string{"sw0", "sw0 buffer total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("backlog output missing %q", want)
+		}
+	}
+}
+
+// TestCmdBacklogGroupedPerSwitch: on a multi-switch scenario the buffer
+// dimensioning table groups output ports under their home switch, with a
+// per-switch buffer total — the ROADMAP's topology-aware backlog item.
+func TestCmdBacklogGroupedPerSwitch(t *testing.T) {
+	out := capture(t, cmdBacklog, "-config", heteroFixture)
+	for _, want := range []string{"architecture dual-split: 2 switch(es), 2 plane(s)",
+		"sw0", "sw1", "sw0 buffer total:", "sw1 buffer total:",
+		"trunk-port backlogs are not yet bounded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grouped backlog missing %q:\n%s", want, out)
+		}
+	}
+	// Ports sort under their switch: mc and nav live on sw0, ew on sw1.
+	ew, nav := strings.Index(out, "sw1     ew"), strings.Index(out, "sw0     nav")
+	if ew < 0 || nav < 0 {
+		t.Fatalf("expected per-switch rows missing (ew@%d nav@%d):\n%s", ew, nav, out)
+	}
+	if ew < nav {
+		t.Errorf("ports not grouped by switch:\n%s", out)
+	}
 }
 
 func TestCmdAFDX(t *testing.T) {
@@ -172,7 +200,8 @@ func TestCmdTwoSwitch(t *testing.T) {
 func TestCmdTopo(t *testing.T) {
 	out := capture(t, cmdTopo, "-horizon", "50ms", "-ber", "1e-5")
 	for _, want := range []string{"unified network engine", "star", "cascade", "tree", "chain", "dual",
-		"worst e2e bound", "redundant"} {
+		"dualskew", "worst e2e bound", "redundant", "discarded",
+		"degraded dual (any one plane failed)", "degraded dualskew (any one plane failed)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("topo output missing %q", want)
 		}
@@ -363,6 +392,92 @@ func TestCmdValidatePinnedSourceRegime(t *testing.T) {
 	out = capture(t, cmdValidate, "-reps", "2", "-horizon", "30ms")
 	if !strings.Contains(out, "randomized sources") {
 		t.Errorf("unpinned scenario did not randomize:\n%s", firstLines(out, 1))
+	}
+}
+
+// skewedDualFixture is the annotated redundancy-management scenario of
+// EXPERIMENTS.md: an asymmetric dual (plane B at half rate, releasing
+// 150µs late over 3µs-longer cables) under an 800µs integrity window.
+const skewedDualFixture = "../../examples/topologies/skewed_dual.json"
+
+// TestCmdValidateSkewedDual is the acceptance criterion's validation row:
+// on the skewed dual, across replicated seeds, every observed first-copy
+// latency stays within the skew-aware bound under both disciplines, and
+// the output is bit-identical at any -parallel value.
+func TestCmdValidateSkewedDual(t *testing.T) {
+	args := []string{"-config", skewedDualFixture, "-reps", "3", "-seed", "42"}
+	serial := capture(t, cmdValidate, append([]string{"-parallel", "1"}, args...)...)
+	if got := strings.Count(serial, "all sound = true"); got != 2 {
+		t.Errorf("skewed dual not sound under both approaches (%d of 2):\n%s", got, serial)
+	}
+	if par := capture(t, cmdValidate, append([]string{"-parallel", "8"}, args...)...); par != serial {
+		t.Error("skewed-dual validate differs across -parallel values")
+	}
+}
+
+// TestCmdTopoSkewedScenario: a skewed-dual scenario file leads the topo
+// table with the skew-aware bound and surfaces integrity-window discards.
+func TestCmdTopoSkewedScenario(t *testing.T) {
+	out := capture(t, cmdTopo, "-config", skewedDualFixture, "-topologies", "star")
+	if !strings.Contains(out, "scenario:skewed-dual-star") {
+		t.Errorf("scenario row missing:\n%s", firstLines(out, 5))
+	}
+	if !strings.Contains(out, "degraded scenario:skewed-dual-star (any one plane failed)") {
+		t.Errorf("degraded bound line missing:\n%s", out)
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("skewed scenario unsound:\n%s", out)
+	}
+}
+
+// TestCmdTopoUnstablePlane: a plane negotiated down so far it is
+// over-subscribed has an infinite bound. The all-up row still prints
+// (the stable plane wins the first-copy minimum) and the degraded line
+// reports the unbounded verdict instead of aborting the command.
+func TestCmdTopoUnstablePlane(t *testing.T) {
+	doc, err := os.ReadFile(skewedDualFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := strings.Replace(string(doc), `"rate_scale": 0.5,`, `"rate_scale": 0.0004,`, 1)
+	if slow == string(doc) {
+		t.Fatal("fixture anchor not found")
+	}
+	path := filepath.Join(t.TempDir(), "slow-plane.json")
+	if err := os.WriteFile(path, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, cmdTopo, "-config", path, "-topologies", "star")
+	if !strings.Contains(out, "scenario:skewed-dual-star") {
+		t.Errorf("all-up row missing:\n%s", firstLines(out, 5))
+	}
+	if !strings.Contains(out, "unbounded — a failure leaves only over-subscribed planes") {
+		t.Errorf("unbounded degraded verdict missing:\n%s", out)
+	}
+}
+
+// TestCmdTopoLastSurvivingPlane: a dual already running on its last
+// surviving plane has no one-more-failure mode — topo must print its
+// table (without a degraded line) instead of aborting.
+func TestCmdTopoLastSurvivingPlane(t *testing.T) {
+	doc, err := os.ReadFile(skewedDualFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := strings.Replace(string(doc), `"rate_scale": 0.5,`, `"fail": true, "rate_scale": 0.5,`, 1)
+	if failed == string(doc) {
+		t.Fatal("fixture anchor not found")
+	}
+	path := filepath.Join(t.TempDir(), "one-plane.json")
+	if err := os.WriteFile(path, []byte(failed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, cmdTopo, "-config", path, "-topologies", "star")
+	if !strings.Contains(out, "scenario:skewed-dual-star") {
+		t.Errorf("table missing:\n%s", firstLines(out, 5))
+	}
+	if strings.Contains(out, "degraded scenario:") {
+		t.Errorf("degraded line printed with a single surviving plane:\n%s", out)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"strings"
@@ -92,14 +93,18 @@ func cmdTopo(args []string) error {
 	fmt.Fprintf(stdout, "unified network engine: %s under %v (horizon %v, BER %g)\n\n",
 		s.Name, approach, cfg.Horizon, cfg.BER)
 	tbl := report.NewTable("topology", "switches", "planes", "worst e2e bound",
-		"observed worst", "delivered", "redundant", "corrupted", "analytic misses", "sound")
+		"observed worst", "delivered", "redundant", "discarded", "corrupted", "analytic misses", "sound")
+	var degraded []string
 	for _, ent := range entries {
 		topo := ent.topo
-		bounds, err := analysis.TreeEndToEnd(set, approach, cfg.AnalysisConfig(), topo.Tree())
+		// One Scenario per entry so redundant architectures get the
+		// skew-aware first-copy bound, exactly as every other pipeline.
+		sc := &core.Scenario{Name: ent.key, Set: set, Net: topo, Sim: cfg}
+		bounds, err := sc.Analyze(approach)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ent.key, err)
 		}
-		sim, err := core.SimulateNetwork(set, cfg, topo)
+		sim, err := sc.Simulate()
 		if err != nil {
 			return fmt.Errorf("%s: %w", ent.key, err)
 		}
@@ -118,10 +123,41 @@ func cmdTopo(args []string) error {
 			}
 		}
 		tbl.AddRow(ent.key, topo.Switches, topo.PlaneCount(), boundWorst, observedWorst,
-			sim.TotalDelivered(), sim.Redundant, sim.Corrupted, bounds.Violations, mark(sound))
+			sim.TotalDelivered(), sim.Redundant, sim.Discarded, sim.Corrupted, bounds.Violations, mark(sound))
+		// The degraded bound needs a plane left to lose: a scenario already
+		// running on its last surviving plane has no one-more-failure mode.
+		if topo.Redundant() && topo.SurvivingPlanes() > 1 {
+			deg, err := sc.AnalyzeDegraded(approach)
+			switch {
+			case errors.Is(err, analysis.ErrUnstable):
+				// The degraded bound is legitimately infinite (some single
+				// failure leaves only over-subscribed planes) — that is a
+				// verdict to report, not a reason to lose the table.
+				degraded = append(degraded, fmt.Sprintf(
+					"degraded %s (any one plane failed): unbounded — a failure leaves only over-subscribed planes",
+					ent.key))
+			case err != nil:
+				return fmt.Errorf("%s: degraded: %w", ent.key, err)
+			default:
+				degWorst := simtime.Duration(0)
+				for _, pb := range deg.Flows {
+					if pb.EndToEnd > degWorst {
+						degWorst = pb.EndToEnd
+					}
+				}
+				degraded = append(degraded, fmt.Sprintf(
+					"degraded %s (any one plane failed): worst e2e bound %v, analytic misses %d",
+					ent.key, degWorst, deg.Violations))
+			}
+		}
 	}
-	_, err = tbl.WriteTo(stdout)
-	return err
+	if _, err := tbl.WriteTo(stdout); err != nil {
+		return err
+	}
+	for _, line := range degraded {
+		fmt.Fprintln(stdout, line)
+	}
+	return nil
 }
 
 // topoGrid runs the topology × rate × load cross-validation.
@@ -146,11 +182,11 @@ func topoGrid(fams []topology.Family, approach analysis.Approach, horizon time.D
 	}
 	fmt.Fprintf(stdout, "topology × rate × load cross-validation (M3): bounds vs %d×%v simulation under %v\n",
 		reps, cfg.Horizon, approach)
-	tbl := report.NewTable("topology", "link rate", "extra RTs", "connections",
-		"worst e2e bound", "observed worst", "observed p99", "delivered", "analytic misses", "sound")
+	tbl := report.NewTable("topology", "planes", "link rate", "extra RTs", "connections",
+		"worst e2e bound", "observed worst", "observed p99", "delivered", "redundant", "discarded", "analytic misses", "sound")
 	for _, c := range cells {
-		tbl.AddRow(c.Topology, c.Point.Rate, c.Point.ExtraRTs, c.Connections,
-			c.BoundWorst, c.ObservedWorst, c.ObservedP99, c.Delivered, c.Violations, mark(c.Sound()))
+		tbl.AddRow(c.Topology, c.Planes, c.Point.Rate, c.Point.ExtraRTs, c.Connections,
+			c.BoundWorst, c.ObservedWorst, c.ObservedP99, c.Delivered, c.Redundant, c.Discarded, c.Violations, mark(c.Sound()))
 	}
 	if _, err := tbl.WriteTo(stdout); err != nil {
 		return err

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+func twoIdenticalPlanes(stations []string) []Plane {
+	return []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations)},
+	}
+}
+
+// TestRedundantIdenticalPlanesMatchTree: with identical zero-skew planes
+// the first-copy composition must reduce exactly to the single-plane
+// tree bound — the pre-rework pricing of the classic dual.
+func TestRedundantIdenticalPlanesMatchTree(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	for _, approach := range []Approach{FCFS, Priority} {
+		single, err := TreeEndToEnd(set, approach, cfg, SingleSwitchTree(set.Stations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := RedundantEndToEnd(set, approach, cfg, twoIdenticalPlanes(set.Stations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pb := range dual.Flows {
+			if pb != single.Flows[i] {
+				t.Errorf("%v %s: dual composition %+v differs from single-plane bound %+v",
+					approach, pb.Spec.Msg.Name, pb, single.Flows[i])
+			}
+		}
+		if dual.Violations != single.Violations {
+			t.Errorf("%v: violations %d vs %d", approach, dual.Violations, single.Violations)
+		}
+	}
+}
+
+// TestRedundantSkewMin: a skewed second plane must not worsen the bound
+// (the unskewed plane wins the minimum), while losing the unskewed plane
+// shifts the bound by exactly the survivor's phase skew.
+func TestRedundantSkewMin(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	skew := 250 * simtime.Microsecond
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations), PhaseSkew: skew},
+	}
+	single, err := TreeEndToEnd(set, Priority, cfg, SingleSwitchTree(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allUp, err := RedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pb := range allUp.Flows {
+		if pb.EndToEnd != single.Flows[i].EndToEnd {
+			t.Errorf("%s: all-up bound %v, want unskewed plane's %v",
+				pb.Spec.Msg.Name, pb.EndToEnd, single.Flows[i].EndToEnd)
+		}
+	}
+
+	planes[0].Failed = true
+	onlySkewed, err := RedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pb := range onlySkewed.Flows {
+		if want := single.Flows[i].EndToEnd + skew; pb.EndToEnd != want {
+			t.Errorf("%s: skewed-survivor bound %v, want %v", pb.Spec.Msg.Name, pb.EndToEnd, want)
+		}
+		// The skew is a release-side wait: it shows up in the stage split,
+		// so the table's columns still account for the total.
+		if want := single.Flows[i].SourceDelay + skew; pb.SourceDelay != want {
+			t.Errorf("%s: source delay %v, want %v (skew folded in)", pb.Spec.Msg.Name, pb.SourceDelay, want)
+		}
+	}
+}
+
+// TestDegradedDominates: the any-one-plane-failed bound must dominate the
+// all-planes-up bound, and on a two-plane network equal the worst single
+// surviving plane.
+func TestDegradedDominates(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	skew := 180 * simtime.Microsecond
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations), PhaseSkew: skew},
+	}
+	allUp, err := RedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := DegradedEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := TreeEndToEnd(set, Priority, cfg, SingleSwitchTree(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range degraded.Flows {
+		if degraded.Flows[i].EndToEnd < allUp.Flows[i].EndToEnd {
+			t.Errorf("%s: degraded %v below all-up %v",
+				degraded.Flows[i].Spec.Msg.Name, degraded.Flows[i].EndToEnd, allUp.Flows[i].EndToEnd)
+		}
+		// Two planes: losing the unskewed one leaves the skewed survivor.
+		if want := single.Flows[i].EndToEnd + skew; degraded.Flows[i].EndToEnd != want {
+			t.Errorf("%s: degraded %v, want worst survivor %v",
+				degraded.Flows[i].Spec.Msg.Name, degraded.Flows[i].EndToEnd, want)
+		}
+	}
+}
+
+// TestRedundantToleratesUnstablePlane: a plane negotiated down so far it
+// is over-subscribed has an infinite bound — it must lose the minimum
+// like a failed plane, not abort the whole composition. Only when every
+// surviving plane is unstable (or, in degraded mode, when some single
+// failure leaves only unstable planes) does the analysis error, and then
+// with ErrUnstable.
+func TestRedundantToleratesUnstablePlane(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	unstable := func() *Tree {
+		tr := SingleSwitchTree(stations)
+		tr.StationRates = map[string]simtime.Rate{}
+		for _, s := range stations {
+			tr.StationRates[s] = 5 * simtime.Kbps // hopelessly over-subscribed
+		}
+		return tr
+	}
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: unstable(), PhaseSkew: 50 * simtime.Microsecond},
+	}
+	single, err := TreeEndToEnd(set, Priority, cfg, SingleSwitchTree(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatalf("unstable plane aborted the composition: %v", err)
+	}
+	for i, pb := range got.Flows {
+		if pb.EndToEnd != single.Flows[i].EndToEnd {
+			t.Errorf("%s: bound %v, want stable plane's %v", pb.Spec.Msg.Name, pb.EndToEnd, single.Flows[i].EndToEnd)
+		}
+	}
+
+	bothUnstable := []Plane{{Tree: unstable()}, {Tree: unstable()}}
+	if _, err := RedundantEndToEnd(set, Priority, cfg, bothUnstable); !errors.Is(err, ErrUnstable) {
+		t.Errorf("all-unstable composition: err = %v, want ErrUnstable", err)
+	}
+	// Degraded: failing the stable plane leaves only the unstable one —
+	// the degraded bound is infinite, reported as ErrUnstable.
+	if _, err := DegradedEndToEnd(set, Priority, cfg, planes); !errors.Is(err, ErrUnstable) {
+		t.Errorf("degraded over unstable survivor: err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestRedundantErrors(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	if _, err := RedundantEndToEnd(set, Priority, cfg, nil); err == nil {
+		t.Error("empty plane list accepted")
+	}
+	allFailed := []Plane{
+		{Tree: SingleSwitchTree(stations), Failed: true},
+		{Tree: SingleSwitchTree(stations), Failed: true},
+	}
+	if _, err := RedundantEndToEnd(set, Priority, cfg, allFailed); err == nil {
+		t.Error("all-failed plane list accepted")
+	}
+	oneAlive := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations), Failed: true},
+	}
+	if _, err := DegradedEndToEnd(set, Priority, cfg, oneAlive); err == nil {
+		t.Error("degraded bound with a single surviving plane accepted")
+	}
+}

@@ -54,6 +54,16 @@ type SimConfig struct {
 	// BER is a residual bit-error rate applied to every link (0 = clean
 	// medium). Corrupted frames fail the receiver FCS and vanish.
 	BER float64
+	// SkewMax is the ARINC 664 integrity-checking acceptance window,
+	// applied per virtual link (per connection) on redundant networks:
+	// after the first copy of an instance is delivered, duplicate copies
+	// arriving within SkewMax count as healthy redundancy
+	// (SimResult.Redundant); duplicates arriving later are rejected as
+	// integrity violations (SimResult.Discarded) — a plane so late its
+	// copies fall outside the window is observable instead of silently
+	// merged. 0 = unbounded window, the classic first-copy-wins receiver.
+	// Ignored on single-plane networks.
+	SkewMax simtime.Duration
 	// CollectLatencies additionally records every delivery latency in a
 	// per-connection Histogram (FlowSim.Latencies) so replicated runs can
 	// be merged into exact quantiles. Off by default: the Summary is
@@ -108,6 +118,9 @@ func (c SimConfig) Validate() error {
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("core: non-positive horizon %v", c.Horizon)
+	}
+	if c.SkewMax < 0 {
+		return fmt.Errorf("core: negative skew_max %v", c.SkewMax)
 	}
 	return nil
 }

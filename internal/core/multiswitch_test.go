@@ -5,8 +5,64 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// TestDeprecatedWrappersMatchNetworkEngine makes the Deprecated: tags on
+// SimulateTwoSwitch and SimulateTree actionable: each wrapper must
+// produce byte-identical results to core.SimulateNetwork on the
+// equivalent topology.Network under a demanding configuration (BER,
+// randomized sources, histograms), so retiring the wrappers later is a
+// mechanical substitution, demonstrably not a behaviour change.
+func TestDeprecatedWrappersMatchNetworkEngine(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultSimConfig(analysis.Priority)
+	cfg.Horizon = 150 * simtime.Millisecond
+	cfg.Seed = 11
+	cfg.BER = 1e-5
+	cfg.CollectLatencies = true
+	cfg.Mode = traffic.RandomGaps
+	cfg.MeanSlack = DefaultMeanSlack
+	cfg.AlignPhases = false
+
+	// SimulateTwoSwitch ≡ SimulateNetwork on the two-switch network the
+	// wrapper documents itself as building.
+	viaWrapper, err := SimulateTwoSwitch(set, cfg, analysis.SplitByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoswitch := &topology.Network{
+		Name:          "twoswitch",
+		Switches:      2,
+		Links:         [][2]int{{0, 1}},
+		StationSwitch: map[string]int{},
+	}
+	for _, st := range set.Stations() {
+		twoswitch.StationSwitch[st] = analysis.SplitByName(st)
+	}
+	direct, err := SimulateNetwork(set, cfg, twoswitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, d := goldenReport(set, viaWrapper), goldenReport(set, direct); w != d {
+		t.Errorf("SimulateTwoSwitch diverges from SimulateNetwork:\n%s", firstDiff(w, d))
+	}
+
+	// SimulateTree ≡ SimulateNetwork over topology.FromTree.
+	tree := topology.Chain(set.Stations(), 3).Tree()
+	viaTree, err := SimulateTree(set, cfg, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directTree, err := SimulateNetwork(set, cfg, topology.FromTree("tree", tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, d := goldenReport(set, viaTree), goldenReport(set, directTree); w != d {
+		t.Errorf("SimulateTree diverges from SimulateNetwork:\n%s", firstDiff(w, d))
+	}
+}
 
 func TestTwoSwitchSimDelivers(t *testing.T) {
 	set := traffic.RealCase()

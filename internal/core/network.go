@@ -38,9 +38,16 @@ type copyKey struct{ seq, copy int }
 // on every architecture by construction.
 //
 // On a redundant network (topo.PlaneCount() > 1) every shaped frame is
-// replicated onto each plane; the receiver keeps the first copy per
-// instance and discards the rest, with per-plane delivery accounting in
-// SimResult.PlaneDelivered and the discard count in SimResult.Redundant.
+// replicated onto each surviving plane, each plane honoring its own
+// PlaneSpec: the copy is released after the plane's phase skew, every
+// link serializes at the plane's scaled rate and adds the plane's
+// propagation skew, and failed planes carry nothing. The receiver runs
+// ARINC 664-style redundancy management per connection: the first copy
+// of each (Seq, copy) instance is delivered; duplicates inside the
+// cfg.SkewMax acceptance window are counted as SimResult.Redundant and
+// duplicates outside it as SimResult.Discarded (with cfg.SkewMax == 0
+// the window is unbounded — exactly the historical first-copy-wins
+// receiver). Per-plane delivery accounting is in SimResult.PlaneDelivered.
 func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*SimResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -100,8 +107,8 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		pa, pb := 1000+2*li, 1000+2*li+1
 		trunkPort[a][b] = pa
 		trunkPort[b][a] = pb
-		rate, prop := topo.TrunkRate(li, cfg.LinkRate), topo.TrunkProp(li)
 		for p := 0; p < planes; p++ {
+			rate, prop := topo.PlaneTrunkRate(p, li, cfg.LinkRate), topo.PlaneTrunkProp(p, li)
 			var inA, inB func(*ethernet.Frame)
 			inA = sws[p][a].AttachPort(pa, rate, prop, func(f *ethernet.Frame) { inB(f) })
 			inB = sws[p][b].AttachPort(pb, rate, prop, func(f *ethernet.Frame) { inA(f) })
@@ -116,13 +123,15 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		}
 		res.Flows[m.Name] = fs
 	}
-	// First-copy bookkeeping on redundant networks.
-	var seen map[string]map[copyKey]bool
+	// Redundancy-management bookkeeping: per connection (per VL), the
+	// arrival time of the first copy of every instance — the anchor of
+	// the integrity-checking acceptance window.
+	var seen map[string]map[copyKey]simtime.Time
 	if planes > 1 {
 		res.PlaneDelivered = make([]int, planes)
-		seen = map[string]map[copyKey]bool{}
+		seen = map[string]map[copyKey]simtime.Time{}
 		for _, m := range set.Messages {
-			seen[m.Name] = map[copyKey]bool{}
+			seen[m.Name] = map[copyKey]simtime.Time{}
 		}
 	}
 
@@ -146,9 +155,9 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		name := name
 		home := topo.StationSwitch[name]
 		addr := ethernet.StationAddr(i)
-		stRate, stProp := topo.StationRate(name, cfg.LinkRate), topo.StationProp(name)
 		for p := 0; p < planes; p++ {
 			p := p
+			stRate, stProp := topo.PlaneStationRate(p, name, cfg.LinkRate), topo.PlaneStationProp(p, name)
 			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, stRate, stProp, kind, cfg.QueueCapacity)
 			st.OnReceive = func(f *ethernet.Frame) {
 				meta, ok := f.Meta.(frameMeta)
@@ -160,11 +169,19 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 				if planes > 1 {
 					res.PlaneDelivered[p]++
 					key := copyKey{in.Seq, meta.copy}
-					if seen[in.Msg.Name][key] {
-						res.Redundant++
-						return // this copy already arrived on another plane
+					if first, ok := seen[in.Msg.Name][key]; ok {
+						// A copy of this instance already arrived on
+						// another plane. Within the acceptance window it
+						// is healthy redundancy; outside it the
+						// integrity check rejects it as a stale copy.
+						if cfg.SkewMax > 0 && sim.Now().Sub(first) > cfg.SkewMax {
+							res.Discarded++
+						} else {
+							res.Redundant++
+						}
+						return
 					}
-					seen[in.Msg.Name][key] = true
+					seen[in.Msg.Name][key] = sim.Now()
 				}
 				lat := sim.Now().Sub(in.Release)
 				fs.Latency.Add(lat)
@@ -219,8 +236,12 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 	}
 
 	// send pushes one application frame into the network: directly on a
-	// single-plane network, replicated per plane on a redundant one (each
-	// plane serializes its own copy, so the copies must not share state).
+	// single-plane network, replicated per surviving plane on a redundant
+	// one (each plane serializes its own copy, so the copies must not
+	// share state). A plane with a phase skew receives its copy that much
+	// later; a zero-skew plane is fed synchronously, not through a
+	// zero-delay event, so the identical-planes event order — and with it
+	// the golden dual fixture — is preserved exactly.
 	send := func(source string, f *ethernet.Frame) {
 		if planes == 1 {
 			if !stations[0][source].Send(f) {
@@ -232,12 +253,23 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 			return
 		}
 		for p := 0; p < planes; p++ {
+			if topo.PlaneFailed(p) {
+				continue // a failed plane carries no traffic
+			}
+			p := p
 			g := *f
-			if !stations[p][source].Send(&g) {
-				res.Dropped++
-				if meta, ok := f.Meta.(frameMeta); ok {
-					record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: meta.in.Msg.Name, Seq: meta.in.Seq, Where: source})
+			release := func() {
+				if !stations[p][source].Send(&g) {
+					res.Dropped++
+					if meta, ok := g.Meta.(frameMeta); ok {
+						record(trace.Event{At: sim.Now(), Kind: trace.Dropped, Conn: meta.in.Msg.Name, Seq: meta.in.Seq, Where: source})
+					}
 				}
+			}
+			if skew := topo.PlanePhaseSkew(p); skew > 0 {
+				sim.After(skew, release)
+			} else {
+				release()
 			}
 		}
 	}

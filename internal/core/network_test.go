@@ -180,7 +180,7 @@ func TestDualNetworkMasksLoss(t *testing.T) {
 func TestNetworkDeterministicAcrossWorkers(t *testing.T) {
 	set := traffic.RealCase()
 	stations := set.Stations()
-	for _, key := range []string{"chain", "dual"} {
+	for _, key := range []string{"chain", "dual", "dualskew"} {
 		fam, err := topology.FamilyByKey(key)
 		if err != nil {
 			t.Fatal(err)

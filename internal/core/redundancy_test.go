@@ -1,0 +1,301 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// skewedDualStar builds the canonical asymmetric dual of these tests:
+// plane 0 nominal, plane 1 releasing late over longer cables.
+func skewedDualStar(stations []string, phase, prop simtime.Duration) *topology.Network {
+	n := topology.Redundify(topology.Star(stations), 2)
+	n.PlaneSpecs = []topology.PlaneSpec{{}, {PhaseSkew: phase, PropSkew: prop}}
+	return n
+}
+
+// TestSkewZeroUnboundedWindowIsFirstCopyWins is the backward-equivalence
+// half of the rework's contract: a dual network carrying EXPLICIT
+// zero-valued plane specs, simulated with an explicit (unbounded-window)
+// SkewMax of 0, must reproduce the plain dual network byte-for-byte on
+// the golden configurations — the new plumbing is provably inert until a
+// knob is turned.
+func TestSkewZeroUnboundedWindowIsFirstCopyWins(t *testing.T) {
+	set := traffic.RealCase()
+	plain := topology.Redundify(topology.Star(set.Stations()), 2)
+	specced := topology.Redundify(topology.Star(set.Stations()), 2)
+	specced.PlaneSpecs = []topology.PlaneSpec{{}, {}}
+	for name, cfg := range dualGoldenConfigs() {
+		want, err := SimulateNetwork(set, cfg, plain)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg.SkewMax = 0
+		got, err := SimulateNetwork(set, cfg, specced)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gr, wr := goldenReport(set, got), goldenReport(set, want); gr != wr {
+			t.Errorf("%s: zero-valued plane specs changed the simulation:\n%s",
+				name, firstDiff(wr, gr))
+		}
+	}
+}
+
+// TestSkewedDualSoundness is the acceptance criterion's soundness half:
+// on skewed duals, across several seeds and both disciplines, the
+// simulated first-copy worst case must respect the skew-aware bound —
+// with all planes up, and with either single plane failed (degraded
+// mode), whose bound must also cover every failure pattern.
+func TestSkewedDualSoundness(t *testing.T) {
+	set := traffic.RealCase()
+	stations := set.Stations()
+	phase, prop := 200*simtime.Microsecond, 3*simtime.Microsecond
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			cfg := DefaultSimConfig(approach)
+			cfg.Seed = seed
+			cfg.Horizon = 300 * simtime.Millisecond
+			cfg.Mode = traffic.RandomGaps
+			cfg.MeanSlack = DefaultMeanSlack
+			cfg.AlignPhases = false
+
+			allUp := skewedDualStar(stations, phase, prop)
+			sc := &Scenario{Name: "skewed-dual", Set: set, Net: allUp, Sim: cfg}
+			bounds, err := sc.Analyze(approach)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", approach, seed, err)
+			}
+			degraded, err := sc.AnalyzeDegraded(approach)
+			if err != nil {
+				t.Fatalf("%v seed %d: degraded: %v", approach, seed, err)
+			}
+			sim, err := sc.Simulate()
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", approach, seed, err)
+			}
+			for _, pb := range bounds.Flows {
+				observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+				if observed > pb.EndToEnd {
+					t.Errorf("%v seed %d %s: observed %v exceeds skew-aware bound %v",
+						approach, seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+				}
+			}
+
+			// Degraded mode: either plane alone must stay within the
+			// any-one-plane-failed bound.
+			for fail := 0; fail < 2; fail++ {
+				net := skewedDualStar(stations, phase, prop)
+				net.PlaneSpecs[fail].Fail = true
+				dsim, err := SimulateNetwork(set, cfg, net)
+				if err != nil {
+					t.Fatalf("%v seed %d fail %d: %v", approach, seed, fail, err)
+				}
+				if dsim.PlaneDelivered[fail] != 0 {
+					t.Fatalf("failed plane %d delivered %d copies", fail, dsim.PlaneDelivered[fail])
+				}
+				for _, pb := range degraded.Flows {
+					observed := dsim.Flows[pb.Spec.Msg.Name].Latency.Max()
+					if observed > pb.EndToEnd {
+						t.Errorf("%v seed %d plane %d failed %s: observed %v exceeds degraded bound %v",
+							approach, seed, fail, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+					}
+				}
+				if dsim.Flows["nav/attitude"].Delivered == 0 {
+					t.Errorf("plane %d failure killed delivery entirely", fail)
+				}
+			}
+		}
+	}
+}
+
+// TestScaledPlaneSoundness exercises the rate-scale axis on a small
+// workload (the full catalog would overload a half-rate plane): the
+// simulated first copy must respect the composition that prices plane 1
+// at half rate.
+func TestScaledPlaneSoundness(t *testing.T) {
+	set := smallRedundancySet()
+	n := topology.Redundify(topology.Star(set.Stations()), 2)
+	n.PlaneSpecs = []topology.PlaneSpec{{}, {RateScale: 0.5, PhaseSkew: 50 * simtime.Microsecond}}
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Seed = seed
+		cfg.Horizon = 200 * simtime.Millisecond
+		sc := &Scenario{Name: "scaled-dual", Set: set, Net: n, Sim: cfg}
+		bounds, err := sc.Analyze(analysis.Priority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := sc.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pb := range bounds.Flows {
+			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
+			if observed > pb.EndToEnd {
+				t.Errorf("seed %d %s: observed %v exceeds bound %v",
+					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
+			}
+		}
+	}
+}
+
+// smallRedundancySet is a light four-station workload whose half-rate
+// plane stays well inside stability.
+func smallRedundancySet() *traffic.Set {
+	mk := func(name, src, dst string, kind traffic.Kind, period simtime.Duration, payload int, deadline simtime.Duration) *traffic.Message {
+		return &traffic.Message{
+			Name: name, Source: src, Dest: dst, Kind: kind,
+			Period: period, Payload: simtime.Bytes(payload), Deadline: deadline,
+			Priority: traffic.Classify(kind, deadline),
+		}
+	}
+	return &traffic.Set{Messages: []*traffic.Message{
+		mk("nav/attitude", "nav", "mc", traffic.Periodic, 20*simtime.Millisecond, 32, 20*simtime.Millisecond),
+		mk("radar/track", "radar", "mc", traffic.Periodic, 40*simtime.Millisecond, 56, 40*simtime.Millisecond),
+		mk("ew/threat", "ew", "mc", traffic.Sporadic, 50*simtime.Millisecond, 64, 5*simtime.Millisecond),
+		mk("mc/cue", "mc", "ew", traffic.Sporadic, 100*simtime.Millisecond, 48, 10*simtime.Millisecond),
+	}}
+}
+
+// TestIntegrityWindowClassification pins the ARINC 664 window semantics:
+// the window only CLASSIFIES duplicate copies (redundant vs discarded),
+// never changes delivery dynamics. A plane skewed beyond a tight window
+// produces discards; widening the window converts them back into
+// redundant copies; and copy conservation holds throughout.
+func TestIntegrityWindowClassification(t *testing.T) {
+	set := traffic.RealCase()
+	// Plane 1 releases 500µs late — far outside a 100µs window.
+	net := skewedDualStar(set.Stations(), 500*simtime.Microsecond, 0)
+	base := DefaultSimConfig(analysis.Priority)
+	base.Horizon = 200 * simtime.Millisecond
+
+	run := func(skewMax simtime.Duration) *SimResult {
+		cfg := base
+		cfg.SkewMax = skewMax
+		res, err := SimulateNetwork(set, cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	tight := run(100 * simtime.Microsecond)
+	if tight.Discarded == 0 {
+		t.Fatal("500µs-late plane produced no out-of-window discards under a 100µs window")
+	}
+	unbounded := run(0)
+	if unbounded.Discarded != 0 {
+		t.Errorf("unbounded window discarded %d copies", unbounded.Discarded)
+	}
+	wide := run(2 * simtime.Millisecond)
+	if wide.Discarded != 0 {
+		t.Errorf("2ms window discarded %d copies of a 500µs-late plane", wide.Discarded)
+	}
+
+	// The window must not alter dynamics: identical deliveries, identical
+	// total duplicate count, only the classification moves.
+	if tight.TotalDelivered() != unbounded.TotalDelivered() || wide.TotalDelivered() != unbounded.TotalDelivered() {
+		t.Errorf("acceptance window changed deliveries: %d / %d / %d",
+			tight.TotalDelivered(), wide.TotalDelivered(), unbounded.TotalDelivered())
+	}
+	if tight.Redundant+tight.Discarded != unbounded.Redundant {
+		t.Errorf("classification not conservative: %d+%d != %d",
+			tight.Redundant, tight.Discarded, unbounded.Redundant)
+	}
+	// Copy conservation: every plane-delivered copy is a unique delivery,
+	// a redundant duplicate, or an integrity discard.
+	for _, res := range []*SimResult{tight, wide, unbounded} {
+		if got, want := res.PlaneDelivered[0]+res.PlaneDelivered[1],
+			res.TotalDelivered()+res.Redundant+res.Discarded; got != want {
+			t.Errorf("conservation broken: planes %d, uniques+redundant+discarded %d", got, want)
+		}
+	}
+}
+
+// TestPhaseSkewShiftsPlaneDeliveries: with a phase-skewed plane 1, plane 0
+// wins every first copy on a clean medium, and plane 1's copies all
+// arrive — late, as redundant or discarded duplicates.
+func TestPhaseSkewShiftsPlaneDeliveries(t *testing.T) {
+	set := traffic.RealCase()
+	net := skewedDualStar(set.Stations(), 300*simtime.Microsecond, 0)
+	cfg := DefaultSimConfig(analysis.Priority)
+	cfg.Horizon = 200 * simtime.Millisecond
+	res, err := SimulateNetwork(set, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaneDelivered[0] == 0 || res.PlaneDelivered[1] == 0 {
+		t.Fatalf("plane deliveries %v; both planes must carry copies", res.PlaneDelivered)
+	}
+	if res.Redundant != res.PlaneDelivered[1] {
+		t.Errorf("plane 1 delivered %d copies but only %d counted redundant — a skewed copy won a first delivery on a clean medium",
+			res.PlaneDelivered[1], res.Redundant)
+	}
+
+	// The same net under loss: plane 1's late copies now rescue instances
+	// plane 0 lost, which is the point of the redundancy.
+	cfg.BER = 5e-5
+	lossy, err := SimulateNetwork(set, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Simulate(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.TotalDelivered() <= single.TotalDelivered() {
+		t.Errorf("skewed dual delivered %d ≤ single %d under loss",
+			lossy.TotalDelivered(), single.TotalDelivered())
+	}
+}
+
+// TestSkewedDualScenarioJSON drives the whole stack through the scenario
+// file: a dual network with a planes array and a skew_max_us sim section
+// must load, simulate with the configured window, and round-trip.
+func TestSkewedDualScenarioJSON(t *testing.T) {
+	doc := `{
+  "name": "skewed",
+  "link_rate_bps": 10000000,
+  "t_techno_us": 140,
+  "network": {
+    "name": "skewed-dual",
+    "switches": 1,
+    "planes": [{}, {"phase_skew_us": 400, "prop_delay_skew_us": 2}],
+    "stations": {"a": {"switch": 0}, "b": {"switch": 0}}
+  },
+  "sim": {"horizon_us": 100000, "skew_max_us": 150},
+  "messages": [
+    {"name": "a/x", "source": "a", "dest": "b", "kind": "periodic",
+     "period_us": 10000, "payload_bytes": 64, "deadline_us": 10000}
+  ]
+}`
+	cfg, err := topology.Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sim.SkewMax != 150*simtime.Microsecond {
+		t.Errorf("skew_max = %v", s.Sim.SkewMax)
+	}
+	if got := s.Net.PlanePhaseSkew(1); got != 400*simtime.Microsecond {
+		t.Errorf("plane 1 phase skew = %v", got)
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded == 0 {
+		t.Error("400µs-late plane inside a 150µs window produced no discards")
+	}
+	if res.Redundant != 0 {
+		t.Errorf("%d redundant copies despite every duplicate arriving out of window", res.Redundant)
+	}
+}

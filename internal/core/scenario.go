@@ -121,6 +121,9 @@ func simConfigOf(cfg *topology.Config) (SimConfig, error) {
 	if sj.QueueCapacityBytes > 0 {
 		sim.QueueCapacity = simtime.Bytes(sj.QueueCapacityBytes)
 	}
+	if sj.SkewMaxUs > 0 {
+		sim.SkewMax = simtime.Duration(sj.SkewMaxUs) * simtime.Microsecond
+	}
 	sim.BER = sj.BER
 	sim.Babbler = sj.Babbler
 	if sj.BabbleFactor > 0 {
@@ -158,9 +161,26 @@ func (s *Scenario) Analysis() analysis.Config {
 // Analyze computes the tree-composed end-to-end bounds of every connection
 // over the scenario's architecture, pricing each hop at its own link rate.
 // On the degenerate star this coincides exactly with the two-stage
-// compositional analysis (analysis.EndToEnd).
+// compositional analysis (analysis.EndToEnd). On a redundant network with
+// per-plane specs the bound is the skew-aware first-copy composition:
+// minimum over surviving planes of the plane's own tree bound plus its
+// phase skew (identical zero-skew planes reduce to the single-plane
+// bound, so the classic dual is priced as before).
 func (s *Scenario) Analyze(a analysis.Approach) (*analysis.Result, error) {
+	if s.Net.Redundant() && len(s.Net.PlaneSpecs) > 0 {
+		cfg := s.Analysis()
+		return analysis.RedundantEndToEnd(s.Set, a, cfg, s.Net.AnalysisPlanes(cfg.LinkRate))
+	}
 	return analysis.TreeEndToEnd(s.Set, a, s.Analysis(), s.Net.Tree())
+}
+
+// AnalyzeDegraded bounds every connection with any ONE surviving plane of
+// the scenario's redundant network additionally failed — the availability
+// counterpart of Analyze. It errors on networks with fewer than two
+// surviving planes.
+func (s *Scenario) AnalyzeDegraded(a analysis.Approach) (*analysis.Result, error) {
+	cfg := s.Analysis()
+	return analysis.DegradedEndToEnd(s.Set, a, cfg, s.Net.AnalysisPlanes(cfg.LinkRate))
 }
 
 // Simulate runs the discrete-event simulation of the scenario on the

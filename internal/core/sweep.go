@@ -185,6 +185,12 @@ type TopoCell struct {
 	// counts connections whose observed latency exceeded their bound.
 	Delivered int
 	Unsound   int
+	// Redundant and Discarded total the redundancy-management verdicts
+	// across replications: duplicate copies accepted within the
+	// integrity-checking window, and duplicates rejected outside it
+	// (both 0 on single-plane topologies).
+	Redundant int
+	Discarded int
 	Reps      int
 }
 
@@ -210,8 +216,10 @@ func TopoGrid(fams []topology.Family, rates []simtime.Rate, loads []int) []TopoP
 // workload, computes the tree-composed end-to-end bounds for one plane,
 // runs opts.Reps simulation replications on RNG substreams of opts.Seed,
 // and checks every connection's observed latency against its bound. The
-// bound of a redundant network is its single-plane bound: the first
-// delivered copy is never later than any fixed plane's copy.
+// bound of a redundant network is the first-copy composition: the minimum
+// over surviving planes of the plane's own bound plus its phase skew
+// (identical planes reduce to the single-plane bound — the first
+// delivered copy is never later than any fixed plane's copy).
 func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoCell, error) {
 	// One instance of the generic Experiment runner: bounds are cheap and
 	// can fail, so Bind computes them before any expensive simulation, and
@@ -241,6 +249,10 @@ func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoC
 				Reps:        len(sims),
 			}
 			cell.BoundWorst, cell.ObservedWorst, cell.ObservedP99, cell.Delivered, cell.Unsound = cellStats(e2e, sims)
+			for _, sim := range sims {
+				cell.Redundant += sim.Redundant
+				cell.Discarded += sim.Discarded
+			}
 			return cell, nil
 		},
 	}

@@ -38,11 +38,31 @@ type stationJSON struct {
 	PropDelayNs int64 `json:"prop_delay_ns,omitempty"`
 }
 
-// networkJSON is the serialized shape of a Network.
+// planeJSON is one redundant plane's configuration in the scenario file.
+// A network whose planes are identical (the classic dual) writes the
+// plane count as a plain integer; a network with asymmetric planes
+// writes one of these per plane instead (the array length is the plane
+// count). Times are microseconds, matching the sim section.
+type planeJSON struct {
+	// RateScale scales every link rate of this plane (0 or absent = 1.0).
+	RateScale float64 `json:"rate_scale,omitempty"`
+	// PhaseSkewUs delays the release of this plane's frame copies.
+	PhaseSkewUs int64 `json:"phase_skew_us,omitempty"`
+	// PropDelaySkewUs is extra propagation delay on every link of this
+	// plane (the longer cable run).
+	PropDelaySkewUs int64 `json:"prop_delay_skew_us,omitempty"`
+	// Fail marks the plane as failed (it carries no traffic).
+	Fail bool `json:"fail,omitempty"`
+}
+
+// networkJSON is the serialized shape of a Network. Planes is either a
+// plain integer (identical planes) or an array of planeJSON (per-plane
+// configuration), so it is kept raw here and resolved by the network's
+// MarshalJSON/UnmarshalJSON.
 type networkJSON struct {
 	Name     string                 `json:"name,omitempty"`
 	Switches int                    `json:"switches"`
-	Planes   int                    `json:"planes,omitempty"`
+	Planes   json.RawMessage        `json:"planes,omitempty"`
 	Trunks   []trunkJSON            `json:"trunks,omitempty"`
 	Stations map[string]stationJSON `json:"stations"`
 }
@@ -54,8 +74,38 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 	nj := networkJSON{
 		Name:     n.Name,
 		Switches: n.Switches,
-		Planes:   n.Planes,
 		Stations: make(map[string]stationJSON, len(n.StationSwitch)),
+	}
+	if len(n.PlaneSpecs) > 0 {
+		specs := make([]planeJSON, len(n.PlaneSpecs))
+		for p, s := range n.PlaneSpecs {
+			// The plane schema is microsecond-grained (matching the sim
+			// section); a sub-µs skew must fail loudly rather than
+			// round-trip into a different network.
+			if s.PhaseSkew%simtime.Microsecond != 0 {
+				return nil, fmt.Errorf("topology: plane %d: phase skew %v is not a whole microsecond (the scenario schema is µs-grained)", p, s.PhaseSkew)
+			}
+			if s.PropSkew%simtime.Microsecond != 0 {
+				return nil, fmt.Errorf("topology: plane %d: propagation skew %v is not a whole microsecond (the scenario schema is µs-grained)", p, s.PropSkew)
+			}
+			specs[p] = planeJSON{
+				RateScale:       s.RateScale,
+				PhaseSkewUs:     int64(s.PhaseSkew / simtime.Microsecond),
+				PropDelaySkewUs: int64(s.PropSkew / simtime.Microsecond),
+				Fail:            s.Fail,
+			}
+		}
+		raw, err := json.Marshal(specs)
+		if err != nil {
+			return nil, err
+		}
+		nj.Planes = raw
+	} else if n.Planes != 0 {
+		raw, err := json.Marshal(n.Planes)
+		if err != nil {
+			return nil, err
+		}
+		nj.Planes = raw
 	}
 	for i, l := range n.Links {
 		nj.Trunks = append(nj.Trunks, trunkJSON{
@@ -89,7 +139,30 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	n.invalidateRouting()
 	n.Name = nj.Name
 	n.Switches = nj.Switches
-	n.Planes = nj.Planes
+	n.Planes = 0
+	n.PlaneSpecs = nil
+	if planes := bytes.TrimSpace(nj.Planes); len(planes) > 0 {
+		if planes[0] == '[' {
+			pdec := json.NewDecoder(bytes.NewReader(planes))
+			pdec.DisallowUnknownFields()
+			var specs []planeJSON
+			if err := pdec.Decode(&specs); err != nil {
+				return fmt.Errorf("topology: network planes: %w", err)
+			}
+			n.Planes = len(specs)
+			n.PlaneSpecs = make([]PlaneSpec, len(specs))
+			for p, s := range specs {
+				n.PlaneSpecs[p] = PlaneSpec{
+					RateScale: s.RateScale,
+					PhaseSkew: simtime.Duration(s.PhaseSkewUs) * simtime.Microsecond,
+					PropSkew:  simtime.Duration(s.PropDelaySkewUs) * simtime.Microsecond,
+					Fail:      s.Fail,
+				}
+			}
+		} else if err := json.Unmarshal(planes, &n.Planes); err != nil {
+			return fmt.Errorf("topology: network planes: %w", err)
+		}
+	}
 	n.Links = nil
 	n.TrunkRates = nil
 	n.TrunkProps = nil

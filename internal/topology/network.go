@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -33,6 +34,13 @@ type Network struct {
 	// Planes is the number of independent redundant copies of the whole
 	// fabric (0 or 1 = a single network, 2 = dual-redundant).
 	Planes int
+	// PlaneSpecs optionally configures each redundant plane individually:
+	// PlaneSpecs[p] applies to plane p. Nil means identical planes — the
+	// classic dual network releasing simultaneous copies over equal
+	// fabrics. When set, its length must equal PlaneCount (and the network
+	// must be redundant: per-plane knobs on a single network would
+	// silently re-parameterize every link).
+	PlaneSpecs []PlaneSpec
 
 	// TrunkRates optionally overrides the capacity of individual trunks:
 	// TrunkRates[i] is the rate of Links[i], 0 meaning the scenario's
@@ -99,6 +107,109 @@ func (n *Network) PlaneCount() int {
 // Redundant reports whether the network has more than one plane.
 func (n *Network) Redundant() bool { return n.PlaneCount() > 1 }
 
+// PlaneSpec configures one redundant plane of a network. The zero value
+// is the identical-plane default: full rate, no skew, operational. Real
+// dual networks are never perfectly symmetric — plane B runs over longer
+// cable trays (propagation skew), its end systems release the duplicate
+// copy a little later (phase skew), and degraded or failed planes are
+// exactly what the redundancy exists to survive.
+type PlaneSpec struct {
+	// RateScale scales every link rate on this plane — trunks and station
+	// access links, default-rate links included. 0 means 1.0 (unscaled);
+	// 0.5 models a plane negotiated down to half rate.
+	RateScale float64
+	// PhaseSkew delays the release of this plane's copy of every frame
+	// relative to the application release.
+	PhaseSkew simtime.Duration
+	// PropSkew is an additional propagation delay on every link of this
+	// plane (the longer cable run of the redundant loom).
+	PropSkew simtime.Duration
+	// Fail marks the plane as failed: it carries no traffic at all.
+	Fail bool
+}
+
+// MaxRateScale bounds PlaneSpec.RateScale: large enough for any physical
+// speed-grade asymmetry, small enough that scaling can never overflow an
+// int64 rate (Validate enforces it).
+const MaxRateScale = 1e6
+
+// Zero reports whether the spec is the identical-plane default.
+func (s PlaneSpec) Zero() bool { return s == PlaneSpec{} }
+
+// ScaleRate applies the plane's rate scale to a link rate, rounding to
+// the nearest bit per second (and never below 1). The simulator and the
+// per-plane analysis tree both price links through this one function, so
+// a scaled plane is simulated at exactly the rate it is analyzed at.
+func (s PlaneSpec) ScaleRate(r simtime.Rate) simtime.Rate {
+	if s.RateScale == 0 || s.RateScale == 1 {
+		return r
+	}
+	scaled := simtime.Rate(math.Round(float64(r) * s.RateScale))
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
+}
+
+// Plane returns plane p's spec (the identical-plane default when unset).
+func (n *Network) Plane(p int) PlaneSpec {
+	if p < len(n.PlaneSpecs) {
+		return n.PlaneSpecs[p]
+	}
+	return PlaneSpec{}
+}
+
+// Skewed reports whether any plane diverges from the identical-plane
+// default (skew, rate scale or failure).
+func (n *Network) Skewed() bool {
+	for _, s := range n.PlaneSpecs {
+		if !s.Zero() {
+			return true
+		}
+	}
+	return false
+}
+
+// SurvivingPlanes counts the planes not marked failed.
+func (n *Network) SurvivingPlanes() int {
+	alive := n.PlaneCount()
+	for _, s := range n.PlaneSpecs {
+		if s.Fail {
+			alive--
+		}
+	}
+	return alive
+}
+
+// PlaneFailed reports whether plane p is marked failed.
+func (n *Network) PlaneFailed(p int) bool { return n.Plane(p).Fail }
+
+// PlanePhaseSkew returns plane p's release offset.
+func (n *Network) PlanePhaseSkew(p int) simtime.Duration { return n.Plane(p).PhaseSkew }
+
+// PlaneTrunkRate returns the capacity of trunk i on plane p: the trunk's
+// own rate (or def) scaled by the plane's rate scale.
+func (n *Network) PlaneTrunkRate(p, i int, def simtime.Rate) simtime.Rate {
+	return n.Plane(p).ScaleRate(n.TrunkRate(i, def))
+}
+
+// PlaneTrunkProp returns the propagation delay of trunk i on plane p,
+// the plane's propagation skew included.
+func (n *Network) PlaneTrunkProp(p, i int) simtime.Duration {
+	return n.TrunkProp(i) + n.Plane(p).PropSkew
+}
+
+// PlaneStationRate returns the access-link rate of a station on plane p.
+func (n *Network) PlaneStationRate(p int, name string, def simtime.Rate) simtime.Rate {
+	return n.Plane(p).ScaleRate(n.StationRate(name, def))
+}
+
+// PlaneStationProp returns the access-link propagation delay of a
+// station on plane p, the plane's propagation skew included.
+func (n *Network) PlaneStationProp(p int, name string) simtime.Duration {
+	return n.StationProp(name) + n.Plane(p).PropSkew
+}
+
 // Validate checks structure and station coverage, mirroring
 // analysis.Tree.Validate plus the plane count. A network that places no
 // station at all is rejected here, descriptively, instead of failing deep
@@ -117,6 +228,32 @@ func (n *Network) Validate(stations []string) error {
 	for s, sw := range n.StationSwitch {
 		if sw < 0 || sw >= n.Switches {
 			return fmt.Errorf("topology: station %q on invalid switch %d", s, sw)
+		}
+	}
+	if len(n.PlaneSpecs) > 0 {
+		if !n.Redundant() {
+			return fmt.Errorf("topology: plane specs on a single-plane network")
+		}
+		if len(n.PlaneSpecs) != n.PlaneCount() {
+			return fmt.Errorf("topology: %d plane specs for %d planes", len(n.PlaneSpecs), n.PlaneCount())
+		}
+		for p, s := range n.PlaneSpecs {
+			// MaxRateScale keeps ScaleRate's float arithmetic far from
+			// int64 overflow (1e6 × 1 Gbps ≪ MaxInt64); an absurd scale
+			// is a configuration error that must fail at load, not wrap
+			// into a silently wrong link rate.
+			if s.RateScale < 0 || s.RateScale > MaxRateScale {
+				return fmt.Errorf("topology: plane %d: rate scale %g outside [0, %g]", p, s.RateScale, float64(MaxRateScale))
+			}
+			if s.PhaseSkew < 0 {
+				return fmt.Errorf("topology: plane %d: negative phase skew %v", p, s.PhaseSkew)
+			}
+			if s.PropSkew < 0 {
+				return fmt.Errorf("topology: plane %d: negative propagation skew %v", p, s.PropSkew)
+			}
+		}
+		if n.SurvivingPlanes() == 0 {
+			return fmt.Errorf("topology: every plane of %q is marked failed", n.Name)
 		}
 	}
 	if err := n.Tree().Validate(stations); err != nil {
@@ -140,6 +277,51 @@ func (n *Network) Tree() *analysis.Tree {
 		StationRates:  n.StationRates,
 		StationProps:  n.StationProps,
 	}
+}
+
+// PlaneTree views one plane as an analysis topology with the plane's
+// spec materialized: every trunk and station rate is explicit (the rate
+// scale applies to default-rate links too, which is why the caller's
+// default link rate is needed) and the plane's propagation skew is
+// folded into every link delay. A zero-valued spec prices exactly like
+// Tree(). The phase skew is NOT part of the tree — it is a release
+// offset, handled by the redundant composition (analysis.Plane).
+func (n *Network) PlaneTree(p int, def simtime.Rate) *analysis.Tree {
+	t := n.Tree()
+	if n.Plane(p).Zero() {
+		return t
+	}
+	rates := make([]simtime.Rate, len(n.Links))
+	props := make([]simtime.Duration, len(n.Links))
+	for i := range n.Links {
+		rates[i] = n.PlaneTrunkRate(p, i, def)
+		props[i] = n.PlaneTrunkProp(p, i)
+	}
+	srates := make(map[string]simtime.Rate, len(n.StationSwitch))
+	sprops := make(map[string]simtime.Duration, len(n.StationSwitch))
+	for s := range n.StationSwitch {
+		srates[s] = n.PlaneStationRate(p, s, def)
+		sprops[s] = n.PlaneStationProp(p, s)
+	}
+	t.TrunkRates, t.TrunkProps = rates, props
+	t.StationRates, t.StationProps = srates, sprops
+	return t
+}
+
+// AnalysisPlanes describes every plane of the network for the redundant
+// first-copy composition (analysis.RedundantEndToEnd and
+// analysis.DegradedEndToEnd): the plane's materialized tree, its release
+// phase skew, and whether it is failed.
+func (n *Network) AnalysisPlanes(def simtime.Rate) []analysis.Plane {
+	planes := make([]analysis.Plane, n.PlaneCount())
+	for p := range planes {
+		planes[p] = analysis.Plane{
+			Tree:      n.PlaneTree(p, def),
+			PhaseSkew: n.PlanePhaseSkew(p),
+			Failed:    n.PlaneFailed(p),
+		}
+	}
+	return planes
 }
 
 // NextHops returns (building once, then cached) the static routing table:
@@ -274,6 +456,7 @@ func Redundify(base *Network, planes int) *Network {
 		Links:         append([][2]int(nil), base.Links...),
 		StationSwitch: placement,
 		Planes:        planes,
+		PlaneSpecs:    append([]PlaneSpec(nil), base.PlaneSpecs...),
 		TrunkRates:    append([]simtime.Rate(nil), base.TrunkRates...),
 		TrunkProps:    append([]simtime.Duration(nil), base.TrunkProps...),
 		StationRates:  cloneMap(base.StationRates),
@@ -311,7 +494,8 @@ type Family struct {
 
 // Families returns the built-in architecture families, in report order:
 // the paper's star, the cascaded two-switch split, a three-switch tree, a
-// four-switch daisy-chain backbone, and the dual-redundant star.
+// four-switch daisy-chain backbone, the dual-redundant star, and the
+// skewed dual-redundant star (asymmetric planes).
 func Families() []Family {
 	return []Family{
 		{
@@ -369,6 +553,19 @@ func Families() []Family {
 			Describe: "dual-redundant star (two independent planes, first copy wins)",
 			Build: func(stations []string) *Network {
 				return Redundify(Star(stations), 2)
+			},
+		},
+		{
+			Key:      "dualskew",
+			Describe: "dual-redundant star with per-plane skew (plane B releases 100µs late over 2µs-longer cables)",
+			Build: func(stations []string) *Network {
+				n := Redundify(Star(stations), 2)
+				n.Name = "dualskew-star"
+				n.PlaneSpecs = []PlaneSpec{
+					{},
+					{PhaseSkew: 100 * simtime.Microsecond, PropSkew: 2 * simtime.Microsecond},
+				}
+				return n
 			},
 		},
 	}

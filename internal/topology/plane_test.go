@@ -1,0 +1,209 @@
+package topology
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func skewedDual(stations []string) *Network {
+	n := Redundify(Star(stations), 2)
+	n.PlaneSpecs = []PlaneSpec{
+		{},
+		{RateScale: 0.5, PhaseSkew: 100 * simtime.Microsecond, PropSkew: 2 * simtime.Microsecond},
+	}
+	return n
+}
+
+func TestPlaneAccessors(t *testing.T) {
+	stations := []string{"a", "b"}
+	n := skewedDual(stations)
+	if err := n.Validate(stations); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Skewed() {
+		t.Error("skewed dual not reported as skewed")
+	}
+	if n.SurvivingPlanes() != 2 {
+		t.Errorf("surviving = %d", n.SurvivingPlanes())
+	}
+	def := 10 * simtime.Mbps
+	if got := n.PlaneStationRate(0, "a", def); got != def {
+		t.Errorf("plane 0 rate %v, want default", got)
+	}
+	if got := n.PlaneStationRate(1, "a", def); got != 5*simtime.Mbps {
+		t.Errorf("plane 1 rate %v, want 5Mbps", got)
+	}
+	if got := n.PlaneStationProp(1, "a"); got != 2*simtime.Microsecond {
+		t.Errorf("plane 1 prop %v, want 2µs", got)
+	}
+	if got := n.PlanePhaseSkew(1); got != 100*simtime.Microsecond {
+		t.Errorf("plane 1 phase skew %v", got)
+	}
+	// Out-of-range plane indices fall back to the identical-plane default.
+	if got := n.PlaneStationRate(5, "a", def); got != def {
+		t.Errorf("unspecced plane rate %v, want default", got)
+	}
+	// The classic dual is not skewed.
+	if Redundify(Star(stations), 2).Skewed() {
+		t.Error("plain dual reported as skewed")
+	}
+}
+
+func TestPlaneSpecValidation(t *testing.T) {
+	stations := []string{"a", "b"}
+	bad := map[string]*Network{
+		"specs on single plane": func() *Network {
+			n := Star(stations)
+			n.PlaneSpecs = []PlaneSpec{{PhaseSkew: simtime.Microsecond}}
+			return n
+		}(),
+		"count mismatch": func() *Network {
+			n := Redundify(Star(stations), 2)
+			n.PlaneSpecs = []PlaneSpec{{}}
+			return n
+		}(),
+		"negative rate scale": func() *Network {
+			n := skewedDual(stations)
+			n.PlaneSpecs[1].RateScale = -1
+			return n
+		}(),
+		"absurd rate scale": func() *Network {
+			n := skewedDual(stations)
+			n.PlaneSpecs[1].RateScale = 2e12 // would overflow int64 rates
+			return n
+		}(),
+		"negative phase skew": func() *Network {
+			n := skewedDual(stations)
+			n.PlaneSpecs[1].PhaseSkew = -simtime.Microsecond
+			return n
+		}(),
+		"negative prop skew": func() *Network {
+			n := skewedDual(stations)
+			n.PlaneSpecs[1].PropSkew = -simtime.Microsecond
+			return n
+		}(),
+		"every plane failed": func() *Network {
+			n := Redundify(Star(stations), 2)
+			n.PlaneSpecs = []PlaneSpec{{Fail: true}, {Fail: true}}
+			return n
+		}(),
+	}
+	for name, n := range bad {
+		if err := n.Validate(stations); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := skewedDual(stations)
+	ok.PlaneSpecs[0].Fail = true // one failed plane is fine
+	if err := ok.Validate(stations); err != nil {
+		t.Errorf("single failed plane rejected: %v", err)
+	}
+}
+
+// TestPlaneJSONForms pins the two serialized shapes of the planes field:
+// a plain integer for identical planes, an object array for per-plane
+// specs — each round-tripping losslessly into the other's absence.
+func TestPlaneJSONForms(t *testing.T) {
+	stations := []string{"a", "b"}
+
+	intForm, err := json.Marshal(Redundify(Star(stations), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(intForm), `"planes":2`) {
+		t.Errorf("identical planes not serialized as an integer: %s", intForm)
+	}
+
+	arrayForm, err := json.Marshal(skewedDual(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"planes":[{}`, `"rate_scale":0.5`, `"phase_skew_us":100`, `"prop_delay_skew_us":2`} {
+		if !strings.Contains(string(arrayForm), want) {
+			t.Errorf("plane array missing %s: %s", want, arrayForm)
+		}
+	}
+
+	var n Network
+	if err := json.Unmarshal(arrayForm, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n.PlaneCount() != 2 || len(n.PlaneSpecs) != 2 {
+		t.Fatalf("planes = %d, specs = %d", n.PlaneCount(), len(n.PlaneSpecs))
+	}
+	if n.PlaneSpecs[1] != (PlaneSpec{RateScale: 0.5, PhaseSkew: 100 * simtime.Microsecond, PropSkew: 2 * simtime.Microsecond}) {
+		t.Errorf("plane 1 spec = %+v", n.PlaneSpecs[1])
+	}
+
+	// Unknown fields inside a plane object are rejected like everywhere
+	// else in the schema.
+	doc := strings.Replace(string(arrayForm), `"rate_scale"`, `"typoed_scale":1,"rate_scale"`, 1)
+	if err := json.Unmarshal([]byte(doc), new(Network)); err == nil {
+		t.Error("unknown plane field accepted")
+	}
+
+	// Invalid plane values are rejected at load, naming the plane.
+	invalid := strings.Replace(string(arrayForm), `"rate_scale":0.5`, `"rate_scale":-2`, 1)
+	if err := json.Unmarshal([]byte(invalid), new(Network)); err == nil {
+		t.Error("negative rate scale accepted from JSON")
+	}
+
+	// The plane schema is µs-grained: a sub-microsecond skew must fail
+	// marshalling loudly instead of silently truncating into a different
+	// network on reload.
+	subUs := skewedDual(stations)
+	subUs.PlaneSpecs[1].PropSkew = 2500 * simtime.Nanosecond
+	if _, err := json.Marshal(subUs); err == nil {
+		t.Error("sub-µs propagation skew silently serialized")
+	}
+	subUs.PlaneSpecs[1].PropSkew = 2 * simtime.Microsecond
+	subUs.PlaneSpecs[1].PhaseSkew = 1500 * simtime.Nanosecond
+	if _, err := json.Marshal(subUs); err == nil {
+		t.Error("sub-µs phase skew silently serialized")
+	}
+}
+
+// TestPlaneTreePricing: the per-plane analysis tree must price exactly
+// what the simulator wires — scaled rates on every link (defaults
+// included) and the propagation skew folded into every delay.
+func TestPlaneTreePricing(t *testing.T) {
+	stations := []string{"a", "b", "c", "d"}
+	n := Redundify(Chain(stations, 2), 2)
+	n.TrunkRates = []simtime.Rate{100 * simtime.Mbps}
+	n.StationProps = map[string]simtime.Duration{"a": 300 * simtime.Nanosecond}
+	n.PlaneSpecs = []PlaneSpec{
+		{},
+		{RateScale: 0.5, PropSkew: 4 * simtime.Microsecond},
+	}
+	def := 10 * simtime.Mbps
+
+	plane0 := n.PlaneTree(0, def)
+	if got := plane0.TrunkRate(0, def); got != 100*simtime.Mbps {
+		t.Errorf("plane 0 trunk rate %v", got)
+	}
+	if got := plane0.StationRate("b", def); got != def {
+		t.Errorf("plane 0 station rate %v", got)
+	}
+
+	plane1 := n.PlaneTree(1, def)
+	if got := plane1.TrunkRate(0, def); got != 50*simtime.Mbps {
+		t.Errorf("plane 1 trunk rate %v, want 50Mbps", got)
+	}
+	if got := plane1.StationRate("b", def); got != 5*simtime.Mbps {
+		t.Errorf("plane 1 default-rate station priced %v, want 5Mbps", got)
+	}
+	if got := plane1.TrunkProp(0); got != 4*simtime.Microsecond {
+		t.Errorf("plane 1 trunk prop %v", got)
+	}
+	if got := plane1.StationProp("a"); got != 4*simtime.Microsecond+300*simtime.Nanosecond {
+		t.Errorf("plane 1 station prop %v", got)
+	}
+	// The materialized values equal the simulator-facing accessors.
+	if plane1.TrunkRate(0, def) != n.PlaneTrunkRate(1, 0, def) ||
+		plane1.StationRate("c", def) != n.PlaneStationRate(1, "c", def) {
+		t.Error("PlaneTree and plane accessors disagree")
+	}
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// The round-trip property: ANY valid Network — random tree shape, random
+// station placement, random per-link overrides, random plane specs —
+// must survive marshal → unmarshal → marshal byte-identically, pass
+// Validate, and route. This generalizes the single curated
+// testdata/dual_hetero.json fixture to the whole schema, seeded so every
+// failure is reproducible by its seed.
+
+// randomNetwork draws a seeded random valid network. Skews are drawn in
+// whole microseconds (the JSON schema's resolution for plane specs);
+// link propagation delays are nanosecond-grained like their JSON fields.
+func randomNetwork(rng *rand.Rand) *Network {
+	switches := 1 + rng.Intn(6)
+	n := &Network{
+		Name:          fmt.Sprintf("rand-%d", rng.Intn(1_000_000)),
+		Switches:      switches,
+		StationSwitch: map[string]int{},
+	}
+	for i := 1; i < switches; i++ {
+		// Attaching each new switch to a random earlier one yields a
+		// uniform-ish random tree (connected, acyclic by construction).
+		n.Links = append(n.Links, [2]int{rng.Intn(i), i})
+	}
+	for s, stations := 0, 1+rng.Intn(8); s < stations; s++ {
+		name := fmt.Sprintf("st%02d", s)
+		n.StationSwitch[name] = rng.Intn(switches)
+		if rng.Intn(3) == 0 {
+			if n.StationRates == nil {
+				n.StationRates = map[string]simtime.Rate{}
+			}
+			n.StationRates[name] = simtime.Rate(1+rng.Intn(100)) * simtime.Mbps
+		}
+		if rng.Intn(3) == 0 {
+			if n.StationProps == nil {
+				n.StationProps = map[string]simtime.Duration{}
+			}
+			n.StationProps[name] = simtime.Duration(1+rng.Intn(5000)) * simtime.Nanosecond
+		}
+	}
+	if len(n.Links) > 0 && rng.Intn(2) == 0 {
+		for range n.Links {
+			var r simtime.Rate
+			if rng.Intn(2) == 0 {
+				r = simtime.Rate(1+rng.Intn(100)) * simtime.Mbps
+			}
+			n.TrunkRates = append(n.TrunkRates, r)
+			var p simtime.Duration
+			if rng.Intn(2) == 0 {
+				p = simtime.Duration(1 + rng.Intn(10_000))
+			}
+			n.TrunkProps = append(n.TrunkProps, p)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0: // single plane
+	case 1: // identical redundant planes (integer form)
+		n.Planes = 2 + rng.Intn(2)
+	case 2: // per-plane specs (array form)
+		n.Planes = 2 + rng.Intn(2)
+		specs := make([]PlaneSpec, n.Planes)
+		for p := range specs {
+			if rng.Intn(2) == 0 {
+				continue // identical-plane default
+			}
+			specs[p] = PlaneSpec{
+				RateScale: []float64{0, 0.5, 1, 1.5}[rng.Intn(4)],
+				PhaseSkew: simtime.Duration(rng.Intn(500)) * simtime.Microsecond,
+				PropSkew:  simtime.Duration(rng.Intn(50)) * simtime.Microsecond,
+			}
+		}
+		// Fail at most one plane so at least one always survives.
+		if rng.Intn(3) == 0 {
+			specs[rng.Intn(n.Planes)].Fail = true
+		}
+		n.PlaneSpecs = specs
+	}
+	return n
+}
+
+func TestNetworkJSONRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		var stations []string
+		for s := range n.StationSwitch {
+			stations = append(stations, s)
+		}
+		if err := n.Validate(stations); err != nil {
+			t.Fatalf("seed %d: generated network invalid: %v", seed, err)
+		}
+		first, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		var loaded Network
+		if err := json.Unmarshal(first, &loaded); err != nil {
+			t.Fatalf("seed %d: unmarshal: %v\n%s", seed, err, first)
+		}
+		if err := loaded.Validate(stations); err != nil {
+			t.Errorf("seed %d: reloaded network invalid: %v", seed, err)
+		}
+		second, err := json.Marshal(&loaded)
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("seed %d: round trip not byte-identical:\nfirst:  %s\nsecond: %s", seed, first, second)
+		}
+		if _, err := loaded.NextHops(); err != nil {
+			t.Errorf("seed %d: reloaded network does not route: %v", seed, err)
+		}
+		// The reloaded network must price planes exactly like the original.
+		for p := 0; p < n.PlaneCount(); p++ {
+			for i := range n.Links {
+				if got, want := loaded.PlaneTrunkRate(p, i, 10*simtime.Mbps), n.PlaneTrunkRate(p, i, 10*simtime.Mbps); got != want {
+					t.Errorf("seed %d: plane %d trunk %d rate %v, want %v", seed, p, i, got, want)
+				}
+				if got, want := loaded.PlaneTrunkProp(p, i), n.PlaneTrunkProp(p, i); got != want {
+					t.Errorf("seed %d: plane %d trunk %d prop %v, want %v", seed, p, i, got, want)
+				}
+			}
+		}
+	}
+}

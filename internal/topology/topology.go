@@ -60,6 +60,12 @@ type SimJSON struct {
 	AlignPhases *bool `json:"align_phases,omitempty"`
 	// QueueCapacityBytes bounds every queue (0 = unbounded).
 	QueueCapacityBytes int `json:"queue_capacity_bytes,omitempty"`
+	// SkewMaxUs is the ARINC 664 integrity-checking acceptance window on
+	// redundant networks, in microseconds: after the first copy of a frame
+	// is delivered, duplicates arriving within the window are healthy
+	// redundancy; later duplicates are rejected as integrity violations.
+	// 0 = unbounded window (classic first-copy-wins).
+	SkewMaxUs int64 `json:"skew_max_us,omitempty"`
 	// BER is a residual bit-error rate applied to every link.
 	BER float64 `json:"ber,omitempty"`
 	// Babbler names a connection whose source misbehaves, releasing
@@ -95,6 +101,9 @@ func (s *SimJSON) Validate() error {
 	}
 	if s.QueueCapacityBytes < 0 {
 		return fmt.Errorf("topology: sim: negative queue capacity %d", s.QueueCapacityBytes)
+	}
+	if s.SkewMaxUs < 0 {
+		return fmt.Errorf("topology: sim: negative skew_max %d", s.SkewMaxUs)
 	}
 	if s.BER < 0 || s.BER >= 1 {
 		return fmt.Errorf("topology: sim: bit-error rate %g outside [0, 1)", s.BER)

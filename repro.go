@@ -267,6 +267,35 @@ func RedundantNetwork(base *Network, planes int) *Network {
 	return topology.Redundify(base, planes)
 }
 
+// PlaneSpec configures one redundant plane of a network: rate scale,
+// release phase skew, per-link propagation skew, and failure. Assign a
+// slice of these to Network.PlaneSpecs (or a planes array in the scenario
+// JSON) to model asymmetric dual networks; the receiver's ARINC 664-style
+// integrity checking (SimConfig.SkewMax) classifies duplicate copies as
+// redundant (in-window) or discarded (out-of-window).
+type PlaneSpec = topology.PlaneSpec
+
+// AnalysisPlane describes one redundant plane for the skew-aware
+// first-copy composition (see RedundantEndToEnd); Network.AnalysisPlanes
+// materializes them from a network's plane specs.
+type AnalysisPlane = analysis.Plane
+
+// RedundantEndToEnd bounds every connection of a redundant network with
+// all declared planes up: minimum over surviving planes of the plane's
+// own tree-composed bound plus its phase skew (first copy wins).
+// Scenario.Analyze applies it automatically to redundant scenarios with
+// plane specs.
+func RedundantEndToEnd(set *Set, a Approach, cfg AnalysisConfig, planes []AnalysisPlane) (*Result, error) {
+	return analysis.RedundantEndToEnd(set, a, cfg, planes)
+}
+
+// DegradedEndToEnd bounds every connection with any ONE surviving plane
+// additionally failed — the availability bound of a redundant network
+// (also available as Scenario.AnalyzeDegraded).
+func DegradedEndToEnd(set *Set, a Approach, cfg AnalysisConfig, planes []AnalysisPlane) (*Result, error) {
+	return analysis.DegradedEndToEnd(set, a, cfg, planes)
+}
+
 // SimulateNetwork runs the workload over an arbitrary network description
 // — the one engine behind Simulate, SimulateTree and the architecture
 // families, honoring every SimConfig field on every topology.
