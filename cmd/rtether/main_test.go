@@ -179,6 +179,36 @@ func TestCmdBacklogGroupedPerSwitch(t *testing.T) {
 	}
 }
 
+// goldenBacklogPath pins the `rtether backlog` table on the committed
+// hetero dual fixture byte-for-byte. The fixture was captured BEFORE the
+// per-edge rewire, so the rewire's diff shows exactly what changed (the
+// trunk rows appearing) and proves the destination-port rows moved not a
+// byte. Regenerate with REGEN_GOLDEN=1 go test ./cmd/rtether -run
+// TestCmdBacklogGolden — only legitimate when the table intentionally
+// changes.
+const goldenBacklogPath = "testdata/golden_backlog_dual_hetero.txt"
+
+func TestCmdBacklogGolden(t *testing.T) {
+	got := capture(t, cmdBacklog, "-config", heteroFixture)
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenBacklogPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenBacklogPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenBacklogPath)
+		return
+	}
+	want, err := os.ReadFile(goldenBacklogPath)
+	if err != nil {
+		t.Fatalf("fixture missing (run with REGEN_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("backlog table drifted from the fixture:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
 func TestCmdAFDX(t *testing.T) {
 	out := capture(t, cmdAFDX)
 	for _, want := range []string{"94 virtual links", "jitter budget exceeded", "BAG"} {
