@@ -334,6 +334,12 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Backlog bounds are discipline-independent (vertical deviation of the
+	// same token buckets), so one table serves both approaches below.
+	backlogs, err := s.Backlogs()
+	if err != nil {
+		return err
+	}
 	passed := fsFlagsSet(fs)
 	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
 	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
@@ -364,9 +370,30 @@ func cmdValidate(args []string) error {
 			}
 			tbl.AddRow(r.Name, r.Priority, r.Observed, p99, r.Bound, r.PaperBound, mark(r.Sound()))
 		}
-		fmt.Fprintf(stdout, "== %v (%d replications, %s sources): all sound = %v ==\n",
-			approach, v.Reps, sourceRegime(sc.Sim), v.AllSound())
+		bv := backlogs.CheckMarks(v.PortMaxBacklog)
+		fmt.Fprintf(stdout, "== %v (%d replications, %s sources): all sound = %v, backlog sound = %v ==\n",
+			approach, v.Reps, sourceRegime(sc.Sim), v.AllSound(), bv.Sound())
 		if _, err := tbl.WriteTo(stdout); err != nil {
+			return err
+		}
+		// The backlog half of the validation: observed queue high-water
+		// marks (max over replications) against the per-edge bounds —
+		// idle queues are elided, the header counts them all.
+		bt := report.NewTable("queue", "observed max backlog", "backlog bound", "sound")
+		for _, ke := range backlogs.Ordered() {
+			observed, ok := v.PortMaxBacklog[ke.Key]
+			if !ok || observed == 0 {
+				continue
+			}
+			e := ke.Edge
+			boundCol, sound := fmt.Sprintf("%d B", e.Bound.ByteCount()), observed <= e.Bound
+			if e.Unstable {
+				boundCol, sound = "unbounded", true
+			}
+			bt.AddRow(ke.Key, fmt.Sprintf("%d B", observed.ByteCount()), boundCol, mark(sound))
+		}
+		fmt.Fprintf(stdout, "backlog (%d queues checked, %d over bound):\n", bv.Ports, bv.Unsound)
+		if _, err := bt.WriteTo(stdout); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/simtime"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -46,60 +47,110 @@ func cmdCapacity(args []string) error {
 	return err
 }
 
-// cmdBacklog prints the switch buffer dimensioning table, grouped per
-// switch of the scenario's architecture: each destination port's backlog
-// bound appears under its home switch, with a per-switch total over those
-// ports. The bounds are analysis.PortBacklogs — destination station ports
-// at the scenario's default link rate; trunk output ports are not yet
-// modeled (a ROADMAP item), so on multi-switch architectures the command
-// says so instead of passing the total off as the whole switch's memory.
-// On the default star every port lives on the single switch and the trunk
-// caveat is moot, matching the historical flat table.
+// cmdBacklog prints the complete per-switch memory budget of the
+// scenario's architecture: every directed edge owns one queue — station
+// uplink multiplexers, trunk output ports in both directions, destination
+// output ports — and every one gets a backlog bound (core.EdgeBacklogs).
+// Rows group under the switch owning the queue, destination ports keep
+// their historical pricing (byte-identical to the deprecated
+// analysis.PortBacklogs), and the per-switch totals now cover trunk ports
+// too, so they are the switch's whole memory. Station uplink queues live
+// in the stations and get their own section. With -dimension the command
+// instead emits the scenario JSON with the derived per-port capacities in
+// the sim section (queue_capacities_bytes), ready to pipe into any other
+// subcommand: rtether backlog -dimension | rtether validate -config -.
 func cmdBacklog(args []string) error {
 	fs := flag.NewFlagSet("backlog", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
+	dimension := fs.Bool("dimension", false, "emit the scenario JSON with derived per-port queue capacities instead of the table")
 	fs.Parse(args)
 
 	s, err := bindScenario(*config)
 	if err != nil {
 		return err
 	}
-	set := s.Set
-	backlogs, err := analysis.PortBacklogs(set, s.Analysis())
+	bl, err := s.Backlogs()
 	if err != nil {
 		return err
+	}
+	if *dimension {
+		cfg := s.Cfg
+		if cfg.Sim == nil {
+			cfg.Sim = &topology.SimJSON{}
+		}
+		cfg.Sim.QueueCapacitiesBytes = bl.Capacities()
+		return cfg.Save(stdout)
+	}
+
+	bound := func(e analysis.EdgeBacklog) string {
+		if e.Unstable {
+			return "unbounded"
+		}
+		return fmt.Sprintf("%d B", e.Bound.ByteCount())
 	}
 	fmt.Fprintln(stdout, "switch buffer dimensioning (prevents the overflow loss the paper warns about)")
 	fmt.Fprintf(stdout, "architecture %s: %d switch(es), %d plane(s)\n",
 		s.Net.Name, s.Net.Switches, s.Net.PlaneCount())
+	plane0 := bl.Planes[0]
 	tbl := report.NewTable("switch", "output port", "backlog bound", "connections")
-	totals := make([]simtime.Size, s.Net.Switches)
-	ports := make([]int, s.Net.Switches)
 	for sw := 0; sw < s.Net.Switches; sw++ {
-		for _, st := range set.Stations() {
-			if s.Net.StationSwitch[st] != sw {
-				continue
+		// Destination ports first (the historical rows), then the trunk
+		// output ports that complete the switch's memory budget.
+		for _, kind := range []analysis.EdgeKind{analysis.EdgeDest, analysis.EdgeTrunk} {
+			for _, e := range plane0.Edges {
+				if e.Kind != kind || e.Switch != sw {
+					continue
+				}
+				port := e.To // destination ports keep the bare station name
+				if e.Kind == analysis.EdgeTrunk {
+					port = e.Key()
+				}
+				tbl.AddRow(fmt.Sprintf("sw%d", sw), port, bound(e), len(e.Flows))
 			}
-			b, ok := backlogs[st]
-			if !ok {
-				continue
-			}
-			tbl.AddRow(fmt.Sprintf("sw%d", sw), st, fmt.Sprintf("%d B", b.ByteCount()), len(set.ByDest(st)))
-			totals[sw] += b
-			ports[sw]++
 		}
 	}
 	if _, err := tbl.WriteTo(stdout); err != nil {
 		return err
 	}
-	for sw, total := range totals {
-		if ports[sw] == 0 {
+	for sw := 0; sw < s.Net.Switches; sw++ {
+		total, edges, unstable := plane0.SwitchTotal(sw)
+		if edges == 0 {
 			continue
 		}
-		fmt.Fprintf(stdout, "sw%d buffer total: %d B over %d station port(s)\n", sw, total.ByteCount(), ports[sw])
+		if unstable {
+			fmt.Fprintf(stdout, "sw%d buffer total: unbounded (over-subscribed edge) over %d output port(s)\n", sw, edges)
+			continue
+		}
+		fmt.Fprintf(stdout, "sw%d buffer total: %d B over %d output port(s), trunk ports included\n", sw, total.ByteCount(), edges)
 	}
-	if s.Net.Switches > 1 {
-		fmt.Fprintln(stdout, "note: totals cover destination station ports only — trunk-port backlogs are not yet bounded")
+
+	fmt.Fprintln(stdout, "\nstation uplink dimensioning (source multiplexer queues):")
+	up := report.NewTable("station", "uplink", "backlog bound", "connections")
+	for _, e := range plane0.Edges {
+		if e.Kind != analysis.EdgeUplink {
+			continue
+		}
+		up.AddRow(e.From, e.Key(), bound(e), len(e.Flows))
+	}
+	if _, err := up.WriteTo(stdout); err != nil {
+		return err
+	}
+
+	// Identical planes (every classic dual) share the table above; a
+	// rate-scaled plane can diverge — only through stability, the bound
+	// itself being rate-independent — and then each divergence is named.
+	if s.Net.PlaneCount() > 1 {
+		if bl.Identical() {
+			fmt.Fprintf(stdout, "all %d planes price identically\n", s.Net.PlaneCount())
+		} else {
+			for p := 1; p < len(bl.Planes); p++ {
+				for i, e := range bl.Planes[p].Edges {
+					if o := plane0.Edges[i]; e.Unstable != o.Unstable || e.Bound != o.Bound {
+						fmt.Fprintf(stdout, "plane n%d: %s %s (plane 0: %s)\n", p, e.Key(), bound(e), bound(o))
+					}
+				}
+			}
+		}
 	}
 	return nil
 }

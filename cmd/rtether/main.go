@@ -102,7 +102,9 @@ commands:
   sweep      rate ablation + rates × loads grid cross-validation (parallel engine)
   validate   check simulated worst cases against analytic bounds
   capacity   minimal link rate meeting all deadlines, per approach
-  backlog    switch buffer dimensioning (backlog bounds per port, grouped per switch)
+  backlog    buffer dimensioning: a backlog bound for every directed edge (uplinks,
+             trunks both ways, destination ports), grouped per switch; -dimension
+             emits the scenario JSON with derived per-port queue capacities
   afdx       map the workload onto ARINC 664 virtual links and compare
   twoswitch  bounds and simulation on a cascaded two-switch topology
   topo       unified engine over every architecture family (add -grid for topology × rate × load)

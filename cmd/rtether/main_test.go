@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/topology"
 )
 
@@ -123,8 +124,9 @@ func TestCmdSweepParallelDeterministic(t *testing.T) {
 func TestCmdValidateReplicated(t *testing.T) {
 	args := []string{"-horizon", "50ms", "-reps", "2", "-seed", "3"}
 	serial := capture(t, cmdValidate, append([]string{"-parallel", "1"}, args...)...)
-	for _, want := range []string{"== FCFS (2 replications, randomized sources): all sound = true ==",
-		"== priority (2 replications, randomized sources): all sound = true ==", "observed p99"} {
+	for _, want := range []string{"== FCFS (2 replications, randomized sources): all sound = true, backlog sound = true ==",
+		"== priority (2 replications, randomized sources): all sound = true, backlog sound = true ==",
+		"observed p99", "observed max backlog", "queues checked, 0 over bound"} {
 		if !strings.Contains(serial, want) {
 			t.Errorf("validate missing %q", want)
 		}
@@ -158,15 +160,29 @@ func TestCmdBacklog(t *testing.T) {
 }
 
 // TestCmdBacklogGroupedPerSwitch: on a multi-switch scenario the buffer
-// dimensioning table groups output ports under their home switch, with a
-// per-switch buffer total — the ROADMAP's topology-aware backlog item.
+// dimensioning table groups output ports under their home switch — every
+// directed edge priced: destination ports, BOTH trunk directions, and
+// the station uplink queues in their own section, with complete
+// per-switch totals (the two ROADMAP deferrals this closes).
 func TestCmdBacklogGroupedPerSwitch(t *testing.T) {
 	out := capture(t, cmdBacklog, "-config", heteroFixture)
 	for _, want := range []string{"architecture dual-split: 2 switch(es), 2 plane(s)",
-		"sw0", "sw1", "sw0 buffer total:", "sw1 buffer total:",
-		"trunk-port backlogs are not yet bounded"} {
+		"sw0", "sw1", "sw0 buffer total:", "sw1 buffer total:", "trunk ports included",
+		"sw0->sw1", "sw1->sw0", // both trunk directions priced
+		"station uplink dimensioning", "mc->sw0",
+		"all 2 planes price identically"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("grouped backlog missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "not yet bounded") {
+		t.Errorf("stale trunk caveat survived the per-edge rewire:\n%s", out)
+	}
+	// Every directed edge of the two-switch dual appears: 2 trunk
+	// directions + 4 destination ports + 4 uplinks.
+	for _, edge := range []string{"sw0->sw1", "sw1->sw0", "ew->sw1", "nav->sw0", "radar->sw1"} {
+		if !strings.Contains(out, edge) {
+			t.Errorf("edge %s missing:\n%s", edge, out)
 		}
 	}
 	// Ports sort under their switch: mc and nav live on sw0, ew on sw1.
@@ -206,6 +222,51 @@ func TestCmdBacklogGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("backlog table drifted from the fixture:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestCmdBacklogDimension: -dimension emits the scenario JSON with the
+// derived per-port capacities in the sim section; the document loads
+// back, simulates with zero drops, and pipes into validate — the CI
+// smoke step `backlog -dimension | validate -config -` in miniature.
+func TestCmdBacklogDimension(t *testing.T) {
+	out := capture(t, cmdBacklog, "-config", heteroFixture, "-dimension")
+	cfg, err := topology.Load(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emitted scenario does not load: %v\n%s", err, out)
+	}
+	caps := cfg.Sim.QueueCapacitiesBytes
+	// 4 uplinks + 2 trunk directions + 3 flow-carrying dest ports; the
+	// idle sw1->radar edge is omitted (0 would mean explicitly unbounded).
+	if len(caps) != 9 {
+		t.Fatalf("%d capacities emitted, want 9: %v", len(caps), caps)
+	}
+	if _, ok := caps["sw1->radar"]; ok {
+		t.Error("idle edge sw1->radar received a capacity (0 = unbounded, not a budget)")
+	}
+	// The destination-port capacity is the (deprecated) PortBacklogs
+	// number the fixture's golden table prints.
+	if caps["sw0->mc"] != 290 {
+		t.Errorf("sw0->mc capacity = %d B, want 290 B", caps["sw0->mc"])
+	}
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("%d drops with analytically dimensioned queues", res.Dropped)
+	}
+	// The shell round trip: backlog -dimension | validate -config -.
+	old := stdin
+	stdin = strings.NewReader(out)
+	defer func() { stdin = old }()
+	vout := capture(t, cmdValidate, "-config", "-", "-horizon", "30ms")
+	if !strings.Contains(vout, "all sound = true, backlog sound = true") {
+		t.Errorf("dimensioned scenario validation not sound:\n%s", firstLines(vout, 3))
 	}
 }
 

@@ -183,10 +183,17 @@ func topoGrid(fams []topology.Family, approach analysis.Approach, horizon time.D
 	fmt.Fprintf(stdout, "topology × rate × load cross-validation (M3): bounds vs %d×%v simulation under %v\n",
 		reps, cfg.Horizon, approach)
 	tbl := report.NewTable("topology", "planes", "link rate", "extra RTs", "connections",
-		"worst e2e bound", "observed worst", "observed p99", "delivered", "redundant", "discarded", "analytic misses", "sound")
+		"worst e2e bound", "observed worst", "observed p99", "delivered", "redundant", "discarded",
+		"analytic misses", "worst backlog", "sound")
 	for _, c := range cells {
+		worstBacklog := "-"
+		if c.Backlog.WorstKey != "" {
+			worstBacklog = fmt.Sprintf("%s %d/%d B", c.Backlog.WorstKey,
+				c.Backlog.WorstObserved.ByteCount(), c.Backlog.WorstBound.ByteCount())
+		}
 		tbl.AddRow(c.Topology, c.Planes, c.Point.Rate, c.Point.ExtraRTs, c.Connections,
-			c.BoundWorst, c.ObservedWorst, c.ObservedP99, c.Delivered, c.Redundant, c.Discarded, c.Violations, mark(c.Sound()))
+			c.BoundWorst, c.ObservedWorst, c.ObservedP99, c.Delivered, c.Redundant, c.Discarded,
+			c.Violations, worstBacklog, mark(c.Sound()))
 	}
 	if _, err := tbl.WriteTo(stdout); err != nil {
 		return err

@@ -212,6 +212,11 @@ func groupBy(specs []FlowSpec, key func(FlowSpec) string) map[string][]FlowSpec 
 
 // PortBacklogs returns the backlog bound of every destination port — the
 // buffer dimensioning table for the switch.
+//
+// Deprecated: PortBacklogs prices destination station ports only. Use
+// EdgeBacklogs, which bounds every directed edge of the architecture
+// (station uplinks and trunk output ports included) and reproduces these
+// destination-port numbers exactly (TestEdgeBacklogsMatchesPortBacklogs).
 func PortBacklogs(set *traffic.Set, cfg Config) (map[string]simtime.Size, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err

@@ -150,6 +150,15 @@ func (t *Tree) Validate(stations []string) error {
 			return fmt.Errorf("analysis: station %q on invalid switch %d", s, sw)
 		}
 	}
+	// Switches are named "sw<id>" in reports and directed-edge keys
+	// ("nav->sw0", "sw0->sw1"); a station sharing that namespace would
+	// collide with a switch in every key-addressed table (backlog bounds,
+	// observed marks, queue capacities), so it is rejected up front.
+	for s := range t.StationSwitch {
+		if isSwitchName(s) {
+			return fmt.Errorf("analysis: station name %q collides with the switch namespace (sw<number>)", s)
+		}
+	}
 	if len(t.TrunkRates) > len(t.Links) {
 		return fmt.Errorf("analysis: %d trunk rates for %d links", len(t.TrunkRates), len(t.Links))
 	}
@@ -183,6 +192,20 @@ func (t *Tree) Validate(stations []string) error {
 		}
 	}
 	return nil
+}
+
+// isSwitchName reports whether a name lies in the reserved "sw<number>"
+// switch namespace.
+func isSwitchName(s string) bool {
+	if len(s) < 3 || s[:2] != "sw" {
+		return false
+	}
+	for _, c := range s[2:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // adjacency returns the adjacency lists.

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestBacklogSoundnessAcrossFamilies is the backlog twin of the latency
+// soundness harness (and of TestSkewedDualSoundness): across random
+// workloads, every built-in architecture family, several seeds and BOTH
+// disciplines, every queue's observed occupancy high-water mark must
+// respect the corresponding per-edge backlog bound — on every plane of a
+// redundant network, station uplinks and trunk ports included. It also
+// pins the key contract: every observed mark must resolve to a bound
+// (a renamed port silently dodging validation is itself a failure).
+func TestBacklogSoundnessAcrossFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized harness skipped in -short")
+	}
+	families := []string{"star", "cascade", "tree", "chain", "dual"}
+	params := traffic.DefaultRandomParams()
+	for seed := uint64(1); seed <= 3; seed++ {
+		set, err := traffic.Random(seed+80, params)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, key := range families {
+			fam, err := topology.FamilyByKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := fam.Build(set.Stations())
+			for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+				cfg := DefaultSimConfig(approach)
+				cfg.Seed = seed
+				cfg.Horizon = 300 * simtime.Millisecond
+				bl, err := EdgeBacklogs(net, set, cfg.AnalysisConfig())
+				if err != nil {
+					t.Fatalf("%s seed %d %v: bounds: %v", key, seed, approach, err)
+				}
+				sim, err := SimulateNetwork(set, cfg, net)
+				if err != nil {
+					t.Fatalf("%s seed %d %v: sim: %v", key, seed, approach, err)
+				}
+				if len(sim.PortMaxBacklog) == 0 {
+					t.Fatalf("%s seed %d %v: no observed high-water marks", key, seed, approach)
+				}
+				for portKey, observed := range sim.PortMaxBacklog {
+					e, ok := bl.Bound(portKey)
+					if !ok {
+						t.Fatalf("%s seed %d %v: observed port %q has no bound — key contract broken",
+							key, seed, approach, portKey)
+					}
+					if e.Unstable {
+						t.Fatalf("%s seed %d %v: edge %s unstable at default rates", key, seed, approach, portKey)
+					}
+					if observed > e.Bound {
+						t.Errorf("%s seed %d %v: port %s observed %d bits exceeds bound %d bits",
+							key, seed, approach, portKey, observed, e.Bound)
+					}
+				}
+				// Per-class marks exist exactly under priority, each within
+				// the aggregate bound of its port.
+				if approach == analysis.FCFS {
+					if sim.PortClassMaxBacklog != nil {
+						t.Fatalf("%s seed %d: per-class marks under FCFS", key, seed)
+					}
+				} else {
+					for portKey, marks := range sim.PortClassMaxBacklog {
+						e, _ := bl.Bound(portKey)
+						if len(marks) != ethernet.NumClasses {
+							t.Fatalf("%s: %d class marks", portKey, len(marks))
+						}
+						for c, m := range marks {
+							if m > e.Bound {
+								t.Errorf("%s seed %d: port %s class %d mark %d exceeds aggregate bound %d",
+									key, seed, portKey, c, m, e.Bound)
+							}
+						}
+					}
+				}
+				// The packaged verdict must agree with the raw comparison.
+				v := bl.Check([]*SimResult{sim})
+				if !v.Sound() {
+					t.Errorf("%s seed %d %v: Check reports %d unsound ports", key, seed, approach, v.Unsound)
+				}
+				if v.Ports != len(sim.PortMaxBacklog) {
+					t.Errorf("%s seed %d %v: Check visited %d ports, sim observed %d",
+						key, seed, approach, v.Ports, len(sim.PortMaxBacklog))
+				}
+				if v.WorstKey == "" || v.WorstObserved > v.WorstBound {
+					t.Errorf("%s seed %d %v: worst port %q observed %d bound %d",
+						key, seed, approach, v.WorstKey, v.WorstObserved, v.WorstBound)
+				}
+			}
+		}
+	}
+}
+
+// TestBacklogSoundnessSkewedDual extends the harness to asymmetric
+// planes: with plane B released late over longer cables, each plane's
+// observed marks must respect that plane's own bounds.
+func TestBacklogSoundnessSkewedDual(t *testing.T) {
+	set := traffic.RealCase()
+	net := topology.Redundify(topology.Star(set.Stations()), 2)
+	net.PlaneSpecs = []topology.PlaneSpec{{}, {PhaseSkew: 200 * simtime.Microsecond, PropSkew: 3 * simtime.Microsecond}}
+	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+		cfg := DefaultSimConfig(approach)
+		cfg.Horizon = 300 * simtime.Millisecond
+		bl, err := EdgeBacklogs(net, set, cfg.AnalysisConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bl.Identical() {
+			t.Error("pure skew does not change the backlog pricing; planes must be identical")
+		}
+		sim, err := SimulateNetwork(set, cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := bl.Check([]*SimResult{sim}); !v.Sound() {
+			t.Errorf("%v: %d unsound ports on the skewed dual", approach, v.Unsound)
+		}
+	}
+}
+
+// TestEdgeBacklogsScaledPlaneUnstable: a plane negotiated down far enough
+// is over-subscribed — its edges report Unstable, the healthy plane keeps
+// finite bounds, and Capacities omits the unstable edges instead of
+// truncating them into a loss mode.
+func TestEdgeBacklogsScaledPlaneUnstable(t *testing.T) {
+	set := traffic.RealCase()
+	net := topology.Redundify(topology.Star(set.Stations()), 2)
+	net.PlaneSpecs = []topology.PlaneSpec{{}, {RateScale: 0.001}} // 10 kbps plane
+	bl, err := EdgeBacklogs(net, set, DefaultSimConfig(analysis.Priority).AnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Identical() {
+		t.Fatal("a starved plane must not price like the healthy one")
+	}
+	unstable := 0
+	for _, e := range bl.Planes[1].Edges {
+		if e.Unstable {
+			unstable++
+		}
+	}
+	if unstable == 0 {
+		t.Fatal("no unstable edge on a 10 kbps plane carrying the full catalog")
+	}
+	caps := bl.Capacities()
+	for _, e := range bl.Planes[1].Edges {
+		if _, ok := caps[e.Key()]; ok && e.Unstable {
+			t.Errorf("unstable edge %s received a finite capacity", e.Key())
+		}
+	}
+	// Healthy-plane-only edges stay dimensioned.
+	if len(caps) == 0 {
+		t.Error("no capacities at all — stable edges lost")
+	}
+}
+
+// TestDimensioningRoundTrip closes the loop the ROADMAP deferred: derive
+// per-port capacities from the per-edge bounds, feed them back into the
+// simulation through SimConfig.QueueCapacities, and the bounded network
+// must lose nothing — on the heterogeneous dual scenario and at any
+// worker count, with bit-identical observations.
+func TestDimensioningRoundTrip(t *testing.T) {
+	s, err := LoadScenario("../topology/testdata/dual_hetero.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := s.Backlogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := bl.QueueCapacities()
+	// Every flow-carrying edge is dimensioned: 4 uplinks, 2 trunk
+	// directions, 3 destination ports (radar receives nothing, so its
+	// idle destination edge stays at the global default).
+	if len(caps) != 9 {
+		t.Fatalf("%d capacities, want 9: %v", len(caps), caps)
+	}
+	s.Sim.QueueCapacities = caps
+
+	run := func(workers int) (*Validation, *Validation) {
+		opts := SweepOptions{Workers: workers, Reps: 3, Seed: 42}
+		var out []*Validation
+		for _, a := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
+			v, err := s.WithApproach(a).Validate(opts)
+			if err != nil {
+				t.Fatalf("workers %d %v: %v", workers, a, err)
+			}
+			if v.Dropped != 0 {
+				t.Errorf("workers %d %v: %d drops with analytically dimensioned queues", workers, a, v.Dropped)
+			}
+			out = append(out, v)
+		}
+		return out[0], out[1]
+	}
+	f1, p1 := run(1)
+	f8, p8 := run(8)
+	if !reflect.DeepEqual(f1.PortMaxBacklog, f8.PortMaxBacklog) || !reflect.DeepEqual(p1.PortMaxBacklog, p8.PortMaxBacklog) {
+		t.Error("observed high-water marks differ across worker counts")
+	}
+	// The capped run never hits a cap: every observation stays within the
+	// capacity it was derived from.
+	for _, v := range []*Validation{f1, p1} {
+		for key, observed := range v.PortMaxBacklog {
+			e, ok := bl.Bound(key)
+			if !ok {
+				t.Fatalf("observed port %q has no bound", key)
+			}
+			if observed > e.Bound {
+				t.Errorf("port %s observed %d exceeds bound %d under dimensioned capacities", key, observed, e.Bound)
+			}
+		}
+	}
+}
+
+// TestQueueCapacitiesResolution pins the specificity order of the
+// per-port capacity lookup: plane-qualified key over bare key over the
+// global default, with a present key winning even at 0 (explicitly
+// unbounded).
+func TestQueueCapacitiesResolution(t *testing.T) {
+	set := smallRedundancySet()
+	net := topology.Redundify(topology.Star(set.Stations()), 2)
+	cfg := DefaultSimConfig(analysis.Priority)
+	cfg.Horizon = 50 * simtime.Millisecond
+	// A 1-byte cap on mc's destination port drops every frame to mc; the
+	// plane-1 override lifts plane 1 back to unbounded, so only plane 0
+	// drops — asymmetric dimensioning is observable per plane.
+	cfg.QueueCapacities = map[string]simtime.Size{
+		"sw0->mc":    simtime.Bytes(1),
+		"n1.sw0->mc": 0,
+	}
+	res, err := SimulateNetwork(set, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("1-byte destination port dropped nothing")
+	}
+	if res.PlaneDelivered[1] == 0 {
+		t.Error("plane 1 should deliver: its capacity override is explicitly unbounded")
+	}
+	for _, m := range set.Messages {
+		if m.Dest != "mc" {
+			continue
+		}
+		if res.Flows[m.Name].Delivered == 0 {
+			t.Errorf("%s: no deliveries though plane 1 is uncapped", m.Name)
+		}
+	}
+	// The same scenario without the plane-1 override starves mc entirely.
+	cfg.QueueCapacities = map[string]simtime.Size{"sw0->mc": simtime.Bytes(1)}
+	res, err = SimulateNetwork(set, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range set.Messages {
+		if m.Dest == "mc" && res.Flows[m.Name].Delivered != 0 {
+			t.Errorf("%s: delivered through a 1-byte port on both planes", m.Name)
+		}
+	}
+}
+
+// TestSimConfigRejectsNegativeCapacity: validation catches a negative
+// per-port capacity before any simulator is built.
+func TestSimConfigRejectsNegativeCapacity(t *testing.T) {
+	cfg := DefaultSimConfig(analysis.FCFS)
+	cfg.QueueCapacities = map[string]simtime.Size{"sw0->mc": -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative per-port capacity accepted")
+	}
+}
+
+// TestScenarioRejectsUnknownCapacityKey: binding a scenario whose sim
+// section dimensions a queue that does not exist fails loudly instead of
+// leaving the port at the global default.
+func TestScenarioRejectsUnknownCapacityKey(t *testing.T) {
+	cfg := topology.Default()
+	cfg.Sim = &topology.SimJSON{QueueCapacitiesBytes: map[string]int{"sw0->no-such-station": 128}}
+	if _, err := NewScenario(cfg); err == nil {
+		t.Error("capacity for a nonexistent queue accepted")
+	}
+	cfg.Sim.QueueCapacitiesBytes = map[string]int{"sw0->mission-computer": 100_000}
+	s, err := NewScenario(cfg)
+	if err != nil {
+		t.Fatalf("valid capacity key rejected: %v", err)
+	}
+	if got := s.Sim.QueueCapacities["sw0->mission-computer"]; got != simtime.Bytes(100_000) {
+		t.Errorf("capacity not bound: %v", got)
+	}
+}

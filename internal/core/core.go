@@ -51,6 +51,19 @@ type SimConfig struct {
 	// QueueCapacity bounds every queue in bytes (0 = unbounded; bounded
 	// queues expose the loss mode the paper warns about).
 	QueueCapacity simtime.Size
+	// QueueCapacities optionally bounds individual queues, keyed by the
+	// directed edge owning the queue: "nav->sw0" (a station's uplink
+	// multiplexer), "sw0->sw1" (a trunk output port), "sw0->mc" (a
+	// destination output port). On redundant networks a key may carry a
+	// plane prefix ("n1.sw0->mc") to size one plane's queue alone; the
+	// most specific key wins (plane-qualified, then bare, then
+	// QueueCapacity). A present key overrides the default even when 0
+	// (explicitly unbounded). Like QueueCapacity, the value applies PER
+	// CLASS under the priority discipline (each class FIFO gets the full
+	// capacity), so a priority port can physically buffer up to
+	// NumClasses× the stated bytes. This is how analysis-derived buffer
+	// dimensioning (EdgeBacklogs) flows back into the simulation.
+	QueueCapacities map[string]simtime.Size
 	// BER is a residual bit-error rate applied to every link (0 = clean
 	// medium). Corrupted frames fail the receiver FCS and vanish.
 	BER float64
@@ -122,6 +135,11 @@ func (c SimConfig) Validate() error {
 	if c.SkewMax < 0 {
 		return fmt.Errorf("core: negative skew_max %v", c.SkewMax)
 	}
+	for key, cap := range c.QueueCapacities {
+		if cap < 0 {
+			return fmt.Errorf("core: negative capacity %v for queue %q", cap, key)
+		}
+	}
 	return nil
 }
 
@@ -171,6 +189,20 @@ type SimResult struct {
 	// instance closed. Always 0 when the window is unbounded — then every
 	// duplicate counts as Redundant.
 	Discarded int
+	// PortMaxBacklog maps every queue of the network — station uplink
+	// multiplexers, trunk output ports, destination output ports — to its
+	// observed occupancy high-water mark, keyed by the directed edge that
+	// owns the queue ("nav->sw0", "sw0->sw1", "sw0->mc"; plane-qualified
+	// "n<p>.…" on redundant networks). Under the priority discipline the
+	// value is the TRUE total-occupancy peak (all classes together), so it
+	// is directly comparable to the aggregate backlog bound of
+	// analysis.EdgeBacklogs.
+	PortMaxBacklog map[string]simtime.Size
+	// PortClassMaxBacklog holds the per-class high-water marks of the
+	// same queues (same keys, one entry per 802.1p class) under the
+	// priority discipline; nil under FCFS. Each class peaks at its own
+	// instant, so these do NOT sum to PortMaxBacklog.
+	PortClassMaxBacklog map[string][]simtime.Size
 }
 
 // WorstLatency returns the largest observed latency of one connection

@@ -67,6 +67,12 @@ type Validation struct {
 	Sim *SimResult
 	// Reps is the number of Monte-Carlo replications aggregated.
 	Reps int
+	// PortMaxBacklog is the per-queue observed occupancy high-water mark,
+	// maximized across all replications (keys as in
+	// SimResult.PortMaxBacklog) — the backlog half of the validation.
+	PortMaxBacklog map[string]simtime.Size
+	// Dropped totals queue-capacity drops across all replications.
+	Dropped int
 }
 
 // AllSound reports whether every connection respected its bound.

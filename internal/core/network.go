@@ -73,6 +73,27 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		kind = ethernet.QueuePriority
 	}
 
+	// Directed-edge keys identify every queue of the network — the shared
+	// currency of the per-port capacity overrides (cfg.QueueCapacities)
+	// and the observed high-water marks (SimResult.PortMaxBacklog). On
+	// redundant networks keys carry the plane prefix "n<p>." matching the
+	// switch names; a bare key applies to every plane.
+	capacityOf := func(p int, key string) simtime.Size {
+		if planes > 1 {
+			if c, ok := cfg.QueueCapacities[topology.PlaneKeyPrefix(p, planes)+key]; ok {
+				return c
+			}
+		}
+		if c, ok := cfg.QueueCapacities[key]; ok {
+			return c
+		}
+		return cfg.QueueCapacity
+	}
+
+	// Stations in sorted name order: station i's switch port id is i, so
+	// the port-capacity maps need the ordering before any switch exists.
+	names := set.Stations()
+
 	// Switches, plane-major. Single-plane networks keep the historical
 	// "sw%d" names so traces and port labels are unchanged.
 	sws := make([][]*ethernet.Switch, planes)
@@ -83,11 +104,32 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 			if planes > 1 {
 				name = fmt.Sprintf("n%d.sw%d", p, s)
 			}
+			var perPort map[int]simtime.Size
+			if cfg.QueueCapacities != nil {
+				// Resolve the switch's output-port capacities up front:
+				// destination ports (id = station index) and trunk ports
+				// (ids 1000+2i/1000+2i+1 for link i) keyed by their edge.
+				perPort = map[int]simtime.Size{}
+				for i, st := range names {
+					if topo.StationSwitch[st] == s {
+						perPort[i] = capacityOf(p, fmt.Sprintf("sw%d->%s", s, st))
+					}
+				}
+				for li, l := range topo.Links {
+					if l[0] == s {
+						perPort[1000+2*li] = capacityOf(p, fmt.Sprintf("sw%d->sw%d", l[0], l[1]))
+					}
+					if l[1] == s {
+						perPort[1000+2*li+1] = capacityOf(p, fmt.Sprintf("sw%d->sw%d", l[1], l[0]))
+					}
+				}
+			}
 			sws[p][s] = ethernet.NewSwitch(sim, ethernet.SwitchConfig{
-				Name:          name,
-				RelayLatency:  cfg.TTechno,
-				Kind:          kind,
-				QueueCapacity: cfg.QueueCapacity,
+				Name:            name,
+				RelayLatency:    cfg.TTechno,
+				Kind:            kind,
+				QueueCapacity:   cfg.QueueCapacity,
+				QueueCapacities: perPort,
 			})
 		}
 	}
@@ -142,10 +184,9 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 	}
 	var pcapErr error
 
-	// Stations, in sorted name order for deterministic port numbering.
-	// On redundant networks each station has one end system per plane,
-	// sharing the MAC address (the planes are physically independent).
-	names := set.Stations()
+	// Stations (ordered as names above). On redundant networks each
+	// station has one end system per plane, sharing the MAC address (the
+	// planes are physically independent).
 	stations := make([]map[string]*ethernet.Station, planes)
 	for p := range stations {
 		stations[p] = map[string]*ethernet.Station{}
@@ -158,7 +199,8 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		for p := 0; p < planes; p++ {
 			p := p
 			stRate, stProp := topo.PlaneStationRate(p, name, cfg.LinkRate), topo.PlaneStationProp(p, name)
-			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, stRate, stProp, kind, cfg.QueueCapacity)
+			upCap := capacityOf(p, fmt.Sprintf("%s->sw%d", name, home))
+			st := ethernet.NewStation(sim, name, addr, sws[p][home], i, stRate, stProp, kind, upCap)
 			st.OnReceive = func(f *ethernet.Frame) {
 				meta, ok := f.Meta.(frameMeta)
 				if !ok {
@@ -330,6 +372,39 @@ func SimulateNetwork(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*
 		}
 		for _, st := range stations[p] {
 			res.Corrupted += st.Uplink().Corrupted
+		}
+	}
+	// Export every queue's observed high-water mark under its directed-edge
+	// key — the numbers the backlog bounds (analysis.EdgeBacklogs) are
+	// validated against, thrown away before this existed.
+	queues := planes * (2*len(names) + 2*len(topo.Links))
+	res.PortMaxBacklog = make(map[string]simtime.Size, queues)
+	if kind == ethernet.QueuePriority {
+		res.PortClassMaxBacklog = make(map[string][]simtime.Size, queues)
+	}
+	observe := func(key string, q ethernet.Queue) {
+		res.PortMaxBacklog[key] = q.MaxBacklog()
+		if res.PortClassMaxBacklog == nil {
+			return
+		}
+		if cm, ok := q.(interface{ ClassMaxBacklog(int) simtime.Size }); ok {
+			marks := make([]simtime.Size, ethernet.NumClasses)
+			for c := range marks {
+				marks[c] = cm.ClassMaxBacklog(c)
+			}
+			res.PortClassMaxBacklog[key] = marks
+		}
+	}
+	for p := 0; p < planes; p++ {
+		pre := topology.PlaneKeyPrefix(p, planes)
+		for i, name := range names {
+			home := topo.StationSwitch[name]
+			observe(fmt.Sprintf("%s%s->sw%d", pre, name, home), stations[p][name].Uplink().Queue())
+			observe(fmt.Sprintf("%ssw%d->%s", pre, home, name), sws[p][home].OutputPort(i).Queue())
+		}
+		for li, l := range topo.Links {
+			observe(fmt.Sprintf("%ssw%d->sw%d", pre, l[0], l[1]), sws[p][l[0]].OutputPort(1000+2*li).Queue())
+			observe(fmt.Sprintf("%ssw%d->sw%d", pre, l[1], l[0]), sws[p][l[1]].OutputPort(1000+2*li+1).Queue())
 		}
 	}
 	for _, sh := range shapers {

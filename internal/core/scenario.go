@@ -68,6 +68,14 @@ func NewScenario(cfg *topology.Config) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-port capacities must name actual queues of THIS architecture —
+	// a typoed edge key would otherwise silently leave the port at the
+	// global default, defeating the dimensioning it was meant to carry.
+	for key := range sim.QueueCapacities {
+		if !net.ValidQueueKey(key) {
+			return nil, fmt.Errorf("core: sim queue_capacities_bytes names no queue of network %q: %q (want \"station->sw<i>\", \"sw<i>->sw<j>\" or \"sw<i>->station\", optionally \"n<plane>.\"-prefixed)", net.Name, key)
+		}
+	}
 	return &Scenario{
 		Name: cfg.Name,
 		Cfg:  cfg,
@@ -120,6 +128,12 @@ func simConfigOf(cfg *topology.Config) (SimConfig, error) {
 	}
 	if sj.QueueCapacityBytes > 0 {
 		sim.QueueCapacity = simtime.Bytes(sj.QueueCapacityBytes)
+	}
+	if len(sj.QueueCapacitiesBytes) > 0 {
+		sim.QueueCapacities = make(map[string]simtime.Size, len(sj.QueueCapacitiesBytes))
+		for key, c := range sj.QueueCapacitiesBytes {
+			sim.QueueCapacities[key] = simtime.Bytes(c)
+		}
 	}
 	if sj.SkewMaxUs > 0 {
 		sim.SkewMax = simtime.Duration(sj.SkewMaxUs) * simtime.Microsecond
@@ -202,7 +216,16 @@ func (s *Scenario) Validate(opts SweepOptions) (*Validation, error) {
 		Points: []*Scenario{s},
 		Bind:   func(sc *Scenario) (*Scenario, error) { return sc, nil },
 		Cell: func(_ *Scenario, sc *Scenario, e2e *analysis.Result, sims []*SimResult) (*Validation, error) {
-			v := &Validation{Approach: sc.Sim.Approach, Sim: sims[0], Reps: len(sims)}
+			v := &Validation{Approach: sc.Sim.Approach, Sim: sims[0], Reps: len(sims),
+				PortMaxBacklog: map[string]simtime.Size{}}
+			for _, sim := range sims {
+				v.Dropped += sim.Dropped
+				for key, m := range sim.PortMaxBacklog {
+					if old, ok := v.PortMaxBacklog[key]; !ok || m > old {
+						v.PortMaxBacklog[key] = m
+					}
+				}
+			}
 			for i, f := range e2e.Flows {
 				row := ValidationRow{
 					Name:       f.Spec.Msg.Name,

@@ -192,10 +192,15 @@ type TopoCell struct {
 	Redundant int
 	Discarded int
 	Reps      int
+	// Backlog is the buffer half of the cross-validation: every queue's
+	// observed high-water mark (worst over replications) against its
+	// per-edge backlog bound.
+	Backlog BacklogVerdict
 }
 
-// Sound reports whether every connection respected its bound.
-func (c TopoCell) Sound() bool { return c.Unsound == 0 }
+// Sound reports whether every connection respected its bound AND every
+// queue stayed within its backlog bound.
+func (c TopoCell) Sound() bool { return c.Unsound == 0 && c.Backlog.Sound() }
 
 // TopoGrid builds the cross product of families × rates × loads in
 // row-major order (loads vary fastest, then rates, then families).
@@ -253,6 +258,11 @@ func RunTopoGrid(points []TopoPoint, base SimConfig, opts SweepOptions) ([]TopoC
 				cell.Redundant += sim.Redundant
 				cell.Discarded += sim.Discarded
 			}
+			bl, err := s.Backlogs()
+			if err != nil {
+				return cell, err
+			}
+			cell.Backlog = bl.Check(sims)
 			return cell, nil
 		},
 	}

@@ -28,6 +28,9 @@ type DRRQueue struct {
 	capacity simtime.Size
 	drops    [NumClasses]DropStats
 	maxSeen  [NumClasses]simtime.Size
+	// maxTotal is the aggregate-occupancy high-water mark (the per-class
+	// marks peak at different instants; see PriorityQueue.MaxBacklog).
+	maxTotal simtime.Size
 }
 
 // NewDRRQueue creates a DRR scheduler with per-class quanta in bytes. For
@@ -62,6 +65,9 @@ func (q *DRRQueue) Enqueue(f *Frame) bool {
 	q.classes[class].push(f)
 	if q.classes[class].backlog > q.maxSeen[class] {
 		q.maxSeen[class] = q.classes[class].backlog
+	}
+	if b := q.Backlog(); b > q.maxTotal {
+		q.maxTotal = b
 	}
 	return true
 }
@@ -135,14 +141,12 @@ func (q *DRRQueue) Drops() DropStats {
 	return d
 }
 
-// MaxBacklog implements Queue (sum of per-class high-water marks).
-func (q *DRRQueue) MaxBacklog() simtime.Size {
-	var b simtime.Size
-	for _, m := range q.maxSeen {
-		b += m
-	}
-	return b
-}
+// MaxBacklog implements Queue: the true total-occupancy high-water mark
+// (NOT the sum of per-class marks, which peak at different instants).
+func (q *DRRQueue) MaxBacklog() simtime.Size { return q.maxTotal }
 
 // ClassBacklog returns one class's backlog.
 func (q *DRRQueue) ClassBacklog(class int) simtime.Size { return q.classes[class].backlog }
+
+// ClassMaxBacklog returns the per-class high-water mark.
+func (q *DRRQueue) ClassMaxBacklog(class int) simtime.Size { return q.maxSeen[class] }

@@ -143,6 +143,10 @@ type PriorityQueue struct {
 	capacity simtime.Size // per-class byte capacity, 0 = unbounded
 	drops    [NumClasses]DropStats
 	maxSeen  [NumClasses]simtime.Size
+	// maxTotal is the high-water mark of the aggregate occupancy — tracked
+	// directly, because the per-class marks peak at different instants and
+	// their sum overstates the true total peak (see MaxBacklog).
+	maxTotal simtime.Size
 }
 
 // NewPriorityQueue creates a 4-class strict priority queue with the given
@@ -170,6 +174,9 @@ func (q *PriorityQueue) Enqueue(f *Frame) bool {
 	q.classes[class].push(f)
 	if q.classes[class].backlog > q.maxSeen[class] {
 		q.maxSeen[class] = q.classes[class].backlog
+	}
+	if b := q.Backlog(); b > q.maxTotal {
+		q.maxTotal = b
 	}
 	return true
 }
@@ -220,16 +227,13 @@ func (q *PriorityQueue) Drops() DropStats {
 // ClassDrops returns the drop statistics of one class.
 func (q *PriorityQueue) ClassDrops(class int) DropStats { return q.drops[class] }
 
-// MaxBacklog implements Queue: the largest aggregate high-water mark is not
-// tracked directly, so this returns the sum of per-class marks — an upper
-// bound on the true aggregate peak, which is what buffer sizing needs.
-func (q *PriorityQueue) MaxBacklog() simtime.Size {
-	var b simtime.Size
-	for _, m := range q.maxSeen {
-		b += m
-	}
-	return b
-}
+// MaxBacklog implements Queue: the high-water mark of the TOTAL occupancy
+// (all classes together), tracked at every enqueue. Note this is NOT the
+// sum of the per-class marks (ClassMaxBacklog): each class peaks at its
+// own instant, so the sum only upper-bounds the true aggregate peak —
+// the distinction matters when the exported per-port number is validated
+// against an aggregate backlog bound.
+func (q *PriorityQueue) MaxBacklog() simtime.Size { return q.maxTotal }
 
 // ClassMaxBacklog returns the per-class high-water mark.
 func (q *PriorityQueue) ClassMaxBacklog(class int) simtime.Size { return q.maxSeen[class] }

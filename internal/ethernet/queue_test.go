@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/des"
 	"repro/internal/simtime"
 )
 
@@ -200,6 +201,56 @@ func TestPriorityBacklogAccounting(t *testing.T) {
 	}
 	if q.Len() != 2 {
 		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+// TestPriorityAggregateHighWater distinguishes the true total-occupancy
+// peak from the sum of per-class high-water marks: when the classes peak
+// at DIFFERENT instants, the sum overstates the aggregate peak, and
+// MaxBacklog must report the aggregate one (the number buffer validation
+// compares against an aggregate backlog bound).
+func TestPriorityAggregateHighWater(t *testing.T) {
+	q := NewPriorityQueue(0)
+	// Class 0 peaks alone, then drains; class 3 peaks alone afterwards.
+	u := frameOfSize(200, PCPOfClass(0))
+	q.Enqueue(u)
+	if q.Dequeue() != u {
+		t.Fatal("urgent frame not dequeued")
+	}
+	l := frameOfSize(100, PCPOfClass(3))
+	q.Enqueue(l)
+
+	sz := func(payload int) simtime.Size { return simtime.Bytes(payload + 22) }
+	sum := q.ClassMaxBacklog(0) + q.ClassMaxBacklog(3)
+	if want := sz(200) + sz(100); sum != want {
+		t.Fatalf("sum of class marks = %v, want %v", sum, want)
+	}
+	if got, want := q.MaxBacklog(), sz(200); got != want {
+		t.Errorf("aggregate high-water = %v, want %v (the larger solo peak)", got, want)
+	}
+	if q.MaxBacklog() >= sum {
+		t.Error("aggregate peak should be strictly below the sum of class marks here")
+	}
+}
+
+// TestSwitchPerPortCapacity: a per-port capacity override bounds exactly
+// its port; every other port keeps the switch-wide default.
+func TestSwitchPerPortCapacity(t *testing.T) {
+	sim := des.New(1)
+	sw := NewSwitch(sim, SwitchConfig{
+		Name:            "sw",
+		Kind:            QueueFCFS,
+		QueueCapacity:   simtime.Bytes(10_000),
+		QueueCapacities: map[int]simtime.Size{1: simtime.Bytes(100)},
+	})
+	sw.AttachPort(1, 10*simtime.Mbps, 0, func(*Frame) {})
+	sw.AttachPort(2, 10*simtime.Mbps, 0, func(*Frame) {})
+	big := &Frame{PayloadLen: 150}
+	if sw.OutputPort(1).Queue().Enqueue(big) {
+		t.Error("port 1 accepted a frame over its per-port capacity")
+	}
+	if !sw.OutputPort(2).Queue().Enqueue(big) {
+		t.Error("port 2 rejected a frame within the default capacity")
 	}
 }
 

@@ -47,6 +47,11 @@ type SwitchConfig struct {
 	// QueueCapacity is the byte capacity per output FIFO (per class for
 	// QueuePriority); 0 means unbounded.
 	QueueCapacity simtime.Size
+	// QueueCapacities optionally overrides QueueCapacity per output port
+	// (keyed by port id) — analysis-derived buffer dimensioning sizes each
+	// multiplexing point individually. Missing ports fall back to
+	// QueueCapacity.
+	QueueCapacities map[int]simtime.Size
 }
 
 // Switch is a full-duplex store-and-forward Ethernet switch: frames are
@@ -83,13 +88,18 @@ func NewSwitch(sim *des.Simulator, cfg SwitchConfig) *Switch {
 // Config returns the switch configuration.
 func (s *Switch) Config() SwitchConfig { return s.cfg }
 
-// newQueue builds one output queue per the configured kind.
-func (s *Switch) newQueue() Queue {
+// newQueue builds the output queue of port id per the configured kind,
+// honoring the per-port capacity override.
+func (s *Switch) newQueue(id int) Queue {
+	capacity := s.cfg.QueueCapacity
+	if c, ok := s.cfg.QueueCapacities[id]; ok {
+		capacity = c
+	}
 	switch s.cfg.Kind {
 	case QueueFCFS:
-		return NewFCFSQueue(s.cfg.QueueCapacity)
+		return NewFCFSQueue(capacity)
 	case QueuePriority:
-		return NewPriorityQueue(s.cfg.QueueCapacity)
+		return NewPriorityQueue(capacity)
 	default:
 		panic(fmt.Sprintf("ethernet: unknown queue kind %v", s.cfg.Kind))
 	}
@@ -105,7 +115,7 @@ func (s *Switch) AttachPort(id int, rate simtime.Rate, prop simtime.Duration, de
 	}
 	name := fmt.Sprintf("%s.port%d", s.cfg.Name, id)
 	p := &swPort{id: id}
-	p.out = NewPort(name, s.sim, s.newQueue(), rate, prop, deliver)
+	p.out = NewPort(name, s.sim, s.newQueue(id), rate, prop, deliver)
 	s.port[id] = p
 	return func(f *Frame) { s.receive(id, f) }
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
@@ -322,6 +324,83 @@ func (n *Network) AnalysisPlanes(def simtime.Rate) []analysis.Plane {
 		}
 	}
 	return planes
+}
+
+// EdgeKeys returns the canonical directed-edge keys of every queue of the
+// network, unqualified (no plane prefix), in deterministic order: station
+// uplinks ("nav->sw0") by station name, trunks ("sw0->sw1") in link order
+// (forward then reverse), destination ports ("sw0->nav") by station name.
+// These keys are the shared currency of analysis.EdgeBacklogs, the
+// simulator's observed high-water marks, and the scenario sim section's
+// queue_capacities_bytes.
+func (n *Network) EdgeKeys() []string {
+	stations := make([]string, 0, len(n.StationSwitch))
+	for s := range n.StationSwitch {
+		stations = append(stations, s)
+	}
+	sort.Strings(stations)
+	keys := make([]string, 0, 2*len(stations)+2*len(n.Links))
+	for _, s := range stations {
+		keys = append(keys, fmt.Sprintf("%s->sw%d", s, n.StationSwitch[s]))
+	}
+	for _, l := range n.Links {
+		keys = append(keys, fmt.Sprintf("sw%d->sw%d", l[0], l[1]), fmt.Sprintf("sw%d->sw%d", l[1], l[0]))
+	}
+	for _, s := range stations {
+		keys = append(keys, fmt.Sprintf("sw%d->%s", n.StationSwitch[s], s))
+	}
+	return keys
+}
+
+// PlaneKeyPrefix returns the "n<p>." queue-key prefix of plane p (empty
+// when the network has a single plane, whose keys are unqualified) —
+// matching the simulator's plane-qualified switch names.
+func PlaneKeyPrefix(p, planes int) string {
+	if planes > 1 {
+		return fmt.Sprintf("n%d.", p)
+	}
+	return ""
+}
+
+// SplitPlaneKey parses an optional "n<p>." plane prefix off a queue key
+// against the given plane count: it returns the plane index (0 when the
+// key is unqualified) and the bare edge key. ok is false when the key
+// carries a prefix naming a plane outside [0, planes) — including any
+// prefix at all on a single-plane network, whose keys are never
+// qualified. This is the single parser of the prefix grammar; every
+// consumer (scenario validation, bound lookup) goes through it.
+func SplitPlaneKey(key string, planes int) (plane int, bare string, ok bool) {
+	if strings.HasPrefix(key, "n") {
+		if dot := strings.Index(key, "."); dot > 1 {
+			if p, err := strconv.Atoi(key[1:dot]); err == nil {
+				// Only the canonical spelling resolves: "n01." or "n+1."
+				// would pass Atoi but never match the "n<p>." keys the
+				// simulator writes and reads, so a capacity under such a
+				// key would be silently ignored — reject it here instead.
+				if planes <= 1 || p < 0 || p >= planes || strconv.Itoa(p) != key[1:dot] {
+					return 0, key, false
+				}
+				return p, key[dot+1:], true
+			}
+		}
+	}
+	return 0, key, true
+}
+
+// ValidQueueKey reports whether key names a queue of this network: a
+// directed-edge key from EdgeKeys, optionally carrying the plane prefix
+// "n<p>." of a redundant network ("n1.sw0->mc").
+func (n *Network) ValidQueueKey(key string) bool {
+	_, bare, ok := SplitPlaneKey(key, n.PlaneCount())
+	if !ok {
+		return false
+	}
+	for _, k := range n.EdgeKeys() {
+		if k == bare {
+			return true
+		}
+	}
+	return false
 }
 
 // NextHops returns (building once, then cached) the static routing table:

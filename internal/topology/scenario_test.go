@@ -253,3 +253,75 @@ func TestTemplate(t *testing.T) {
 		t.Error("unknown family accepted")
 	}
 }
+
+// TestEdgeKeys pins the directed-edge key enumeration — the currency
+// shared by the backlog bounds, the simulator's observed marks, and the
+// sim section's queue_capacities_bytes.
+func TestEdgeKeys(t *testing.T) {
+	n := heteroDualConfig().Network
+	want := []string{
+		"ew->sw1", "mc->sw0", "nav->sw0", "radar->sw1",
+		"sw0->sw1", "sw1->sw0",
+		"sw1->ew", "sw0->mc", "sw0->nav", "sw1->radar",
+	}
+	got := n.EdgeKeys()
+	if len(got) != len(want) {
+		t.Fatalf("EdgeKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EdgeKeys[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, key := range append(want, "n0.sw0->mc", "n1.ew->sw1") {
+		if !n.ValidQueueKey(key) {
+			t.Errorf("valid key %q rejected", key)
+		}
+	}
+	for _, key := range []string{"sw0->radar", "mc->sw1", "sw1->sw2", "n2.sw0->mc", "n-1.sw0->mc",
+		"n01.sw0->mc", "n+1.sw0->mc", "bogus", ""} {
+		if n.ValidQueueKey(key) {
+			t.Errorf("bogus key %q accepted", key)
+		}
+	}
+	// Plane prefixes are only meaningful on redundant networks.
+	single := Star([]string{"a", "b"})
+	if single.ValidQueueKey("n0.a->sw0") {
+		t.Error("plane-qualified key accepted on a single-plane network")
+	}
+	if !single.ValidQueueKey("a->sw0") {
+		t.Error("bare key rejected on a single-plane network")
+	}
+}
+
+// TestQueueCapacitiesRoundTrip: the sim section's per-port capacity map
+// survives the JSON round trip byte-for-byte and rejects negatives.
+func TestQueueCapacitiesRoundTrip(t *testing.T) {
+	cfg := heteroDualConfig()
+	cfg.Sim.QueueCapacitiesBytes = map[string]int{
+		"sw0->mc": 290, "n1.sw1->ew": 91, "mc->sw0": 0,
+	}
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, `"queue_capacities_bytes"`) {
+		t.Fatalf("capacities not serialized:\n%s", doc)
+	}
+	loaded, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if doc != again.String() {
+		t.Error("queue_capacities_bytes round trip lossy")
+	}
+	cfg.Sim.QueueCapacitiesBytes = map[string]int{"sw0->mc": -1}
+	if err := cfg.Sim.Validate(); err == nil {
+		t.Error("negative per-port capacity accepted")
+	}
+}

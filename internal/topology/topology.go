@@ -60,6 +60,14 @@ type SimJSON struct {
 	AlignPhases *bool `json:"align_phases,omitempty"`
 	// QueueCapacityBytes bounds every queue (0 = unbounded).
 	QueueCapacityBytes int `json:"queue_capacity_bytes,omitempty"`
+	// QueueCapacitiesBytes bounds individual queues, keyed by the
+	// directed edge owning the queue: "nav->sw0" (station uplink),
+	// "sw0->sw1" (trunk output port), "sw0->mc" (destination port), with
+	// an optional "n<p>." plane prefix on redundant networks. More
+	// specific wins: plane-qualified key, then bare key, then the global
+	// queue_capacity_bytes. This is the per-port dimensioning that
+	// `rtether backlog -dimension` derives from the backlog bounds.
+	QueueCapacitiesBytes map[string]int `json:"queue_capacities_bytes,omitempty"`
 	// SkewMaxUs is the ARINC 664 integrity-checking acceptance window on
 	// redundant networks, in microseconds: after the first copy of a frame
 	// is delivered, duplicates arriving within the window are healthy
@@ -101,6 +109,11 @@ func (s *SimJSON) Validate() error {
 	}
 	if s.QueueCapacityBytes < 0 {
 		return fmt.Errorf("topology: sim: negative queue capacity %d", s.QueueCapacityBytes)
+	}
+	for key, c := range s.QueueCapacitiesBytes {
+		if c < 0 {
+			return fmt.Errorf("topology: sim: negative capacity %d for queue %q", c, key)
+		}
 	}
 	if s.SkewMaxUs < 0 {
 		return fmt.Errorf("topology: sim: negative skew_max %d", s.SkewMaxUs)
@@ -221,10 +234,13 @@ func LoadFile(path string) (*Config, error) {
 	return Load(f)
 }
 
-// Save writes the scenario as indented JSON.
+// Save writes the scenario as indented JSON. HTML escaping is off so the
+// directed-edge keys of queue_capacities_bytes print as "sw0->mc", not
+// "sw0-\u003emc" — these files are edited by hand, never served.
 func (c *Config) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
 	return enc.Encode(c)
 }
 

@@ -69,6 +69,15 @@ type (
 	PathBound = analysis.PathBound
 	// FlowSpec is a connection reduced to its (bᵢ, rᵢ) shape.
 	FlowSpec = analysis.FlowSpec
+	// EdgeBacklog is the backlog bound of one directed edge's queue.
+	EdgeBacklog = analysis.EdgeBacklog
+	// NetworkBacklogs is the per-plane buffer dimensioning of a network
+	// (Scenario.Backlogs); its Capacities feed the sim section's
+	// queue_capacities_bytes and SimConfig.QueueCapacities.
+	NetworkBacklogs = core.NetworkBacklogs
+	// BacklogVerdict summarizes observed queue high-water marks against
+	// the per-edge backlog bounds.
+	BacklogVerdict = core.BacklogVerdict
 )
 
 // Scenario is the single currency of the system: one configured avionics
