@@ -99,16 +99,28 @@ type EdgeBacklogResult struct {
 	// station name, trunks by link index (forward then reverse direction),
 	// destination ports by station name.
 	Edges []EdgeBacklog
+
+	// index maps edge keys to Edges positions, built on first ByKey —
+	// lookups over the whole table (capacity derivation, bound resolution
+	// per simulated queue) would otherwise rescan Edges per query.
+	index map[string]int
 }
 
-// ByKey returns the edge with the given key.
+// ByKey returns the edge with the given key. The first call indexes the
+// table; callers that append to Edges afterwards must not rely on ByKey
+// seeing the additions.
 func (r *EdgeBacklogResult) ByKey(key string) (EdgeBacklog, bool) {
-	for _, e := range r.Edges {
-		if e.Key() == key {
-			return e, true
+	if r.index == nil {
+		r.index = make(map[string]int, len(r.Edges))
+		for i, e := range r.Edges {
+			r.index[e.Key()] = i
 		}
 	}
-	return EdgeBacklog{}, false
+	i, ok := r.index[key]
+	if !ok {
+		return EdgeBacklog{}, false
+	}
+	return r.Edges[i], true
 }
 
 // SwitchTotal sums the bounds of the switch-resident queues of one switch

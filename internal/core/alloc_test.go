@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestSteadyStateZeroAlloc is the allocation-regression gate for the hot
+// loop: after a warm-up window, advancing virtual time must not allocate at
+// all — frames, metadata records, event records, latency samples and dedup
+// slots all come from pools or presized buffers. A regression here means a
+// per-frame allocation crept back into the simulate path.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name     string
+		approach analysis.Approach
+		planes   int
+	}{
+		{"star-priority", analysis.Priority, 1},
+		{"star-fcfs", analysis.FCFS, 1},
+		{"dual-priority", analysis.Priority, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			set := traffic.RealCase()
+			cfg := DefaultSimConfig(tc.approach)
+			// The horizon must cover everything this test advances: the
+			// presized dedup/latency buffers are dimensioned from it.
+			cfg.Horizon = 5 * simtime.Second
+			cfg.CollectLatencies = true
+			topo := topology.Star(set.Stations())
+			if tc.planes > 1 {
+				topo = topology.Redundify(topo, tc.planes)
+			}
+			ns, err := NewNetworkSim(set, cfg, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: grow every pool, ring and queue to its steady size.
+			// Long enough that even slow-period connections have released
+			// several instances and their paths' rings reached full depth.
+			ns.Advance(1500 * simtime.Millisecond)
+			// AllocsPerRun runs the function once extra as its own warm-up.
+			avg := testing.AllocsPerRun(10, func() {
+				ns.Advance(50 * simtime.Millisecond)
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Advance allocated %.1f times per 50ms window, want 0", avg)
+			}
+			if _, err := ns.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateAdvance measures the hot loop alone: one warmed-up
+// simulation advanced window by window, no setup or teardown in the timed
+// region. Run with -benchmem: the B/op and allocs/op columns are the
+// allocation-regression signal CI watches (steady state must stay at — or
+// within rounding of — zero).
+func BenchmarkSteadyStateAdvance(b *testing.B) {
+	set := traffic.RealCase()
+	cfg := DefaultSimConfig(analysis.Priority)
+	// Horizon only dimensions presized buffers here — the sources run for
+	// as long as the loop below keeps advancing. Latency collection stays
+	// off so running past the horizon cannot grow a histogram mid-timing.
+	ns, err := NewNetworkSim(set, cfg, topology.Star(set.Stations()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns.Advance(1500 * simtime.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns.Advance(10 * simtime.Millisecond)
+	}
+}

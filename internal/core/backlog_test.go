@@ -299,3 +299,34 @@ func TestScenarioRejectsUnknownCapacityKey(t *testing.T) {
 		t.Errorf("capacity not bound: %v", got)
 	}
 }
+
+// BenchmarkEdgeBacklogLookup measures resolving every observed queue of the
+// 94-connection dual real case back to its per-edge bound, plus deriving
+// the capacity map — the two consumers of EdgeBacklogResult.ByKey. The
+// table is indexed on first lookup; this guards the lookup path against
+// sliding back to a per-query scan of the edge table.
+func BenchmarkEdgeBacklogLookup(b *testing.B) {
+	set := traffic.RealCase()
+	net := topology.Redundify(topology.Star(set.Stations()), 2)
+	cfg := DefaultSimConfig(analysis.Priority)
+	bl, err := EdgeBacklogs(net, set, cfg.AnalysisConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 0, len(bl.Planes)*len(bl.Planes[0].Edges))
+	for _, ke := range bl.Ordered() {
+		keys = append(keys, ke.Key)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, key := range keys {
+			if _, ok := bl.Bound(key); !ok {
+				b.Fatalf("key %q lost", key)
+			}
+		}
+		if caps := bl.Capacities(); len(caps) == 0 {
+			b.Fatal("no capacities derived")
+		}
+	}
+}

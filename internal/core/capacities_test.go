@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// capSet is a minimal two-station workload for capacity-resolution tests —
+// no scenario JSON involved, the precedence rules are exercised on
+// SimConfig directly.
+func capSet() *traffic.Set {
+	return &traffic.Set{Messages: []*traffic.Message{
+		{Name: "a/x", Source: "a", Dest: "b", Kind: traffic.Periodic,
+			Period: 20 * simtime.Millisecond, Payload: simtime.Bytes(100),
+			Deadline: 20 * simtime.Millisecond, Priority: traffic.P1},
+		{Name: "b/y", Source: "b", Dest: "a", Kind: traffic.Periodic,
+			Period: 20 * simtime.Millisecond, Payload: simtime.Bytes(100),
+			Deadline: 20 * simtime.Millisecond, Priority: traffic.P1},
+	}}
+}
+
+// resolvedCapacity builds the simulation and reads back the capacity the
+// constructor resolved for one switch output queue (port id = the
+// transmitting edge's interned id) on one plane.
+func resolvedCapacity(t *testing.T, cfg SimConfig, topo *topology.Network, plane int, edgeKey string) simtime.Size {
+	t.Helper()
+	ns, err := NewNetworkSim(capSet(), cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Finish()
+	id, ok := topo.EdgeByKey(edgeKey)
+	if !ok {
+		t.Fatalf("no edge %q", edgeKey)
+	}
+	for _, sw := range ns.sws[plane] {
+		for _, pid := range sw.PortIDs() {
+			if pid != int(id) {
+				continue
+			}
+			// Mirror the switch's own fallback: a per-port entry if the
+			// constructor resolved one, its global capacity otherwise.
+			swCfg := sw.Config()
+			if c, ok := swCfg.QueueCapacities[pid]; ok {
+				return c
+			}
+			return swCfg.QueueCapacity
+		}
+	}
+	t.Fatalf("edge %q owned by no switch of plane %d", edgeKey, plane)
+	return 0
+}
+
+// TestQueueCapacityPrecedence pins the documented resolution order of
+// SimConfig.QueueCapacities for every queue of the network: the most
+// specific key wins (plane-qualified, then bare, then the global
+// QueueCapacity), and a PRESENT key overrides the default even when its
+// value is 0 — zero means "explicitly unbounded", not "unset".
+func TestQueueCapacityPrecedence(t *testing.T) {
+	const global = simtime.Size(4000)
+	dual := func() *topology.Network {
+		return topology.Redundify(topology.Star([]string{"a", "b"}), 2)
+	}
+	single := func() *topology.Network { return topology.Star([]string{"a", "b"}) }
+
+	cases := []struct {
+		name  string
+		caps  map[string]simtime.Size
+		topo  *topology.Network
+		plane int
+		key   string
+		want  simtime.Size
+	}{
+		{name: "global-default", caps: nil,
+			topo: single(), key: "sw0->b", want: global},
+		{name: "bare-overrides-global", caps: map[string]simtime.Size{"sw0->b": 1200},
+			topo: single(), key: "sw0->b", want: 1200},
+		{name: "bare-at-zero-is-explicitly-unbounded", caps: map[string]simtime.Size{"sw0->b": 0},
+			topo: single(), key: "sw0->b", want: 0},
+		{name: "other-keys-leave-default", caps: map[string]simtime.Size{"sw0->a": 1200},
+			topo: single(), key: "sw0->b", want: global},
+		{name: "bare-applies-to-every-plane", caps: map[string]simtime.Size{"sw0->b": 1200},
+			topo: dual(), plane: 1, key: "sw0->b", want: 1200},
+		{name: "plane-overrides-bare", caps: map[string]simtime.Size{"sw0->b": 1200, "n1.sw0->b": 800},
+			topo: dual(), plane: 1, key: "sw0->b", want: 800},
+		{name: "plane-override-leaves-other-plane", caps: map[string]simtime.Size{"sw0->b": 1200, "n1.sw0->b": 800},
+			topo: dual(), plane: 0, key: "sw0->b", want: 1200},
+		{name: "plane-overrides-global-without-bare", caps: map[string]simtime.Size{"n0.sw0->b": 800},
+			topo: dual(), plane: 0, key: "sw0->b", want: 800},
+		{name: "plane-at-zero-is-explicitly-unbounded", caps: map[string]simtime.Size{"sw0->b": 1200, "n0.sw0->b": 0},
+			topo: dual(), plane: 0, key: "sw0->b", want: 0},
+		{name: "plane-prefix-ignored-on-single-plane", caps: map[string]simtime.Size{"n0.sw0->b": 800},
+			topo: single(), key: "sw0->b", want: global},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultSimConfig(analysis.Priority)
+			cfg.QueueCapacity = global
+			cfg.QueueCapacities = tc.caps
+			if got := resolvedCapacity(t, cfg, tc.topo, tc.plane, tc.key); got != tc.want {
+				t.Errorf("%s plane %d: resolved %v, want %v", tc.key, tc.plane, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueueCapacityUplinkPrecedence checks the same resolver feeds station
+// uplink queues, observably: an uplink explicitly unbounded at 0 carries a
+// burst that the global capacity would have dropped.
+func TestQueueCapacityUplinkPrecedence(t *testing.T) {
+	set := capSet()
+	run := func(caps map[string]simtime.Size) *SimResult {
+		t.Helper()
+		cfg := DefaultSimConfig(analysis.FCFS)
+		cfg.Horizon = 100 * simtime.Millisecond
+		// Babbling bursts of unshaped copies overflow a one-frame uplink.
+		cfg.Babbler = "a/x"
+		cfg.BabbleFactor = 8
+		cfg.BypassShapers = true
+		cfg.QueueCapacity = 150 // bytes: one padded frame fits, two do not
+		cfg.QueueCapacities = caps
+		res, err := SimulateNetwork(set, cfg, topology.Star(set.Stations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bounded := run(nil)
+	if bounded.Dropped == 0 {
+		t.Fatal("global one-frame capacity dropped nothing — burst assumption broken")
+	}
+	unbounded := run(map[string]simtime.Size{"a->sw0": 0})
+	if unbounded.Dropped >= bounded.Dropped {
+		t.Errorf("uplink key at 0 did not lift the bound: %d dropped vs %d with global capacity",
+			unbounded.Dropped, bounded.Dropped)
+	}
+}

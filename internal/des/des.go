@@ -18,7 +18,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/simtime"
@@ -30,12 +29,19 @@ type Handler func()
 
 // event is a scheduled callback.
 type event struct {
-	at    simtime.Time
-	seq   uint64 // tie-break: FIFO among equal timestamps
-	fn    Handler
-	index int // heap index, -1 once popped or canceled
-	// gen increments every time the record is recycled onto the free
-	// list, invalidating any EventRef still pointing at it.
+	at  simtime.Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  Handler
+	// idx is the record's permanent slot in its Pool's record table; heap
+	// nodes address records by this index so the heap itself stays free
+	// of pointers (the GC neither scans nor write-barriers sift moves).
+	idx int32
+	// canceled marks a record whose event was withdrawn while still in
+	// the heap; the scheduler discards it when it surfaces (lazy
+	// deletion, so the sift routines never have to track heap indices).
+	canceled bool
+	// gen increments whenever the record's event dies — fired, canceled,
+	// or recycled — invalidating any EventRef still pointing at it.
 	gen uint64
 }
 
@@ -47,36 +53,103 @@ type EventRef struct {
 }
 
 // Valid reports whether the reference points at a still-pending event.
-func (r EventRef) Valid() bool { return r.ev != nil && r.gen == r.ev.gen && r.ev.index >= 0 }
+func (r EventRef) Valid() bool { return r.ev != nil && r.gen == r.ev.gen }
 
-// eventQueue is a binary heap ordered by (time, sequence).
-type eventQueue []*event
+// eventQueue is a 4-ary heap ordered by (time, sequence), hand-rolled
+// instead of container/heap: the scheduler is the single hottest loop of
+// every simulation, and the direct sift routines avoid the interface
+// dispatch and swap-by-index indirection of the generic heap (the wider
+// node halves the sift-down depth and keeps siblings on one cache line).
+// Heap nodes carry (at, seq) by value so sift comparisons never chase the
+// *event pointer — the event record is touched only on push and pop.
+// Because (at, seq) is a strict total order (seq is unique), the pop
+// order is exactly sorted order for any correct heap, so swapping
+// implementations cannot change a simulation's event trace.
+type eventQueue struct {
+	ev []heapNode
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// heapNode is one heap slot: the ordering key inline plus the record's
+// pool index. The node is deliberately pointer-free.
+type heapNode struct {
+	at  simtime.Time
+	seq uint64
+	idx int32
+}
+
+// arity is the heap fan-out.
+const arity = 4
+
+func nodeLess(a, b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push appends ev and sifts it up to its heap position.
+func (q *eventQueue) push(ev *event) {
+	i := len(q.ev)
+	q.ev = append(q.ev, heapNode{at: ev.at, seq: ev.seq, idx: ev.idx})
+	q.up(i)
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+
+// pop removes and returns the pool index of the earliest event.
+//
+// It uses the bottom-up deletion strategy: sink the root hole to a leaf
+// following the smallest child (child-only comparisons), then place the
+// former last element into the hole and sift it up. The displaced last
+// element is almost always near-maximal — periodic re-arms land in the
+// far future — so the up-pass terminates immediately, saving the
+// per-level "new element vs child" comparison of the classic sift-down.
+func (q *eventQueue) pop() int32 {
+	idx := q.ev[0].idx
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev = q.ev[:n]
+	if n > 0 {
+		// Sink the hole at the root to a leaf along min-children.
+		i := 0
+		for {
+			first := arity*i + 1
+			if first >= n {
+				break
+			}
+			end := first + arity
+			if end > n {
+				end = n
+			}
+			best := first
+			for c := first + 1; c < end; c++ {
+				if nodeLess(q.ev[c], q.ev[best]) {
+					best = c
+				}
+			}
+			q.ev[i] = q.ev[best]
+			i = best
+		}
+		// Drop the last element into the leaf hole and restore order.
+		q.ev[i] = last
+		q.up(i)
+	}
+	return idx
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+
+// up sifts the node at position i toward the root.
+func (q *eventQueue) up(i int) {
+	nd := q.ev[i]
+	for i > 0 {
+		parent := (i - 1) / arity
+		p := q.ev[parent]
+		if !nodeLess(nd, p) {
+			break
+		}
+		q.ev[i] = p
+		i = parent
+	}
+	q.ev[i] = nd
 }
 
 // Simulator owns the virtual clock and the pending event set. It is not safe
@@ -88,21 +161,66 @@ type Simulator struct {
 	queue   eventQueue
 	nextSeq uint64
 	rng     *RNG
-	// free is the pool of recycled event records.
-	free []*event
+	// pool holds the free list of recycled event records; it may be
+	// shared across sequential simulator lifetimes (NewWithPool).
+	pool *Pool
 	// pending counts scheduled, not-yet-delivered events (kept live so
 	// Pending is O(1)).
 	pending int
+	// canceledInHeap counts lazily-canceled records still waiting in the
+	// heap, so the hot scheduling path skips the cancellation check
+	// entirely while it is zero (the overwhelmingly common state).
+	canceledInHeap int
 	// executed counts delivered events, for progress reporting and tests.
 	executed uint64
 	// tracer, if non-nil, observes every delivered event.
 	tracer func(at simtime.Time)
 }
 
+// Pool is a free list of event records that can outlive one Simulator:
+// a sweep worker running thousands of short simulations back to back
+// hands the same Pool to each, so the event records warmed up by one run
+// are reused by the next instead of being re-allocated from a cold heap.
+// A Pool is not safe for concurrent use — it belongs to one worker, like
+// the Simulator itself.
+type Pool struct {
+	// recs is the permanent record table: event idx → record. Records
+	// are never freed, only returned to the free list.
+	recs []*event
+	// free holds the pool indices of recycled records.
+	free []int32
+}
+
+// get takes a free record, or allocates and registers a fresh one.
+func (p *Pool) get() *event {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		return p.recs[idx]
+	}
+	ev := &event{idx: int32(len(p.recs))}
+	p.recs = append(p.recs, ev)
+	return ev
+}
+
 // New creates a simulator with its clock at the epoch and a deterministic
 // random number generator derived from seed.
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+	return NewWithPool(seed, nil)
+}
+
+// NewWithPool creates a simulator drawing event records from the given
+// shared pool (nil gets a private pool, equivalent to New).
+func NewWithPool(seed uint64, pool *Pool) *Simulator {
+	if pool == nil {
+		pool = &Pool{}
+	}
+	s := &Simulator{rng: NewRNG(seed), pool: pool}
+	// Presize the heap so warm-up pushes don't walk the append doubling
+	// chain; 256 nodes comfortably covers the pending-event peaks of the
+	// built-in scenarios (~160) in one allocation.
+	s.queue.ev = make([]heapNode, 0, 256)
+	return s
 }
 
 // Now returns the current virtual time.
@@ -121,25 +239,15 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // event. Passing nil removes the hook.
 func (s *Simulator) SetTracer(fn func(at simtime.Time)) { s.tracer = fn }
 
-// alloc takes an event record from the free list, or heap-allocates the
-// pool's next record.
-func (s *Simulator) alloc() *event {
-	if n := len(s.free); n > 0 {
-		ev := s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		return ev
-	}
-	return &event{}
-}
+// alloc takes an event record from the pool.
+func (s *Simulator) alloc() *event { return s.pool.get() }
 
 // recycle invalidates every outstanding reference to ev and returns the
 // record to the free list.
 func (s *Simulator) recycle(ev *event) {
 	ev.fn = nil
-	ev.index = -1
 	ev.gen++
-	s.free = append(s.free, ev)
+	s.pool.free = append(s.pool.free, ev.idx)
 }
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
@@ -157,7 +265,7 @@ func (s *Simulator) At(at simtime.Time, fn Handler) EventRef {
 	ev.seq = s.nextSeq
 	ev.fn = fn
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 	s.pending++
 	return EventRef{ev: ev, gen: ev.gen}
 }
@@ -172,22 +280,43 @@ func (s *Simulator) After(d simtime.Duration, fn Handler) EventRef {
 
 // Cancel withdraws a pending event. Canceling an already-fired or
 // already-canceled event is a no-op so model code can cancel defensively.
+// Cancellation is lazy: the record is marked dead and discarded when it
+// reaches the top of the heap, so the sift routines never maintain heap
+// indices. The record rejoins the free list only once it surfaces.
 func (s *Simulator) Cancel(r EventRef) {
 	if !r.Valid() {
 		return
 	}
-	heap.Remove(&s.queue, r.ev.index)
+	r.ev.canceled = true
+	r.ev.fn = nil
+	r.ev.gen++ // invalidate outstanding references immediately
 	s.pending--
-	s.recycle(r.ev)
+	s.canceledInHeap++
+}
+
+// drainCanceled discards lazily-canceled records sitting at the heap root
+// so the earliest live event (if any) is at position 0. While no cancels
+// are outstanding it is a single counter check.
+func (s *Simulator) drainCanceled() {
+	if s.canceledInHeap == 0 {
+		return
+	}
+	for len(s.queue.ev) > 0 && s.pool.recs[s.queue.ev[0].idx].canceled {
+		ev := s.pool.recs[s.queue.pop()]
+		ev.canceled = false
+		s.canceledInHeap--
+		s.recycle(ev)
+	}
 }
 
 // Step delivers the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	s.drainCanceled()
+	if s.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*event)
+	ev := s.pool.recs[s.queue.pop()]
 	s.pending--
 	s.now = ev.at
 	s.executed++
@@ -213,7 +342,11 @@ func (s *Simulator) Run() {
 // clock to exactly deadline. Events scheduled beyond the deadline remain
 // pending; a subsequent RunUntil may deliver them.
 func (s *Simulator) RunUntil(deadline simtime.Time) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for {
+		s.drainCanceled()
+		if s.queue.len() == 0 || s.queue.ev[0].at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {

@@ -108,6 +108,11 @@ type Frame struct {
 	// release time) through queues and links; it is not part of the wire
 	// format.
 	Meta any
+
+	// gen and pooled are FramePool bookkeeping (see pool.go): gen counts
+	// recycles, pooled marks a frame currently on a free list.
+	gen    uint64
+	pooled bool
 }
 
 // Validate checks structural invariants.

@@ -38,9 +38,30 @@ type Port struct {
 	transmitting bool
 	stats        PortStats
 
+	// inflight is the FIFO of frames serialized but not yet delivered.
+	// Deliveries are FIFO per port — frame n+1 starts serializing only
+	// after frame n's serialization (plus IFG) ends, and both cross the
+	// same fixed propagation delay — so the pre-bound deliverFn handler
+	// always consumes the head, and kick schedules no per-frame closure.
+	inflight []portInflight
+	infHead  int
+	// curBytes/curBusy stage the transmitter counters of the single
+	// outstanding transmission for the pre-bound txDoneFn handler.
+	curBytes  int
+	curBusy   simtime.Duration
+	deliverFn des.Handler
+	txDoneFn  des.Handler
+
 	// OnDepart, if set, observes every frame with its transmission start
 	// and the instant its last bit arrives at the far end.
 	OnDepart func(f *Frame, start, delivered simtime.Time)
+
+	// OnDiscard, if set, observes every frame this port destroys: dropped
+	// by the queue at Send, or corrupted by the bit-error model. It is the
+	// frame's end of life — a pooled simulation releases it here. Note it
+	// fires inside Send on a drop, before Send returns false, so callers
+	// must not touch the frame after a failed Send.
+	OnDiscard func(*Frame)
 
 	// ber is the residual bit-error rate of the medium; corrupted frames
 	// fail the receiver's FCS check and are discarded silently, exactly
@@ -92,7 +113,22 @@ func NewPort(name string, sim *des.Simulator, queue Queue, rate simtime.Rate, pr
 	case deliver == nil:
 		panic("ethernet: nil deliver")
 	}
-	return &Port{name: name, sim: sim, queue: queue, rate: rate, prop: prop, deliver: deliver}
+	p := &Port{name: name, sim: sim, queue: queue, rate: rate, prop: prop, deliver: deliver}
+	// Bind the two event handlers once; kick reuses them for every frame
+	// instead of allocating a pair of closures per transmission.
+	p.deliverFn = p.deliverHead
+	p.txDoneFn = p.txDone
+	// Presize the in-flight ring past its compaction threshold so the
+	// steady state is reached in one allocation instead of a doubling
+	// chain.
+	p.inflight = make([]portInflight, 0, 12)
+	return p
+}
+
+// portInflight is one serialized-but-undelivered frame.
+type portInflight struct {
+	f     *Frame
+	start simtime.Time
 }
 
 // Name returns the port's name (for traces and error messages).
@@ -108,16 +144,24 @@ func (p *Port) Queue() Queue { return p.queue }
 func (p *Port) Stats() PortStats { return p.stats }
 
 // Send enqueues a frame for transmission, returning false if the queue
-// dropped it. Transmission begins immediately if the serializer is idle.
+// dropped it (after handing it to OnDiscard). Transmission begins
+// immediately if the serializer is idle.
 func (p *Port) Send(f *Frame) bool {
 	if !p.queue.Enqueue(f) {
+		if p.OnDiscard != nil {
+			p.OnDiscard(f)
+		}
 		return false
 	}
 	p.kick()
 	return true
 }
 
-// kick starts the transmitter if it is idle and work is pending.
+// kick starts the transmitter if it is idle and work is pending. The two
+// events it schedules — delivery at serialize+prop, transmitter release at
+// serialize+IFG — reuse the port's pre-bound handlers; the per-frame state
+// rides in the inflight FIFO and the curBytes/curBusy staging fields, so
+// the steady-state transmission path allocates nothing.
 func (p *Port) kick() {
 	if p.transmitting {
 		return
@@ -127,31 +171,52 @@ func (p *Port) kick() {
 		return
 	}
 	p.transmitting = true
-	start := p.sim.Now()
 
 	serialize := simtime.TransmissionTime(simtime.Bytes(PreambleBytes+f.FrameBytes()), p.rate)
 	ifg := simtime.TransmissionTime(simtime.Bytes(InterFrameGapBytes), p.rate)
 
 	// Last bit hits the far end after serialization plus propagation.
-	p.sim.After(serialize+p.prop, func() {
-		if p.corrupted(f) {
-			p.Corrupted++
-			return // receiver FCS check fails; frame vanishes
-		}
-		if p.OnDepart != nil {
-			p.OnDepart(f, start, p.sim.Now())
-		}
-		p.deliver(f)
-	})
+	p.inflight = append(p.inflight, portInflight{f: f, start: p.sim.Now()})
+	p.sim.After(serialize+p.prop, p.deliverFn)
 	// The transmitter is busy for the serialization plus the mandatory
 	// inter-frame gap, then picks up the next frame.
-	p.sim.After(serialize+ifg, func() {
-		p.stats.Sent++
-		p.stats.SentBytes += f.FrameBytes()
-		p.stats.BusyTime += serialize + ifg
-		p.transmitting = false
-		p.kick()
-	})
+	p.curBytes = f.FrameBytes()
+	p.curBusy = serialize + ifg
+	p.sim.After(serialize+ifg, p.txDoneFn)
+}
+
+// deliverHead completes the oldest in-flight frame: the bit-error draw,
+// the departure hook, and delivery to the far end.
+func (p *Port) deliverHead() {
+	e := p.inflight[p.infHead]
+	p.inflight[p.infHead] = portInflight{}
+	p.infHead++
+	// Compact occasionally so memory does not grow with total throughput.
+	if p.infHead > 8 && p.infHead*2 >= len(p.inflight) {
+		n := copy(p.inflight, p.inflight[p.infHead:])
+		p.inflight = p.inflight[:n]
+		p.infHead = 0
+	}
+	if p.corrupted(e.f) {
+		p.Corrupted++
+		if p.OnDiscard != nil {
+			p.OnDiscard(e.f)
+		}
+		return // receiver FCS check fails; frame vanishes
+	}
+	if p.OnDepart != nil {
+		p.OnDepart(e.f, e.start, p.sim.Now())
+	}
+	p.deliver(e.f)
+}
+
+// txDone retires the outstanding transmission and starts the next one.
+func (p *Port) txDone() {
+	p.stats.Sent++
+	p.stats.SentBytes += p.curBytes
+	p.stats.BusyTime += p.curBusy
+	p.transmitting = false
+	p.kick()
 }
 
 // Busy reports whether the serializer is mid-frame (or mid-IFG).

@@ -62,6 +62,15 @@ type fifo struct {
 	backlog simtime.Size
 }
 
+// presize allocates the ring eagerly so a port first used long after
+// start-up does not walk the append doubling chain mid-simulation — the
+// allocation-free steady state must cover rarely-active connections too.
+func (q *fifo) presize(n int) {
+	if cap(q.frames) < n {
+		q.frames = make([]*Frame, 0, n)
+	}
+}
+
 func (q *fifo) push(f *Frame) {
 	q.frames = append(q.frames, f)
 	q.backlog += simtime.Bytes(f.FrameBytes())
@@ -77,7 +86,7 @@ func (q *fifo) pop() *Frame {
 	q.head++
 	q.backlog -= simtime.Bytes(f.FrameBytes())
 	// Compact occasionally so memory does not grow with total throughput.
-	if q.head > 64 && q.head*2 >= len(q.frames) {
+	if q.head > 8 && q.head*2 >= len(q.frames) {
 		n := copy(q.frames, q.frames[q.head:])
 		q.frames = q.frames[:n]
 		q.head = 0
@@ -99,7 +108,9 @@ func NewFCFSQueue(capacity simtime.Size) *FCFSQueue {
 	if capacity < 0 {
 		panic("ethernet: negative capacity")
 	}
-	return &FCFSQueue{capacity: capacity}
+	q := &FCFSQueue{capacity: capacity}
+	q.q.presize(16)
+	return q
 }
 
 // Enqueue implements Queue.
@@ -155,7 +166,11 @@ func NewPriorityQueue(perClassCapacity simtime.Size) *PriorityQueue {
 	if perClassCapacity < 0 {
 		panic("ethernet: negative capacity")
 	}
-	return &PriorityQueue{capacity: perClassCapacity}
+	q := &PriorityQueue{capacity: perClassCapacity}
+	for c := range q.classes {
+		q.classes[c].presize(16)
+	}
+	return q
 }
 
 // Enqueue implements Queue, classifying by the frame's PCP. Untagged

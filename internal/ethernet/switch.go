@@ -64,9 +64,23 @@ type Switch struct {
 	port map[int]*swPort
 	fdb  map[Addr]int
 
+	// relay is the FIFO of frames crossing the fabric. Every crossing
+	// takes exactly RelayLatency, so relay completions fire in submission
+	// order and the single pre-bound relayFn handler always consumes the
+	// head — no per-frame closure.
+	relay     []relayEntry
+	relayHead int
+	relayFn   des.Handler
+
 	// Flooded counts frames replicated to all ports for lack of an FDB
 	// entry (or broadcast destination).
 	Flooded int
+}
+
+// relayEntry is one frame mid-fabric, bound for an output port.
+type relayEntry struct {
+	f   *Frame
+	out *Port
 }
 
 type swPort struct {
@@ -82,7 +96,12 @@ func NewSwitch(sim *des.Simulator, cfg SwitchConfig) *Switch {
 	if cfg.RelayLatency < 0 {
 		panic(fmt.Sprintf("ethernet: negative relay latency %v", cfg.RelayLatency))
 	}
-	return &Switch{cfg: cfg, sim: sim, port: map[int]*swPort{}, fdb: map[Addr]int{}}
+	s := &Switch{cfg: cfg, sim: sim, port: map[int]*swPort{}, fdb: map[Addr]int{}}
+	s.relayFn = s.relayPop
+	// Presize the relay ring past its compaction threshold so the steady
+	// state is reached in one allocation.
+	s.relay = make([]relayEntry, 0, 16)
+	return s
 }
 
 // Config returns the switch configuration.
@@ -141,13 +160,10 @@ func (s *Switch) receive(in int, f *Frame) {
 	if !f.Src.IsMulticast() {
 		s.fdb[f.Src] = in
 	}
-	enqueue := func(p *swPort) {
-		s.sim.After(s.cfg.RelayLatency, func() { p.out.Send(f) })
-	}
 	if !f.Dst.IsBroadcast() {
 		if id, ok := s.fdb[f.Dst]; ok {
 			if id != in { // never reflect back out the ingress port
-				enqueue(s.port[id])
+				s.relayTo(s.port[id].out, f)
 			}
 			return
 		}
@@ -156,9 +172,30 @@ func (s *Switch) receive(in int, f *Frame) {
 	s.Flooded++
 	for id, p := range s.port {
 		if id != in {
-			enqueue(p)
+			s.relayTo(p.out, f)
 		}
 	}
+}
+
+// relayTo submits a frame to the fabric toward one output port.
+func (s *Switch) relayTo(out *Port, f *Frame) {
+	s.relay = append(s.relay, relayEntry{f: f, out: out})
+	s.sim.After(s.cfg.RelayLatency, s.relayFn)
+}
+
+// relayPop completes the oldest fabric crossing: the frame joins its
+// output queue (which drops it to the port's OnDiscard when full).
+func (s *Switch) relayPop() {
+	e := s.relay[s.relayHead]
+	s.relay[s.relayHead] = relayEntry{}
+	s.relayHead++
+	// Compact occasionally so memory does not grow with total throughput.
+	if s.relayHead > 8 && s.relayHead*2 >= len(s.relay) {
+		n := copy(s.relay, s.relay[s.relayHead:])
+		s.relay = s.relay[:n]
+		s.relayHead = 0
+	}
+	e.out.Send(e.f)
 }
 
 // PortIDs returns the attached port ids in ascending order.

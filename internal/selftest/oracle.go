@@ -1,0 +1,590 @@
+// Package selftest cross-checks the optimized production simulator against
+// a deliberately naive reference implementation.
+//
+// The production path (internal/core over internal/ethernet) is built for
+// speed: interned integer edge IDs, pooled frames and event records,
+// pre-bound handlers, ring buffers. Every one of those optimizations is a
+// chance to corrupt a result without failing a test, so this package keeps
+// a second simulator that makes the opposite trade everywhere: string keys,
+// a fresh allocation per frame, a closure per event, slices popped from the
+// front. It is too slow for experiments and exists only to be obviously
+// correct. Oracle replays a workload through it; the test compares the two
+// SimResults byte for byte (via Render) across every built-in topology
+// family, both queueing disciplines, and redundant planes.
+//
+// Both simulators share only the pieces whose determinism they must agree
+// on by construction: the DES kernel (event ordering), the traffic release
+// processes, and the stats accumulators (float operation order). Everything
+// between release and delivery — shapers, stations, switches, ports — is
+// reimplemented here from the model's definition.
+package selftest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ethernet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// oFrame is the reference simulator's frame: a plain struct allocated fresh
+// for every copy, carrying its connection by name.
+type oFrame struct {
+	src, dst string // MAC addresses, rendered as strings
+	pcp      ethernet.PCP
+	payload  int // application payload bytes
+	conn     string
+	seq, cp  int
+	release  simtime.Time
+}
+
+// oFrameBytes is the buffered frame length (header through FCS, tagged,
+// padded to the minimum) of a payload — restated from the frame layout
+// rather than calling ethernet.Frame so the two simulators agree on sizes
+// only if both restate IEEE 802.3 correctly.
+func oFrameBytes(payload int) int {
+	n := ethernet.HeaderBytes + ethernet.VLANTagBytes + payload + ethernet.FCSBytes
+	if n < ethernet.MinFrameBytes {
+		n = ethernet.MinFrameBytes
+	}
+	return n
+}
+
+// oWireSize is the full on-wire cost (preamble + frame + inter-frame gap).
+func oWireSize(payload int) simtime.Size {
+	return simtime.Bytes(ethernet.PreambleBytes + oFrameBytes(payload) + ethernet.InterFrameGapBytes)
+}
+
+// oQueue is a naive output-port queue: one slice per class (a single class
+// under FCFS), popped from the front with a reslice.
+type oQueue struct {
+	priority bool
+	capacity simtime.Size // per class; 0 = unbounded
+	classes  [][]*oFrame
+	backlog  []simtime.Size
+	classMax []simtime.Size
+	totalMax simtime.Size
+	dropped  int
+}
+
+func newOQueue(priority bool, capacity simtime.Size) *oQueue {
+	n := 1
+	if priority {
+		n = ethernet.NumClasses
+	}
+	return &oQueue{
+		priority: priority,
+		capacity: capacity,
+		classes:  make([][]*oFrame, n),
+		backlog:  make([]simtime.Size, n),
+		classMax: make([]simtime.Size, n),
+	}
+}
+
+func (q *oQueue) classOf(f *oFrame) int {
+	if !q.priority {
+		return 0
+	}
+	return ethernet.ClassOfPCP(f.pcp)
+}
+
+func (q *oQueue) enqueue(f *oFrame) bool {
+	c := q.classOf(f)
+	sz := simtime.Bytes(oFrameBytes(f.payload))
+	if q.capacity > 0 && q.backlog[c]+sz > q.capacity {
+		q.dropped++
+		return false
+	}
+	q.classes[c] = append(q.classes[c], f)
+	q.backlog[c] += sz
+	if q.backlog[c] > q.classMax[c] {
+		q.classMax[c] = q.backlog[c]
+	}
+	var total simtime.Size
+	for _, b := range q.backlog {
+		total += b
+	}
+	if total > q.totalMax {
+		q.totalMax = total
+	}
+	return true
+}
+
+func (q *oQueue) dequeue() *oFrame {
+	for c := range q.classes {
+		if len(q.classes[c]) > 0 {
+			f := q.classes[c][0]
+			q.classes[c] = q.classes[c][1:]
+			q.backlog[c] -= simtime.Bytes(oFrameBytes(f.payload))
+			return f
+		}
+	}
+	return nil
+}
+
+// oPort is a naive transmitter: on every transmission it schedules two
+// fresh closures — delivery after serialization plus propagation, and
+// transmitter release after serialization plus the inter-frame gap. The
+// event times and their creation order match the production port exactly;
+// only the bookkeeping differs.
+type oPort struct {
+	sim     *des.Simulator
+	q       *oQueue
+	rate    simtime.Rate
+	prop    simtime.Duration
+	deliver func(*oFrame)
+	busy    bool
+}
+
+func (p *oPort) send(f *oFrame) bool {
+	if !p.q.enqueue(f) {
+		return false
+	}
+	p.kick()
+	return true
+}
+
+func (p *oPort) kick() {
+	if p.busy {
+		return
+	}
+	f := p.q.dequeue()
+	if f == nil {
+		return
+	}
+	p.busy = true
+	serialize := simtime.TransmissionTime(simtime.Bytes(ethernet.PreambleBytes+oFrameBytes(f.payload)), p.rate)
+	ifg := simtime.TransmissionTime(simtime.Bytes(ethernet.InterFrameGapBytes), p.rate)
+	p.sim.After(serialize+p.prop, func() { p.deliver(f) })
+	p.sim.After(serialize+ifg, func() {
+		p.busy = false
+		p.kick()
+	})
+}
+
+// oSwitch is a naive store-and-forward switch: the forwarding database maps
+// MAC strings to output-port key strings, and every fabric crossing is its
+// own closure fired after the relay latency.
+type oSwitch struct {
+	sim     *des.Simulator
+	latency simtime.Duration
+	fdb     map[string]string
+	ports   map[string]*oPort
+}
+
+func (s *oSwitch) receive(in string, f *oFrame) {
+	s.fdb[f.src] = in // source learning (oracle MACs are always unicast)
+	if out, ok := s.fdb[f.dst]; ok {
+		if out != in { // never reflect back out the ingress port
+			s.relay(s.ports[out], f)
+		}
+		return
+	}
+	// Flood on unknown destination. Statically configured networks never
+	// take this path; iterate sorted for determinism anyway.
+	keys := make([]string, 0, len(s.ports))
+	for k := range s.ports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k != in {
+			s.relay(s.ports[k], f)
+		}
+	}
+}
+
+func (s *oSwitch) relay(out *oPort, f *oFrame) {
+	s.sim.After(s.latency, func() { out.send(f) })
+}
+
+// oShaper is a naive greedy token-bucket shaper. The bucket arithmetic is
+// restated in exact integer bit-nanoseconds — the same quantities as
+// shaper.TokenBucket, written straight-line — because the wake instants
+// must agree to the nanosecond for the event streams to match.
+type oShaper struct {
+	sim      *des.Simulator
+	capacity simtime.Size
+	rate     simtime.Rate
+	out      func(*oFrame)
+
+	tokens simtime.Size
+	rem    int64 // bit-nanoseconds toward the next whole bit
+	last   simtime.Time
+
+	pending    []*oFrame
+	armed      bool
+	headWaited bool
+	shaped     int
+}
+
+func newOShaper(sim *des.Simulator, capacity simtime.Size, rate simtime.Rate, out func(*oFrame)) *oShaper {
+	// Full at creation: the critical-instant initial condition.
+	return &oShaper{sim: sim, capacity: capacity, rate: rate, out: out, tokens: capacity, last: sim.Now()}
+}
+
+func (s *oShaper) advance(now simtime.Time) {
+	elapsed := int64(now.Sub(s.last))
+	s.last = now
+	if s.tokens >= s.capacity {
+		s.rem = 0
+		return
+	}
+	total := elapsed*int64(s.rate) + s.rem
+	s.tokens += simtime.Size(total / int64(simtime.Second))
+	s.rem = total % int64(simtime.Second)
+	if s.tokens >= s.capacity {
+		s.tokens = s.capacity
+		s.rem = 0
+	}
+}
+
+func (s *oShaper) submit(f *oFrame) {
+	s.pending = append(s.pending, f)
+	if len(s.pending) == 1 && !s.armed {
+		s.release()
+	}
+}
+
+func (s *oShaper) release() {
+	now := s.sim.Now()
+	for len(s.pending) > 0 {
+		f := s.pending[0]
+		need := oWireSize(f.payload)
+		s.advance(now)
+		if s.tokens < need {
+			break
+		}
+		s.tokens -= need
+		s.pending = s.pending[1:]
+		if s.headWaited {
+			s.shaped++
+			s.headWaited = false
+		}
+		s.out(f)
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	// The head frame waits for tokens: wake when they will have accrued.
+	s.headWaited = true
+	deficit := oWireSize(s.pending[0].payload) - s.tokens
+	wait := (int64(deficit)*int64(simtime.Second) - s.rem + int64(s.rate) - 1) / int64(s.rate)
+	s.armed = true
+	s.sim.At(now.Add(simtime.Duration(wait)), func() {
+		s.armed = false
+		s.release()
+	})
+}
+
+// oracle is one reference simulation. All state is keyed by strings:
+// stations by name, ports by their plane-qualified directed-edge key,
+// forwarding entries by MAC string, dedup slots by "seq#copy".
+type oracle struct {
+	set    *traffic.Set
+	cfg    core.SimConfig
+	topo   *topology.Network
+	sim    *des.Simulator
+	planes int
+	prio   bool
+	res    *core.SimResult
+
+	macOf    map[string]string           // station name → MAC
+	msgOf    map[string]*traffic.Message // connection name → message
+	dstOf    map[string]string           // connection name → dest MAC
+	shapers  map[string]*oShaper         // connection name → shaper
+	uplinks  map[string]*oPort           // plane prefix + station name → uplink
+	ports    map[string]*oPort           // plane-qualified edge key → port
+	switches map[string]*oSwitch         // plane prefix + "sw<i>" → switch
+	seen     map[string]map[string]simtime.Time
+}
+
+// Oracle replays the workload through the naive reference simulator and
+// returns a SimResult that must match core.SimulateNetwork byte for byte
+// (compare with Render). Trace hooks and the bit-error model are outside
+// its scope — it exists to pin the deterministic frame path.
+func Oracle(set *traffic.Set, cfg core.SimConfig, topo *topology.Network) (*core.SimResult, error) {
+	switch {
+	case cfg.BER > 0:
+		return nil, fmt.Errorf("selftest: the oracle models a clean medium (BER=0)")
+	case cfg.Recorder != nil || cfg.PCAP != nil:
+		return nil, fmt.Errorf("selftest: the oracle has no trace hooks")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(set.Stations()); err != nil {
+		return nil, err
+	}
+	nextHop, err := topo.NextHops()
+	if err != nil {
+		return nil, err
+	}
+
+	o := &oracle{
+		set:      set,
+		cfg:      cfg,
+		topo:     topo,
+		sim:      des.New(cfg.Seed),
+		planes:   topo.PlaneCount(),
+		prio:     cfg.Approach == analysis.Priority,
+		res:      &core.SimResult{Cfg: cfg, Flows: map[string]*core.FlowSim{}},
+		macOf:    map[string]string{},
+		msgOf:    map[string]*traffic.Message{},
+		dstOf:    map[string]string{},
+		shapers:  map[string]*oShaper{},
+		uplinks:  map[string]*oPort{},
+		ports:    map[string]*oPort{},
+		switches: map[string]*oSwitch{},
+		seen:     map[string]map[string]simtime.Time{},
+	}
+
+	names := set.Stations()
+	for i, name := range names {
+		o.macOf[name] = ethernet.StationAddr(i).String()
+	}
+	for _, m := range set.Messages {
+		fs := &core.FlowSim{Msg: m}
+		if cfg.CollectLatencies {
+			fs.Latencies = &stats.Histogram{}
+		}
+		o.res.Flows[m.Name] = fs
+		o.msgOf[m.Name] = m
+		o.dstOf[m.Name] = o.macOf[m.Dest]
+		o.seen[m.Name] = map[string]simtime.Time{}
+	}
+	if o.planes > 1 {
+		o.res.PlaneDelivered = make([]int, o.planes)
+	}
+
+	// Fabric, plane by plane. Edge keys are restated from the naming
+	// convention ("<from>-><to>", switches labeled "sw<i>", plane prefix
+	// "n<p>.") rather than asked of the topology's interned table — the
+	// oracle independently derives what the production Finish renders.
+	for p := 0; p < o.planes; p++ {
+		pre := ""
+		if o.planes > 1 {
+			pre = fmt.Sprintf("n%d.", p)
+		}
+		for s := 0; s < topo.Switches; s++ {
+			o.switches[pre+swName(s)] = &oSwitch{
+				sim:     o.sim,
+				latency: cfg.TTechno,
+				fdb:     map[string]string{},
+				ports:   map[string]*oPort{},
+			}
+		}
+		// Trunks: one port per direction, delivering into the far switch
+		// with the far side's own port key as the ingress label.
+		for li, l := range topo.Links {
+			a, b := l[0], l[1]
+			rate, prop := topo.PlaneTrunkRate(p, li, cfg.LinkRate), topo.PlaneTrunkProp(p, li)
+			keyAB := pre + swName(a) + "->" + swName(b)
+			keyBA := pre + swName(b) + "->" + swName(a)
+			swA, swB := o.switches[pre+swName(a)], o.switches[pre+swName(b)]
+			swA.ports[keyAB] = &oPort{sim: o.sim, q: newOQueue(o.prio, o.capacityOf(p, swName(a)+"->"+swName(b))), rate: rate, prop: prop,
+				deliver: func(f *oFrame) { swB.receive(keyBA, f) }}
+			swB.ports[keyBA] = &oPort{sim: o.sim, q: newOQueue(o.prio, o.capacityOf(p, swName(b)+"->"+swName(a))), rate: rate, prop: prop,
+				deliver: func(f *oFrame) { swA.receive(keyAB, f) }}
+			o.ports[keyAB] = swA.ports[keyAB]
+			o.ports[keyBA] = swB.ports[keyBA]
+		}
+		// Stations: a destination port on the home switch delivering to the
+		// receiver, and an uplink port delivering into the home switch with
+		// the destination port's key as the ingress label.
+		for _, name := range names {
+			name := name
+			home := topo.StationSwitch[name]
+			sw := o.switches[pre+swName(home)]
+			rate, prop := topo.PlaneStationRate(p, name, cfg.LinkRate), topo.PlaneStationProp(p, name)
+			destKey := pre + swName(home) + "->" + name
+			upKey := pre + name + "->" + swName(home)
+			recv := o.makeReceive(p, name)
+			sw.ports[destKey] = &oPort{sim: o.sim, q: newOQueue(o.prio, o.capacityOf(p, swName(home)+"->"+name)), rate: rate, prop: prop, deliver: recv}
+			up := &oPort{sim: o.sim, q: newOQueue(o.prio, o.capacityOf(p, name+"->"+swName(home))), rate: rate, prop: prop,
+				deliver: func(f *oFrame) { sw.receive(destKey, f) }}
+			o.ports[destKey] = sw.ports[destKey]
+			o.ports[upKey] = up
+			o.uplinks[pre+name] = up
+			// Static forwarding: the home switch knows the station's port,
+			// every other switch points toward its next hop.
+			sw.fdb[o.macOf[name]] = destKey
+			for s := 0; s < topo.Switches; s++ {
+				if s == home {
+					continue
+				}
+				o.switches[pre+swName(s)].fdb[o.macOf[name]] = pre + swName(s) + "->" + swName(nextHop[s][home])
+			}
+		}
+	}
+
+	// Per-connection shapers, dimensioned exactly as the analysis declares.
+	specs := analysis.Specs(set, cfg.AnalysisConfig())
+	for _, spec := range specs {
+		m := spec.Msg
+		src := m.Source
+		o.shapers[m.Name] = newOShaper(o.sim, spec.B, spec.R, func(f *oFrame) { o.send(src, f) })
+	}
+
+	// Traffic last, exactly as production setup does, so the initial event
+	// sequence numbers coincide.
+	stop := traffic.Start(o.sim, set, traffic.SourceConfig{Mode: cfg.Mode, MeanSlack: cfg.MeanSlack, AlignPhases: cfg.AlignPhases}, o.onRelease)
+
+	o.sim.RunFor(cfg.Horizon)
+	stop()
+	return o.finish(), nil
+}
+
+func swName(i int) string { return fmt.Sprintf("sw%d", i) }
+
+// capacityOf resolves a queue's byte capacity with the documented
+// precedence: plane-qualified key, then bare key, then the global default —
+// a present key winning even at 0 (explicitly unbounded).
+func (o *oracle) capacityOf(p int, bare string) simtime.Size {
+	if o.planes > 1 {
+		if c, ok := o.cfg.QueueCapacities[fmt.Sprintf("n%d.", p)+bare]; ok {
+			return c
+		}
+	}
+	if c, ok := o.cfg.QueueCapacities[bare]; ok {
+		return c
+	}
+	return o.cfg.QueueCapacity
+}
+
+// onRelease turns one released instance into per-copy frames through the
+// connection's shaper (or straight into the network when bypassed).
+func (o *oracle) onRelease(in traffic.Instance) {
+	m := in.Msg
+	o.res.Flows[m.Name].Released++
+	copies := 1
+	if m.Name == o.cfg.Babbler && o.cfg.BabbleFactor > 1 {
+		copies = o.cfg.BabbleFactor
+	}
+	for c := 0; c < copies; c++ {
+		f := &oFrame{
+			dst:     o.dstOf[m.Name],
+			pcp:     ethernet.PCPOfClass(int(m.Priority)),
+			payload: m.Payload.ByteCount(),
+			conn:    m.Name,
+			seq:     in.Seq,
+			cp:      c,
+			release: in.Release,
+		}
+		if o.cfg.BypassShapers {
+			o.send(m.Source, f)
+			continue
+		}
+		o.shapers[m.Name].submit(f)
+	}
+}
+
+// send replicates a shaped frame onto every surviving plane, honoring each
+// plane's phase skew with a per-copy closure.
+func (o *oracle) send(src string, f *oFrame) {
+	if o.planes == 1 {
+		o.sendOn(0, src, f)
+		return
+	}
+	for p := 0; p < o.planes; p++ {
+		if o.topo.PlaneFailed(p) {
+			continue
+		}
+		g := *f
+		if skew := o.topo.PlanePhaseSkew(p); skew > 0 {
+			p := p
+			o.sim.After(skew, func() { o.sendOn(p, src, &g) })
+		} else {
+			o.sendOn(p, src, &g)
+		}
+	}
+}
+
+// sendOn stamps the source MAC and submits one copy to plane p's uplink,
+// counting a drop if the multiplexer rejects it.
+func (o *oracle) sendOn(p int, src string, f *oFrame) {
+	f.src = o.macOf[src]
+	pre := ""
+	if o.planes > 1 {
+		pre = fmt.Sprintf("n%d.", p)
+	}
+	if !o.uplinks[pre+src].send(f) {
+		o.res.Dropped++
+	}
+}
+
+// makeReceive is the reception handler of one station on one plane:
+// first-copy-wins redundancy management inside the acceptance window, then
+// latency accounting.
+func (o *oracle) makeReceive(p int, name string) func(*oFrame) {
+	_ = name
+	return func(f *oFrame) {
+		now := o.sim.Now()
+		res := o.res
+		fs := res.Flows[f.conn]
+		m := o.msgOf[f.conn]
+		if o.planes > 1 {
+			res.PlaneDelivered[p]++
+			slot := fmt.Sprintf("%d#%d", f.seq, f.cp)
+			if first, dup := o.seen[f.conn][slot]; dup {
+				if o.cfg.SkewMax > 0 && now.Sub(first) > o.cfg.SkewMax {
+					res.Discarded++
+				} else {
+					res.Redundant++
+				}
+				return
+			}
+			o.seen[f.conn][slot] = now
+		}
+		lat := now.Sub(f.release)
+		fs.Latency.Add(lat)
+		if fs.Latencies != nil {
+			fs.Latencies.Add(lat)
+		}
+		fs.Delivered++
+		if lat > m.Deadline {
+			fs.DeadlineMisses++
+		}
+		if lat > res.ClassWorst[m.Priority] {
+			res.ClassWorst[m.Priority] = lat
+		}
+	}
+}
+
+// finish collects counters exactly as the production Finish does: switch
+// output-queue drops (uplink rejections were counted live), every queue's
+// high-water marks under its plane-qualified edge key, shaper totals, and
+// the executed-event count.
+func (o *oracle) finish() *core.SimResult {
+	res := o.res
+	for key, sw := range o.switches {
+		_ = key
+		for _, port := range sw.ports {
+			res.Dropped += port.q.dropped
+		}
+	}
+	res.PortMaxBacklog = make(map[string]simtime.Size, len(o.ports))
+	if o.prio {
+		res.PortClassMaxBacklog = make(map[string][]simtime.Size, len(o.ports))
+	}
+	for key, port := range o.ports {
+		res.PortMaxBacklog[key] = port.q.totalMax
+		if o.prio {
+			res.PortClassMaxBacklog[key] = append([]simtime.Size(nil), port.q.classMax...)
+		}
+	}
+	for _, sh := range o.shapers {
+		res.Shaped += sh.shaped
+	}
+	res.Events = o.sim.Executed()
+	return res
+}

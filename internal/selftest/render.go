@@ -1,0 +1,52 @@
+package selftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Render writes a SimResult to a canonical textual form: every
+// deterministic field, sorted keys, fixed formats. Two results are
+// considered identical exactly when their renderings are byte-for-byte
+// equal — this is the comparison the oracle test performs, and a useful
+// debugging artifact when it fails (diff the two strings).
+//
+// The configuration is deliberately omitted (it is an input, not an
+// outcome), as are the raw latency histograms (the Summary pins every
+// sample through its running moments: count, min, max, mean, stddev).
+func Render(res *core.SimResult) string {
+	var b strings.Builder
+	names := make([]string, 0, len(res.Flows))
+	for name := range res.Flows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := res.Flows[name]
+		fmt.Fprintf(&b, "flow %s: released=%d delivered=%d misses=%d lat{n=%d min=%d max=%d mean=%d stddev=%d}\n",
+			name, f.Released, f.Delivered, f.DeadlineMisses,
+			f.Latency.N(), int64(f.Latency.Min()), int64(f.Latency.Max()),
+			int64(f.Latency.Mean()), int64(f.Latency.StdDev()))
+	}
+	fmt.Fprintf(&b, "classWorst=%v\n", res.ClassWorst)
+	fmt.Fprintf(&b, "dropped=%d corrupted=%d shaped=%d events=%d\n",
+		res.Dropped, res.Corrupted, res.Shaped, res.Events)
+	fmt.Fprintf(&b, "planeDelivered=%v redundant=%d discarded=%d\n",
+		res.PlaneDelivered, res.Redundant, res.Discarded)
+	keys := make([]string, 0, len(res.PortMaxBacklog))
+	for k := range res.PortMaxBacklog {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "backlog %s: max=%d", k, int64(res.PortMaxBacklog[k]))
+		if marks, ok := res.PortClassMaxBacklog[k]; ok {
+			fmt.Fprintf(&b, " class=%v", marks)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

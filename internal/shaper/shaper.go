@@ -22,6 +22,7 @@ type Shaper struct {
 	pending    []*ethernet.Frame
 	armed      bool
 	headWaited bool
+	wakeFn     des.Handler
 
 	// OnShaped, if set, observes every frame the moment the bucket delays
 	// it (trace hook).
@@ -44,12 +45,22 @@ func New(name string, sim *des.Simulator, capacity simtime.Size, rate simtime.Ra
 	if out == nil {
 		panic("shaper: nil output")
 	}
-	return &Shaper{
+	s := &Shaper{
 		name:   name,
 		sim:    sim,
 		bucket: NewTokenBucket(capacity, rate, sim.Now()),
 		out:    out,
 	}
+	// Bind the wake handler once; every shaping occurrence reuses it
+	// instead of allocating a closure.
+	s.wakeFn = s.wake
+	return s
+}
+
+// wake fires when tokens for the head frame have accrued.
+func (s *Shaper) wake() {
+	s.armed = false
+	s.release()
 }
 
 // Bucket exposes the underlying token bucket (for tests and statistics).
@@ -107,8 +118,5 @@ func (s *Shaper) release() {
 	s.headWaited = true
 	wake := s.bucket.WhenAvailable(now, s.pending[0].WireSize())
 	s.armed = true
-	s.sim.At(wake, func() {
-		s.armed = false
-		s.release()
-	})
+	s.sim.At(wake, s.wakeFn)
 }

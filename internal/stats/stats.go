@@ -117,6 +117,18 @@ func (h *Histogram) Add(d simtime.Duration) {
 	h.sorted = false
 }
 
+// Reserve grows the sample buffer to hold at least n samples without
+// further allocation — simulators that know their expected delivery count
+// presize here so per-delivery Add stays allocation-free.
+func (h *Histogram) Reserve(n int) {
+	if n <= cap(h.samples) {
+		return
+	}
+	grown := make([]simtime.Duration, len(h.samples), n)
+	copy(grown, h.samples)
+	h.samples = grown
+}
+
 // N returns the sample count.
 func (h *Histogram) N() int { return len(h.samples) }
 

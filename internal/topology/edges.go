@@ -1,0 +1,202 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// This file interns the directed edges of a network into dense integer
+// identities. Every queue of the architecture is owned by exactly one
+// directed edge — a station uplink, a trunk direction, or a destination
+// port — and the historical currency for naming them was the rendered
+// string key ("nav->sw0", "sw0->sw1"). Strings are the right JSON
+// boundary but the wrong hot-loop identity: the simulator used to build
+// and hash such keys per frame (and used a magic 1000+2·li port-index
+// convention for trunks). The edge table replaces both: keys are rendered
+// exactly once when the table is built, every edge gets a dense EdgeID,
+// and the simulator addresses ports, capacities and high-water marks by
+// ID. EdgeKey/EdgeByKey translate at the JSON boundary only.
+
+// EdgeID is the dense interned identity of one directed edge of a
+// network, valid for the Network that issued it: 0 ≤ id < EdgeCount().
+// The numbering is canonical (stable across runs and processes): station
+// uplinks in sorted station order, then trunks in link order (forward
+// direction, then reverse), then destination ports in sorted station
+// order — the exact order of EdgeKeys.
+type EdgeID int
+
+// Edge describes one interned directed edge.
+type Edge struct {
+	// ID is the edge's dense identity.
+	ID EdgeID
+	// Kind classifies the queue the edge owns (uplink, trunk, dest).
+	Kind analysis.EdgeKind
+	// From and To are the rendered endpoint names (stations by name,
+	// switches as "sw<id>").
+	From, To string
+	// Station is the station name for uplink/dest edges ("" for trunks),
+	// and StationIndex its index in SortedStations (-1 for trunks).
+	Station      string
+	StationIndex int
+	// Switch is the switch the edge touches: the home switch for station
+	// edges, the transmitting switch for trunks.
+	Switch int
+	// Link is the undirected trunk index (Network.Links) for trunk
+	// edges, -1 otherwise; Reverse marks the Links[i][1]→Links[i][0]
+	// direction.
+	Link    int
+	Reverse bool
+}
+
+// Key renders the edge's canonical directed-edge key "from->to".
+func (e Edge) Key() string { return e.From + "->" + e.To }
+
+// edgeTable is the interning table, built once per topology (see
+// Network.edges) and shared by routing, capacity resolution and backlog
+// observation.
+type edgeTable struct {
+	stations   []string       // sorted
+	stationIdx map[string]int // name → index in stations
+	edges      []Edge         // EdgeID → descriptor
+	keys       []string       // EdgeID → rendered key (interned once)
+	byKey      map[string]EdgeID
+}
+
+func (n *Network) buildEdgeTable() *edgeTable {
+	t := &edgeTable{stationIdx: make(map[string]int, len(n.StationSwitch))}
+	t.stations = make([]string, 0, len(n.StationSwitch))
+	for s := range n.StationSwitch {
+		t.stations = append(t.stations, s)
+	}
+	sort.Strings(t.stations)
+	for i, s := range t.stations {
+		t.stationIdx[s] = i
+	}
+	add := func(e Edge) {
+		e.ID = EdgeID(len(t.edges))
+		t.edges = append(t.edges, e)
+	}
+	for i, s := range t.stations {
+		add(Edge{Kind: analysis.EdgeUplink, From: s, To: swLabel(n.StationSwitch[s]),
+			Station: s, StationIndex: i, Switch: n.StationSwitch[s], Link: -1})
+	}
+	for li, l := range n.Links {
+		add(Edge{Kind: analysis.EdgeTrunk, From: swLabel(l[0]), To: swLabel(l[1]),
+			StationIndex: -1, Switch: l[0], Link: li})
+		add(Edge{Kind: analysis.EdgeTrunk, From: swLabel(l[1]), To: swLabel(l[0]),
+			StationIndex: -1, Switch: l[1], Link: li, Reverse: true})
+	}
+	for i, s := range t.stations {
+		add(Edge{Kind: analysis.EdgeDest, From: swLabel(n.StationSwitch[s]), To: s,
+			Station: s, StationIndex: i, Switch: n.StationSwitch[s], Link: -1})
+	}
+	t.keys = make([]string, len(t.edges))
+	t.byKey = make(map[string]EdgeID, len(t.edges))
+	for i, e := range t.edges {
+		t.keys[i] = e.Key()
+		t.byKey[t.keys[i]] = EdgeID(i)
+	}
+	return t
+}
+
+// swLabel renders a switch id as its report name.
+func swLabel(id int) string { return fmt.Sprintf("sw%d", id) }
+
+// edgeTab returns the interning table, building it on first use. Like the
+// routing cache it is guarded by a mutex (a Network may be shared by
+// concurrent sweep workers) and invalidated by UnmarshalJSON.
+func (n *Network) edgeTab() *edgeTable {
+	n.etMu.Lock()
+	defer n.etMu.Unlock()
+	if n.et == nil {
+		n.et = n.buildEdgeTable()
+	}
+	return n.et
+}
+
+// invalidateEdges drops the cached edge table (after the topology changed
+// under deserialization).
+func (n *Network) invalidateEdges() {
+	n.etMu.Lock()
+	n.et = nil
+	n.etMu.Unlock()
+}
+
+// EdgeCount returns the number of directed edges of the network:
+// 2·stations + 2·links.
+func (n *Network) EdgeCount() int { return len(n.edgeTab().edges) }
+
+// Edges enumerates every directed edge of the network in canonical EdgeID
+// order. The returned slice is the interning table itself — callers must
+// not mutate it.
+func (n *Network) Edges() []Edge { return n.edgeTab().edges }
+
+// EdgeKey returns the canonical directed-edge key of an interned edge,
+// rendered once at table-build time — the JSON-boundary spelling shared
+// with queue_capacities_bytes, analysis.EdgeBacklogs and
+// SimResult.PortMaxBacklog. It panics on an out-of-range id (an EdgeID
+// from a different network is a programming error, not an input error).
+func (n *Network) EdgeKey(id EdgeID) string { return n.edgeTab().keys[id] }
+
+// EdgeByKey resolves a bare (unqualified) directed-edge key to its
+// interned identity. Plane prefixes are not understood here — split them
+// off with SplitPlaneKey first.
+func (n *Network) EdgeByKey(key string) (EdgeID, bool) {
+	id, ok := n.edgeTab().byKey[key]
+	return id, ok
+}
+
+// SortedStations returns the network's stations in sorted order — the
+// order of the uplink/destination edge blocks. The slice is shared with
+// the interning table; callers must not mutate it.
+func (n *Network) SortedStations() []string { return n.edgeTab().stations }
+
+// StationIndex returns a station's index in SortedStations.
+func (n *Network) StationIndex(name string) (int, bool) {
+	i, ok := n.edgeTab().stationIdx[name]
+	return i, ok
+}
+
+// UplinkEdge returns the station→switch edge of the station at
+// SortedStations index i.
+func (n *Network) UplinkEdge(i int) EdgeID { return EdgeID(i) }
+
+// DestEdge returns the switch→station edge of the station at
+// SortedStations index i.
+func (n *Network) DestEdge(i int) EdgeID {
+	return EdgeID(len(n.edgeTab().stations) + 2*len(n.Links) + i)
+}
+
+// TrunkEdge returns the directed edge of trunk link (Network.Links
+// index), forward (Links[link][0]→Links[link][1]) or reverse.
+func (n *Network) TrunkEdge(link int, reverse bool) EdgeID {
+	id := EdgeID(len(n.edgeTab().stations) + 2*link)
+	if reverse {
+		id++
+	}
+	return id
+}
+
+// EdgeKeys returns the canonical directed-edge keys of every queue of the
+// network, unqualified (no plane prefix), in EdgeID order: station
+// uplinks ("nav->sw0") by station name, trunks ("sw0->sw1") in link order
+// (forward then reverse), destination ports ("sw0->nav") by station name.
+// These keys are the shared currency of analysis.EdgeBacklogs, the
+// simulator's observed high-water marks, and the scenario sim section's
+// queue_capacities_bytes. The slice is the interning table's own — do not
+// mutate it.
+func (n *Network) EdgeKeys() []string { return n.edgeTab().keys }
+
+// ValidQueueKey reports whether key names a queue of this network: a
+// directed-edge key from EdgeKeys, optionally carrying the plane prefix
+// "n<p>." of a redundant network ("n1.sw0->mc").
+func (n *Network) ValidQueueKey(key string) bool {
+	_, bare, ok := SplitPlaneKey(key, n.PlaneCount())
+	if !ok {
+		return false
+	}
+	_, ok = n.EdgeByKey(bare)
+	return ok
+}

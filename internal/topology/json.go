@@ -137,6 +137,7 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("topology: network: %w", err)
 	}
 	n.invalidateRouting()
+	n.invalidateEdges()
 	n.Name = nj.Name
 	n.Switches = nj.Switches
 	n.Planes = 0

@@ -66,6 +66,11 @@ type Network struct {
 	nhDone  bool
 	nextHop [][]int
 	nhErr   error
+
+	// et caches the edge-interning table (see edges.go), invalidated
+	// alongside the routing cache by UnmarshalJSON.
+	etMu sync.Mutex
+	et   *edgeTable
 }
 
 // TrunkRate returns the capacity of trunk i, falling back to def.
@@ -326,32 +331,6 @@ func (n *Network) AnalysisPlanes(def simtime.Rate) []analysis.Plane {
 	return planes
 }
 
-// EdgeKeys returns the canonical directed-edge keys of every queue of the
-// network, unqualified (no plane prefix), in deterministic order: station
-// uplinks ("nav->sw0") by station name, trunks ("sw0->sw1") in link order
-// (forward then reverse), destination ports ("sw0->nav") by station name.
-// These keys are the shared currency of analysis.EdgeBacklogs, the
-// simulator's observed high-water marks, and the scenario sim section's
-// queue_capacities_bytes.
-func (n *Network) EdgeKeys() []string {
-	stations := make([]string, 0, len(n.StationSwitch))
-	for s := range n.StationSwitch {
-		stations = append(stations, s)
-	}
-	sort.Strings(stations)
-	keys := make([]string, 0, 2*len(stations)+2*len(n.Links))
-	for _, s := range stations {
-		keys = append(keys, fmt.Sprintf("%s->sw%d", s, n.StationSwitch[s]))
-	}
-	for _, l := range n.Links {
-		keys = append(keys, fmt.Sprintf("sw%d->sw%d", l[0], l[1]), fmt.Sprintf("sw%d->sw%d", l[1], l[0]))
-	}
-	for _, s := range stations {
-		keys = append(keys, fmt.Sprintf("sw%d->%s", n.StationSwitch[s], s))
-	}
-	return keys
-}
-
 // PlaneKeyPrefix returns the "n<p>." queue-key prefix of plane p (empty
 // when the network has a single plane, whose keys are unqualified) —
 // matching the simulator's plane-qualified switch names.
@@ -385,22 +364,6 @@ func SplitPlaneKey(key string, planes int) (plane int, bare string, ok bool) {
 		}
 	}
 	return 0, key, true
-}
-
-// ValidQueueKey reports whether key names a queue of this network: a
-// directed-edge key from EdgeKeys, optionally carrying the plane prefix
-// "n<p>." of a redundant network ("n1.sw0->mc").
-func (n *Network) ValidQueueKey(key string) bool {
-	_, bare, ok := SplitPlaneKey(key, n.PlaneCount())
-	if !ok {
-		return false
-	}
-	for _, k := range n.EdgeKeys() {
-		if k == bare {
-			return true
-		}
-	}
-	return false
 }
 
 // NextHops returns (building once, then cached) the static routing table:

@@ -133,3 +133,78 @@ func TestNetworkJSONRoundTripProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgeInternRoundTripProperty pins the interning table on random
+// networks: every directed edge's rendered key resolves back to the same
+// dense EdgeID (EdgeByKey ∘ EdgeKey = identity), the typed accessors
+// (UplinkEdge, TrunkEdge, DestEdge) agree with the canonical enumeration,
+// and garbage keys keep failing exactly as they must at bind time —
+// EdgeByKey reports no identity, so scenario validation (ValidQueueKey)
+// rejects them instead of silently leaving a queue at the global default.
+func TestEdgeInternRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		stations := n.SortedStations()
+		if want := 2*len(stations) + 2*len(n.Links); n.EdgeCount() != want {
+			t.Fatalf("seed %d: EdgeCount %d, want %d", seed, n.EdgeCount(), want)
+		}
+		for i, e := range n.Edges() {
+			if e.ID != EdgeID(i) {
+				t.Fatalf("seed %d: edge %d carries ID %d", seed, i, e.ID)
+			}
+			key := n.EdgeKey(e.ID)
+			if key != e.Key() {
+				t.Errorf("seed %d: interned key %q != rendered %q", seed, key, e.Key())
+			}
+			id, ok := n.EdgeByKey(key)
+			if !ok || id != e.ID {
+				t.Errorf("seed %d: EdgeByKey(EdgeKey(%d)) = (%d, %v), want identity", seed, e.ID, id, ok)
+			}
+			if !n.ValidQueueKey(key) {
+				t.Errorf("seed %d: canonical key %q rejected as queue key", seed, key)
+			}
+		}
+		// The typed accessors must agree with the canonical enumeration.
+		for i, st := range stations {
+			if e := n.Edges()[n.UplinkEdge(i)]; e.From != st || e.To != fmt.Sprintf("sw%d", n.StationSwitch[st]) {
+				t.Errorf("seed %d: UplinkEdge(%d) is %s", seed, i, e.Key())
+			}
+			if e := n.Edges()[n.DestEdge(i)]; e.To != st || e.From != fmt.Sprintf("sw%d", n.StationSwitch[st]) {
+				t.Errorf("seed %d: DestEdge(%d) is %s", seed, i, e.Key())
+			}
+		}
+		for li, l := range n.Links {
+			if e := n.Edges()[n.TrunkEdge(li, false)]; e.From != fmt.Sprintf("sw%d", l[0]) || e.To != fmt.Sprintf("sw%d", l[1]) {
+				t.Errorf("seed %d: TrunkEdge(%d, false) is %s", seed, li, e.Key())
+			}
+			if e := n.Edges()[n.TrunkEdge(li, true)]; e.From != fmt.Sprintf("sw%d", l[1]) || e.To != fmt.Sprintf("sw%d", l[0]) {
+				t.Errorf("seed %d: TrunkEdge(%d, true) is %s", seed, li, e.Key())
+			}
+		}
+		// Garbage keys: no identity, and rejected at the scenario boundary.
+		first := n.EdgeKeys()[0]
+		garbage := []string{
+			"",
+			"->",
+			"nosuch->sw0",
+			first + " ",
+			" " + first,
+			first + "->extra",
+			fmt.Sprintf("sw%d->sw%d", n.Switches, n.Switches+1), // beyond the fabric
+			fmt.Sprintf("n%d.", n.PlaneCount()) + first,         // plane out of range
+		}
+		if n.PlaneCount() == 1 {
+			// Single-plane keys are never plane-qualified.
+			garbage = append(garbage, "n0."+first)
+		}
+		for _, key := range garbage {
+			if id, ok := n.EdgeByKey(key); ok {
+				t.Errorf("seed %d: garbage key %q resolved to edge %d", seed, key, id)
+			}
+			if n.ValidQueueKey(key) {
+				t.Errorf("seed %d: garbage key %q accepted as queue key", seed, key)
+			}
+		}
+	}
+}

@@ -12,6 +12,10 @@ import (
 type Instance struct {
 	// Msg is the connection this instance belongs to.
 	Msg *Message
+	// Index is the position of Msg in its Set's Messages order, so
+	// consumers indexing per-connection state by dense integer avoid a
+	// map lookup on every release.
+	Index int
 	// Seq numbers instances of one connection from 0.
 	Seq int
 	// Release is when the application handed the instance to the network
@@ -79,15 +83,15 @@ func Start(sim *des.Simulator, set *Set, cfg SourceConfig, emit Emit) (stop func
 		panic("traffic: nil emit")
 	}
 	var stops []func()
-	for _, m := range set.Messages {
-		m := m
+	for mi, m := range set.Messages {
+		mi, m := mi, m
 		phase := simtime.Duration(0)
 		if !cfg.AlignPhases {
 			phase = simtime.Duration(sim.RNG().Duration(int64(m.Period)))
 		}
 		seq := 0
 		release := func() {
-			emit(Instance{Msg: m, Seq: seq, Release: sim.Now()})
+			emit(Instance{Msg: m, Index: mi, Seq: seq, Release: sim.Now()})
 			seq++
 		}
 		switch {
