@@ -17,10 +17,12 @@ import (
 // cmdFigure1 regenerates the paper's Figure 1: per-class delay bounds of
 // the two approaches, plus a per-connection table.
 func cmdFigure1(args []string) error {
-	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	fs := newFlagSet("figure1")
 	config := fs.String("config", "", "scenario JSON (default: built-in real case)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	scen, err := loadScenario(*config)
 	if err != nil {
@@ -75,10 +77,12 @@ func cmdFigure1(args []string) error {
 // a scenario declaring a custom network, the end-to-end model composes the
 // bounds over that architecture, pricing each hop at its own link rate.
 func cmdAnalyze(args []string) error {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs := newFlagSet("analyze")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	e2e := fs.Bool("e2e", false, "use the compositional end-to-end analysis")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -124,14 +128,16 @@ func cmdAnalyze(args []string) error {
 // take effect — and reports observed latencies. Explicitly passed flags
 // override the scenario's sim section.
 func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	fs := newFlagSet("simulate")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	approachFlag := fs.String("approach", "priority", "fcfs or priority")
 	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span")
 	seed := fs.Uint64("seed", 1, "random seed")
 	pcapPath := fs.String("pcap", "", "capture delivered frames to a pcap file")
 	tracePath := fs.String("trace", "", "write the frame lifecycle log as CSV")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -199,12 +205,14 @@ func fsFlagsSet(fs *flag.FlagSet) map[string]bool {
 // cmdBaseline runs the MIL-STD-1553B comparison over the scenario's
 // horizon and configured bus controller.
 func cmdBaseline(args []string) error {
-	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	fs := newFlagSet("baseline")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo bus replications")
 	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -239,7 +247,7 @@ func cmdBaseline(args []string) error {
 // the analytic bounds against opts.Reps simulation replications. For a
 // fixed -seed the output is bit-identical at any -parallel value.
 func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := newFlagSet("sweep")
 	config := fs.String("config", "", "scenario JSON, path or - for stdin (rate ablation only; the grid uses the built-in catalog)")
 	parallel := fs.Int("parallel", 1, "concurrent scenario evaluations (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo simulation replications per grid cell")
@@ -247,7 +255,9 @@ func cmdSweep(args []string) error {
 	approachFlag := fs.String("approach", "priority", "grid simulation discipline: fcfs or priority")
 	horizon := fs.Duration("horizon", 500_000_000, "simulated time span per grid replication")
 	noGrid := fs.Bool("nogrid", false, "skip the grid cross-validation (rate ablation only)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -322,13 +332,15 @@ func cmdSweep(args []string) error {
 // are the tree-composed ones and the simulation runs the same topology,
 // per-link overrides included.
 func cmdValidate(args []string) error {
-	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs := newFlagSet("validate")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	parallel := fs.Int("parallel", 1, "concurrent replications (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "Monte-Carlo replications per approach")
 	seed := fs.Uint64("seed", 1, "root seed for replication RNG substreams")
 	horizon := fs.Duration("horizon", 2_000_000_000, "simulated time span per replication")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -405,9 +417,11 @@ func cmdValidate(args []string) error {
 // with -topology — the real case on any built-in architecture family,
 // network section included, as a starting point for custom architectures.
 func cmdScenario(args []string) error {
-	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	fs := newFlagSet("scenario")
 	family := fs.String("topology", "", "built-in family (star|cascade|tree|chain|dual|dualskew): include that architecture as a network section")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	var scen *topology.Config
 	var err error
 	if *family == "" {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture drives run() as a process would, with stdout, stderr and
+// stdin swapped for buffers.
+func runCapture(t *testing.T, in string, argv ...string) (code int, out, diag string) {
+	t.Helper()
+	var ob, eb strings.Builder
+	oldOut, oldErr, oldIn := stdout, stderr, stdin
+	stdout, stderr = &ob, &eb
+	if in != "" {
+		stdin = strings.NewReader(in)
+	} else {
+		stdin = io.LimitReader(nil, 0)
+	}
+	defer func() { stdout, stderr, stdin = oldOut, oldErr, oldIn }()
+	return run(argv), ob.String(), eb.String()
+}
+
+// TestRunExitCodes pins the exit-code contract of the CLI: 0 on success
+// and explicit help, 1 when a command fails (unreadable, malformed or
+// invalid -config), 2 on usage errors (missing or unknown subcommand,
+// bad flags) — each with its diagnostic on stderr, never stdout.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	malformed := write("malformed.json", `{"messages": [,]}`)
+	invalid := write("invalid.json", `{}`) // well-formed JSON, fails scenario validation
+	unknownField := write("unknown.json", `{"bogus_field": 1}`)
+
+	tests := []struct {
+		name       string
+		argv       []string
+		stdin      string
+		wantCode   int
+		wantStderr string // substring; "" means stderr must be empty
+	}{
+		{name: "no command", argv: nil, wantCode: exitUsage, wantStderr: "commands:"},
+		{name: "unknown command", argv: []string{"bogus"}, wantCode: exitUsage, wantStderr: `unknown command "bogus"`},
+		{name: "help", argv: []string{"help"}, wantCode: exitOK, wantStderr: "commands:"},
+		{name: "bad flag", argv: []string{"analyze", "-no-such-flag"}, wantCode: exitUsage, wantStderr: "flag provided but not defined"},
+		{name: "flag help", argv: []string{"analyze", "-h"}, wantCode: exitOK, wantStderr: "Usage of analyze"},
+		{name: "missing config", argv: []string{"analyze", "-config", filepath.Join(dir, "nope.json")}, wantCode: exitErr, wantStderr: "rtether analyze:"},
+		{name: "malformed config", argv: []string{"analyze", "-config", malformed}, wantCode: exitErr, wantStderr: "rtether analyze:"},
+		{name: "invalid config", argv: []string{"analyze", "-config", invalid}, wantCode: exitErr, wantStderr: "non-positive link rate"},
+		{name: "unknown config field", argv: []string{"analyze", "-config", unknownField}, wantCode: exitErr, wantStderr: `unknown field "bogus_field"`},
+		{name: "malformed stdin config", argv: []string{"analyze", "-config", "-"}, stdin: "{", wantCode: exitErr, wantStderr: "rtether analyze:"},
+		{name: "scenario success", argv: []string{"scenario"}, wantCode: exitOK, wantStderr: ""},
+		{name: "analyze success", argv: []string{"analyze"}, wantCode: exitOK, wantStderr: ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, diag := runCapture(t, tc.stdin, tc.argv...)
+			if code != tc.wantCode {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", tc.argv, code, tc.wantCode, diag)
+			}
+			if tc.wantStderr == "" {
+				if diag != "" {
+					t.Errorf("run(%q) wrote to stderr on success: %s", tc.argv, diag)
+				}
+			} else if !strings.Contains(diag, tc.wantStderr) {
+				t.Errorf("run(%q) stderr = %q, want substring %q", tc.argv, diag, tc.wantStderr)
+			}
+			if code != exitOK && tc.name != "help" && tc.name != "flag help" && out != "" && strings.Contains(out, "error") {
+				t.Errorf("run(%q) leaked a diagnostic to stdout: %q", tc.argv, out)
+			}
+		})
+	}
+}

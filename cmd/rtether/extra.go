@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -17,9 +16,11 @@ import (
 // cmdCapacity answers the inverse of the paper's observation: what is the
 // smallest link rate at which each approach meets every deadline?
 func cmdCapacity(args []string) error {
-	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
+	fs := newFlagSet("capacity")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	scen, err := loadScenario(*config)
 	if err != nil {
@@ -60,10 +61,12 @@ func cmdCapacity(args []string) error {
 // the sim section (queue_capacities_bytes), ready to pipe into any other
 // subcommand: rtether backlog -dimension | rtether validate -config -.
 func cmdBacklog(args []string) error {
-	fs := flag.NewFlagSet("backlog", flag.ExitOnError)
+	fs := newFlagSet("backlog")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
 	dimension := fs.Bool("dimension", false, "emit the scenario JSON with derived per-port queue capacities instead of the table")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	s, err := bindScenario(*config)
 	if err != nil {
@@ -158,9 +161,11 @@ func cmdBacklog(args []string) error {
 // cmdAFDX maps the workload onto ARINC 664 virtual links and compares the
 // civil 2-priority profile with the paper's military 4-class one.
 func cmdAFDX(args []string) error {
-	fs := flag.NewFlagSet("afdx", flag.ExitOnError)
+	fs := newFlagSet("afdx")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	scen, err := loadScenario(*config)
 	if err != nil {
@@ -215,9 +220,11 @@ func writeTraceCSV(path string, rec *trace.Recorder) error {
 // cmdSchedulers prints the four-discipline comparison of the urgent class
 // at the bottleneck (experiments A7/A8).
 func cmdSchedulers(args []string) error {
-	fs := flag.NewFlagSet("schedulers", flag.ExitOnError)
+	fs := newFlagSet("schedulers")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	scen, err := loadScenario(*config)
 	if err != nil {
@@ -248,9 +255,11 @@ func cmdSchedulers(args []string) error {
 
 // cmdTwoSwitch analyzes and simulates the cascaded two-switch topology.
 func cmdTwoSwitch(args []string) error {
-	fs := flag.NewFlagSet("twoswitch", flag.ExitOnError)
+	fs := newFlagSet("twoswitch")
 	config := fs.String("config", "", "scenario JSON (path or - for stdin)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	scen, err := loadScenario(*config)
 	if err != nil {

@@ -30,6 +30,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -41,15 +43,69 @@ import (
 // stdout is the destination of command output; tests swap it for a buffer.
 var stdout io.Writer = os.Stdout
 
+// stderr is the destination of diagnostics; tests swap it for a buffer.
+var stderr io.Writer = os.Stderr
+
 // stdin is the source of `-config -` documents; tests swap it for a reader.
 var stdin io.Reader = os.Stdin
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+// Exit codes, kept consistent across every subcommand so scripts and CI
+// can branch on them:
+//
+//	0  success (including an explicit help request)
+//	1  the command ran and failed: malformed or unreadable -config,
+//	   validation error, simulation or I/O failure
+//	2  usage error: no or unknown subcommand, bad flags
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
+
+// errHelp reports an explicit help request (-h/-help), which is a clean
+// exit, not a failure.
+var errHelp = errors.New("help requested")
+
+// usageErr marks a command-line parsing failure. The flag package has
+// already printed the diagnostic and the command's defaults when it is
+// raised, so main only translates it into exit code 2.
+type usageErr struct{ error }
+
+// newFlagSet builds a subcommand flag set that reports errors instead of
+// exiting, so the exit-code policy lives in one place (run) and tests can
+// observe it in-process.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseFlags classifies a flag.Parse result under the exit-code policy:
+// nil on success, errHelp for an explicit help request, usageErr for a
+// malformed command line.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return errHelp
+	default:
+		return usageErr{err}
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches the subcommand and returns the process exit code. It is
+// the single authority on exit codes — see the exit* constants.
+func run(argv []string) int {
+	if len(argv) < 1 {
+		usage()
+		return exitUsage
+	}
+	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "figure1":
@@ -80,19 +136,29 @@ func main() {
 		err = cmdScenario(args)
 	case "-h", "--help", "help":
 		usage()
+		return exitOK
 	default:
-		fmt.Fprintf(os.Stderr, "rtether: unknown command %q\n", cmd)
+		fmt.Fprintf(stderr, "rtether: unknown command %q\n", cmd)
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rtether %s: %v\n", cmd, err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errHelp):
+		return exitOK
+	default:
+		var ue usageErr
+		if errors.As(err, &ue) {
+			return exitUsage
+		}
+		fmt.Fprintf(stderr, "rtether %s: %v\n", cmd, err)
+		return exitErr
 	}
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `rtether — real-time switched Ethernet for military applications (CoNEXT'05 reproduction)
+	fmt.Fprint(stderr, `rtether — real-time switched Ethernet for military applications (CoNEXT'05 reproduction)
 
 commands:
   figure1    delay bounds of both approaches (the paper's Figure 1)

@@ -2,7 +2,6 @@ package main
 
 import (
 	"errors"
-	"flag"
 	"fmt"
 	"strings"
 	"time"
@@ -23,7 +22,7 @@ import (
 // topology × rate × load cross product on the parallel scenario-sweep
 // engine (output bit-identical at any -parallel value).
 func cmdTopo(args []string) error {
-	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	fs := newFlagSet("topo")
 	config := fs.String("config", "", "scenario JSON (default: built-in real case; the -grid workload scales the built-in catalog)")
 	approachFlag := fs.String("approach", "priority", "fcfs or priority")
 	horizon := fs.Duration("horizon", 500_000_000, "simulated time span")
@@ -33,7 +32,9 @@ func cmdTopo(args []string) error {
 	grid := fs.Bool("grid", false, "sweep topology × rate × load with Monte-Carlo replications")
 	parallel := fs.Int("parallel", 1, "concurrent scenario evaluations in -grid mode (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "simulation replications per grid cell")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	fams, err := selectFamilies(*topos)
 	if err != nil {

@@ -1,0 +1,20 @@
+// Command rtlint runs the repository's custom static-analysis suite
+// (internal/lint) as a `go vet` tool:
+//
+//	go build -o bin/rtlint ./cmd/rtlint
+//	go vet -vettool=$PWD/bin/rtlint ./...
+//
+// The suite proves at compile time the invariants the runtime gates check
+// empirically: an allocation-free steady-state hot path (hotpathalloc),
+// seed-reproducible results (deterministic), pool ownership discipline
+// (pooldiscipline), and unit-safe virtual-time arithmetic (simtimeunits).
+// CI runs it on every push; the repository must stay diagnostic-free.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() { unitchecker.Main(lint.Analyzers()...) }

@@ -56,6 +56,7 @@ func main() {
 		// Deadline misses observed in simulation.
 		misses := 0
 		urgentMisses := 0
+		//rtlint:unordered commutative sums of per-flow counters
 		for _, f := range v.Sim.Flows {
 			misses += f.DeadlineMisses
 			if f.Msg.Priority == traffic.P0 {

@@ -119,6 +119,7 @@ func main() {
 
 func totalReleased(r *repro.SimResult) int {
 	n := 0
+	//rtlint:unordered commutative sum of per-flow counters
 	for _, f := range r.Flows {
 		n += f.Released
 	}

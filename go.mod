@@ -1,3 +1,11 @@
 module repro
 
 go 1.24
+
+// rtlint (internal/lint, cmd/rtlint) builds on golang.org/x/tools/go/analysis.
+// The dependency is vendored under third_party/ (the go/analysis subset the
+// Go toolchain itself ships in GOROOT/src/cmd/vendor), so offline builds and
+// CI need no module proxy. See third_party/golang.org/x/tools/README.md.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -99,6 +99,7 @@ func bottleneck(specs []FlowSpec) []FlowSpec {
 	byDest := groupBy(specs, func(f FlowSpec) string { return f.Msg.Dest })
 	var best []FlowSpec
 	bestName := ""
+	//rtlint:unordered argmax with a lexicographic tie-break on the destination name
 	for dest, port := range byDest {
 		if len(port) > len(best) || (len(port) == len(best) && dest < bestName) {
 			best, bestName = port, dest

@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/simtime"
@@ -224,7 +226,8 @@ func PortBacklogs(set *traffic.Set, cfg Config) (map[string]simtime.Size, error)
 	specs := Specs(set, cfg)
 	byDest := groupBy(specs, func(f FlowSpec) string { return f.Msg.Dest })
 	out := map[string]simtime.Size{}
-	for dest, port := range byDest {
+	for _, dest := range slices.Sorted(maps.Keys(byDest)) {
+		port := byDest[dest]
 		b, err := BacklogBound(port, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("port %s: %w", dest, err)

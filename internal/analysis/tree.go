@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"repro/internal/simtime"
@@ -154,7 +156,7 @@ func (t *Tree) Validate(stations []string) error {
 	// ("nav->sw0", "sw0->sw1"); a station sharing that namespace would
 	// collide with a switch in every key-addressed table (backlog bounds,
 	// observed marks, queue capacities), so it is rejected up front.
-	for s := range t.StationSwitch {
+	for _, s := range slices.Sorted(maps.Keys(t.StationSwitch)) {
 		if isSwitchName(s) {
 			return fmt.Errorf("analysis: station name %q collides with the switch namespace (sw<number>)", s)
 		}
@@ -175,7 +177,8 @@ func (t *Tree) Validate(stations []string) error {
 			return fmt.Errorf("analysis: negative propagation delay %v on trunk %v", p, t.Links[i])
 		}
 	}
-	for s, r := range t.StationRates {
+	for _, s := range slices.Sorted(maps.Keys(t.StationRates)) {
+		r := t.StationRates[s]
 		if _, ok := t.StationSwitch[s]; !ok {
 			return fmt.Errorf("analysis: rate override for unplaced station %q", s)
 		}
@@ -183,7 +186,8 @@ func (t *Tree) Validate(stations []string) error {
 			return fmt.Errorf("analysis: negative rate %v for station %q", r, s)
 		}
 	}
-	for s, p := range t.StationProps {
+	for _, s := range slices.Sorted(maps.Keys(t.StationProps)) {
+		p := t.StationProps[s]
 		if _, ok := t.StationSwitch[s]; !ok {
 			return fmt.Errorf("analysis: propagation override for unplaced station %q", s)
 		}
@@ -351,6 +355,7 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 	}
 	var order []dirEdge
 	var ready []dirEdge
+	//rtlint:sorted-after
 	for e, d := range indeg {
 		if d == 0 {
 			ready = append(ready, e)
@@ -363,6 +368,7 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		e := ready[0]
 		ready = ready[1:]
 		order = append(order, e)
+		//rtlint:sorted-after
 		for next := range deps[e] {
 			indeg[next]--
 			if indeg[next] == 0 {

@@ -124,6 +124,7 @@ func (b *NetworkBacklogs) Capacities() map[string]int {
 func (b *NetworkBacklogs) QueueCapacities() map[string]simtime.Size {
 	caps := b.Capacities()
 	out := make(map[string]simtime.Size, len(caps))
+	//rtlint:unordered map fill, one key at a time
 	for key, c := range caps {
 		out[key] = simtime.Bytes(c)
 	}
@@ -176,6 +177,7 @@ func (v BacklogVerdict) Sound() bool { return v.Unsound == 0 }
 func (b *NetworkBacklogs) Check(sims []*SimResult) BacklogVerdict {
 	merged := map[string]simtime.Size{}
 	for _, sim := range sims {
+		//rtlint:unordered max-merge per key, commutative
 		for key, m := range sim.PortMaxBacklog {
 			if old, ok := merged[key]; !ok || m > old {
 				merged[key] = m

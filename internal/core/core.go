@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/analysis"
 	"repro/internal/des"
@@ -142,8 +144,8 @@ func (c SimConfig) Validate() error {
 	if c.SkewMax < 0 {
 		return fmt.Errorf("core: negative skew_max %v", c.SkewMax)
 	}
-	for key, cap := range c.QueueCapacities {
-		if cap < 0 {
+	for _, key := range slices.Sorted(maps.Keys(c.QueueCapacities)) {
+		if cap := c.QueueCapacities[key]; cap < 0 {
 			return fmt.Errorf("core: negative capacity %v for queue %q", cap, key)
 		}
 	}
@@ -225,6 +227,7 @@ func (r *SimResult) WorstLatency(name string) simtime.Duration {
 // TotalDelivered sums deliveries over all connections.
 func (r *SimResult) TotalDelivered() int {
 	n := 0
+	//rtlint:unordered commutative sum of per-flow counters
 	for _, f := range r.Flows {
 		n += f.Delivered
 	}

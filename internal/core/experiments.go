@@ -198,6 +198,7 @@ type Baseline1553 struct {
 // SortedNames returns connection names in sorted order.
 func (b *Baseline1553) SortedNames() []string {
 	out := make([]string, 0, len(b.Flows))
+	//rtlint:sorted-after
 	for n := range b.Flows {
 		out = append(out, n)
 	}
@@ -273,6 +274,7 @@ func RunBaseline1553(set *traffic.Set, bc string, horizon simtime.Duration, opts
 		return nil, err
 	}
 	for _, rep := range reps {
+		//rtlint:unordered each name merges into its own per-flow target
 		for name, s := range rep.observed {
 			out.Flows[name].Observed.Merge(s)
 		}

@@ -403,11 +403,14 @@ func (ns *NetworkSim) expectedInstances(m *traffic.Message) int {
 // record forwards a trace event to the configured recorder, if any.
 func (ns *NetworkSim) record(ev trace.Event) {
 	if ns.cfg.Recorder != nil {
+		//rtlint:coldpath tracing is an opt-in debugging mode, not the measured steady state
 		ns.cfg.Recorder.Record(ev)
 	}
 }
 
 // getMeta takes a metadata record off the free list.
+//
+//rtlint:hotpath
 func (ns *NetworkSim) getMeta(flow, seq, cp int, release simtime.Time) *frameMeta {
 	var m *frameMeta
 	if n := len(ns.metaFree); n > 0 {
@@ -415,6 +418,7 @@ func (ns *NetworkSim) getMeta(flow, seq, cp int, release simtime.Time) *frameMet
 		ns.metaFree[n-1] = nil
 		ns.metaFree = ns.metaFree[:n-1]
 	} else {
+		//rtlint:coldpath pool miss: the metadata table grows only to the in-flight high-water mark
 		m = &frameMeta{}
 	}
 	*m = frameMeta{flow: flow, seq: seq, cp: cp, release: release}
@@ -424,9 +428,13 @@ func (ns *NetworkSim) getMeta(flow, seq, cp int, release simtime.Time) *frameMet
 // releaseFrame returns a frame and its metadata record to their pools —
 // the single end-of-life sink, installed as every port's OnDiscard and
 // called at delivery and redundancy-management rejection.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (ns *NetworkSim) releaseFrame(f *ethernet.Frame) {
 	if m, ok := f.Meta.(*frameMeta); ok {
 		f.Meta = nil
+		//rtlint:presized free list capacity tracks the metadata table; growth is amortized past the high-water mark
 		ns.metaFree = append(ns.metaFree, m)
 	}
 	ns.frames.Put(f)
@@ -435,6 +443,8 @@ func (ns *NetworkSim) releaseFrame(f *ethernet.Frame) {
 // onRelease is the traffic-source callback: one released instance becomes
 // one pooled frame per application copy, shaped (or bypassed) into the
 // network.
+//
+//rtlint:hotpath
 func (ns *NetworkSim) onRelease(in traffic.Instance) {
 	flow := in.Index // position in set.Messages — matches ns.flows order
 	ns.flows[flow].Released++
@@ -464,6 +474,9 @@ func (ns *NetworkSim) onRelease(in traffic.Instance) {
 // plane is fed synchronously, not through a zero-delay event, so the
 // identical-planes event order — and with it the golden dual fixture —
 // is preserved exactly.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (ns *NetworkSim) send(src int, f *ethernet.Frame) {
 	if ns.planes == 1 {
 		ns.sendOn(0, src, f)
@@ -477,6 +490,7 @@ func (ns *NetworkSim) send(src int, f *ethernet.Frame) {
 		g := ns.frames.Clone(f)
 		g.Meta = ns.getMeta(meta.flow, meta.seq, meta.cp, meta.release)
 		if skew := ns.topo.PlanePhaseSkew(p); skew > 0 {
+			//rtlint:presized skew ring reaches its steady-state capacity after the first burst; skewPop compacts in place
 			ns.skewPend[p] = append(ns.skewPend[p], pendingSend{src: src, f: g})
 			ns.sim.After(skew, ns.skewFn[p])
 		} else {
@@ -488,6 +502,8 @@ func (ns *NetworkSim) send(src int, f *ethernet.Frame) {
 
 // skewPop releases the oldest pending copy of plane p (every copy waits
 // exactly the plane's skew, so completions are FIFO).
+//
+//rtlint:hotpath
 func (ns *NetworkSim) skewPop(p int) {
 	pend := ns.skewPend[p]
 	e := pend[ns.skewHead[p]]
@@ -504,6 +520,9 @@ func (ns *NetworkSim) skewPop(p int) {
 // sendOn submits one frame copy to plane p's source station, accounting a
 // drop if the uplink multiplexer rejects it. The trace fields are staged
 // before Send because a rejected frame is released (OnDiscard) inside it.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (ns *NetworkSim) sendOn(p, src int, f *ethernet.Frame) {
 	meta := f.Meta.(*frameMeta)
 	flow, seq := meta.flow, meta.seq
@@ -519,6 +538,7 @@ func (ns *NetworkSim) sendOn(p, src int, f *ethernet.Frame) {
 // allocates nothing.
 func (ns *NetworkSim) makeReceive(p int, name string) func(*ethernet.Frame) {
 	sim, res := ns.sim, ns.res
+	//rtlint:hotpath
 	return func(f *ethernet.Frame) {
 		meta, ok := f.Meta.(*frameMeta)
 		if !ok {
@@ -532,6 +552,7 @@ func (ns *NetworkSim) makeReceive(p int, name string) func(*ethernet.Frame) {
 			slot := seq*ns.copiesOf[flow] + meta.cp
 			seen := ns.seenAt[flow]
 			for len(seen) <= slot {
+				//rtlint:presized dedup slots presized from the horizon; growth past the estimate is amortized
 				seen = append(seen, 0)
 			}
 			ns.seenAt[flow] = seen
@@ -563,6 +584,7 @@ func (ns *NetworkSim) makeReceive(p int, name string) func(*ethernet.Frame) {
 			res.ClassWorst[msg.Priority] = lat
 		}
 		ns.record(trace.Event{At: sim.Now(), Kind: trace.Delivered, Conn: msg.Name, Seq: seq, Where: name})
+		//rtlint:coldpath packet capture is a debugging mode, not the measured steady state
 		if ns.cfg.PCAP != nil && ns.pcapErr == nil {
 			if wire, err := f.Marshal(); err == nil {
 				ns.pcapErr = ns.cfg.PCAP.WritePacket(sim.Now(), wire)
@@ -579,6 +601,8 @@ func (ns *NetworkSim) Now() simtime.Time { return ns.sim.Now() }
 
 // Advance runs the simulation d further into virtual time. It may be
 // called repeatedly; after warm-up the per-frame path allocates nothing.
+//
+//rtlint:hotpath
 func (ns *NetworkSim) Advance(d simtime.Duration) {
 	ns.sim.RunFor(d)
 }

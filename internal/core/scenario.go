@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/analysis"
 	"repro/internal/simtime"
@@ -71,7 +73,7 @@ func NewScenario(cfg *topology.Config) (*Scenario, error) {
 	// Per-port capacities must name actual queues of THIS architecture —
 	// a typoed edge key would otherwise silently leave the port at the
 	// global default, defeating the dimensioning it was meant to carry.
-	for key := range sim.QueueCapacities {
+	for _, key := range slices.Sorted(maps.Keys(sim.QueueCapacities)) {
 		if !net.ValidQueueKey(key) {
 			return nil, fmt.Errorf("core: sim queue_capacities_bytes names no queue of network %q: %q (want \"station->sw<i>\", \"sw<i>->sw<j>\" or \"sw<i>->station\", optionally \"n<plane>.\"-prefixed)", net.Name, key)
 		}
@@ -131,6 +133,7 @@ func simConfigOf(cfg *topology.Config) (SimConfig, error) {
 	}
 	if len(sj.QueueCapacitiesBytes) > 0 {
 		sim.QueueCapacities = make(map[string]simtime.Size, len(sj.QueueCapacitiesBytes))
+		//rtlint:unordered map fill, one key at a time
 		for key, c := range sj.QueueCapacitiesBytes {
 			sim.QueueCapacities[key] = simtime.Bytes(c)
 		}
@@ -220,6 +223,7 @@ func (s *Scenario) Validate(opts SweepOptions) (*Validation, error) {
 				PortMaxBacklog: map[string]simtime.Size{}}
 			for _, sim := range sims {
 				v.Dropped += sim.Dropped
+				//rtlint:unordered max-merge per key, commutative
 				for key, m := range sim.PortMaxBacklog {
 					if old, ok := v.PortMaxBacklog[key]; !ok || m > old {
 						v.PortMaxBacklog[key] = m

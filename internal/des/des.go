@@ -92,6 +92,7 @@ func (q *eventQueue) len() int { return len(q.ev) }
 // push appends ev and sifts it up to its heap position.
 func (q *eventQueue) push(ev *event) {
 	i := len(q.ev)
+	//rtlint:presized heap presized at construction; growth past the high-water mark is amortized
 	q.ev = append(q.ev, heapNode{at: ev.at, seq: ev.seq, idx: ev.idx})
 	q.up(i)
 }
@@ -198,7 +199,9 @@ func (p *Pool) get() *event {
 		p.free = p.free[:n-1]
 		return p.recs[idx]
 	}
+	//rtlint:coldpath pool miss: registers a fresh record, once per high-water mark
 	ev := &event{idx: int32(len(p.recs))}
+	//rtlint:coldpath pool miss: the record table grows only with the pool
 	p.recs = append(p.recs, ev)
 	return ev
 }
@@ -247,12 +250,15 @@ func (s *Simulator) alloc() *event { return s.pool.get() }
 func (s *Simulator) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
+	//rtlint:presized free list capacity tracks the record table; growth is amortized past the high-water mark
 	s.pool.free = append(s.pool.free, ev.idx)
 }
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past is a model bug and panics, because silently reordering causality would
 // invalidate every latency measurement downstream.
+//
+//rtlint:hotpath
 func (s *Simulator) At(at simtime.Time, fn Handler) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, s.now))
@@ -271,6 +277,8 @@ func (s *Simulator) At(at simtime.Time, fn Handler) EventRef {
 }
 
 // After schedules fn to run d after the current time.
+//
+//rtlint:hotpath
 func (s *Simulator) After(d simtime.Duration, fn Handler) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative delay %v", d))
@@ -283,6 +291,8 @@ func (s *Simulator) After(d simtime.Duration, fn Handler) EventRef {
 // Cancellation is lazy: the record is marked dead and discarded when it
 // reaches the top of the heap, so the sift routines never maintain heap
 // indices. The record rejoins the free list only once it surfaces.
+//
+//rtlint:hotpath
 func (s *Simulator) Cancel(r EventRef) {
 	if !r.Valid() {
 		return
@@ -311,6 +321,8 @@ func (s *Simulator) drainCanceled() {
 
 // Step delivers the single earliest pending event and returns true, or
 // returns false if the queue is empty.
+//
+//rtlint:hotpath
 func (s *Simulator) Step() bool {
 	s.drainCanceled()
 	if s.queue.len() == 0 {
@@ -369,6 +381,7 @@ func (s *Simulator) Every(phase, period simtime.Duration, fn Handler) (stop func
 	stopped := false
 	var ref EventRef
 	var tick Handler
+	//rtlint:hotpath
 	tick = func() {
 		if stopped {
 			return

@@ -18,6 +18,8 @@ type FramePool struct {
 }
 
 // Get returns a zeroed frame, recycled when possible.
+//
+//rtlint:hotpath
 func (p *FramePool) Get() *Frame {
 	if n := len(p.free); n > 0 {
 		f := p.free[n-1]
@@ -27,6 +29,7 @@ func (p *FramePool) Get() *Frame {
 		return f
 	}
 	p.News++
+	//rtlint:coldpath pool miss: the frame table grows only to the traffic high-water mark
 	return &Frame{}
 }
 
@@ -35,12 +38,16 @@ func (p *FramePool) Get() *Frame {
 // the same frame twice is a model ownership bug and panics — silently
 // aliasing one record into two in-flight frames would corrupt a
 // simulation undetectably.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (p *FramePool) Put(f *Frame) {
 	if f.pooled {
 		panic("ethernet: frame released to pool twice")
 	}
 	gen := f.gen + 1
 	*f = Frame{gen: gen, pooled: true}
+	//rtlint:presized free list capacity tracks the frame table; growth is amortized past the high-water mark
 	p.free = append(p.free, f)
 	p.Puts++
 }
@@ -48,6 +55,8 @@ func (p *FramePool) Put(f *Frame) {
 // Clone returns a pooled copy of f: wire fields and Meta are copied, pool
 // bookkeeping is the clone's own. This is how plane replication copies a
 // frame per redundant plane.
+//
+//rtlint:hotpath
 func (p *FramePool) Clone(f *Frame) *Frame {
 	g := p.Get()
 	gen := g.gen

@@ -146,6 +146,9 @@ func (p *Port) Stats() PortStats { return p.stats }
 // Send enqueues a frame for transmission, returning false if the queue
 // dropped it (after handing it to OnDiscard). Transmission begins
 // immediately if the serializer is idle.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (p *Port) Send(f *Frame) bool {
 	if !p.queue.Enqueue(f) {
 		if p.OnDiscard != nil {
@@ -162,6 +165,8 @@ func (p *Port) Send(f *Frame) bool {
 // serialize+IFG — reuse the port's pre-bound handlers; the per-frame state
 // rides in the inflight FIFO and the curBytes/curBusy staging fields, so
 // the steady-state transmission path allocates nothing.
+//
+//rtlint:hotpath
 func (p *Port) kick() {
 	if p.transmitting {
 		return
@@ -176,6 +181,7 @@ func (p *Port) kick() {
 	ifg := simtime.TransmissionTime(simtime.Bytes(InterFrameGapBytes), p.rate)
 
 	// Last bit hits the far end after serialization plus propagation.
+	//rtlint:presized in-flight ring presized in NewPort and compacted by deliverHead
 	p.inflight = append(p.inflight, portInflight{f: f, start: p.sim.Now()})
 	p.sim.After(serialize+p.prop, p.deliverFn)
 	// The transmitter is busy for the serialization plus the mandatory
@@ -187,6 +193,8 @@ func (p *Port) kick() {
 
 // deliverHead completes the oldest in-flight frame: the bit-error draw,
 // the departure hook, and delivery to the far end.
+//
+//rtlint:hotpath
 func (p *Port) deliverHead() {
 	e := p.inflight[p.infHead]
 	p.inflight[p.infHead] = portInflight{}
@@ -211,6 +219,8 @@ func (p *Port) deliverHead() {
 }
 
 // txDone retires the outstanding transmission and starts the next one.
+//
+//rtlint:hotpath
 func (p *Port) txDone() {
 	p.stats.Sent++
 	p.stats.SentBytes += p.curBytes

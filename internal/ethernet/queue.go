@@ -72,6 +72,7 @@ func (q *fifo) presize(n int) {
 }
 
 func (q *fifo) push(f *Frame) {
+	//rtlint:presized ring presized by presize() and compacted by pop
 	q.frames = append(q.frames, f)
 	q.backlog += simtime.Bytes(f.FrameBytes())
 }
@@ -114,6 +115,8 @@ func NewFCFSQueue(capacity simtime.Size) *FCFSQueue {
 }
 
 // Enqueue implements Queue.
+//
+//rtlint:hotpath
 func (q *FCFSQueue) Enqueue(f *Frame) bool {
 	sz := simtime.Bytes(f.FrameBytes())
 	if q.capacity > 0 && q.q.backlog+sz > q.capacity {
@@ -129,6 +132,8 @@ func (q *FCFSQueue) Enqueue(f *Frame) bool {
 }
 
 // Dequeue implements Queue.
+//
+//rtlint:hotpath
 func (q *FCFSQueue) Dequeue() *Frame { return q.q.pop() }
 
 // Len implements Queue.
@@ -175,6 +180,8 @@ func NewPriorityQueue(perClassCapacity simtime.Size) *PriorityQueue {
 
 // Enqueue implements Queue, classifying by the frame's PCP. Untagged
 // frames go to the lowest class.
+//
+//rtlint:hotpath
 func (q *PriorityQueue) Enqueue(f *Frame) bool {
 	class := NumClasses - 1
 	if f.Tagged {
@@ -197,6 +204,8 @@ func (q *PriorityQueue) Enqueue(f *Frame) bool {
 }
 
 // Dequeue implements Queue: highest non-empty class first.
+//
+//rtlint:hotpath
 func (q *PriorityQueue) Dequeue() *Frame {
 	for c := range q.classes {
 		if !q.classes[c].empty() {

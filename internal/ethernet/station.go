@@ -60,6 +60,9 @@ func (s *Station) Uplink() *Port { return s.up }
 
 // Send queues a frame on the uplink, stamping the station as source.
 // It returns false if the uplink queue dropped the frame.
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (s *Station) Send(f *Frame) bool {
 	f.Src = s.addr
 	return s.up.Send(f)

@@ -62,6 +62,7 @@ type Switch struct {
 	cfg  SwitchConfig
 	sim  *des.Simulator
 	port map[int]*swPort
+	ids  []int // attached port ids, ascending, so flood replication order is deterministic
 	fdb  map[Addr]int
 
 	// relay is the FIFO of frames crossing the fabric. Every crossing
@@ -136,6 +137,8 @@ func (s *Switch) AttachPort(id int, rate simtime.Rate, prop simtime.Duration, de
 	p := &swPort{id: id}
 	p.out = NewPort(name, s.sim, s.newQueue(id), rate, prop, deliver)
 	s.port[id] = p
+	s.ids = append(s.ids, id)
+	sort.Ints(s.ids)
 	return func(f *Frame) { s.receive(id, f) }
 }
 
@@ -155,6 +158,8 @@ func (s *Switch) Lookup(addr Addr) (portID int, ok bool) {
 
 // receive handles a fully received frame on input port in: source learning,
 // destination lookup, and relay to the output queue after RelayLatency.
+//
+//rtlint:hotpath
 func (s *Switch) receive(in int, f *Frame) {
 	// Source learning, as a real switch does.
 	if !f.Src.IsMulticast() {
@@ -168,23 +173,28 @@ func (s *Switch) receive(in int, f *Frame) {
 			return
 		}
 	}
-	// Flood: broadcast or unknown unicast.
+	// Flood: broadcast or unknown unicast. Replicate in ascending port
+	// order — map iteration order here would make fabric submission order,
+	// and with it every downstream departure time, vary run to run.
 	s.Flooded++
-	for id, p := range s.port {
+	for _, id := range s.ids {
 		if id != in {
-			s.relayTo(p.out, f)
+			s.relayTo(s.port[id].out, f)
 		}
 	}
 }
 
 // relayTo submits a frame to the fabric toward one output port.
 func (s *Switch) relayTo(out *Port, f *Frame) {
+	//rtlint:presized relay ring presized in NewSwitch and compacted by relayPop
 	s.relay = append(s.relay, relayEntry{f: f, out: out})
 	s.sim.After(s.cfg.RelayLatency, s.relayFn)
 }
 
 // relayPop completes the oldest fabric crossing: the frame joins its
 // output queue (which drops it to the port's OnDiscard when full).
+//
+//rtlint:hotpath
 func (s *Switch) relayPop() {
 	e := s.relay[s.relayHead]
 	s.relay[s.relayHead] = relayEntry{}
@@ -200,12 +210,7 @@ func (s *Switch) relayPop() {
 
 // PortIDs returns the attached port ids in ascending order.
 func (s *Switch) PortIDs() []int {
-	ids := make([]int, 0, len(s.port))
-	for id := range s.port {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
+	return append([]int(nil), s.ids...)
 }
 
 // OutputPort returns the egress Port of switch port id (for statistics and

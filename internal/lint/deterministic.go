@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// DeterministicAnalyzer flags constructs whose outcome depends on state
+// outside the simulation's seeded determinism contract: map iteration
+// order, the wall clock, and random number generators not derived from
+// des.SplitSeed.
+//
+// Every range over a map in non-test code is flagged, because Go
+// randomizes iteration order per run and anything the loop body touches —
+// rendered output, result tables, DES event scheduling — becomes
+// run-dependent. Two annotated idioms are blessed: sort-after-collect
+// (//rtlint:sorted-after — the analyzer verifies that a sort.* or
+// slices.Sort* call follows the loop in the same function; an annotation
+// with no sort behind it is itself a diagnostic), and commutative folds
+// (//rtlint:unordered, with a written justification — sums, counts, map
+// fills, argmax with a deterministic tie-break).
+//
+// time.Now and the global math/rand generator are banned outright in
+// non-test code; des.NewRNG outside package des must be seeded through
+// des.SplitSeed (use des.Stream, or annotate //rtlint:rng-ok with the
+// provenance of the seed).
+var DeterministicAnalyzer = &analysis.Analyzer{
+	Name: "deterministic",
+	Doc:  "flag map iteration, wall-clock and foreign-RNG use that breaks seeded determinism",
+	Run:  runDeterministic,
+}
+
+func runDeterministic(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, dirs, file, n)
+			case *ast.CallExpr:
+				checkForeignEntropy(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange handles one range statement: flag map iteration unless the
+// sort-after-collect idiom is annotated and verifiably present.
+func checkMapRange(pass *analysis.Pass, dirs *directives, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if dirs.onNode(rs, "unordered") {
+		// Asserted order-insensitive: a commutative fold (sum, count,
+		// map fill, argmax with a deterministic tie-break).
+		return
+	}
+	if !dirs.onNode(rs, "sorted-after") {
+		pass.ReportRangef(rs.X,
+			"deterministic: map iteration order is random per run; iterate sorted keys, collect-then-sort (//rtlint:sorted-after), or justify a commutative fold with //rtlint:unordered")
+		return
+	}
+	// The annotation claims sort-after-collect: verify a sort call really
+	// follows the loop, later in some enclosing block of the same function.
+	if !sortFollows(pass, file, rs) {
+		pass.ReportRangef(rs,
+			"deterministic: //rtlint:sorted-after annotation, but no sort.* or slices.Sort* call follows the loop in the enclosing block")
+	}
+}
+
+// sortFollows reports whether a call into package sort or slices appears
+// after the range statement inside one of its enclosing blocks (still
+// within the enclosing function).
+func sortFollows(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	found := false
+	// Locate the innermost enclosing function, then search every
+	// statement positioned after the loop for a sort call.
+	var encl ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rs.Pos() && rs.End() <= n.End() {
+				encl = n // keep innermost: later matches overwrite
+			}
+		}
+		return true
+	})
+	if encl == nil {
+		encl = file
+	}
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil {
+			p := fn.Pkg().Path()
+			if p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkForeignEntropy flags wall-clock reads and RNGs outside the seeded
+// des.SplitSeed derivation chain.
+func checkForeignEntropy(pass *analysis.Pass, dirs *directives, call *ast.CallExpr) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Now":
+		pass.ReportRangef(call,
+			"deterministic: time.Now reads the wall clock; simulations must use virtual time (simtime) only")
+	case path == "math/rand" || path == "math/rand/v2":
+		pass.ReportRangef(call,
+			"deterministic: %s uses math/rand; derive RNGs from des.SplitSeed (des.Stream) so runs are seed-reproducible", fn.Name())
+	case fn.Name() == "NewRNG" && isDesPkg(path) && !isDesPkg(pass.Pkg.Path()):
+		if seedFromSplit(pass, call) || dirs.onNode(call, "rng-ok") {
+			return
+		}
+		pass.ReportRangef(call,
+			"deterministic: des.NewRNG with a seed not derived from des.SplitSeed; use des.Stream(root, i) (or annotate //rtlint:rng-ok with the seed's provenance)")
+	}
+}
+
+// isDesPkg matches the DES kernel package by import-path suffix, so the
+// analyzer works both on this repository ("repro/internal/des") and on the
+// test fixtures (plain "des").
+func isDesPkg(path string) bool {
+	return path == "des" || strings.HasSuffix(path, "/des")
+}
+
+// seedFromSplit reports whether the call's seed argument contains a call
+// to des.SplitSeed.
+func seedFromSplit(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := typeutil.Callee(pass.TypesInfo, inner).(*types.Func); ok && fn != nil &&
+				fn.Name() == "SplitSeed" && fn.Pkg() != nil && isDesPkg(fn.Pkg().Path()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

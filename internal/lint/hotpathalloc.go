@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// HotPathAllocAnalyzer rejects allocation-inducing constructs in the
+// simulation's steady-state hot path.
+//
+// The hot path is rooted at functions carrying a //rtlint:hotpath doc
+// directive (des.Simulator.Step and the pre-bound port/switch/station
+// handlers) plus function literals annotated at their creation site (the
+// handlers bound once at setup, such as NetworkSim.makeReceive's returned
+// closure). Within a package, hotness propagates through every statically
+// resolvable call; across packages, the analyzer exports an "allocates"
+// fact for every function that may allocate, so a hot caller in a
+// dependent package is flagged the moment it calls one.
+//
+// Flagged constructs: string conversions (e.g. string(topology.EdgeID)),
+// map-with-string-key operations, fmt/log/errors and friends, append and
+// make without a //rtlint:presized justification, new/&T{}/slice/map
+// literals, and closure creation. Branches that exist only to panic are
+// exempt (a triggered guard aborts the run), as are statements annotated
+// //rtlint:coldpath (pool-miss and optional-diagnostics branches off the
+// steady state, which the runtime allocation gate still covers).
+var HotPathAllocAnalyzer = &analysis.Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "reject allocation-inducing constructs reachable from the simulation hot path",
+	Run:       runHotPathAlloc,
+	FactTypes: []analysis.Fact{(*allocatesFact)(nil)},
+}
+
+// allocatesFact marks an exported function that may allocate on some path,
+// so hot callers in dependent packages can be flagged at the call site.
+type allocatesFact struct {
+	Reason string
+}
+
+func (*allocatesFact) AFact()           {}
+func (f *allocatesFact) String() string { return "allocates: " + f.Reason }
+
+// allocPkgDeny lists import-path roots whose calls are treated as
+// allocating wholesale — the formatting, reflection and collection
+// machinery that has no business on the per-frame path.
+var allocPkgDeny = []string{
+	"fmt", "log", "errors", "reflect", "strings", "strconv",
+	"bytes", "sort", "bufio", "regexp", "encoding",
+}
+
+func denied(path string) bool {
+	for _, p := range allocPkgDeny {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hpFinding is one allocation construct found in a function body.
+type hpFinding struct {
+	pos token.Pos
+	end token.Pos
+	msg string
+}
+
+// hpCall is one statically resolved call site.
+type hpCall struct {
+	fn  *types.Func
+	pos token.Pos
+	end token.Pos
+}
+
+// hpFunc is the per-function summary the analyzer builds for every
+// function declaration and literal in the package.
+type hpFunc struct {
+	name      string
+	obj       *types.Func // nil for literals
+	body      *ast.BlockStmt
+	hot       bool
+	findings  []hpFinding
+	calls     []hpCall
+	allocates bool
+	reason    string // first allocation reason, for the exported fact
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+
+	var funcs []*hpFunc
+	byObj := map[*types.Func]*hpFunc{}
+
+	// Collect every function declaration and literal, with hot marks.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				obj, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+				f := &hpFunc{
+					name: n.Name.Name,
+					obj:  obj,
+					body: n.Body,
+					hot:  docDirective(n.Doc, "hotpath"),
+				}
+				funcs = append(funcs, f)
+				if obj != nil {
+					byObj[obj] = f
+				}
+			case *ast.FuncLit:
+				f := &hpFunc{
+					name: "func literal",
+					body: n.Body,
+					hot:  dirs.onNode(n, "hotpath"),
+				}
+				funcs = append(funcs, f)
+				return true // literals nest; keep descending
+			}
+			return true
+		})
+	}
+
+	// Scan every body for allocation constructs and static call sites.
+	for _, f := range funcs {
+		scanHotPathBody(pass, dirs, f)
+	}
+
+	// Fixpoint 1: a function allocates if its body does, if it calls a
+	// package-local function that does, or if it calls a denied package or
+	// a dependency function carrying an allocates fact.
+	for _, f := range funcs {
+		if len(f.findings) > 0 {
+			f.allocates = true
+			f.reason = f.findings[0].msg
+		}
+	}
+	for _, f := range funcs {
+		for _, c := range f.calls {
+			if callee, ok := byObj[c.fn]; !ok || callee == nil {
+				if calleeAllocates(pass, c.fn) {
+					f.allocates = true
+					if f.reason == "" {
+						f.reason = "calls " + c.fn.FullName()
+					}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if f.allocates {
+				continue
+			}
+			for _, c := range f.calls {
+				if callee, ok := byObj[c.fn]; ok && callee.allocates {
+					f.allocates = true
+					f.reason = "calls " + c.fn.Name()
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Fixpoint 2: hotness propagates through package-local static calls.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if !f.hot {
+				continue
+			}
+			for _, c := range f.calls {
+				if callee, ok := byObj[c.fn]; ok && !callee.hot {
+					callee.hot = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Report: constructs inside hot functions, and hot calls into anything
+	// that allocates but is not itself locally hot (locally hot callees
+	// get their own precise construct diagnostics instead).
+	for _, f := range funcs {
+		if !f.hot {
+			continue
+		}
+		for _, fd := range f.findings {
+			pass.Report(analysis.Diagnostic{Pos: fd.pos, End: fd.end,
+				Message: fmt.Sprintf("hot path: %s", fd.msg)})
+		}
+		for _, c := range f.calls {
+			if callee, ok := byObj[c.fn]; ok {
+				if callee.hot {
+					continue // reported at its own constructs
+				}
+				if callee.allocates {
+					pass.Report(analysis.Diagnostic{Pos: c.pos, End: c.end,
+						Message: fmt.Sprintf("hot path: call to %s, which may allocate (%s)", c.fn.Name(), callee.reason)})
+				}
+				continue
+			}
+			if calleeAllocates(pass, c.fn) {
+				pass.Report(analysis.Diagnostic{Pos: c.pos, End: c.end,
+					Message: fmt.Sprintf("hot path: call to %s, which may allocate", c.fn.FullName())})
+			}
+		}
+	}
+
+	// Export facts for the package's own allocating functions so hot
+	// callers in dependent packages are flagged at their call sites.
+	for _, f := range funcs {
+		if f.obj != nil && f.allocates && !f.hot {
+			pass.ExportObjectFact(f.obj, &allocatesFact{Reason: f.reason})
+		}
+	}
+	return nil, nil
+}
+
+// calleeAllocates decides whether a call to a function outside the
+// package's own bodies may allocate: denied package roots wholesale, and
+// dependency functions carrying an exported allocates fact.
+func calleeAllocates(pass *analysis.Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == pass.Pkg {
+		// Builtins were handled syntactically; a same-package object with
+		// no body here is an interface method — dynamic, not resolvable.
+		return false
+	}
+	if denied(pkg.Path()) {
+		return true
+	}
+	var fact allocatesFact
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// scanHotPathBody walks one function body recording allocation constructs
+// and static call sites, honoring the coldpath/presized/panic-guard
+// exemptions. Function literals are not descended into — each literal is
+// its own hpFunc.
+func scanHotPathBody(pass *analysis.Pass, dirs *directives, f *hpFunc) {
+	// stack tracks the enclosing nodes (ast.Inspect emits a nil after each
+	// descended node) so expression-level findings can consult the
+	// innermost enclosing statement's directives.
+	var stack []ast.Node
+	suppressed := func(name string) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if s, ok := stack[i].(ast.Stmt); ok && dirs.onNode(s, name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var process func(n ast.Node) bool
+	process = func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			if dirs.onNode(s, "coldpath") || panicGuard(s) {
+				return false
+			}
+			return true
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if !suppressed("coldpath") {
+				f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+					"function literal allocates a closure (pre-bind the handler at setup)"})
+			}
+			return false // the literal's own body is a separate hpFunc
+		case *ast.IndexExpr:
+			xt := pass.TypesInfo.TypeOf(e.X)
+			if xt == nil {
+				return true
+			}
+			if m, ok := xt.Underlying().(*types.Map); ok {
+				if b, ok := m.Key().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+						"map with string key on the hot path (intern to dense ids at setup)"})
+				}
+			}
+		case *ast.CallExpr:
+			// Type conversions.
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				target := tv.Type.Underlying()
+				src := pass.TypesInfo.TypeOf(e.Args[0])
+				if src != nil {
+					if tb, ok := target.(*types.Basic); ok && tb.Info()&types.IsString != 0 {
+						if sb, ok := src.Underlying().(*types.Basic); !ok || sb.Info()&types.IsString == 0 {
+							f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+								fmt.Sprintf("conversion %s allocates a string", exprString(pass, e))})
+						}
+					}
+					if _, ok := target.(*types.Slice); ok {
+						if sb, ok := src.Underlying().(*types.Basic); ok && sb.Info()&types.IsString != 0 {
+							f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+								"string-to-slice conversion allocates"})
+						}
+					}
+				}
+				return true
+			}
+			// Builtins.
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "append":
+					if !suppressed("presized") {
+						f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+							"append may grow the backing array (presize it, or annotate the statement //rtlint:presized with a justification)"})
+					}
+					return true
+				case "make":
+					if !suppressed("presized") {
+						f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+							"make allocates"})
+					}
+					return true
+				case "new":
+					f.findings = append(f.findings, hpFinding{e.Pos(), e.End(), "new allocates"})
+					return true
+				}
+			}
+			if fn, ok := typeutil.Callee(pass.TypesInfo, e).(*types.Func); ok && fn != nil {
+				f.calls = append(f.calls, hpCall{fn: fn, pos: e.Pos(), end: e.End()})
+			}
+		case *ast.CompositeLit:
+			ct := pass.TypesInfo.TypeOf(e)
+			if ct == nil {
+				return true
+			}
+			switch ct.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+					"slice/map literal allocates"})
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					if !suppressed("coldpath") {
+						f.findings = append(f.findings, hpFinding{e.Pos(), e.End(),
+							"&composite literal allocates (pool or reuse the record)"})
+					}
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	ast.Inspect(f.body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !process(n) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// exprString renders a short source form of an expression for diagnostics.
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	if pass.ReadFile == nil {
+		return "expression"
+	}
+	if file := pass.Fset.File(e.Pos()); file != nil {
+		if src, err := pass.ReadFile(file.Name()); err == nil {
+			start, end := file.Offset(e.Pos()), file.Offset(e.End())
+			if start >= 0 && end <= len(src) && start < end && end-start < 60 {
+				return string(src[start:end])
+			}
+		}
+	}
+	return "expression"
+}

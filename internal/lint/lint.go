@@ -1,0 +1,192 @@
+// Package lint implements rtlint, a suite of custom go/analysis analyzers
+// that prove this repository's hard-won runtime invariants statically, at
+// `go vet` time:
+//
+//   - hotpathalloc: the steady-state simulation hot path (everything the
+//     pre-bound DES handlers reach) must not contain allocation-inducing
+//     constructs. It is the compile-time twin of TestSteadyStateZeroAlloc.
+//   - deterministic: no map iteration order, wall clock, or foreign RNG may
+//     flow into results or event scheduling. It is the compile-time twin of
+//     the bit-identical-at-any-parallelism CI gates.
+//   - pooldiscipline: values obtained from generation-checked pools
+//     (ethernet.FramePool and friends) must not be touched after release.
+//     It is the compile-time twin of the pool generation counters.
+//   - simtimeunits: raw untyped constants must not mix with simtime's unit
+//     types (Duration/Time/Size/Rate) outside the conversion helpers.
+//
+// The analyzers are directive-driven where the invariant cannot be inferred
+// from types alone. All directives use the standard Go directive comment
+// form (no space after //):
+//
+//	//rtlint:hotpath        marks a function (doc comment) or a function
+//	                        literal (line above / same line) as part of the
+//	                        allocation-free steady state.
+//	//rtlint:presized ...   exempts an append/make on that statement: the
+//	                        backing store is presized or amortized
+//	                        (growth-path only), proven by the runtime gate.
+//	//rtlint:coldpath ...   exempts a statement subtree from hotpathalloc:
+//	                        a pool-miss or optional-diagnostics branch that
+//	                        is off the steady-state path.
+//	//rtlint:sorted-after   allows a range over a map when the loop only
+//	                        collects, and a sort call follows in the same
+//	                        block (the analyzer verifies the sort is there).
+//	//rtlint:unordered ...  allows a range over a map whose body is a
+//	                        commutative fold (sum, count, map fill, argmax
+//	                        with a deterministic tie-break); the written
+//	                        justification is required reading for reviewers.
+//	//rtlint:rng-ok ...     exempts an RNG construction whose seed
+//	                        provenance the analyzer cannot see.
+//	//rtlint:consumes       marks a function (doc comment) as taking
+//	                        ownership of its pooled pointer arguments:
+//	                        callers must not touch them afterwards.
+//	//rtlint:units-ok ...   exempts one expression from simtimeunits where
+//	                        raw arithmetic is genuinely intended.
+//
+// cmd/rtlint exposes the suite as a `go vet -vettool` multichecker; the
+// whole repository must stay clean under it (enforced in CI).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full rtlint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAllocAnalyzer,
+		DeterministicAnalyzer,
+		PoolDisciplineAnalyzer,
+		SimtimeUnitsAnalyzer,
+	}
+}
+
+// directives indexes every //rtlint: directive comment of a pass by file
+// and line, so analyzers can ask "is this statement annotated?" cheaply.
+type directives struct {
+	fset *token.FileSet
+	// byLine maps filename → line → directive names ("hotpath", ...).
+	byLine map[string]map[int][]string
+}
+
+// collectDirectives scans the comment lists of every file in the pass.
+func collectDirectives(pass *analysis.Pass) *directives {
+	d := &directives{fset: pass.Fset, byLine: map[string]map[int][]string{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//rtlint:")
+				if !ok {
+					continue
+				}
+				name := text
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					name = text[:i]
+				}
+				pos := pass.Fset.Position(c.Slash)
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// at reports whether the named directive appears on the given line of the
+// given file.
+func (d *directives) at(filename string, line int, name string) bool {
+	for _, n := range d.byLine[filename][line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// onNode reports whether the named directive is attached to the node: a
+// trailing comment on the node's first line, or a comment on the line
+// directly above it.
+func (d *directives) onNode(n ast.Node, name string) bool {
+	pos := d.fset.Position(n.Pos())
+	return d.at(pos.Filename, pos.Line, name) || d.at(pos.Filename, pos.Line-1, name)
+}
+
+// docDirective reports whether the named directive appears in the
+// declaration's doc comment (the conventional place for whole-function
+// directives).
+func docDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//rtlint:"); ok {
+			n := text
+			if i := strings.IndexAny(text, " \t"); i >= 0 {
+				n = text[:i]
+			}
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file —
+// tests are exempt from determinism and unit-hygiene rules (they assert on
+// those properties rather than carry them).
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// panicGuard reports whether the statement exists only to abort: an if (or
+// validation switch) whose taken branches end in panic. Diagnostic
+// formatting inside such guards is exempt from hot-path allocation rules —
+// a triggered guard aborts the simulation, so its allocations never happen
+// on the steady-state path.
+func panicGuard(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return blockPanics(s.Body)
+	case *ast.SwitchStmt:
+		// A validation switch where every non-empty case panics.
+		any := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				return false
+			}
+			if len(cc.Body) == 0 {
+				continue
+			}
+			if !terminatesInPanic(cc.Body[len(cc.Body)-1]) {
+				return false
+			}
+			any = true
+		}
+		return any
+	}
+	return false
+}
+
+func blockPanics(b *ast.BlockStmt) bool {
+	return len(b.List) > 0 && terminatesInPanic(b.List[len(b.List)-1])
+}
+
+func terminatesInPanic(s ast.Stmt) bool {
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

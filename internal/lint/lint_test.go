@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestSuiteComplete is the meta-test for cmd/rtlint: the suite must
+// register exactly the four analyzers, in stable order, and each must be
+// well-formed per the go/analysis validation rules the multichecker
+// applies at startup.
+func TestSuiteComplete(t *testing.T) {
+	as := Analyzers()
+	wantNames := []string{"hotpathalloc", "deterministic", "pooldiscipline", "simtimeunits"}
+	if len(as) != len(wantNames) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(wantNames))
+	}
+	for i, a := range as {
+		if a.Name != wantNames[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+	}
+	if err := analysis.Validate(as); err != nil {
+		t.Fatalf("analysis.Validate: %v", err)
+	}
+}
+
+// TestDirectiveGlossary keeps the package doc honest: every directive the
+// analyzers consult must be documented in the glossary, so a reader of
+// `go doc repro/internal/lint` sees the full vocabulary.
+func TestDirectiveGlossary(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "lint.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Doc == nil {
+		t.Fatal("lint.go has no package doc comment")
+	}
+	doc := f.Doc.Text()
+	for _, name := range []string{"hotpath", "presized", "coldpath", "sorted-after", "unordered", "rng-ok", "consumes", "units-ok"} {
+		if !strings.Contains(doc, "rtlint:"+name) {
+			t.Errorf("directive //rtlint:%s is not documented in the package glossary", name)
+		}
+	}
+}
+
+func TestHotPathAlloc(t *testing.T) { runFixture(t, HotPathAllocAnalyzer, "hotalloc") }
+
+// TestHotPathAllocFacts checks the cross-package flow: the allocates fact
+// exported for allochelper.Record flags the hot call in hotcaller.
+func TestHotPathAllocFacts(t *testing.T) { runFixture(t, HotPathAllocAnalyzer, "hotcaller") }
+
+func TestDeterministic(t *testing.T) { runFixture(t, DeterministicAnalyzer, "det") }
+
+func TestPoolDiscipline(t *testing.T) { runFixture(t, PoolDisciplineAnalyzer, "pooluse") }
+
+func TestSimtimeUnits(t *testing.T) { runFixture(t, SimtimeUnitsAnalyzer, "units") }

@@ -1,0 +1,236 @@
+package lint
+
+// In-process golden-test harness for the rtlint analyzers, standing in for
+// golang.org/x/tools/go/analysis/analysistest (whose go/packages machinery
+// is not vendored under third_party). Fixture packages live under
+// testdata/src/<path>/ and may import only other fixture packages, so runs
+// are hermetic and fast: the fake des/simtime/pool/fmt/sort/time/math-rand
+// packages shadow their real counterparts by import path, which is exactly
+// how the analyzers match them.
+//
+// Expected diagnostics are declared with trailing
+//
+//	// want "substring"
+//
+// comments (several quoted substrings per comment are allowed). Every
+// diagnostic must match an unused want on its line, and every want must be
+// matched — same contract as analysistest, with substring instead of
+// regexp matching.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+type fixturePkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader loads fixture packages from testdata/src, recursively
+// through their imports, recording a deps-first order so facts flow the
+// way they do under a real driver.
+type fixtureLoader struct {
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*fixturePkg
+	order []*fixturePkg
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	fp, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return fp.pkg, nil
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v (fixture imports must resolve under testdata/src)", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %v", path, err)
+	}
+	fp := &fixturePkg{path: path, pkg: pkg, files: files, info: info}
+	l.pkgs[path] = fp
+	l.order = append(l.order, fp) // appended after deps: Import recursed first
+	return fp, nil
+}
+
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// runFixture runs one analyzer over the fixture package at path (and,
+// first, over its fixture dependencies, so object facts propagate), then
+// checks the target package's diagnostics against its want comments.
+func runFixture(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &fixtureLoader{
+		fset: fset,
+		root: filepath.Join("testdata", "src"),
+		pkgs: map[string]*fixturePkg{},
+	}
+	target, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objFacts := map[factKey]analysis.Fact{}
+	pkgFacts := map[*types.Package]analysis.Fact{}
+	var diags []analysis.Diagnostic
+	for _, fp := range l.order {
+		isTarget := fp == target
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      fp.files,
+			Pkg:        fp.pkg,
+			TypesInfo:  fp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   map[*analysis.Analyzer]interface{}{},
+			Report: func(d analysis.Diagnostic) {
+				if isTarget {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				stored, ok := objFacts[factKey{obj, reflect.TypeOf(fact)}]
+				if !ok {
+					return false
+				}
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[factKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				stored, ok := pkgFacts[pkg]
+				if !ok || reflect.TypeOf(stored) != reflect.TypeOf(fact) {
+					return false
+				}
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			},
+			ExportPackageFact: func(fact analysis.Fact) { pkgFacts[fp.pkg] = fact },
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, fp.path, err)
+		}
+	}
+
+	checkWants(t, fset, target, diags)
+}
+
+type want struct {
+	substr string
+	used   bool
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// checkWants matches diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*want{}
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				key := wantKey{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range wantQuoted.FindAllString(rest, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					wants[key] = append(wants[key], &want{substr: s})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := wantKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && strings.Contains(d.Message, w.substr) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, list := range wants {
+		for _, w := range list {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic containing %q, got none", key.file, key.line, w.substr)
+			}
+		}
+	}
+}

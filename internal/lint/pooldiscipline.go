@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// PoolDisciplineAnalyzer tracks values drawn from generation-checked free
+// lists (ethernet.FramePool and any future *Pool type) and rejects
+// touching them after their release — the use-after-free class the pool
+// generation counters catch only when a test happens to hit the path.
+//
+// A value is tracked when it is assigned from a Get/Clone call on a pool,
+// or arrives as a parameter of a pooled type (a pointer to a type exposing
+// the Pooled() ownership probe). It is released by Put/Release on a pool,
+// or by passing it to a function whose doc comment carries
+// //rtlint:consumes — the ownership-transfer marker for sinks like
+// NetworkSim.releaseFrame, Port.Send and Shaper.Submit (exported as a
+// fact, so cross-package hand-offs are tracked too). After the release,
+// any read, store, channel send or return of the value is a diagnostic;
+// releasing twice is one as well.
+//
+// The analysis is flow-sensitive per branch but intentionally simple: it
+// does not track aliases or loop-carried state. It exists to make the
+// obvious ownership bug impossible to merge, not to prove the full
+// discipline — the runtime generation counters remain the backstop.
+var PoolDisciplineAnalyzer = &analysis.Analyzer{
+	Name:      "pooldiscipline",
+	Doc:       "reject use of pooled values after their release to the pool",
+	Run:       runPoolDiscipline,
+	FactTypes: []analysis.Fact{(*consumesFact)(nil)},
+}
+
+// consumesFact marks a function that takes ownership of its pooled
+// pointer arguments; callers must not touch them after the call.
+type consumesFact struct{}
+
+func (*consumesFact) AFact()           {}
+func (f *consumesFact) String() string { return "consumes pooled arguments" }
+
+func runPoolDiscipline(pass *analysis.Pass) (interface{}, error) {
+	// Gather the package's own //rtlint:consumes functions and export
+	// them as facts for dependents.
+	consumes := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !docDirective(fd.Doc, "consumes") {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				consumes[obj] = true
+				pass.ExportObjectFact(obj, &consumesFact{})
+			}
+		}
+	}
+	pd := &poolChecker{pass: pass, consumes: consumes}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					pd.checkFunc(n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				pd.checkFunc(n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type poolChecker struct {
+	pass     *analysis.Pass
+	consumes map[*types.Func]bool
+}
+
+// released maps a tracked variable to where it was released; variables
+// absent from the map are live or untracked.
+type released map[*types.Var]token.Pos
+
+func (r released) clone() released {
+	c := make(released, len(r))
+	//rtlint:unordered map fill, one key at a time
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// checkFunc runs the linear release-tracking walk over one function body.
+// Nested function literals are analyzed separately (by the Inspect in
+// runPoolDiscipline), with their own parameter tracking.
+func (pd *poolChecker) checkFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	state := released{}
+	pd.block(body, state)
+}
+
+// block analyzes a statement list sequentially, mutating state.
+func (pd *poolChecker) block(b *ast.BlockStmt, state released) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		pd.stmt(s, state)
+	}
+}
+
+// stmt analyzes one statement: report uses of already-released values,
+// then apply this statement's releases.
+func (pd *poolChecker) stmt(s ast.Stmt, state released) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		pd.block(s, state)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			pd.stmt(s.Init, state)
+		}
+		pd.exprUses(s.Cond, state, s, nil)
+		thenState := state.clone()
+		pd.block(s.Body, thenState)
+		elseState := state.clone()
+		if s.Else != nil {
+			pd.stmt(s.Else, elseState)
+		}
+		mergeBranch(state, thenState, blockTerminates(s.Body))
+		if s.Else != nil {
+			mergeBranch(state, elseState, stmtTerminates(s.Else))
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			pd.stmt(s.Init, state)
+		}
+		pd.exprUses(s.Cond, state, s, nil)
+		bodyState := state.clone()
+		pd.block(s.Body, bodyState)
+		if s.Post != nil {
+			pd.stmt(s.Post, bodyState)
+		}
+		mergeBranch(state, bodyState, false)
+		return
+	case *ast.RangeStmt:
+		pd.exprUses(s.X, state, s, nil)
+		bodyState := state.clone()
+		pd.block(s.Body, bodyState)
+		mergeBranch(state, bodyState, false)
+		return
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Analyze each clause against a copy; merge surviving end states.
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				pd.stmt(sw.Init, state)
+			}
+			pd.exprUses(sw.Tag, state, s, nil)
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			bodyList = sw.Body.List
+		case *ast.SelectStmt:
+			bodyList = sw.Body.List
+		}
+		for _, clause := range bodyList {
+			cs := state.clone()
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				for _, t := range c.List {
+					pd.exprUses(t, state, s, nil)
+				}
+				for _, cb := range c.Body {
+					pd.stmt(cb, cs)
+				}
+				mergeBranch(state, cs, listTerminates(c.Body))
+			case *ast.CommClause:
+				for _, cb := range c.Body {
+					pd.stmt(cb, cs)
+				}
+				mergeBranch(state, cs, listTerminates(c.Body))
+			}
+		}
+		return
+	}
+
+	// Leaf statement. Collect this statement's release events first, so
+	// that their own arguments (pool.Put(f) reads f as part of releasing
+	// it) and plain-identifier assignment targets (writes, not reads) are
+	// not counted as uses.
+	type relEvent struct {
+		call *ast.CallExpr
+		vars []*types.Var
+	}
+	var events []relEvent
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		vars := pd.releasedBy(call)
+		if len(vars) == 0 {
+			return true
+		}
+		events = append(events, relEvent{call, vars})
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	as, isAssign := s.(*ast.AssignStmt)
+	if isAssign {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	pd.exprUses(s, state, s, skip)
+	for _, ev := range events {
+		for _, v := range ev.vars {
+			if prev, done := state[v]; done {
+				pd.pass.ReportRangef(ev.call,
+					"pooldiscipline: %s released twice (first released at %s)", v.Name(), pd.pass.Fset.Position(prev))
+			}
+			state[v] = ev.call.Pos()
+		}
+	}
+	// Reassigning a tracked variable rebinds it to a fresh value (commonly
+	// f = pool.Get()): clear any released mark it carried.
+	if isAssign {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v := pd.varOf(id); v != nil {
+					delete(state, v)
+				}
+			}
+		}
+	}
+}
+
+// exprUses reports every read of an already-released tracked variable
+// within the expression or statement node. Identifiers in skip are writes
+// or release-call arguments, not reads.
+func (pd *poolChecker) exprUses(n ast.Node, state released, ctx ast.Stmt, skip map[*ast.Ident]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if skip[id] {
+			return true
+		}
+		v := pd.varOf(id)
+		if v == nil {
+			return true
+		}
+		pos, done := state[v]
+		if !done {
+			return true
+		}
+		pd.pass.ReportRangef(id, "pooldiscipline: %s %s after release to pool (released at %s)",
+			v.Name(), useKind(ctx), pd.pass.Fset.Position(pos))
+		return true
+	})
+}
+
+// useKind names the retention form for the diagnostic.
+func useKind(s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return "returned"
+	case *ast.SendStmt:
+		return "sent on a channel"
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			switch lhs.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				return "stored"
+			}
+		}
+	}
+	return "used"
+}
+
+// varOf resolves an identifier to the variable it names, tracked only for
+// pooled pointer types.
+func (pd *poolChecker) varOf(id *ast.Ident) *types.Var {
+	obj := pd.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pd.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if !pooledType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// pooledType reports whether t is a pool-managed pointer: a pointer to a
+// named type exposing the Pooled() ownership probe every pooled record
+// type in this repository carries.
+func pooledType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(p, true, nil, "Pooled")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// releasedBy returns the tracked variables this call releases: Put/Release
+// arguments on a pool receiver, and every pooled-typed identifier argument
+// of a //rtlint:consumes function.
+func (pd *poolChecker) releasedBy(call *ast.CallExpr) []*types.Var {
+	fn, ok := typeutil.Callee(pd.pass.TypesInfo, call).(*types.Func)
+	if !ok || fn == nil {
+		return nil
+	}
+	isRelease := (fn.Name() == "Put" || fn.Name() == "Release") && poolReceiver(fn)
+	isConsume := pd.consumes[fn]
+	if !isConsume && fn.Pkg() != nil && fn.Pkg() != pd.pass.Pkg {
+		var fact consumesFact
+		isConsume = pd.pass.ImportObjectFact(fn, &fact)
+	}
+	if !isRelease && !isConsume {
+		return nil
+	}
+	var vars []*types.Var
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v := pd.varOf(id); v != nil {
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}
+
+// poolReceiver reports whether fn is a method on a type whose name says
+// pool (FramePool, Pool, ...).
+func poolReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(named.Obj().Name(), "Pool")
+}
+
+// Branch bookkeeping: a branch that terminates (returns, panics, breaks)
+// does not contribute its end state to the merge.
+
+func mergeBranch(into, branch released, terminated bool) {
+	if terminated {
+		return
+	}
+	//rtlint:unordered map merge keyed by variable, one key at a time
+	for v, pos := range branch {
+		if _, ok := into[v]; !ok {
+			into[v] = pos
+		}
+	}
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	return b != nil && listTerminates(b.List)
+}
+
+func listTerminates(list []ast.Stmt) bool {
+	return len(list) > 0 && stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		return terminatesInPanic(s)
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockPanics(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SimtimeUnitsAnalyzer rejects raw, unitless constants mixing with
+// simtime's unit types (Time, Duration, Size, Rate). `d - 1` compiles —
+// untyped constants convert silently — but the 1 is a bare nanosecond (or
+// bit, or bps) smuggled past the type system; the correct spelling names
+// the unit: `d - simtime.Nanosecond`, `2 * simtime.Millisecond`,
+// `simtime.Bytes(64)`.
+//
+// Flagged in non-test code outside package simtime itself:
+//
+//   - additive and comparison operators between a unit-typed operand and a
+//     nonzero constant that names no unit constant (scaling by *, /, % and
+//     comparisons against 0 stay legal — they are unit-preserving);
+//   - explicit conversions of nonzero constant literals, e.g.
+//     simtime.Duration(5000);
+//   - nonzero raw constants passed where a parameter, struct field, or
+//     assigned variable has a unit type.
+//
+// //rtlint:units-ok on the line (or the line above) suppresses a finding
+// where raw arithmetic is genuinely intended.
+var SimtimeUnitsAnalyzer = &analysis.Analyzer{
+	Name: "simtimeunits",
+	Doc:  "reject raw unitless constants mixing with simtime unit types",
+	Run:  runSimtimeUnits,
+}
+
+func runSimtimeUnits(pass *analysis.Pass) (interface{}, error) {
+	if isSimtimePkg(pass.Pkg.Path()) {
+		return nil, nil // the unit vocabulary is defined here
+	}
+	su := &unitsChecker{pass: pass, dirs: collectDirectives(pass)}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				su.checkBinary(n)
+			case *ast.CallExpr:
+				su.checkCall(n)
+			case *ast.CompositeLit:
+				su.checkComposite(n)
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+					// *=, /=, %= and shifts scale a quantity by a pure
+					// number and stay legal, mirroring checkBinary.
+					for i, rhs := range n.Rhs {
+						if i < len(n.Lhs) {
+							su.checkFlow(n.Lhs[i], rhs, "assigned to")
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) {
+						su.checkFlow(n.Names[i], v, "assigned to")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type unitsChecker struct {
+	pass *analysis.Pass
+	dirs *directives
+}
+
+// isSimtimePkg matches the unit package by import-path suffix, so the
+// analyzer works both on "repro/internal/simtime" and on test fixtures.
+func isSimtimePkg(path string) bool {
+	return path == "simtime" || strings.HasSuffix(path, "/simtime")
+}
+
+// unitType reports whether t (after unwrapping) is one of simtime's unit
+// types, returning its name.
+func unitType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isSimtimePkg(obj.Pkg().Path()) {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Time", "Duration", "Size", "Rate":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// rawConstant reports whether e is a nonzero constant expression spelled
+// without any unit constant: a bare 1500 rather than 1500*simtime.Byte.
+// Zero is exempt everywhere — it is the same quantity in every unit.
+func (su *unitsChecker) rawConstant(e ast.Expr) bool {
+	tv, ok := su.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if isZero(tv) {
+		return false
+	}
+	mentionsUnit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := su.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, ok := unitType(obj.Type()); ok {
+			mentionsUnit = true
+		}
+		// A conversion like Duration(x) inside the constant also names
+		// the unit explicitly.
+		if tn, ok := obj.(*types.TypeName); ok {
+			if _, ok := unitType(tn.Type()); ok {
+				mentionsUnit = true
+			}
+		}
+		return !mentionsUnit
+	})
+	return !mentionsUnit
+}
+
+func isZero(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.String() == "0"
+}
+
+// suppressedUnits reports whether the finding at e is waived by
+// //rtlint:units-ok.
+func (su *unitsChecker) suppressedUnits(e ast.Expr) bool {
+	return su.dirs.onNode(e, "units-ok")
+}
+
+// checkBinary flags unit-typed ± raw-constant (and ordered comparisons
+// against nonzero raw constants). Multiplicative operators scale a unit
+// quantity by a pure number and stay legal.
+func (su *unitsChecker) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB,
+		token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ,
+		token.AND, token.OR, token.XOR, token.AND_NOT:
+	default:
+		return // *, /, %, shifts: unit-preserving scaling
+	}
+	su.checkPair(b.X, b.Y, b)
+	su.checkPair(b.Y, b.X, b)
+}
+
+func (su *unitsChecker) checkPair(unitSide, constSide ast.Expr, b *ast.BinaryExpr) {
+	t := su.pass.TypesInfo.TypeOf(unitSide)
+	if t == nil {
+		return
+	}
+	name, ok := unitType(t)
+	if !ok {
+		return
+	}
+	// The unit side must itself not be a raw constant that merely got
+	// contaminated with the type by this very expression.
+	if tv, ok := su.pass.TypesInfo.Types[unitSide]; ok && tv.Value != nil && su.rawConstant(unitSide) {
+		return
+	}
+	if !su.rawConstant(constSide) || su.suppressedUnits(b) {
+		return
+	}
+	su.pass.ReportRangef(b,
+		"simtimeunits: raw constant %s in %s arithmetic; name the unit (e.g. simtime.Nanosecond, simtime.Byte) instead of a bare number",
+		exprString(su.pass, constSide), name)
+}
+
+// checkCall flags explicit unit-type conversions of raw constants and raw
+// constants passed to unit-typed parameters.
+func (su *unitsChecker) checkCall(call *ast.CallExpr) {
+	// Conversion: Duration(5000), simtime.Size(96)...
+	if tv, ok := su.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		name, isUnit := unitType(tv.Type)
+		if isUnit && len(call.Args) == 1 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+				if atv, ok := su.pass.TypesInfo.Types[lit]; ok && !isZero(atv) && !su.suppressedUnits(call) {
+					su.pass.ReportRangef(call,
+						"simtimeunits: %s(%s) converts a bare number; build the quantity from unit constants (e.g. 5*simtime.Microsecond, simtime.Bytes(64))",
+						name, lit.Value)
+				}
+			}
+		}
+		return
+	}
+	// Ordinary call: check each raw-constant argument against the
+	// parameter type.
+	sigT := su.pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		name, isUnit := unitType(pt)
+		if !isUnit || !su.rawConstant(arg) || su.suppressedUnits(arg) {
+			continue
+		}
+		su.pass.ReportRangef(arg,
+			"simtimeunits: raw constant %s passed as %s; name the unit instead of a bare number",
+			exprString(su.pass, arg), name)
+	}
+}
+
+// checkComposite flags raw constants initializing unit-typed struct fields
+// or element types.
+func (su *unitsChecker) checkComposite(cl *ast.CompositeLit) {
+	t := su.pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		fieldByName := map[string]types.Type{}
+		for i := 0; i < u.NumFields(); i++ {
+			fieldByName[u.Field(i).Name()] = u.Field(i).Type()
+		}
+		for i, elt := range cl.Elts {
+			var ft types.Type
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					ft = fieldByName[key.Name]
+				}
+				val = kv.Value
+			} else if i < u.NumFields() {
+				ft = u.Field(i).Type()
+			}
+			su.checkEltFlow(ft, val)
+		}
+	case *types.Slice, *types.Array, *types.Map:
+		var et types.Type
+		switch uu := u.(type) {
+		case *types.Slice:
+			et = uu.Elem()
+		case *types.Array:
+			et = uu.Elem()
+		case *types.Map:
+			et = uu.Elem()
+		}
+		for _, elt := range cl.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			su.checkEltFlow(et, val)
+		}
+	}
+}
+
+func (su *unitsChecker) checkEltFlow(ft types.Type, val ast.Expr) {
+	if ft == nil {
+		return
+	}
+	name, isUnit := unitType(ft)
+	if !isUnit || !su.rawConstant(val) || su.suppressedUnits(val) {
+		return
+	}
+	su.pass.ReportRangef(val,
+		"simtimeunits: raw constant %s initializes a %s field; name the unit instead of a bare number",
+		exprString(su.pass, val), name)
+}
+
+// checkFlow flags a raw constant flowing into a unit-typed variable via
+// assignment or declaration.
+func (su *unitsChecker) checkFlow(dst, src ast.Expr, how string) {
+	t := su.pass.TypesInfo.TypeOf(dst)
+	if t == nil {
+		return
+	}
+	name, isUnit := unitType(t)
+	if !isUnit || !su.rawConstant(src) || su.suppressedUnits(src) {
+		return
+	}
+	su.pass.ReportRangef(src,
+		"simtimeunits: raw constant %s %s a %s; name the unit instead of a bare number",
+		exprString(su.pass, src), how, name)
+}

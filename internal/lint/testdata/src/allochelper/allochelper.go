@@ -1,0 +1,9 @@
+// Package allochelper provides an exported allocating function for the
+// cross-package fact test: the allocates fact, not the body, travels to
+// the hotcaller fixture.
+package allochelper
+
+// Record appends to a result slice; it may grow the backing array.
+func Record(vs []int, v int) []int {
+	return append(vs, v)
+}

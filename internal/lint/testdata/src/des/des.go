@@ -1,0 +1,16 @@
+// Package des is a minimal stand-in for the repository's DES kernel seed
+// plumbing, for deterministic fixtures. The analyzer matches it by
+// import-path suffix, exactly as it matches the real repro/internal/des.
+package des
+
+// RNG is a deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG builds a generator from an explicit seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// SplitSeed derives the seed of child stream i from a root seed.
+func SplitSeed(root uint64, i int) uint64 { return root ^ (uint64(i)*0x9e3779b97f4a7c15 + 1) }
+
+// Stream builds the i'th child generator of a root seed.
+func Stream(root uint64, i int) *RNG { return NewRNG(SplitSeed(root, i)) }

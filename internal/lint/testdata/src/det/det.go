@@ -1,0 +1,69 @@
+// Package det exercises the deterministic analyzer: map iteration, wall
+// clock and foreign RNGs are flagged; the annotated sort-after-collect
+// idiom and SplitSeed-derived generators are not.
+package det
+
+import (
+	"des"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Totals folds map values in iteration order: nondeterministic if the
+// fold were order-sensitive, so flagged.
+func Totals(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is random per run"
+		total += v
+	}
+	return total
+}
+
+// Entropy reaches for every banned entropy source.
+func Entropy() *des.RNG {
+	_ = time.Now()        // want "time.Now reads the wall clock"
+	_ = rand.Intn(6)      // want "uses math/rand"
+	return des.NewRNG(42) // want "not derived from des.SplitSeed"
+}
+
+// Keys uses the blessed sort-after-collect idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//rtlint:sorted-after
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Streams derives every generator from the root seed: all fine.
+func Streams(root uint64) {
+	_ = des.Stream(root, 3)
+	_ = des.NewRNG(des.SplitSeed(root, 7))
+	//rtlint:rng-ok seed is a reproducible content hash of the config
+	_ = des.NewRNG(fnv(root))
+}
+
+// Fold is a commutative sum: order-insensitive, waived with a written
+// justification.
+func Fold(m map[string]int) int {
+	total := 0
+	//rtlint:unordered commutative sum, order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Lying claims sort-after-collect but never sorts: the annotation itself
+// is then the diagnostic.
+func Lying(m map[string]int) {
+	//rtlint:sorted-after
+	for k := range m { // want "annotation, but no sort"
+		_ = k
+	}
+}
+
+func fnv(x uint64) uint64 { return x*1099511628211 + 1469598103934665603 }

@@ -1,0 +1,8 @@
+// Package fmt is a minimal stand-in for the standard library's fmt, so
+// hotpathalloc fixtures can exercise the denied-package rule without
+// importing real std packages into the hermetic test loader.
+package fmt
+
+func Sprintf(format string, args ...interface{}) string { return format }
+
+func Sprintln(args ...interface{}) string { return "" }

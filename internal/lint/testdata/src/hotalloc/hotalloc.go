@@ -1,0 +1,73 @@
+// Package hotalloc exercises the hotpathalloc analyzer: allocation
+// constructs must be flagged inside //rtlint:hotpath functions and
+// everything they reach, with the presized/coldpath/panic-guard escape
+// hatches honored.
+package hotalloc
+
+import "fmt"
+
+// EdgeID is a dense interned identifier, as in the real topology package.
+type EdgeID int32
+
+// Sim is a stand-in simulator core.
+type Sim struct {
+	q     []int
+	names map[string]int
+}
+
+//rtlint:hotpath
+func (s *Sim) Advance() {
+	s.q = append(s.q, 1)      // want "append may grow the backing array"
+	_ = s.names["fast"]       // want "map with string key on the hot path"
+	_ = fmt.Sprintf("x%d", 1) // want "call to fmt.Sprintf, which may allocate"
+	step(s)
+}
+
+// step is hot transitively: Advance calls it.
+func step(s *Sim) {
+	b := make([]int, 0, 8) // want "make allocates"
+	_ = b
+	_ = new(Sim)    // want "new allocates"
+	_ = []int{1, 2} // want "slice/map literal allocates"
+	helperAlloc(s)
+}
+
+// helperAlloc is hot transitively via step.
+func helperAlloc(s *Sim) *Sim {
+	return &Sim{q: s.q} // want "composite literal allocates"
+}
+
+//rtlint:hotpath
+func convert(id EdgeID) {
+	_ = string(rune(id)) // want "allocates a string"
+	_ = []byte("header") // want "string-to-slice conversion allocates"
+	cb := func() {}      // want "function literal allocates a closure"
+	cb()
+}
+
+//rtlint:hotpath
+func guarded(s *Sim) {
+	if len(s.q) > 1<<20 {
+		panic(fmt.Sprintf("impossible backlog %d", len(s.q))) // guard aborts: exempt
+	}
+	//rtlint:presized capacity reserved at setup, proven by the runtime alloc gate
+	s.q = append(s.q, 2)
+	if s.names == nil {
+		//rtlint:coldpath first-use initialization, off the steady state
+		s.names = make(map[string]int)
+	}
+}
+
+// report is never hot: formatting here is fine.
+func report(s *Sim) string {
+	return fmt.Sprintf("q=%d names=%d", len(s.q), len(s.names))
+}
+
+// Setup pre-binds a handler; the literal itself is on the hot path.
+func Setup(s *Sim) func() {
+	//rtlint:hotpath bound once at setup, runs per event afterwards
+	h := func() {
+		s.q = append(s.q, 3) // want "append may grow the backing array"
+	}
+	return h
+}

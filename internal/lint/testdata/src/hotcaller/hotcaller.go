@@ -1,0 +1,15 @@
+// Package hotcaller exercises the cross-package fact flow of the
+// hotpathalloc analyzer: allochelper.Record allocates (per its exported
+// fact), so calling it from a hot function is a diagnostic at the call
+// site.
+package hotcaller
+
+import "allochelper"
+
+// Sim is a stand-in simulator core.
+type Sim struct{ vs []int }
+
+//rtlint:hotpath
+func (s *Sim) Tick() {
+	s.vs = allochelper.Record(s.vs, 1) // want "call to allochelper.Record, which may allocate"
+}

@@ -1,0 +1,7 @@
+// Package rand is a minimal stand-in for math/rand, so deterministic
+// fixtures can exercise the global-generator ban.
+package rand
+
+func Int() int { return 0 }
+
+func Intn(n int) int { return 0 }

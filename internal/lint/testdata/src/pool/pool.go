@@ -1,0 +1,42 @@
+// Package pool is a minimal stand-in for the repository's generation-
+// checked frame pool, for pooldiscipline fixtures. The Pooled method marks
+// Frame as pool-managed, exactly as on the real ethernet.Frame.
+package pool
+
+// Frame is a pooled record.
+type Frame struct {
+	Payload []byte
+	gen     uint32
+}
+
+// Pooled marks the type as pool-managed.
+func (f *Frame) Pooled() bool { return true }
+
+// Generation returns the pooling generation counter.
+func (f *Frame) Generation() uint32 { return f.gen }
+
+// FramePool is a free list of Frames.
+type FramePool struct{ free []*Frame }
+
+// Get returns a frame owned by the caller.
+func (p *FramePool) Get() *Frame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// Put returns a frame to the free list; the caller's reference dies here.
+func (p *FramePool) Put(f *Frame) {
+	f.gen++
+	p.free = append(p.free, f)
+}
+
+// Clone returns a fresh frame with a copy of f's payload.
+func (p *FramePool) Clone(f *Frame) *Frame {
+	g := p.Get()
+	g.Payload = append(g.Payload[:0], f.Payload...)
+	return g
+}

@@ -1,0 +1,79 @@
+// Package pooluse exercises the pooldiscipline analyzer: every retention
+// form after release is flagged; releasing branches that terminate, clean
+// rebinding, and clones are not.
+package pooluse
+
+import "pool"
+
+type holder struct{ last *pool.Frame }
+
+var ch = make(chan *pool.Frame, 1)
+
+func UseAfterPut(p *pool.FramePool) int {
+	f := p.Get()
+	f.Payload = f.Payload[:0]
+	p.Put(f)
+	return len(f.Payload) // want "returned after release to pool"
+}
+
+func DoubleRelease(p *pool.FramePool) {
+	f := p.Get()
+	p.Put(f)
+	p.Put(f) // want "released twice"
+}
+
+func StoreAfterRelease(p *pool.FramePool, h *holder) {
+	f := p.Get()
+	p.Put(f)
+	h.last = f // want "stored after release to pool"
+}
+
+func SendAfterRelease(p *pool.FramePool) {
+	f := p.Get()
+	p.Put(f)
+	ch <- f // want "sent on a channel after release to pool"
+}
+
+// Retire takes ownership of f; callers must not touch it afterwards.
+//
+//rtlint:consumes
+func Retire(p *pool.FramePool, f *pool.Frame) {
+	p.Put(f)
+}
+
+func ViaConsumer(p *pool.FramePool) {
+	f := p.Get()
+	Retire(p, f)
+	_ = f.Generation() // want "used after release to pool"
+}
+
+func BranchMayRelease(p *pool.FramePool, drop bool) {
+	f := p.Get()
+	if drop {
+		p.Put(f)
+	}
+	_ = f.Generation() // want "used after release to pool"
+}
+
+func DropOrKeep(p *pool.FramePool, drop bool) *pool.Frame {
+	f := p.Get()
+	if drop {
+		p.Put(f)
+		return nil
+	}
+	return f // ok: the releasing branch returned
+}
+
+func Reuse(p *pool.FramePool) *pool.Frame {
+	f := p.Get()
+	p.Put(f)
+	f = p.Get()
+	return f // ok: rebound to a fresh frame
+}
+
+func CloneIsFresh(p *pool.FramePool) *pool.Frame {
+	f := p.Get()
+	g := p.Clone(f)
+	p.Put(f)
+	return g // ok: the clone owns its own frame
+}

@@ -1,0 +1,29 @@
+// Package simtime is a minimal stand-in for the repository's virtual-time
+// unit types, for simtimeunits fixtures. The analyzer matches it by
+// import-path suffix, exactly as it matches the real repro/internal/simtime.
+package simtime
+
+type Time int64
+
+type Duration int64
+
+type Size int64
+
+type Rate int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+const (
+	Bit  Size = 1
+	Byte      = 8 * Bit
+)
+
+const Mbps Rate = 1_000_000
+
+// Bytes builds a Size from a byte count.
+func Bytes(n int) Size { return Size(n) * Byte }

@@ -1,0 +1,7 @@
+// Package sort is a minimal stand-in for the standard library's sort, so
+// deterministic fixtures can exercise the sort-after-collect verification.
+package sort
+
+func Strings(x []string) {}
+
+func Ints(x []int) {}

@@ -1,0 +1,48 @@
+// Package units exercises the simtimeunits analyzer: bare numbers must
+// not mix with simtime's unit types; scaling, zero comparisons and
+// quantities built from named unit constants are fine.
+package units
+
+import "simtime"
+
+// Config carries unit-typed fields.
+type Config struct {
+	Period simtime.Duration
+	MTU    simtime.Size
+}
+
+func Bad(d simtime.Duration) simtime.Duration {
+	_ = d - 1     // want "raw constant 1 in Duration arithmetic"
+	_ = d + 500   // want "raw constant 500 in Duration arithmetic"
+	if d > 1000 { // want "raw constant 1000 in Duration arithmetic"
+		return d
+	}
+	_ = simtime.Duration(5000) // want "converts a bare number"
+	delay(250)                 // want "raw constant 250 passed as Duration"
+	_ = Config{Period: 2000}   // want "raw constant 2000 initializes a Duration field"
+	var w simtime.Duration = 5 // want "raw constant 5 assigned to a Duration"
+	w += 3                     // want "raw constant 3 assigned to a Duration"
+	return w
+}
+
+func Good(d simtime.Duration, n int) simtime.Duration {
+	_ = d - simtime.Nanosecond
+	_ = 2 * d
+	_ = d / 4
+	_ = d % 2
+	if d > 0 {
+		return d
+	}
+	_ = simtime.Duration(0)
+	_ = simtime.Duration(n)
+	_ = 5 * simtime.Microsecond
+	delay(3 * simtime.Millisecond)
+	_ = Config{Period: simtime.Second, MTU: simtime.Bytes(64)}
+	d *= 2
+	d /= 4
+	//rtlint:units-ok deliberate raw nanosecond for the epsilon probe
+	_ = d - 1
+	return 0
+}
+
+func delay(d simtime.Duration) simtime.Duration { return d }

@@ -104,6 +104,7 @@ func (m *Monitor) WriteCSV(w io.Writer) error {
 func (m *Monitor) Busiest(n int) []string {
 	counts := m.CountByConn()
 	names := make([]string, 0, len(counts))
+	//rtlint:sorted-after
 	for name := range counts {
 		names = append(names, name)
 	}

@@ -149,6 +149,7 @@ func Build(set *traffic.Set, bc string) (*Schedule, error) {
 		}
 	}
 	var polled []string
+	//rtlint:sorted-after
 	for st := range byRT {
 		polled = append(polled, st)
 	}

@@ -240,6 +240,7 @@ func Deconvolve(alpha, beta Curve) (Curve, error) {
 		}
 	}
 	ts := make([]float64, 0, len(tset))
+	//rtlint:sorted-after
 	for t := range tset {
 		ts = append(ts, t)
 	}

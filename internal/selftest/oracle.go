@@ -189,6 +189,7 @@ func (s *oSwitch) receive(in string, f *oFrame) {
 	// Flood on unknown destination. Statically configured networks never
 	// take this path; iterate sorted for determinism anyway.
 	keys := make([]string, 0, len(s.ports))
+	//rtlint:sorted-after
 	for k := range s.ports {
 		keys = append(keys, k)
 	}
@@ -566,8 +567,9 @@ func (o *oracle) makeReceive(p int, name string) func(*oFrame) {
 // the executed-event count.
 func (o *oracle) finish() *core.SimResult {
 	res := o.res
-	for key, sw := range o.switches {
-		_ = key
+	//rtlint:unordered commutative sum of per-port drop counters
+	for _, sw := range o.switches {
+		//rtlint:unordered commutative sum of per-port drop counters
 		for _, port := range sw.ports {
 			res.Dropped += port.q.dropped
 		}
@@ -576,12 +578,14 @@ func (o *oracle) finish() *core.SimResult {
 	if o.prio {
 		res.PortClassMaxBacklog = make(map[string][]simtime.Size, len(o.ports))
 	}
+	//rtlint:unordered map fill, one key at a time
 	for key, port := range o.ports {
 		res.PortMaxBacklog[key] = port.q.totalMax
 		if o.prio {
 			res.PortClassMaxBacklog[key] = append([]simtime.Size(nil), port.q.classMax...)
 		}
 	}
+	//rtlint:unordered commutative sum of shaper counters
 	for _, sh := range o.shapers {
 		res.Shaped += sh.shaped
 	}

@@ -20,6 +20,7 @@ import (
 func Render(res *core.SimResult) string {
 	var b strings.Builder
 	names := make([]string, 0, len(res.Flows))
+	//rtlint:sorted-after
 	for name := range res.Flows {
 		names = append(names, name)
 	}
@@ -37,6 +38,7 @@ func Render(res *core.SimResult) string {
 	fmt.Fprintf(&b, "planeDelivered=%v redundant=%d discarded=%d\n",
 		res.PlaneDelivered, res.Redundant, res.Discarded)
 	keys := make([]string, 0, len(res.PortMaxBacklog))
+	//rtlint:sorted-after
 	for k := range res.PortMaxBacklog {
 		keys = append(keys, k)
 	}

@@ -58,6 +58,8 @@ func New(name string, sim *des.Simulator, capacity simtime.Size, rate simtime.Ra
 }
 
 // wake fires when tokens for the head frame have accrued.
+//
+//rtlint:hotpath
 func (s *Shaper) wake() {
 	s.armed = false
 	s.release()
@@ -75,10 +77,14 @@ func (s *Shaper) QueueLen() int { return len(s.pending) }
 // Submit hands the shaper a frame from the application. Frames larger than
 // the bucket capacity are a configuration error and panic (they could
 // never be released).
+//
+//rtlint:hotpath
+//rtlint:consumes
 func (s *Shaper) Submit(f *ethernet.Frame) {
 	if f.WireSize() > s.bucket.Capacity() {
 		panic(fmt.Sprintf("shaper %s: frame of %v exceeds bucket %v", s.name, f.WireSize(), s.bucket.Capacity()))
 	}
+	//rtlint:presized pending reaches its steady-state capacity after the first burst; release compacts in place
 	s.pending = append(s.pending, f)
 	if len(s.pending) > s.MaxQueue {
 		s.MaxQueue = len(s.pending)

@@ -21,6 +21,8 @@ type Summary struct {
 }
 
 // Add records one sample.
+//
+//rtlint:hotpath
 func (s *Summary) Add(d simtime.Duration) {
 	v := d.Seconds()
 	s.n++
@@ -112,7 +114,10 @@ type Histogram struct {
 }
 
 // Add records one sample.
+//
+//rtlint:hotpath
 func (h *Histogram) Add(d simtime.Duration) {
+	//rtlint:presized simulators Reserve the expected delivery count up front; growth past it is amortized
 	h.samples = append(h.samples, d)
 	h.sorted = false
 }
@@ -179,7 +184,7 @@ func (h *Histogram) Buckets(n int) (edges []simtime.Duration, counts []int) {
 	if hi == lo {
 		return []simtime.Duration{lo, hi}, []int{len(h.samples)}
 	}
-	width := (hi - lo + simtime.Duration(n) - 1) / simtime.Duration(n)
+	width := (hi - lo + simtime.Duration(n) - simtime.Nanosecond) / simtime.Duration(n)
 	counts = make([]int, n)
 	edges = make([]simtime.Duration, n+1)
 	for i := range edges {

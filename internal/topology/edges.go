@@ -67,6 +67,7 @@ type edgeTable struct {
 func (n *Network) buildEdgeTable() *edgeTable {
 	t := &edgeTable{stationIdx: make(map[string]int, len(n.StationSwitch))}
 	t.stations = make([]string, 0, len(n.StationSwitch))
+	//rtlint:sorted-after
 	for s := range n.StationSwitch {
 		t.stations = append(t.stations, s)
 	}

@@ -115,6 +115,7 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 			PropDelayNs: int64(n.TrunkProp(i)),
 		})
 	}
+	//rtlint:unordered map fill; encoding/json sorts object keys when marshaling
 	for s, sw := range n.StationSwitch {
 		nj.Stations[s] = stationJSON{
 			Switch:      sw,
@@ -181,6 +182,7 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	if allZeroProps(n.TrunkProps) {
 		n.TrunkProps = nil
 	}
+	//rtlint:unordered map fill, one key at a time
 	for s, st := range nj.Stations {
 		n.StationSwitch[s] = st.Switch
 		if st.RateBps != 0 {

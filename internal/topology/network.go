@@ -2,7 +2,9 @@ package topology
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -152,8 +154,8 @@ func (s PlaneSpec) ScaleRate(r simtime.Rate) simtime.Rate {
 		return r
 	}
 	scaled := simtime.Rate(math.Round(float64(r) * s.RateScale))
-	if scaled < 1 {
-		scaled = 1
+	if scaled < simtime.BitPerSecond {
+		scaled = simtime.BitPerSecond
 	}
 	return scaled
 }
@@ -232,8 +234,8 @@ func (n *Network) Validate(stations []string) error {
 	if n.Planes < 0 {
 		return fmt.Errorf("topology: negative plane count %d", n.Planes)
 	}
-	for s, sw := range n.StationSwitch {
-		if sw < 0 || sw >= n.Switches {
+	for _, s := range slices.Sorted(maps.Keys(n.StationSwitch)) {
+		if sw := n.StationSwitch[s]; sw < 0 || sw >= n.Switches {
 			return fmt.Errorf("topology: station %q on invalid switch %d", s, sw)
 		}
 	}
@@ -306,6 +308,7 @@ func (n *Network) PlaneTree(p int, def simtime.Rate) *analysis.Tree {
 	}
 	srates := make(map[string]simtime.Rate, len(n.StationSwitch))
 	sprops := make(map[string]simtime.Duration, len(n.StationSwitch))
+	//rtlint:unordered map fill, one key at a time
 	for s := range n.StationSwitch {
 		srates[s] = n.PlaneStationRate(p, s, def)
 		sprops[s] = n.PlaneStationProp(p, s)
@@ -489,6 +492,7 @@ func FromTree(name string, t *analysis.Tree) *Network {
 // changes the other (or invalidates its cached routing table).
 func Redundify(base *Network, planes int) *Network {
 	placement := make(map[string]int, len(base.StationSwitch))
+	//rtlint:unordered map fill, one key at a time
 	for s, sw := range base.StationSwitch {
 		placement[s] = sw
 	}
@@ -516,6 +520,7 @@ func cloneMap[V any](m map[string]V) map[string]V {
 		return nil
 	}
 	out := make(map[string]V, len(m))
+	//rtlint:unordered map fill, one key at a time
 	for k, v := range m {
 		out[k] = v
 	}

@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"os"
+	"slices"
 
 	"repro/internal/analysis"
 	"repro/internal/simtime"
@@ -110,8 +112,8 @@ func (s *SimJSON) Validate() error {
 	if s.QueueCapacityBytes < 0 {
 		return fmt.Errorf("topology: sim: negative queue capacity %d", s.QueueCapacityBytes)
 	}
-	for key, c := range s.QueueCapacitiesBytes {
-		if c < 0 {
+	for _, key := range slices.Sorted(maps.Keys(s.QueueCapacitiesBytes)) {
+		if c := s.QueueCapacitiesBytes[key]; c < 0 {
 			return fmt.Errorf("topology: sim: negative capacity %d for queue %q", c, key)
 		}
 	}

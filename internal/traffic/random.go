@@ -50,6 +50,7 @@ func Random(seed uint64, p RandomParams) (*Set, error) {
 	if p.MaxPayloadBytes < 1 {
 		p.MaxPayloadBytes = 64
 	}
+	//rtlint:rng-ok the seed is this constructor's explicit contract; callers derive it from des.SplitSeed
 	rng := des.NewRNG(seed)
 	stationName := func(i int) string {
 		if i == 0 {

@@ -90,6 +90,7 @@ func Start(sim *des.Simulator, set *Set, cfg SourceConfig, emit Emit) (stop func
 			phase = simtime.Duration(sim.RNG().Duration(int64(m.Period)))
 		}
 		seq := 0
+		//rtlint:hotpath
 		release := func() {
 			emit(Instance{Msg: m, Index: mi, Seq: seq, Release: sim.Now()})
 			seq++
@@ -119,6 +120,7 @@ func Start(sim *des.Simulator, set *Set, cfg SourceConfig, emit Emit) (stop func
 func startRandomGaps(sim *des.Simulator, m *Message, phase, meanSlack simtime.Duration, release func()) (stop func()) {
 	stopped := false
 	var next func()
+	//rtlint:hotpath
 	next = func() {
 		if stopped {
 			return

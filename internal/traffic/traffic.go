@@ -214,6 +214,7 @@ func (s *Set) Stations() []string {
 		set[m.Dest] = true
 	}
 	out := make([]string, 0, len(set))
+	//rtlint:sorted-after
 	for name := range set {
 		out = append(out, name)
 	}
