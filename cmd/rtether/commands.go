@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -88,39 +89,9 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	set := s.Set
-	run := func(set *traffic.Set, a analysis.Approach, cfg analysis.Config) (*analysis.Result, error) {
-		return analysis.SingleHop(set, a, cfg)
-	}
-	model := "single-hop (paper-faithful)"
-	if *e2e {
-		run = func(set *traffic.Set, a analysis.Approach, cfg analysis.Config) (*analysis.Result, error) {
-			return s.Analyze(a)
-		}
-		model = "end-to-end (compositional)"
-		if s.Cfg != nil && s.Cfg.Network != nil {
-			model = fmt.Sprintf("end-to-end (tree-composed over %q: %d switches, %d planes)",
-				s.Net.Name, s.Net.Switches, s.Net.PlaneCount())
-		}
-	}
-	fmt.Fprintf(stdout, "analysis model: %s\n\n", model)
-	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
-		res, err := run(set, approach, s.Analysis())
-		if err != nil {
-			return err
-		}
-		tbl := report.NewTable("connection", "class", "source delay", "port delay", "bound", "jitter", "deadline", "ok")
-		for _, f := range res.Flows {
-			tbl.AddRow(f.Spec.Msg.Name, f.Spec.Msg.Priority, f.SourceDelay, f.PortDelay,
-				f.EndToEnd, f.Jitter, f.Spec.Msg.Deadline, mark(f.Met))
-		}
-		fmt.Fprintf(stdout, "== %v: %d violations ==\n", approach, res.Violations)
-		if _, err := tbl.WriteTo(stdout); err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout)
-	}
-	return nil
+	// One shared encoder with the scenario service: POST /v1/analyze
+	// returns these very bytes for the same scenario.
+	return render.Analyze(stdout, s, *e2e)
 }
 
 // cmdSimulate runs the DES over the scenario's architecture — the network
@@ -288,20 +259,12 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultSimConfig(approach)
-	cfg.TTechno = s.Sim.TTechno
-	cfg.Horizon = simtime.FromStd(*horizon)
-	// A single replication checks the deterministic critical instant;
-	// actual Monte-Carlo needs randomness to sample, so multiple
-	// replications run with random phases and sporadic gaps instead.
-	if *reps > 1 {
-		cfg.Mode = traffic.RandomGaps
-		cfg.MeanSlack = core.DefaultMeanSlack
-		cfg.AlignPhases = false
-	}
-	grid := core.Grid([]simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 100 * simtime.Mbps},
-		[]int{0, 8, 16})
-	cells, err := core.RunGrid(grid, cfg, opts)
+	// SweepGridConfig randomizes sources when replicated (a single
+	// replication checks the deterministic critical instant); the grid and
+	// config builders are shared with the scenario service's /v1/sweep, so
+	// the streamed cells and this table can never drift.
+	cfg := core.SweepGridConfig(approach, s.Sim.TTechno, simtime.FromStd(*horizon), *reps)
+	cells, err := core.RunGrid(core.DefaultSweepGrid(), cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -346,71 +309,9 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Backlog bounds are discipline-independent (vertical deviation of the
-	// same token buckets), so one table serves both approaches below.
-	backlogs, err := s.Backlogs()
-	if err != nil {
-		return err
-	}
-	passed := fsFlagsSet(fs)
+	// One shared encoder with the scenario service (POST /v1/validate).
 	opts := core.SweepOptions{Workers: *parallel, Reps: *reps, Seed: *seed}
-	for _, approach := range []analysis.Approach{analysis.FCFS, analysis.Priority} {
-		sc := s.WithApproach(approach)
-		if passed["horizon"] || s.Cfg == nil || s.Cfg.Sim == nil || s.Cfg.Sim.HorizonUs == 0 {
-			sc.Sim.Horizon = simtime.FromStd(*horizon)
-		}
-		// As in cmdSweep: replicated runs sample random phases/gaps, a
-		// single run checks the deterministic critical instant — unless
-		// the scenario file pins the source regime itself (mode or
-		// align_phases set explicitly).
-		pinnedSource := s.Cfg != nil && s.Cfg.Sim != nil &&
-			(s.Cfg.Sim.Mode != "" || s.Cfg.Sim.AlignPhases != nil)
-		if *reps > 1 && !pinnedSource {
-			sc.Sim.Mode = traffic.RandomGaps
-			sc.Sim.MeanSlack = core.DefaultMeanSlack
-			sc.Sim.AlignPhases = false
-		}
-		v, err := sc.Validate(opts)
-		if err != nil {
-			return err
-		}
-		tbl := report.NewTable("connection", "class", "observed max", "observed p99", "e2e bound", "paper bound", "sound")
-		for _, r := range v.Rows {
-			p99 := simtime.Duration(0)
-			if r.Latencies.N() > 0 {
-				p99 = r.Latencies.Quantile(0.99)
-			}
-			tbl.AddRow(r.Name, r.Priority, r.Observed, p99, r.Bound, r.PaperBound, mark(r.Sound()))
-		}
-		bv := backlogs.CheckMarks(v.PortMaxBacklog)
-		fmt.Fprintf(stdout, "== %v (%d replications, %s sources): all sound = %v, backlog sound = %v ==\n",
-			approach, v.Reps, sourceRegime(sc.Sim), v.AllSound(), bv.Sound())
-		if _, err := tbl.WriteTo(stdout); err != nil {
-			return err
-		}
-		// The backlog half of the validation: observed queue high-water
-		// marks (max over replications) against the per-edge bounds —
-		// idle queues are elided, the header counts them all.
-		bt := report.NewTable("queue", "observed max backlog", "backlog bound", "sound")
-		for _, ke := range backlogs.Ordered() {
-			observed, ok := v.PortMaxBacklog[ke.Key]
-			if !ok || observed == 0 {
-				continue
-			}
-			e := ke.Edge
-			boundCol, sound := fmt.Sprintf("%d B", e.Bound.ByteCount()), observed <= e.Bound
-			if e.Unstable {
-				boundCol, sound = "unbounded", true
-			}
-			bt.AddRow(ke.Key, fmt.Sprintf("%d B", observed.ByteCount()), boundCol, mark(sound))
-		}
-		fmt.Fprintf(stdout, "backlog (%d queues checked, %d over bound):\n", bv.Ports, bv.Unsound)
-		if _, err := bt.WriteTo(stdout); err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout)
-	}
-	return nil
+	return render.Validate(stdout, s, opts, simtime.FromStd(*horizon), fsFlagsSet(fs)["horizon"])
 }
 
 // cmdScenario dumps a scenario JSON template: the built-in real case, or —
@@ -440,19 +341,10 @@ func parseApproach(s string) (analysis.Approach, error) {
 }
 
 // sourceRegime names the traffic-source regime of a simulation config.
-func sourceRegime(cfg core.SimConfig) string {
-	if cfg.AlignPhases && cfg.Mode == traffic.Greedy {
-		return "critical-instant"
-	}
-	return "randomized"
-}
+func sourceRegime(cfg core.SimConfig) string { return render.SourceRegime(cfg) }
 
-func mark(ok bool) string {
-	if ok {
-		return "yes"
-	}
-	return "NO"
-}
+// mark renders a verdict column through the shared encoder package.
+func mark(ok bool) string { return render.Mark(ok) }
 
 func firstN(s []string, n int) []string {
 	if len(s) <= n {

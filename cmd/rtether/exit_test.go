@@ -61,6 +61,9 @@ func TestRunExitCodes(t *testing.T) {
 		{name: "malformed stdin config", argv: []string{"analyze", "-config", "-"}, stdin: "{", wantCode: exitErr, wantStderr: "rtether analyze:"},
 		{name: "scenario success", argv: []string{"scenario"}, wantCode: exitOK, wantStderr: ""},
 		{name: "analyze success", argv: []string{"analyze"}, wantCode: exitOK, wantStderr: ""},
+		{name: "serve bad flag", argv: []string{"serve", "-no-such-flag"}, wantCode: exitUsage, wantStderr: "flag provided but not defined"},
+		{name: "serve help", argv: []string{"serve", "-h"}, wantCode: exitOK, wantStderr: "Usage of serve"},
+		{name: "serve stray arg", argv: []string{"serve", "stray"}, wantCode: exitUsage, wantStderr: `unexpected argument "stray"`},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,9 +7,9 @@ import (
 	"repro/internal/afdx"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/simtime"
-	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -72,90 +72,8 @@ func cmdBacklog(args []string) error {
 	if err != nil {
 		return err
 	}
-	bl, err := s.Backlogs()
-	if err != nil {
-		return err
-	}
-	if *dimension {
-		cfg := s.Cfg
-		if cfg.Sim == nil {
-			cfg.Sim = &topology.SimJSON{}
-		}
-		cfg.Sim.QueueCapacitiesBytes = bl.Capacities()
-		return cfg.Save(stdout)
-	}
-
-	bound := func(e analysis.EdgeBacklog) string {
-		if e.Unstable {
-			return "unbounded"
-		}
-		return fmt.Sprintf("%d B", e.Bound.ByteCount())
-	}
-	fmt.Fprintln(stdout, "switch buffer dimensioning (prevents the overflow loss the paper warns about)")
-	fmt.Fprintf(stdout, "architecture %s: %d switch(es), %d plane(s)\n",
-		s.Net.Name, s.Net.Switches, s.Net.PlaneCount())
-	plane0 := bl.Planes[0]
-	tbl := report.NewTable("switch", "output port", "backlog bound", "connections")
-	for sw := 0; sw < s.Net.Switches; sw++ {
-		// Destination ports first (the historical rows), then the trunk
-		// output ports that complete the switch's memory budget.
-		for _, kind := range []analysis.EdgeKind{analysis.EdgeDest, analysis.EdgeTrunk} {
-			for _, e := range plane0.Edges {
-				if e.Kind != kind || e.Switch != sw {
-					continue
-				}
-				port := e.To // destination ports keep the bare station name
-				if e.Kind == analysis.EdgeTrunk {
-					port = e.Key()
-				}
-				tbl.AddRow(fmt.Sprintf("sw%d", sw), port, bound(e), len(e.Flows))
-			}
-		}
-	}
-	if _, err := tbl.WriteTo(stdout); err != nil {
-		return err
-	}
-	for sw := 0; sw < s.Net.Switches; sw++ {
-		total, edges, unstable := plane0.SwitchTotal(sw)
-		if edges == 0 {
-			continue
-		}
-		if unstable {
-			fmt.Fprintf(stdout, "sw%d buffer total: unbounded (over-subscribed edge) over %d output port(s)\n", sw, edges)
-			continue
-		}
-		fmt.Fprintf(stdout, "sw%d buffer total: %d B over %d output port(s), trunk ports included\n", sw, total.ByteCount(), edges)
-	}
-
-	fmt.Fprintln(stdout, "\nstation uplink dimensioning (source multiplexer queues):")
-	up := report.NewTable("station", "uplink", "backlog bound", "connections")
-	for _, e := range plane0.Edges {
-		if e.Kind != analysis.EdgeUplink {
-			continue
-		}
-		up.AddRow(e.From, e.Key(), bound(e), len(e.Flows))
-	}
-	if _, err := up.WriteTo(stdout); err != nil {
-		return err
-	}
-
-	// Identical planes (every classic dual) share the table above; a
-	// rate-scaled plane can diverge — only through stability, the bound
-	// itself being rate-independent — and then each divergence is named.
-	if s.Net.PlaneCount() > 1 {
-		if bl.Identical() {
-			fmt.Fprintf(stdout, "all %d planes price identically\n", s.Net.PlaneCount())
-		} else {
-			for p := 1; p < len(bl.Planes); p++ {
-				for i, e := range bl.Planes[p].Edges {
-					if o := plane0.Edges[i]; e.Unstable != o.Unstable || e.Bound != o.Bound {
-						fmt.Fprintf(stdout, "plane n%d: %s %s (plane 0: %s)\n", p, e.Key(), bound(e), bound(o))
-					}
-				}
-			}
-		}
-	}
-	return nil
+	// One shared encoder with the scenario service (POST /v1/backlog).
+	return render.Backlog(stdout, s, *dimension)
 }
 
 // cmdAFDX maps the workload onto ARINC 664 virtual links and compares the

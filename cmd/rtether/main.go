@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	rtether figure1   [-config file.json] [-csv]   # the paper's Figure 1
-//	rtether analyze   [-config file.json] [-e2e]   # per-connection bounds
-//	rtether simulate  [-config file.json] [-approach fcfs|priority] [-horizon 2s]
-//	rtether baseline  [-config file.json] [-reps n] [-parallel w] [-seed s]
-//	rtether sweep     [-parallel w] [-reps n] [-seed s] [-nogrid]  # scenario sweeps
-//	rtether validate  [-config file.json] [-reps n] [-parallel w] [-seed s]
-//	rtether topo      [-grid] [-topologies star,chain,...]  # every architecture family
-//	rtether scenario  [-topology family]           # print a scenario JSON template
+//	rtether <command> [flags]
+//
+// `rtether help` lists every command; the dispatch table and the usage
+// text are generated from the same command table, so the list printed at
+// the terminal is the authority and cannot drift from the code. The
+// commands span analysis (figure1, analyze, capacity, backlog, afdx,
+// schedulers), simulation (simulate, baseline, twoswitch), the parallel
+// sweep engine (sweep, validate, topo), scenario authoring (scenario),
+// and a long-running HTTP service (serve) whose responses are
+// byte-identical to the corresponding subcommands.
 //
 // Every -config flag accepts a path or "-" for stdin, so scenarios pipe:
 //
@@ -35,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/topology"
@@ -98,6 +101,41 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// command is one rtether subcommand: the dispatch target and its usage
+// summary. Continuation lines in help (after a \n) are indented under
+// the first by the usage printer.
+type command struct {
+	name string
+	run  func(args []string) error
+	help string
+}
+
+// commands is the single source of truth for both the dispatch in run()
+// and the text printed by usage(), so the help can never drift from the
+// code again.
+var commands = []command{
+	{"figure1", cmdFigure1, "delay bounds of both approaches (the paper's Figure 1)"},
+	{"analyze", cmdAnalyze, "per-connection bounds (single-hop and end-to-end)"},
+	{"simulate", cmdSimulate, "run the discrete-event simulation and report latencies"},
+	{"baseline", cmdBaseline, "the same workload on a MIL-STD-1553B bus"},
+	{"sweep", cmdSweep, "rate ablation + rates × loads grid cross-validation (parallel engine)"},
+	{"validate", cmdValidate, "check simulated worst cases against analytic bounds"},
+	{"capacity", cmdCapacity, "minimal link rate meeting all deadlines, per approach"},
+	{"backlog", cmdBacklog, "buffer dimensioning: a backlog bound for every directed edge (uplinks,\n" +
+		"trunks both ways, destination ports), grouped per switch; -dimension\n" +
+		"emits the scenario JSON with derived per-port queue capacities"},
+	{"afdx", cmdAFDX, "map the workload onto ARINC 664 virtual links and compare"},
+	{"twoswitch", cmdTwoSwitch, "bounds and simulation on a cascaded two-switch topology"},
+	{"topo", cmdTopo, "unified engine over every architecture family (add -grid for topology × rate × load)"},
+	{"schedulers", cmdSchedulers, "urgent-class bound under FCFS / strict / preemptive / DRR"},
+	{"scenario", cmdScenario, "print a scenario JSON template (-topology star|cascade|tree|chain|dual|dualskew\n" +
+		"adds that architecture as a network section; edit & pass via -config,\n" +
+		`where "-" reads stdin)`},
+	{"serve", cmdServe, "scenario-analysis HTTP service: POST /v1/{analyze,backlog,validate,sweep},\n" +
+		"content-addressed result cache, weighted-fair admission; responses are\n" +
+		"byte-identical to the matching subcommand"},
+}
+
 // run dispatches the subcommand and returns the process exit code. It is
 // the single authority on exit codes — see the exit* constants.
 func run(argv []string) int {
@@ -106,38 +144,19 @@ func run(argv []string) int {
 		return exitUsage
 	}
 	cmd, args := argv[0], argv[1:]
-	var err error
-	switch cmd {
-	case "figure1":
-		err = cmdFigure1(args)
-	case "analyze":
-		err = cmdAnalyze(args)
-	case "simulate":
-		err = cmdSimulate(args)
-	case "baseline":
-		err = cmdBaseline(args)
-	case "sweep":
-		err = cmdSweep(args)
-	case "validate":
-		err = cmdValidate(args)
-	case "capacity":
-		err = cmdCapacity(args)
-	case "backlog":
-		err = cmdBacklog(args)
-	case "afdx":
-		err = cmdAFDX(args)
-	case "twoswitch":
-		err = cmdTwoSwitch(args)
-	case "topo":
-		err = cmdTopo(args)
-	case "schedulers":
-		err = cmdSchedulers(args)
-	case "scenario":
-		err = cmdScenario(args)
-	case "-h", "--help", "help":
+	if cmd == "-h" || cmd == "--help" || cmd == "help" {
 		usage()
 		return exitOK
-	default:
+	}
+	var err error
+	found := false
+	for _, c := range commands {
+		if c.name == cmd {
+			err, found = c.run(args), true
+			break
+		}
+	}
+	if !found {
 		fmt.Fprintf(stderr, "rtether: unknown command %q\n", cmd)
 		usage()
 		return exitUsage
@@ -158,27 +177,16 @@ func run(argv []string) int {
 }
 
 func usage() {
-	fmt.Fprint(stderr, `rtether — real-time switched Ethernet for military applications (CoNEXT'05 reproduction)
-
-commands:
-  figure1    delay bounds of both approaches (the paper's Figure 1)
-  analyze    per-connection bounds (single-hop and end-to-end)
-  simulate   run the discrete-event simulation and report latencies
-  baseline   the same workload on a MIL-STD-1553B bus
-  sweep      rate ablation + rates × loads grid cross-validation (parallel engine)
-  validate   check simulated worst cases against analytic bounds
-  capacity   minimal link rate meeting all deadlines, per approach
-  backlog    buffer dimensioning: a backlog bound for every directed edge (uplinks,
-             trunks both ways, destination ports), grouped per switch; -dimension
-             emits the scenario JSON with derived per-port queue capacities
-  afdx       map the workload onto ARINC 664 virtual links and compare
-  twoswitch  bounds and simulation on a cascaded two-switch topology
-  topo       unified engine over every architecture family (add -grid for topology × rate × load)
-  schedulers urgent-class bound under FCFS / strict / preemptive / DRR
-  scenario   print a scenario JSON template (-topology star|cascade|tree|chain|dual|dualskew
-             adds that architecture as a network section; edit & pass via -config,
-             where "-" reads stdin)
-`)
+	fmt.Fprintln(stderr, "rtether — real-time switched Ethernet for military applications (CoNEXT'05 reproduction)")
+	fmt.Fprintln(stderr, "\ncommands:")
+	const indent = "             " // two + the widest name + one
+	for _, c := range commands {
+		lines := strings.Split(c.help, "\n")
+		fmt.Fprintf(stderr, "  %-10s %s\n", c.name, lines[0])
+		for _, l := range lines[1:] {
+			fmt.Fprintf(stderr, "%s%s\n", indent, l)
+		}
+	}
 }
 
 // loadScenario reads -config ("-" = stdin) or falls back to the built-in

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServeMatchesCLI pins the service's core contract across the real
+// HTTP boundary: for the same scenario and parameters, the response
+// body of every cacheable endpoint is byte-identical to the stdout of
+// the corresponding CLI subcommand. Both sides call the same
+// internal/render encoder; this test proves no middleware, buffering or
+// content negotiation perturbs the bytes on the way out.
+func TestServeMatchesCLI(t *testing.T) {
+	const fixture = "../../internal/topology/testdata/dual_hetero.json"
+	scenario, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{CacheEntries: 8, MaxInflight: 2}))
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		path string
+		argv []string
+	}{
+		{"analyze", "/v1/analyze", []string{"analyze", "-config", fixture}},
+		{"analyze e2e", "/v1/analyze?e2e=1", []string{"analyze", "-config", fixture, "-e2e"}},
+		{"backlog", "/v1/backlog", []string{"backlog", "-config", fixture}},
+		{"backlog dimension", "/v1/backlog?dimension=1", []string{"backlog", "-config", fixture, "-dimension"}},
+		{"validate", "/v1/validate?reps=2&seed=5&horizon_us=20000",
+			[]string{"validate", "-config", fixture, "-reps", "2", "-seed", "5", "-horizon", "20ms"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, diag := runCapture(t, "", tc.argv...)
+			if code != exitOK {
+				t.Fatalf("CLI %v exited %d: %s", tc.argv, code, diag)
+			}
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(string(scenario)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			if string(body) != out {
+				t.Errorf("HTTP body diverged from CLI stdout:\n--- HTTP ---\n%s\n--- CLI ---\n%s", body, out)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/des"
 	"repro/internal/sweep"
 )
 
@@ -38,19 +39,9 @@ type Experiment[P, C any] struct {
 // is bit-identical at any opts.Workers value.
 func (e Experiment[P, C]) Run(opts SweepOptions) ([]C, error) {
 	reps := opts.reps()
-	scens := make([]*Scenario, len(e.Points))
-	bounds := make([]*analysis.Result, len(e.Points))
-	idx := make([]int, len(e.Points))
-	for i, p := range e.Points {
-		s, err := e.Bind(p)
-		if err != nil {
-			return nil, fmt.Errorf("core: experiment point %d: %w", i, err)
-		}
-		b, err := s.Analyze(s.Sim.Approach)
-		if err != nil {
-			return nil, fmt.Errorf("core: experiment point %d (%s): %w", i, s.Name, err)
-		}
-		scens[i], bounds[i], idx[i] = s, b, i
+	scens, bounds, idx, err := e.bindAll()
+	if err != nil {
+		return nil, err
 	}
 	sims, err := sweep.Replicate(idx, reps, opts.workers(), opts.Seed,
 		func(i int, seed uint64) (*SimResult, error) {
@@ -71,4 +62,62 @@ func (e Experiment[P, C]) Run(opts SweepOptions) ([]C, error) {
 		out[i] = c
 	}
 	return out, nil
+}
+
+// bindAll binds and bounds every point — the cheap, fallible prefix shared
+// by Run and RunStream.
+func (e Experiment[P, C]) bindAll() (scens []*Scenario, bounds []*analysis.Result, idx []int, err error) {
+	scens = make([]*Scenario, len(e.Points))
+	bounds = make([]*analysis.Result, len(e.Points))
+	idx = make([]int, len(e.Points))
+	for i, p := range e.Points {
+		s, err := e.Bind(p)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: experiment point %d: %w", i, err)
+		}
+		b, err := s.Analyze(s.Sim.Approach)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: experiment point %d (%s): %w", i, s.Name, err)
+		}
+		scens[i], bounds[i], idx[i] = s, b, i
+	}
+	return scens, bounds, idx, nil
+}
+
+// RunStream executes the experiment like Run but hands each cell to emit
+// in point order as soon as that point's replications and fold complete —
+// the scenario service streams grid cells over HTTP this way while later
+// cells are still simulating. The replication seeds are the very same
+// substreams Run draws (des.SplitSeed(opts.Seed, point*reps+rep)), so the
+// streamed cells are identical to Run's, cell for cell, at any
+// opts.Workers value; only the pool granularity differs (one point's
+// replications run serially inside one worker instead of fanning out).
+// emit calls are serialized and in order; an emit error aborts the run.
+func (e Experiment[P, C]) RunStream(opts SweepOptions, emit func(C) error) error {
+	reps := opts.reps()
+	scens, bounds, idx, err := e.bindAll()
+	if err != nil {
+		return err
+	}
+	return sweep.RunIndexedStream(idx, opts.workers(),
+		func(i, _ int) (C, error) {
+			var zero C
+			sims := make([]*SimResult, reps)
+			for j := 0; j < reps; j++ {
+				cfg := scens[i].Sim
+				cfg.Seed = des.SplitSeed(opts.Seed, uint64(i*reps+j))
+				cfg.CollectLatencies = true
+				sim, err := SimulateNetwork(scens[i].Set, cfg, scens[i].Net)
+				if err != nil {
+					return zero, fmt.Errorf("core: experiment point %d (%s) replication %d: %w", i, scens[i].Name, j, err)
+				}
+				sims[j] = sim
+			}
+			c, err := e.Cell(e.Points[i], scens[i], bounds[i], sims)
+			if err != nil {
+				return zero, fmt.Errorf("core: experiment point %d (%s): %w", i, scens[i].Name, err)
+			}
+			return c, nil
+		},
+		func(_ int, c C) error { return emit(c) })
 }

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// CanonicalHash returns the SHA-256 of the scenario's canonical JSON form,
+// hex-encoded — the content address of the scenario.
+//
+// The canonical form is the declarative config's own marshal
+// (topology.Config.Save): PR 3 pinned load → save as byte-identical, map
+// keys sort, field order is the struct order, and zero-valued overrides
+// are omitted, so two semantically equal scenario files — however they
+// were indented or their JSON object keys ordered — hash to the same
+// address. That is what makes the hash safe as a result-cache key: a
+// million differently-formatted copies of one dashboard's scenario all
+// resolve to one simulation.
+//
+// Only scenarios bound from a declarative config carry a canonical form;
+// a Scenario assembled in code (StarScenario and friends) has none and
+// errors.
+func CanonicalHash(s *Scenario) (string, error) {
+	if s == nil || s.Cfg == nil {
+		return "", fmt.Errorf("core: scenario has no declarative config to hash (assembled in code, not loaded)")
+	}
+	return CanonicalConfigHash(s.Cfg)
+}
+
+// CanonicalConfigHash hashes a declarative scenario config: canonical
+// marshal (Config.Save), then SHA-256, hex-encoded.
+func CanonicalConfigHash(cfg *topology.Config) (string, error) {
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		return "", fmt.Errorf("core: canonical marshal: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}

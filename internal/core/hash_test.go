@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// heteroFixtureHash is the byte-golden content address of the dual_hetero
+// fixture. It changes only when the fixture file's semantic content (or
+// the canonical marshal itself) changes — reformatting the JSON must not
+// move it, which TestCanonicalHashFormatInsensitive proves.
+const heteroFixtureHash = "9605f081c3961002fdd4de9873276cf75ed4fc8fef591f0018e1082ef7bbb08b"
+
+func TestCanonicalHashGolden(t *testing.T) {
+	s, err := LoadScenario(heteroFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := CanonicalHash(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != heteroFixtureHash {
+		t.Errorf("CanonicalHash(dual_hetero) = %s, want %s (did the fixture or the canonical marshal change?)", h, heteroFixtureHash)
+	}
+}
+
+// TestCanonicalHashFormatInsensitive pins the property the result cache
+// depends on: semantically equal scenarios loaded from differently
+// formatted JSON documents hash identically, because the hash covers the
+// canonical re-marshal, not the input bytes.
+func TestCanonicalHashFormatInsensitive(t *testing.T) {
+	raw, err := os.ReadFile(heteroFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three re-serializations of the same document: compacted, re-indented
+	// with a different indent, and round-tripped through a generic
+	// map[string]any (which both reorders object keys and normalizes
+	// whitespace).
+	var compact, indented bytes.Buffer
+	if err := json.Compact(&compact, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Indent(&indented, raw, "\t", "        "); err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := json.Marshal(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		doc  []byte
+	}{
+		{"original", raw},
+		{"compact", compact.Bytes()},
+		{"indented", indented.Bytes()},
+		{"reordered", reordered},
+	} {
+		if bytes.Equal(tc.doc, raw) != (tc.name == "original") {
+			t.Fatalf("%s: reformatting did not change the bytes — the test would prove nothing", tc.name)
+		}
+		cfg, err := topology.Load(bytes.NewReader(tc.doc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		s, err := NewScenario(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		h, err := CanonicalHash(s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if h != heteroFixtureHash {
+			t.Errorf("%s: CanonicalHash = %s, want %s — formatting leaked into the content address", tc.name, h, heteroFixtureHash)
+		}
+	}
+}
+
+// TestCanonicalHashRequiresConfig: scenarios assembled in code have no
+// canonical form to address.
+func TestCanonicalHashRequiresConfig(t *testing.T) {
+	s, err := LoadScenario(heteroFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cfg = nil
+	if _, err := CanonicalHash(s); err == nil {
+		t.Error("CanonicalHash on a config-less scenario succeeded, want error")
+	}
+	if _, err := CanonicalHash(nil); err == nil {
+		t.Error("CanonicalHash(nil) succeeded, want error")
+	}
+}

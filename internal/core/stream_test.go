@@ -1,0 +1,36 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+)
+
+// TestRunGridStreamMatchesRunGrid pins the streaming contract of the
+// scenario service's /v1/sweep: the streamed cells are the batch cells —
+// same grid, same replication substreams, same folds — in the same order,
+// at any worker count.
+func TestRunGridStreamMatchesRunGrid(t *testing.T) {
+	points := DefaultSweepGrid()[:4] // a prefix keeps the test quick
+	cfg := SweepGridConfig(analysis.Priority, 0, 20*simtime.Millisecond, 2)
+	batch, err := RunGrid(points, cfg, SweepOptions{Workers: 1, Reps: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		var streamed []GridCell
+		err := RunGridStream(points, cfg, SweepOptions{Workers: workers, Reps: 2, Seed: 7},
+			func(c GridCell) error {
+				streamed = append(streamed, c)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(streamed, batch) {
+			t.Errorf("workers=%d: streamed cells diverged from RunGrid:\n%+v\nvs\n%+v", workers, streamed, batch)
+		}
+	}
+}

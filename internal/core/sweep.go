@@ -137,7 +137,22 @@ func Grid(rates []simtime.Rate, loads []int) []GridPoint {
 // parameter (its LinkRate and Seed are overridden per cell). It is one
 // instance of the generic Experiment runner, on the paper's star.
 func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell, error) {
-	exp := Experiment[GridPoint, GridCell]{
+	return gridExperiment(points, base).Run(opts)
+}
+
+// RunGridStream is RunGrid for streaming consumers: cells are handed to
+// emit in grid order as soon as each cell's replications complete, while
+// later cells are still simulating. The cells are identical to RunGrid's
+// (same experiment, same replication substreams) at any opts.Workers
+// value — the scenario service's /v1/sweep endpoint is built on this.
+func RunGridStream(points []GridPoint, base SimConfig, opts SweepOptions, emit func(GridCell) error) error {
+	return gridExperiment(points, base).RunStream(opts, emit)
+}
+
+// gridExperiment is the single S3 experiment instance behind RunGrid and
+// RunGridStream, so the batch and streaming paths can never drift.
+func gridExperiment(points []GridPoint, base SimConfig) Experiment[GridPoint, GridCell] {
+	return Experiment[GridPoint, GridCell]{
 		Points: points,
 		Bind: func(p GridPoint) (*Scenario, error) {
 			set := traffic.RealCaseWith(p.ExtraRTs)
@@ -153,7 +168,34 @@ func RunGrid(points []GridPoint, base SimConfig, opts SweepOptions) ([]GridCell,
 			return cell, nil
 		},
 	}
-	return exp.Run(opts)
+}
+
+// DefaultSweepGrid is the canonical S3 grid `rtether sweep` runs — rates ×
+// extra-RT loads in row-major order. The scenario service's /v1/sweep
+// streams exactly these cells by default, which is what keeps the two
+// paths comparable cell for cell.
+func DefaultSweepGrid() []GridPoint {
+	return Grid([]simtime.Rate{10 * simtime.Mbps, 25 * simtime.Mbps, 100 * simtime.Mbps},
+		[]int{0, 8, 16})
+}
+
+// SweepGridConfig derives the per-cell simulation config of the S3 grid
+// from the experiment knobs, exactly as `rtether sweep` has always built
+// it: paper defaults under the chosen approach, the scenario's t_techno,
+// the given horizon, and — when the cell is replicated — randomized
+// sources (random phases and exponential sporadic gaps) instead of the
+// deterministic critical instant, which a single replication checks.
+// Shared by the CLI and the scenario service so their grids cannot drift.
+func SweepGridConfig(approach analysis.Approach, ttechno, horizon simtime.Duration, reps int) SimConfig {
+	cfg := DefaultSimConfig(approach)
+	cfg.TTechno = ttechno
+	cfg.Horizon = horizon
+	if reps > 1 {
+		cfg.Mode = traffic.RandomGaps
+		cfg.MeanSlack = DefaultMeanSlack
+		cfg.AlignPhases = false
+	}
+	return cfg
 }
 
 // TopoPoint is one cell coordinate of the topology × rate × load grid:

@@ -24,10 +24,13 @@ import (
 // (//rtlint:unordered, with a written justification — sums, counts, map
 // fills, argmax with a deterministic tie-break).
 //
-// time.Now and the global math/rand generator are banned outright in
-// non-test code; des.NewRNG outside package des must be seeded through
+// time.Now and the global math/rand generator are banned in non-test
+// code; des.NewRNG outside package des must be seeded through
 // des.SplitSeed (use des.Stream, or annotate //rtlint:rng-ok with the
-// provenance of the seed).
+// provenance of the seed). Infrastructure code that never feeds the
+// simulation — wall-clock latency accounting in the HTTP service — may
+// waive the time.Now ban with //rtlint:wallclock and a written
+// justification.
 var DeterministicAnalyzer = &analysis.Analyzer{
 	Name: "deterministic",
 	Doc:  "flag map iteration, wall-clock and foreign-RNG use that breaks seeded determinism",
@@ -127,8 +130,15 @@ func checkForeignEntropy(pass *analysis.Pass, dirs *directives, call *ast.CallEx
 	path := fn.Pkg().Path()
 	switch {
 	case path == "time" && fn.Name() == "Now":
+		// Infrastructure code outside the simulator (the HTTP service's
+		// request-wait accounting, for one) legitimately reads the wall
+		// clock; the waiver requires a written justification, and nothing
+		// in the seeded simulation call graph carries one.
+		if dirs.onNode(call, "wallclock") {
+			return
+		}
 		pass.ReportRangef(call,
-			"deterministic: time.Now reads the wall clock; simulations must use virtual time (simtime) only")
+			"deterministic: time.Now reads the wall clock; simulations must use virtual time (simtime) only (or justify server-side use with //rtlint:wallclock)")
 	case path == "math/rand" || path == "math/rand/v2":
 		pass.ReportRangef(call,
 			"deterministic: %s uses math/rand; derive RNGs from des.SplitSeed (des.Stream) so runs are seed-reproducible", fn.Name())

@@ -36,6 +36,10 @@
 //	                        justification is required reading for reviewers.
 //	//rtlint:rng-ok ...     exempts an RNG construction whose seed
 //	                        provenance the analyzer cannot see.
+//	//rtlint:wallclock ...  exempts a time.Now call in infrastructure code
+//	                        whose reading never feeds the simulation (the
+//	                        HTTP service's request-wait accounting); the
+//	                        written justification is required.
 //	//rtlint:consumes       marks a function (doc comment) as taking
 //	                        ownership of its pooled pointer arguments:
 //	                        callers must not touch them afterwards.

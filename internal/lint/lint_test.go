@@ -48,7 +48,7 @@ func TestDirectiveGlossary(t *testing.T) {
 		t.Fatal("lint.go has no package doc comment")
 	}
 	doc := f.Doc.Text()
-	for _, name := range []string{"hotpath", "presized", "coldpath", "sorted-after", "unordered", "rng-ok", "consumes", "units-ok"} {
+	for _, name := range []string{"hotpath", "presized", "coldpath", "sorted-after", "unordered", "rng-ok", "wallclock", "consumes", "units-ok"} {
 		if !strings.Contains(doc, "rtlint:"+name) {
 			t.Errorf("directive //rtlint:%s is not documented in the package glossary", name)
 		}

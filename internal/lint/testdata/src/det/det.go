@@ -27,6 +27,13 @@ func Entropy() *des.RNG {
 	return des.NewRNG(42) // want "not derived from des.SplitSeed"
 }
 
+// Uptime is infrastructure accounting outside the simulator: the waived
+// wall-clock read is clean.
+func Uptime() time.Time {
+	//rtlint:wallclock service uptime accounting, never feeds the simulation
+	return time.Now()
+}
+
 // Keys uses the blessed sort-after-collect idiom.
 func Keys(m map[string]int) []string {
 	keys := make([]string, 0, len(m))

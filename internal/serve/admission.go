@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// admission is the per-client weighted-fair admission controller in
+// front of the service's compute. It holds a fixed number of compute
+// slots; when they are all busy, waiting requests are granted by stride
+// scheduling rather than arrival order, so a client streaming heavy
+// sweeps cannot starve another client's interactive analyze queries.
+//
+// Each client carries a pass value (virtual finish time). A request of
+// cost c from a client of weight w advances that client's pass by c/w,
+// so heavy requests and light weights both push the client further into
+// the virtual future and the next grant goes to the client with the
+// smallest pass among those waiting (ties break on the client id, so
+// grant order is deterministic). A client that rejoins after idling is
+// floored to the controller's virtual time — the pass of the latest
+// grant — so idling never banks credit.
+//
+// Cache hits bypass admission entirely (see Server.cached): only real
+// compute occupies a slot. The clock is injectable for deterministic
+// latency tests; only the wait statistics read it, never the grant
+// order.
+type admission struct {
+	mu       sync.Mutex
+	slots    int
+	inflight int
+	clients  map[string]*client
+	vtime    float64
+	now      func() time.Time
+
+	granted    uint64
+	queued     int
+	queuedPeak int
+	maxWait    time.Duration
+}
+
+// client is one admission principal: a weight, a pass value, and the
+// FIFO of its requests currently waiting for a slot.
+type client struct {
+	pass    float64
+	waiting []*waiter
+}
+
+// waiter is one queued request. ready is closed exactly once, when a
+// slot is granted; wait is the measured queue delay, valid after ready.
+type waiter struct {
+	id     string // owning client, for release bookkeeping
+	cost   float64
+	weight float64
+	ready  chan struct{}
+	enq    time.Time
+	wait   time.Duration
+}
+
+func newAdmission(slots int, now func() time.Time) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	return &admission{
+		slots:   slots,
+		clients: make(map[string]*client),
+		now:     now,
+	}
+}
+
+// acquire blocks until a compute slot is granted to clientID or ctx is
+// done. weight is the client's share (bigger = more throughput under
+// contention); cost is the size of this request in arbitrary work units
+// (only ratios matter). Every successful acquire must be paired with a
+// release.
+func (a *admission) acquire(ctx context.Context, clientID string, weight, cost float64) error {
+	w, granted := a.admit(clientID, weight, cost)
+	if granted {
+		return nil
+	}
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		if !a.abandon(w) {
+			// Lost the race: the grant landed before the cancellation was
+			// seen, so the slot is ours and must be returned.
+			a.release()
+		}
+		return ctx.Err()
+	}
+}
+
+// admit grants a slot immediately when one is free and nobody is
+// queued; otherwise it enqueues a waiter on the client's FIFO and
+// returns granted=false.
+func (a *admission) admit(clientID string, weight, cost float64) (*waiter, bool) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.clients[clientID]
+	if c == nil {
+		c = &client{}
+		a.clients[clientID] = c
+	}
+	if a.inflight < a.slots && a.queued == 0 {
+		a.grant(c, &waiter{cost: cost, weight: weight})
+		return nil, true
+	}
+	w := &waiter{id: clientID, cost: cost, weight: weight, ready: make(chan struct{}), enq: a.now()}
+	c.waiting = append(c.waiting, w)
+	a.queued++
+	if a.queued > a.queuedPeak {
+		a.queuedPeak = a.queued
+	}
+	return w, false
+}
+
+// grant charges the request to the client's pass and takes a slot.
+// Called with the lock held.
+func (a *admission) grant(c *client, w *waiter) {
+	a.inflight++
+	a.granted++
+	if c.pass < a.vtime {
+		c.pass = a.vtime // idle clients rejoin at the virtual present
+	}
+	a.vtime = c.pass
+	c.pass += w.cost / w.weight
+}
+
+// release returns a slot and hands it to the most deserving waiter, if
+// any. It returns the id of the client granted next ("" when the slot
+// simply went free) so tests can assert the grant order.
+func (a *admission) release() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	return a.grantNext()
+}
+
+// grantNext picks the waiting client with the smallest effective pass
+// (floored to vtime), breaking ties on the lexicographically smallest
+// id, pops its FIFO head, and grants it the slot. Called with the lock
+// held.
+func (a *admission) grantNext() string {
+	if a.inflight >= a.slots || a.queued == 0 {
+		return ""
+	}
+	bestID := ""
+	var best *client
+	bestPass := 0.0
+	//rtlint:unordered argmin with a lexicographic tie-break on the client id
+	for id, c := range a.clients {
+		if len(c.waiting) == 0 {
+			continue
+		}
+		pass := c.pass
+		if pass < a.vtime {
+			pass = a.vtime
+		}
+		if best == nil || pass < bestPass || (pass == bestPass && id < bestID) {
+			bestID, best, bestPass = id, c, pass
+		}
+	}
+	w := best.waiting[0]
+	best.waiting = best.waiting[1:]
+	a.queued--
+	a.grant(best, w)
+	w.wait = a.now().Sub(w.enq)
+	if w.wait > a.maxWait {
+		a.maxWait = w.wait
+	}
+	close(w.ready)
+	return bestID
+}
+
+// abandon removes w from its client's queue after a cancellation. It
+// reports false when w was already granted (the caller then owns a slot
+// and must release it).
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case <-w.ready:
+		return false
+	default:
+	}
+	c := a.clients[w.id]
+	for i, q := range c.waiting {
+		if q == w {
+			c.waiting = append(c.waiting[:i], c.waiting[i+1:]...)
+			a.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// AdmissionStats is the admission counter snapshot exposed on
+// /v1/stats.
+type AdmissionStats struct {
+	Slots        int    `json:"slots"`
+	Inflight     int    `json:"inflight"`
+	Granted      uint64 `json:"granted"`
+	Queued       int    `json:"queued"`
+	QueuedPeak   int    `json:"queued_peak"`
+	MaxWaitMicro int64  `json:"max_wait_micros"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Slots:        a.slots,
+		Inflight:     a.inflight,
+		Granted:      a.granted,
+		Queued:       a.queued,
+		QueuedPeak:   a.queuedPeak,
+		MaxWaitMicro: a.maxWait.Microseconds(),
+	}
+}

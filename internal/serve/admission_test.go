@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic wait
+// accounting. The admission grant order never reads the clock, so these
+// tests are exact, not timing-dependent.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// drain releases the slot n times and returns the ids granted, in order.
+func drain(a *admission, n int) []string {
+	var order []string
+	for i := 0; i < n; i++ {
+		order = append(order, a.release())
+	}
+	return order
+}
+
+// TestAdmissionStrideOrder pins the weighted-fair grant order: with one
+// slot busy, a weight-4 interactive client's queued requests overtake a
+// weight-1 sweep client's backlog at roughly 4:1, never FIFO.
+func TestAdmissionStrideOrder(t *testing.T) {
+	clk := &fakeClock{}
+	a := newAdmission(1, clk.now)
+	if _, granted := a.admit("hold", 1, 1); !granted {
+		t.Fatal("first request should take the free slot")
+	}
+	// The sweep backlog arrives first; FIFO would starve analyze.
+	for i := 0; i < 3; i++ {
+		if _, granted := a.admit("sweep", 1, 9); granted {
+			t.Fatal("slot is busy; sweep must queue")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, granted := a.admit("analyze", 4, 1); granted {
+			t.Fatal("slot is busy; analyze must queue")
+		}
+	}
+	got := drain(a, 8)
+	// Tie at pass 0 breaks lexicographically (analyze first); each sweep
+	// grant costs 9/1 = 9 virtual time, each analyze grant 1/4, so the
+	// whole analyze queue drains after a single sweep grant.
+	want := []string{"analyze", "sweep", "analyze", "analyze", "analyze", "analyze", "sweep", "sweep"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+	if s := a.stats(); s.Granted != 9 || s.Queued != 0 {
+		t.Fatalf("stats %+v: want 9 granted, 0 queued", s)
+	}
+}
+
+// TestAdmissionLatencyBudget is the starvation guard: a sweep client
+// saturating the service must not push another client's interactive
+// analyze query past its latency budget. The fake clock advances one
+// compute duration per release, so each measured wait is exact.
+func TestAdmissionLatencyBudget(t *testing.T) {
+	const compute = 100 * time.Millisecond
+	cases := []struct {
+		name       string
+		sweepQueue int           // sweep requests already waiting
+		budget     time.Duration // analyze latency budget
+	}{
+		{"light backlog", 2, 3 * compute},
+		{"deep backlog", 8, 3 * compute},
+		{"saturating backlog", 32, 3 * compute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{}
+			a := newAdmission(1, clk.now)
+			if _, granted := a.admit("sweep", 1, 9); !granted {
+				t.Fatal("sweep should take the free slot")
+			}
+			for i := 0; i < tc.sweepQueue; i++ {
+				a.admit("sweep", 1, 9)
+			}
+			w, granted := a.admit("analyze", 4, 1)
+			if granted {
+				t.Fatal("slot is busy; analyze must queue")
+			}
+			fifoWait := time.Duration(tc.sweepQueue+1) * compute
+			for i := 0; ; i++ {
+				clk.advance(compute)
+				if a.release() == "analyze" {
+					break
+				}
+				if time.Duration(i+2)*compute > fifoWait {
+					t.Fatal("analyze never granted before its FIFO position")
+				}
+				a.admit("sweep", 1, 9) // the saturating client keeps refilling
+			}
+			if w.wait > tc.budget {
+				t.Errorf("analyze waited %v, budget %v (FIFO would be %v)", w.wait, tc.budget, fifoWait)
+			}
+			if w.wait >= fifoWait && tc.sweepQueue > 2 {
+				t.Errorf("analyze waited %v — no better than FIFO's %v", w.wait, fifoWait)
+			}
+			if s := a.stats(); s.MaxWaitMicro < w.wait.Microseconds() {
+				t.Errorf("max wait stat %dµs below the observed %v", s.MaxWaitMicro, w.wait)
+			}
+		})
+	}
+}
+
+// TestAdmissionIdleRejoin: an idle client's pass is floored to the
+// controller's virtual time on rejoin — idling banks no credit.
+func TestAdmissionIdleRejoin(t *testing.T) {
+	clk := &fakeClock{}
+	a := newAdmission(1, clk.now)
+	a.admit("hold", 1, 1)
+	// b works for a long stretch while idle client z is absent.
+	for i := 0; i < 10; i++ {
+		a.admit("b", 1, 10)
+	}
+	drain(a, 10) // vtime is now deep in b's virtual future
+	// z rejoins against fresh b work. Floored to vtime, z gets one grant
+	// of priority and then alternates with b; with a stale pass of 0 it
+	// would drain its whole queue before b ran again.
+	a.admit("b", 1, 10)
+	a.admit("z", 1, 10)
+	a.admit("b", 1, 10)
+	a.admit("z", 1, 10)
+	got := drain(a, 4)
+	want := []string{"z", "b", "z", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (idle client must rejoin at vtime, not at 0)", got, want)
+		}
+	}
+}
+
+// TestAdmissionCancel: a cancelled waiter leaves the queue; a
+// cancellation that loses the race against its own grant releases the
+// slot instead of leaking it.
+func TestAdmissionCancel(t *testing.T) {
+	clk := &fakeClock{}
+	a := newAdmission(1, clk.now)
+	a.admit("hold", 1, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.acquire(ctx, "victim", 1, 1); err == nil {
+		t.Fatal("cancelled acquire should fail")
+	}
+	if s := a.stats(); s.Queued != 0 {
+		t.Fatalf("cancelled waiter still queued: %+v", s)
+	}
+	// The race's other arm: grant lands, then the caller abandons. The
+	// abandon must report the grant so acquire releases the slot.
+	w, granted := a.admit("racer", 1, 1)
+	if granted {
+		t.Fatal("slot is busy; racer must queue")
+	}
+	if id := a.release(); id != "racer" {
+		t.Fatalf("release granted %q, want racer", id)
+	}
+	if a.abandon(w) {
+		t.Fatal("abandon of a granted waiter must report false")
+	}
+	a.release()
+	if s := a.stats(); s.Inflight != 0 {
+		t.Fatalf("slot leaked: %+v", s)
+	}
+}

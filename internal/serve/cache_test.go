@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflight: concurrent gets of one key run the compute
+// exactly once; followers coalesce onto the leader's flight and share
+// its body. Run under -race in CI.
+func TestCacheSingleflight(t *testing.T) {
+	c := newResultCache(8)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		<-release
+		return []byte("body"), nil
+	}
+
+	const followers = 9
+	var wg sync.WaitGroup
+	results := make([][]byte, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := c.get("k", compute)
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			results[i] = body
+		}(i)
+	}
+	// Wait until every follower has coalesced onto the leader's flight,
+	// then let the one compute finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.stats().Coalesced < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers coalesced", c.stats().Coalesced, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computes for %d concurrent identical gets, want 1", n, followers+1)
+	}
+	for i, body := range results {
+		if string(body) != "body" {
+			t.Fatalf("caller %d got %q", i, body)
+		}
+	}
+	s := c.stats()
+	if s.Misses != 1 || s.Coalesced != followers || s.Entries != 1 {
+		t.Fatalf("stats %+v: want 1 miss, %d coalesced, 1 entry", s, followers)
+	}
+}
+
+// TestCacheEvictionBound: the cache never holds more than max entries,
+// evicts least-recently-used first, and a touch refreshes recency.
+func TestCacheEvictionBound(t *testing.T) {
+	c := newResultCache(2)
+	fill := func(key string) ([]byte, bool, error) {
+		return c.get(key, func() ([]byte, error) { return []byte(key), nil })
+	}
+	fill("a")
+	fill("b")
+	fill("a") // touch: a is now more recent than b
+	fill("c") // evicts b
+	if s := c.stats(); s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats %+v: want 2 entries, 1 eviction", s)
+	}
+	if _, hit, _ := fill("a"); !hit {
+		t.Fatal("a was touched; it must have survived the eviction")
+	}
+	if _, hit, _ := fill("b"); hit {
+		t.Fatal("b was least recently used; it must have been evicted")
+	}
+	// The recompute of b evicted the next victim; the bound still holds.
+	if s := c.stats(); s.Entries != 2 {
+		t.Fatalf("stats %+v: entry bound violated", s)
+	}
+	for i := 0; i < 100; i++ {
+		fill(fmt.Sprintf("k%d", i))
+	}
+	if s := c.stats(); s.Entries != 2 {
+		t.Fatalf("stats %+v: entry bound violated under churn", s)
+	}
+}
+
+// TestCacheDisabled: max <= 0 stores nothing — every sequential get
+// recomputes — but the body still flows through.
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	n := 0
+	for i := 0; i < 3; i++ {
+		body, hit, err := c.get("k", func() ([]byte, error) { n++; return []byte("x"), nil })
+		if err != nil || hit || string(body) != "x" {
+			t.Fatalf("get %d: body=%q hit=%v err=%v", i, body, hit, err)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("%d computes, want 3 (storage disabled)", n)
+	}
+	if s := c.stats(); s.Entries != 0 {
+		t.Fatalf("stats %+v: disabled cache stored entries", s)
+	}
+}
+
+// TestCacheErrorNotStored: a failed compute is reported to its callers
+// and never cached; the next get retries.
+func TestCacheErrorNotStored(t *testing.T) {
+	c := newResultCache(8)
+	boom := errors.New("boom")
+	if _, _, err := c.get("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	body, hit, err := c.get("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(body) != "ok" {
+		t.Fatalf("retry: body=%q hit=%v err=%v (errors must not be cached)", body, hit, err)
+	}
+}

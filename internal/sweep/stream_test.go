@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStreamOrderAndIdentity: the emitted sequence is the input order with
+// every result present exactly once, and the rendered stream is
+// bit-identical at any worker count.
+func TestStreamOrderAndIdentity(t *testing.T) {
+	points := make([]int, 40)
+	for i := range points {
+		points[i] = i
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		err := RunIndexedStream(points, workers,
+			func(i, p int) (int, error) { return p * p, nil },
+			func(i, r int) error {
+				fmt.Fprintf(&b, "%d:%d\n", i, r)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, w := range []int{2, 4, 16, 0} {
+		if got := render(w); got != serial {
+			t.Errorf("workers=%d: stream diverged from serial:\n%s\nvs\n%s", w, got, serial)
+		}
+	}
+	if !strings.HasPrefix(serial, "0:0\n1:1\n2:4\n") || !strings.HasSuffix(serial, "39:1521\n") {
+		t.Errorf("unexpected serial stream:\n%s", serial)
+	}
+}
+
+// TestStreamEmitsBeforeCompletion: result 0 must reach the sink while a
+// later point is still being evaluated — the streaming contract, not a
+// buffer-then-flush.
+func TestStreamEmitsBeforeCompletion(t *testing.T) {
+	emitted0 := make(chan struct{})
+	err := RunIndexedStream([]int{0, 1}, 2,
+		func(i, p int) (int, error) {
+			if i == 1 {
+				// Point 1 finishes only after point 0's result has been
+				// emitted; a run that buffered until completion would
+				// deadlock (and fail via the test timeout).
+				<-emitted0
+			}
+			return p, nil
+		},
+		func(i, r int) error {
+			if i == 0 {
+				close(emitted0)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamEmitError: a sink failure aborts the run, no later result is
+// emitted, and the error surfaces.
+func TestStreamEmitError(t *testing.T) {
+	boom := errors.New("sink full")
+	var emitted []int
+	err := RunIndexedStream([]int{0, 1, 2, 3}, 1,
+		func(i, p int) (int, error) { return p, nil },
+		func(i, r int) error {
+			if i == 1 {
+				return boom
+			}
+			emitted = append(emitted, i)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Errorf("emitted %v after sink failure, want [0]", emitted)
+	}
+}
+
+// TestStreamPointError: a failing evaluation fails the run and reports the
+// failing point, like RunIndexed.
+func TestStreamPointError(t *testing.T) {
+	boom := errors.New("bad point")
+	err := RunIndexedStream([]int{0, 1, 2}, 1,
+		func(i, p int) (int, error) {
+			if i == 2 {
+				return 0, boom
+			}
+			return p, nil
+		},
+		func(i, r int) error { return nil })
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "point 2") {
+		t.Fatalf("err = %v, want point 2 wrapping %v", err, boom)
+	}
+}

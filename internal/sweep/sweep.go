@@ -111,6 +111,54 @@ func RunIndexed[P, R any](points []P, workers int, fn func(i int, p P) (R, error
 	return out, nil
 }
 
+// RunIndexedStream is RunIndexed for consumers that want results as they
+// become available — the scenario service streams sweep-grid cells over
+// HTTP while later cells are still being computed. emit receives every
+// result exactly once, in input order, as soon as the completed prefix
+// grows: result i is emitted the moment results 0..i all exist, while
+// workers keep evaluating later points. emit calls are serialized (never
+// concurrent), so an unsynchronized writer is a valid sink, and because
+// the emission order is the input order the byte stream produced by a
+// deterministic fn is bit-identical at any worker count. An emit error
+// aborts the run like a point failure: no further results are emitted,
+// in-flight evaluations finish, and the error is returned.
+func RunIndexedStream[P, R any](points []P, workers int, fn func(i int, p P) (R, error), emit func(i int, r R) error) error {
+	if len(points) == 0 {
+		return nil
+	}
+	var (
+		out  = make([]R, len(points))
+		done = make([]bool, len(points))
+		mu   sync.Mutex
+		next int   // lowest unemitted index
+		dead error // first emit error; stops all further emission
+	)
+	idx, err := pool(len(points), workers, func(i int) error {
+		r, err := fn(i, points[i])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out[i], done[i] = r, true
+		if dead != nil {
+			return dead
+		}
+		for next < len(points) && done[next] {
+			if err := emit(next, out[next]); err != nil {
+				dead = fmt.Errorf("emit point %d: %w", next, err)
+				return dead
+			}
+			next++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: point %d: %w", idx, err)
+	}
+	return nil
+}
+
 // Replicate is the Monte-Carlo mode: every point is evaluated reps times,
 // replication j of point i receiving the deterministic RNG substream seed
 // des.SplitSeed(rootSeed, i*reps+j). All point×rep jobs share one worker
