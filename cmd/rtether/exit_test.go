@@ -41,6 +41,10 @@ func TestRunExitCodes(t *testing.T) {
 	malformed := write("malformed.json", `{"messages": [,]}`)
 	invalid := write("invalid.json", `{}`) // well-formed JSON, fails scenario validation
 	unknownField := write("unknown.json", `{"bogus_field": 1}`)
+	emptyDir := filepath.Join(dir, "empty-corpus")
+	if err := os.MkdirAll(emptyDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
 
 	tests := []struct {
 		name       string
@@ -64,6 +68,13 @@ func TestRunExitCodes(t *testing.T) {
 		{name: "serve bad flag", argv: []string{"serve", "-no-such-flag"}, wantCode: exitUsage, wantStderr: "flag provided but not defined"},
 		{name: "serve help", argv: []string{"serve", "-h"}, wantCode: exitOK, wantStderr: "Usage of serve"},
 		{name: "serve stray arg", argv: []string{"serve", "stray"}, wantCode: exitUsage, wantStderr: `unexpected argument "stray"`},
+		{name: "corpus bad flag", argv: []string{"corpus", "-no-such-flag"}, wantCode: exitUsage, wantStderr: "flag provided but not defined"},
+		{name: "corpus help", argv: []string{"corpus", "-h"}, wantCode: exitOK, wantStderr: "Usage of corpus"},
+		{name: "corpus missing dir", argv: []string{"corpus", "-dir", filepath.Join(dir, "no-corpus")}, wantCode: exitErr, wantStderr: "rtether corpus:"},
+		{name: "corpus empty dir", argv: []string{"corpus", "-dir", emptyDir}, wantCode: exitErr, wantStderr: "no scenario files"},
+		// The test binary runs in cmd/rtether; the committed corpus sits
+		// at the repository root.
+		{name: "corpus success", argv: []string{"corpus", "-dir", "../../testdata/corpus"}, wantCode: exitOK, wantStderr: ""},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

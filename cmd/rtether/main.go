@@ -12,8 +12,9 @@
 // commands span analysis (figure1, analyze, capacity, backlog, afdx,
 // schedulers), simulation (simulate, baseline, twoswitch), the parallel
 // sweep engine (sweep, validate, topo), scenario authoring (scenario),
-// and a long-running HTTP service (serve) whose responses are
-// byte-identical to the corresponding subcommands.
+// the fuzzer-survivor corpus replay (corpus), and a long-running HTTP
+// service (serve) whose responses are byte-identical to the corresponding
+// subcommands.
 //
 // Every -config flag accepts a path or "-" for stdin, so scenarios pipe:
 //
@@ -131,6 +132,8 @@ var commands = []command{
 	{"scenario", cmdScenario, "print a scenario JSON template (-topology star|cascade|tree|chain|dual|dualskew\n" +
 		"adds that architecture as a network section; edit & pass via -config,\n" +
 		`where "-" reads stdin)`},
+	{"corpus", cmdCorpus, "replay the committed fuzzer-survivor corpus (testdata/corpus) through\n" +
+		"every soundness invariant; output is bit-identical at any -parallel"},
 	{"serve", cmdServe, "scenario-analysis HTTP service: POST /v1/{analyze,backlog,validate,sweep},\n" +
 		"content-addressed result cache, weighted-fair admission; responses are\n" +
 		"byte-identical to the matching subcommand"},

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// TestLossyIdenticalPlanesMatchTree: on identical zero-skew planes the
+// max-composition equals the min-composition equals the single-plane
+// tree bound — the loss-aware bound costs nothing where the planes are
+// symmetric.
+func TestLossyIdenticalPlanesMatchTree(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	for _, approach := range []Approach{FCFS, Priority} {
+		single, err := TreeEndToEnd(set, approach, cfg, SingleSwitchTree(set.Stations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossy, err := LossyRedundantEndToEnd(set, approach, cfg, twoIdenticalPlanes(set.Stations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pb := range lossy.Flows {
+			if pb != single.Flows[i] {
+				t.Errorf("%v %s: lossy composition %+v differs from single-plane bound %+v",
+					approach, pb.Spec.Msg.Name, pb, single.Flows[i])
+			}
+		}
+	}
+}
+
+// TestLossyMaxDominatesMin: under loss the delivered copy may come from
+// ANY surviving plane, so a skewed second plane — invisible to the
+// lossless first-copy minimum — must price into the loss-aware bound:
+// exactly the skewed plane's bound, with the skew folded into the source
+// stage. The floor stays the fastest plane's (an undamaged first copy is
+// still possible), so the loss-aware jitter widens by the same skew.
+func TestLossyMaxDominatesMin(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	skew := 250 * simtime.Microsecond
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations), PhaseSkew: skew},
+	}
+	single, err := TreeEndToEnd(set, Priority, cfg, SingleSwitchTree(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless, err := RedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := LossyRedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pb := range lossy.Flows {
+		if want := single.Flows[i].EndToEnd + skew; pb.EndToEnd != want {
+			t.Errorf("%s: lossy bound %v, want slowest plane's %v", pb.Spec.Msg.Name, pb.EndToEnd, want)
+		}
+		if pb.EndToEnd < lossless.Flows[i].EndToEnd {
+			t.Errorf("%s: lossy bound %v below lossless %v", pb.Spec.Msg.Name, pb.EndToEnd, lossless.Flows[i].EndToEnd)
+		}
+		if want := single.Flows[i].SourceDelay + skew; pb.SourceDelay != want {
+			t.Errorf("%s: source delay %v, want %v (skew folded in)", pb.Spec.Msg.Name, pb.SourceDelay, want)
+		}
+		if pb.Floor != single.Flows[i].Floor {
+			t.Errorf("%s: floor %v, want fastest plane's %v", pb.Spec.Msg.Name, pb.Floor, single.Flows[i].Floor)
+		}
+		if want := pb.EndToEnd - pb.Floor; pb.Jitter != want {
+			t.Errorf("%s: jitter %v, want bound-floor %v", pb.Spec.Msg.Name, pb.Jitter, want)
+		}
+	}
+}
+
+// TestLossyFailedPlaneExcluded: a failed plane carries no copy, lost or
+// not — it must not inflate the maximum.
+func TestLossyFailedPlaneExcluded(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: SingleSwitchTree(stations), PhaseSkew: 400 * simtime.Microsecond, Failed: true},
+	}
+	single, err := TreeEndToEnd(set, Priority, cfg, SingleSwitchTree(stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := LossyRedundantEndToEnd(set, Priority, cfg, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pb := range lossy.Flows {
+		if pb.EndToEnd != single.Flows[i].EndToEnd {
+			t.Errorf("%s: bound %v, want surviving plane's %v", pb.Spec.Msg.Name, pb.EndToEnd, single.Flows[i].EndToEnd)
+		}
+	}
+}
+
+// TestLossyRefusesUnstableSurvivor: under loss an over-subscribed
+// surviving plane cannot be waved off as "never wins the minimum" — loss
+// may leave it the only carrier, so the composition must refuse with
+// ErrUnstable rather than return an unsound bound. Failing that plane
+// (it then carries nothing) restores the bound.
+func TestLossyRefusesUnstableSurvivor(t *testing.T) {
+	set := traffic.RealCase()
+	cfg := DefaultConfig()
+	stations := set.Stations()
+	unstable := SingleSwitchTree(stations)
+	unstable.StationRates = map[string]simtime.Rate{}
+	for _, s := range stations {
+		unstable.StationRates[s] = 5 * simtime.Kbps
+	}
+	planes := []Plane{
+		{Tree: SingleSwitchTree(stations)},
+		{Tree: unstable},
+	}
+	if _, err := LossyRedundantEndToEnd(set, Priority, cfg, planes); !errors.Is(err, ErrUnstable) {
+		t.Errorf("unstable surviving plane under loss: err = %v, want ErrUnstable", err)
+	}
+	planes[1].Failed = true
+	if _, err := LossyRedundantEndToEnd(set, Priority, cfg, planes); err != nil {
+		t.Errorf("failed unstable plane still aborted the composition: %v", err)
+	}
+	if _, err := LossyRedundantEndToEnd(set, Priority, cfg, nil); err == nil {
+		t.Error("empty plane list accepted")
+	}
+}

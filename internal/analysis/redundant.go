@@ -68,6 +68,33 @@ func RedundantEndToEnd(set *traffic.Set, approach Approach, cfg Config, planes [
 	return composeFirstCopy(approach, cfg, planes, results, bounded), nil
 }
 
+// LossyRedundantEndToEnd bounds every connection over a redundant network
+// whose medium may LOSE copies (a residual bit-error rate > 0): the
+// delivered first copy is then whichever surviving plane's copy got
+// through — possibly only the slowest — so the min-composition of
+// RedundantEndToEnd is no longer sound. The loss-aware composition is the
+// per-connection MAXIMUM of phase skew plus plane bound over surviving
+// planes: whichever single plane delivers, its copy obeys its own plane's
+// bound. On identical planes the maximum equals the minimum, so lossless
+// intuition is preserved exactly where the planes are symmetric. Every
+// surviving plane must be stable here — an over-subscribed plane may be
+// the only one whose copy survives, and its bound is infinite — so any
+// unstable surviving plane is ErrUnstable (unlike RedundantEndToEnd,
+// where it just never wins the minimum).
+func LossyRedundantEndToEnd(set *traffic.Set, approach Approach, cfg Config, planes []Plane) (*Result, error) {
+	results, surviving, bounded, err := planeResults(set, approach, cfg, planes)
+	if err != nil {
+		return nil, err
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("analysis: no surviving plane to bound")
+	}
+	if len(bounded) < len(surviving) {
+		return nil, fmt.Errorf("analysis: a surviving plane is over-subscribed and loss may leave it the only carrier: %w", ErrUnstable)
+	}
+	return composeAnyCopy(approach, cfg, planes, results, bounded), nil
+}
+
 // DegradedEndToEnd bounds every connection with any ONE surviving plane
 // additionally failed: for each candidate failure the first-copy bound
 // over the remaining planes is composed, and the worst case over all
@@ -155,6 +182,37 @@ func composeFirstCopy(approach Approach, cfg Config, planes []Plane, results []*
 			e2e := planes[p].PhaseSkew + f.EndToEnd
 			fl := planes[p].PhaseSkew + f.Floor
 			if k == 0 || e2e < pb.EndToEnd {
+				pb = f
+				pb.SourceDelay = planes[p].PhaseSkew + f.SourceDelay
+				pb.EndToEnd = e2e
+			}
+			if k == 0 || fl < floor {
+				floor = fl
+			}
+		}
+		pb.Floor = floor
+		pb.Jitter = pb.EndToEnd - pb.Floor
+		pb.Met = pb.EndToEnd <= simtime.Duration(pb.Spec.Msg.Deadline)
+		res.add(pb)
+	}
+	return res
+}
+
+// composeAnyCopy takes the per-connection maximum of phase skew plus
+// plane bound over the given planes — the loss-aware dual of
+// composeFirstCopy. The worst plane contributes the stage split (its
+// phase skew folded into SourceDelay); the floor stays the minimum, since
+// the best case is still the fastest plane delivering untouched.
+func composeAnyCopy(approach Approach, cfg Config, planes []Plane, results []*Result, use []int) *Result {
+	res := &Result{Approach: approach, Cfg: cfg}
+	for i := range results[use[0]].Flows {
+		var pb PathBound
+		var floor simtime.Duration
+		for k, p := range use {
+			f := results[p].Flows[i]
+			e2e := planes[p].PhaseSkew + f.EndToEnd
+			fl := planes[p].PhaseSkew + f.Floor
+			if k == 0 || e2e > pb.EndToEnd {
 				pb = f
 				pb.SourceDelay = planes[p].PhaseSkew + f.SourceDelay
 				pb.EndToEnd = e2e

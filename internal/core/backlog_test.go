@@ -89,6 +89,7 @@ func TestBacklogSoundnessAcrossFamilies(t *testing.T) {
 				v := bl.Check([]*SimResult{sim})
 				if !v.Sound() {
 					t.Errorf("%s seed %d %v: Check reports %d unsound ports", key, seed, approach, v.Unsound)
+					dumpScenario(t, "backlog-"+key, set, cfg, net)
 				}
 				if v.Ports != len(sim.PortMaxBacklog) {
 					t.Errorf("%s seed %d %v: Check visited %d ports, sim observed %d",
@@ -126,6 +127,7 @@ func TestBacklogSoundnessSkewedDual(t *testing.T) {
 		}
 		if v := bl.Check([]*SimResult{sim}); !v.Sound() {
 			t.Errorf("%v: %d unsound ports on the skewed dual", approach, v.Unsound)
+			dumpScenario(t, "backlog-skewed-dual", set, cfg, net)
 		}
 	}
 }

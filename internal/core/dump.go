@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// SimJSONFrom expresses a SimConfig as the scenario file's sim section —
+// the inverse of the mapping NewScenario applies — so any configuration a
+// test or harness assembled in code can be replayed from JSON. Fields at
+// their paper-matched defaults are omitted (the declarative form folds
+// them back in); the seed is always emitted, because a reproduction
+// recipe with an implicit seed is not one. Durations are µs-grained in
+// the schema, so sub-µs values error rather than silently truncate.
+// Trace hooks (Recorder, PCAP) have no declarative form and error too.
+func SimJSONFrom(sim SimConfig) (*topology.SimJSON, error) {
+	if sim.Recorder != nil || sim.PCAP != nil {
+		return nil, fmt.Errorf("core: sim config carries trace hooks, which have no declarative form")
+	}
+	us := func(what string, d simtime.Duration) (int64, error) {
+		if d%simtime.Microsecond != 0 {
+			return 0, fmt.Errorf("core: %s %v is not µs-grained (the scenario schema's resolution)", what, d)
+		}
+		return int64(d / simtime.Microsecond), nil
+	}
+	seed := sim.Seed
+	sj := &topology.SimJSON{
+		Seed:          &seed,
+		BER:           sim.BER,
+		Babbler:       sim.Babbler,
+		BypassShapers: sim.BypassShapers,
+	}
+	if sim.Approach == analysis.FCFS {
+		sj.Approach = "fcfs"
+	}
+	var err error
+	if sj.HorizonUs, err = us("horizon", sim.Horizon); err != nil {
+		return nil, err
+	}
+	if sim.Mode == traffic.RandomGaps {
+		sj.Mode = "random-gaps"
+		if sim.MeanSlack != DefaultMeanSlack {
+			if sj.MeanSlackUs, err = us("mean slack", sim.MeanSlack); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !sim.AlignPhases {
+		f := false
+		sj.AlignPhases = &f
+	}
+	if sim.QueueCapacity > 0 {
+		sj.QueueCapacityBytes = sim.QueueCapacity.ByteCount()
+	}
+	if len(sim.QueueCapacities) > 0 {
+		sj.QueueCapacitiesBytes = make(map[string]int, len(sim.QueueCapacities))
+		//rtlint:unordered map fill, one key at a time
+		for key, c := range sim.QueueCapacities {
+			sj.QueueCapacitiesBytes[key] = c.ByteCount()
+		}
+	}
+	if sj.SkewMaxUs, err = us("skew window", sim.SkewMax); err != nil {
+		return nil, err
+	}
+	if sim.BabbleFactor > 1 {
+		sj.BabbleFactor = sim.BabbleFactor
+	}
+	return sj, nil
+}
+
+// DumpConfig expresses an in-code harness scenario — workload, sim
+// config, architecture — as a declarative scenario file, replayable with
+// `rtether validate -config -`. A nil network dumps the default star.
+func DumpConfig(name string, set *traffic.Set, sim SimConfig, net *topology.Network) (*topology.Config, error) {
+	sj, err := SimJSONFrom(sim)
+	if err != nil {
+		return nil, err
+	}
+	if sim.TTechno%simtime.Microsecond != 0 {
+		return nil, fmt.Errorf("core: t_techno %v is not µs-grained (the scenario schema's resolution)", sim.TTechno)
+	}
+	cfg := topology.FromSet(name, set, int64(sim.LinkRate), int64(sim.TTechno/simtime.Microsecond))
+	cfg.Network = net
+	cfg.Sim = sj
+	return cfg, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// TestSoundnessDumpRoundTrips holds DumpConfig to its contract: the
+// scenario a failing harness logs must itself load, re-save
+// byte-identically, and bind back to the exact SimConfig the harness
+// ran — otherwise the "replay with rtether validate" recipe reproduces
+// a different run than the one that violated.
+func TestSoundnessDumpRoundTrips(t *testing.T) {
+	set, err := traffic.Random(7, traffic.DefaultRandomParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	star := DefaultSimConfig(analysis.Priority)
+	star.Seed = 7
+	star.Horizon = simtime.Second
+
+	fcfs := DefaultSimConfig(analysis.FCFS)
+	fcfs.Seed = 7
+	fcfs.Horizon = simtime.Second
+	fcfs.Mode = traffic.RandomGaps
+	fcfs.MeanSlack = 2 * simtime.Millisecond
+
+	knobs := DefaultSimConfig(analysis.Priority)
+	knobs.Seed = 9
+	knobs.Horizon = 500 * simtime.Millisecond
+	knobs.AlignPhases = false
+	knobs.BER = 1e-5
+	knobs.SkewMax = 250 * simtime.Microsecond
+	knobs.QueueCapacity = simtime.Bytes(4096)
+	knobs.QueueCapacities = map[string]simtime.Size{
+		"sw0->es02": simtime.Bytes(2048),
+	}
+	knobs.Babbler = set.Messages[0].Name
+	knobs.BabbleFactor = 4
+	knobs.BypassShapers = true
+
+	cases := []struct {
+		name string
+		sim  SimConfig
+		net  *topology.Network
+	}{
+		{"star-default", star, nil},
+		{"chain-fcfs-random-gaps", fcfs, topology.Chain(set.Stations(), 3)},
+		{"dual-every-knob", knobs, topology.Redundify(topology.Star(set.Stations()), 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := DumpConfig(tc.name, set, tc.sim, tc.net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := cfg.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := topology.Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("dumped scenario does not load: %v\n%s", err, first.String())
+			}
+			var second bytes.Buffer
+			if err := loaded.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("dump round trip not byte-identical:\n--- first\n%s--- second\n%s",
+					first.String(), second.String())
+			}
+			s, err := NewScenario(loaded)
+			if err != nil {
+				t.Fatalf("dumped scenario does not bind: %v\n%s", err, first.String())
+			}
+			// The rebound sim config must be the one the harness ran, so the
+			// replay recipe reproduces the same trajectory.
+			if !reflect.DeepEqual(s.Sim, tc.sim) {
+				t.Errorf("rebound sim config differs:\n got %+v\nwant %+v", s.Sim, tc.sim)
+			}
+		})
+	}
+}
+
+// TestDumpConfigRefusals covers the inputs that have no declarative
+// form: they must error, not silently emit an unfaithful recipe.
+func TestDumpConfigRefusals(t *testing.T) {
+	set, err := traffic.Random(3, traffic.DefaultRandomParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultSimConfig(analysis.Priority)
+
+	hooked := base
+	hooked.Recorder = &trace.Recorder{}
+	if _, err := DumpConfig("hooked", set, hooked, nil); err == nil {
+		t.Error("trace hooks dumped without error")
+	}
+
+	subUs := base
+	subUs.SkewMax = 1500 * simtime.Nanosecond
+	if _, err := DumpConfig("sub-us", set, subUs, nil); err == nil {
+		t.Error("sub-µs skew window dumped without error")
+	}
+
+	subTechno := base
+	subTechno.TTechno = 70*simtime.Microsecond + simtime.Nanosecond
+	if _, err := DumpConfig("sub-techno", set, subTechno, nil); err == nil {
+		t.Error("sub-µs t_techno dumped without error")
+	}
+}

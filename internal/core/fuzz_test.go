@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// hashFuzzSeedDocs is the seed corpus of FuzzCanonicalHash: the default
+// scenario and every family template, in canonical form.
+func hashFuzzSeedDocs(tb testing.TB) [][]byte {
+	tb.Helper()
+	var docs [][]byte
+	add := func(cfg *topology.Config, err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Save(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		docs = append(docs, buf.Bytes())
+	}
+	add(topology.Default(), nil)
+	for _, fam := range topology.Families() {
+		add(topology.Template(fam.Key))
+	}
+	return docs
+}
+
+// TestWriteHashFuzzSeeds regenerates the committed seed corpus of
+// FuzzCanonicalHash under testdata/fuzz (REGEN_FUZZ_SEEDS=1), in the
+// `go test fuzz v1` encoding go test -fuzz consumes.
+func TestWriteHashFuzzSeeds(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_SEEDS") == "" {
+		t.Skip("set REGEN_FUZZ_SEEDS=1 to rewrite the committed seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCanonicalHash")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range hashFuzzSeedDocs(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(doc)) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(doc))
+	}
+}
+
+// FuzzCanonicalHash holds the content address to its caching contract on
+// arbitrary bytes: any input that loads as a scenario hashes stably, and
+// re-encodings of the same document — compacted, re-indented — load to
+// the SAME hash. The hash is what keys the result cache, so format
+// sensitivity would split one scenario across many cache entries.
+func FuzzCanonicalHash(f *testing.F) {
+	for _, doc := range hashFuzzSeedDocs(f) {
+		f.Add(doc)
+	}
+	f.Add([]byte(`{"name":"x"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := topology.Load(bytes.NewReader(data))
+		if err != nil {
+			return // not a scenario: nothing to hash
+		}
+		want, err := CanonicalConfigHash(cfg)
+		if err != nil {
+			t.Fatalf("accepted scenario does not hash: %v", err)
+		}
+		var canon bytes.Buffer
+		if err := cfg.Save(&canon); err != nil {
+			t.Fatal(err)
+		}
+		// Re-encode the canonical document two ways; both must load to
+		// the same content address. Re-encoding goes through json.Compact
+		// and json.Indent — byte-level transforms that cannot disturb
+		// number precision the way an interface{} round trip would.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, canon.Bytes()); err != nil {
+			t.Fatalf("canonical form does not compact: %v", err)
+		}
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, canon.Bytes(), "\t", "    "); err != nil {
+			t.Fatalf("canonical form does not re-indent: %v", err)
+		}
+		for _, variant := range [][]byte{compact.Bytes(), indented.Bytes()} {
+			re, err := topology.Load(bytes.NewReader(variant))
+			if err != nil {
+				t.Fatalf("re-encoded scenario rejected: %v\n%s", err, variant)
+			}
+			got, err := CanonicalConfigHash(re)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("hash is format-sensitive: %s != %s for\n%s", got, want, variant)
+			}
+		}
+	})
+}

@@ -86,6 +86,11 @@ type NetworkSim struct {
 	// yet — a real arrival is always past the first serialization).
 	// Presized from the horizon so steady-state dedup allocates nothing.
 	seenAt [][]simtime.Time
+	// skewWin is each flow's resolved acceptance window: the VL's own
+	// skew_max override when set, the network-wide cfg.SkewMax otherwise
+	// (0 = unbounded). Resolved once at setup so the receive path never
+	// branches on configuration.
+	skewWin []simtime.Duration
 
 	stopTraffic func()
 	pcapErr     error
@@ -287,8 +292,15 @@ func NewNetworkSim(set *traffic.Set, cfg SimConfig, topo *topology.Network) (*Ne
 	if planes > 1 {
 		res.PlaneDelivered = make([]int, planes)
 		ns.seenAt = make([][]simtime.Time, len(set.Messages))
+		ns.skewWin = make([]simtime.Duration, len(set.Messages))
 		for i, m := range set.Messages {
 			ns.seenAt[i] = make([]simtime.Time, ns.expectedInstances(m)*ns.copiesOf[i])
+			ns.skewWin[i] = cfg.SkewMax
+			if m.SkewMax > 0 {
+				// ARINC 664 configures the window per VL; a message-level
+				// override wins over the network-wide default.
+				ns.skewWin[i] = m.SkewMax
+			}
 		}
 	}
 
@@ -561,7 +573,7 @@ func (ns *NetworkSim) makeReceive(p int, name string) func(*ethernet.Frame) {
 				// plane. Within the acceptance window it is healthy
 				// redundancy; outside it the integrity check rejects it
 				// as a stale copy.
-				if ns.cfg.SkewMax > 0 && sim.Now().Sub(first) > ns.cfg.SkewMax {
+				if win := ns.skewWin[flow]; win > 0 && sim.Now().Sub(first) > win {
 					res.Discarded++
 				} else {
 					res.Redundant++

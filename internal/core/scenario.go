@@ -182,11 +182,20 @@ func (s *Scenario) Analysis() analysis.Config {
 // per-plane specs the bound is the skew-aware first-copy composition:
 // minimum over surviving planes of the plane's own tree bound plus its
 // phase skew (identical zero-skew planes reduce to the single-plane
-// bound, so the classic dual is priced as before).
+// bound, so the classic dual is priced as before). When the scenario also
+// carries a residual bit-error rate, the delivered copy may come from ANY
+// surviving plane — the others' copies may be corrupted — so the bound
+// switches to the loss-aware max-composition
+// (analysis.LossyRedundantEndToEnd); on identical planes the two coincide.
 func (s *Scenario) Analyze(a analysis.Approach) (*analysis.Result, error) {
-	if s.Net.Redundant() && len(s.Net.PlaneSpecs) > 0 {
+	if s.Net.Redundant() {
 		cfg := s.Analysis()
-		return analysis.RedundantEndToEnd(s.Set, a, cfg, s.Net.AnalysisPlanes(cfg.LinkRate))
+		if s.Sim.BER > 0 {
+			return analysis.LossyRedundantEndToEnd(s.Set, a, cfg, s.Net.AnalysisPlanes(cfg.LinkRate))
+		}
+		if len(s.Net.PlaneSpecs) > 0 {
+			return analysis.RedundantEndToEnd(s.Set, a, cfg, s.Net.AnalysisPlanes(cfg.LinkRate))
+		}
 	}
 	return analysis.TreeEndToEnd(s.Set, a, s.Analysis(), s.Net.Tree())
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/analysis"
@@ -8,6 +9,24 @@ import (
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// dumpScenario logs a failing harness scenario as a replayable scenario
+// file: paste the JSON into `rtether validate -config -` to reproduce
+// the violation outside the test. A nil network dumps the default star.
+func dumpScenario(t *testing.T, name string, set *traffic.Set, sim SimConfig, net *topology.Network) {
+	t.Helper()
+	cfg, err := DumpConfig(name, set, sim, net)
+	if err != nil {
+		t.Logf("failing scenario has no declarative form: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Logf("failing scenario does not marshal: %v", err)
+		return
+	}
+	t.Logf("replay with: rtether validate -config - <<'EOF'\n%sEOF", buf.String())
+}
 
 // TestRandomizedSoundness is the S3 harness: for randomly generated valid
 // workloads — arbitrary star-biased topologies, mixed kinds, paper-envelope
@@ -37,12 +56,17 @@ func TestRandomizedSoundness(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %v: sim: %v", seed, approach, err)
 			}
+			violated := false
 			for _, pb := range bounds.Flows {
 				observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
 				if observed > pb.EndToEnd {
+					violated = true
 					t.Errorf("seed %d %v %s: observed %v exceeds bound %v",
 						seed, approach, pb.Spec.Msg.Name, observed, pb.EndToEnd)
 				}
+			}
+			if violated {
+				dumpScenario(t, "s3-star", set, cfg, nil)
 			}
 		}
 	}
@@ -77,12 +101,25 @@ func TestRandomizedSoundnessTwoSwitch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		violated := false
 		for _, pb := range bounds.Flows {
 			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
 			if observed > pb.EndToEnd {
+				violated = true
 				t.Errorf("seed %d %s: observed %v exceeds two-switch bound %v",
 					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
 			}
+		}
+		if violated {
+			// The split function's declarative form: a two-switch cascade
+			// placing each station on its split switch.
+			ss := map[string]int{}
+			for _, st := range set.Stations() {
+				ss[st] = split(st)
+			}
+			dumpScenario(t, "s3-twoswitch", set, cfg, &topology.Network{
+				Name: "cascade", Switches: 2, Links: [][2]int{{0, 1}}, StationSwitch: ss,
+			})
 		}
 	}
 }
@@ -112,12 +149,17 @@ func TestRandomizedSoundnessChain(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		violated := false
 		for _, pb := range bounds.Flows {
 			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
 			if observed > pb.EndToEnd {
+				violated = true
 				t.Errorf("seed %d %s: observed %v exceeds chain bound %v",
 					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
 			}
+		}
+		if violated {
+			dumpScenario(t, "s3-chain", set, cfg, chain)
 		}
 	}
 }
@@ -147,12 +189,17 @@ func TestRandomizedSoundnessDual(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		violated := false
 		for _, pb := range bounds.Flows {
 			observed := sim.Flows[pb.Spec.Msg.Name].Latency.Max()
 			if observed > pb.EndToEnd {
+				violated = true
 				t.Errorf("seed %d %s: first-copy latency %v exceeds plane bound %v",
 					seed, pb.Spec.Msg.Name, observed, pb.EndToEnd)
 			}
+		}
+		if violated {
+			dumpScenario(t, "s3-dual", set, cfg, dual)
 		}
 	}
 }

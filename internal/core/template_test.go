@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+const templateHashGolden = "testdata/template_hashes.txt"
+
+// TestFamilyTemplates is the schema-stability table over every built-in
+// architecture family (what `rtether scenario -topology <key>` prints):
+// each template validates and binds, JSON-round-trips byte-identically,
+// and its content address matches the committed golden — so any schema
+// or default change that silently re-keys the result cache fails here
+// by name. Regenerate with REGEN_GOLDEN=1 after an intentional change.
+func TestFamilyTemplates(t *testing.T) {
+	fams := topology.Families()
+	hashes := make(map[string]string, len(fams))
+	var lines []string
+	for _, fam := range fams {
+		fam := fam
+		t.Run(fam.Key, func(t *testing.T) {
+			cfg, err := topology.Template(fam.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := cfg.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := topology.Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("template does not load: %v", err)
+			}
+			var second bytes.Buffer
+			if err := loaded.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Error("template round trip not byte-identical")
+			}
+			s, err := NewScenario(loaded)
+			if err != nil {
+				t.Fatalf("template does not bind: %v", err)
+			}
+			hash, err := CanonicalHash(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reHash, err := CanonicalConfigHash(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hash != reHash {
+				t.Errorf("hash differs between bound scenario and raw config: %s vs %s", hash, reHash)
+			}
+			hashes[fam.Key] = hash
+			lines = append(lines, fmt.Sprintf("%s %s\n", fam.Key, hash))
+		})
+	}
+
+	// Distinct templates must have distinct content addresses: a collision
+	// here means two different architectures share a cache entry.
+	keys := make([]string, 0, len(hashes))
+	//rtlint:sorted-after keys are sorted immediately below
+	for k := range hashes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, a := range keys {
+		for _, b := range keys[i+1:] {
+			if hashes[a] == hashes[b] {
+				t.Errorf("families %s and %s hash identically: %s", a, b, hashes[a])
+			}
+		}
+	}
+
+	golden := strings.Join(lines, "")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.WriteFile(templateHashGolden, []byte(golden), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", templateHashGolden)
+		return
+	}
+	want, err := os.ReadFile(templateHashGolden)
+	if err != nil {
+		t.Fatalf("golden missing (run with REGEN_GOLDEN=1): %v", err)
+	}
+	if string(want) != golden {
+		t.Errorf("template content addresses drifted:\n--- golden\n%s--- got\n%s", want, golden)
+	}
+}

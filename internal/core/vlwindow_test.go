@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// vlWindowSet builds a fresh two-flow workload; skewA/skewB are the
+// per-VL acceptance-window overrides (0 = inherit the sim section's).
+func vlWindowSet(skewA, skewB simtime.Duration) *traffic.Set {
+	mk := func(name string, skew simtime.Duration) *traffic.Message {
+		return &traffic.Message{
+			Name: name, Source: "a", Dest: "b", Kind: traffic.Periodic,
+			Period: 10 * simtime.Millisecond, Payload: 64,
+			Deadline: 10 * simtime.Millisecond,
+			Priority: traffic.Classify(traffic.Periodic, 10*simtime.Millisecond),
+			SkewMax:  skew,
+		}
+	}
+	return &traffic.Set{Messages: []*traffic.Message{mk("a/x", skewA), mk("a/y", skewB)}}
+}
+
+// TestPerVLSkewWindow pins the ARINC 664 per-VL acceptance window: each
+// connection classifies its duplicates under its own window — the
+// per-message skew_max when set, the sim section's otherwise — and the
+// window never changes delivery dynamics. On a plane 500µs late, a flow
+// with a 100µs window discards every duplicate while its unbounded
+// neighbour keeps them all redundant; overriding in the other direction
+// (wide per-VL window under a tight global one) flips the split.
+func TestPerVLSkewWindow(t *testing.T) {
+	net := skewedDualStar([]string{"a", "b"}, 500*simtime.Microsecond, 0)
+	run := func(set *traffic.Set, global simtime.Duration) *SimResult {
+		cfg := DefaultSimConfig(analysis.Priority)
+		cfg.Horizon = 100 * simtime.Millisecond
+		cfg.SkewMax = global
+		res, err := SimulateNetwork(set, cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	unbounded := run(vlWindowSet(0, 0), 0)
+	if unbounded.Discarded != 0 || unbounded.Redundant == 0 {
+		t.Fatalf("unbounded baseline: %d redundant, %d discarded", unbounded.Redundant, unbounded.Discarded)
+	}
+	dupes := unbounded.Redundant
+
+	tightGlobal := run(vlWindowSet(0, 0), 100*simtime.Microsecond)
+	if tightGlobal.Discarded != dupes || tightGlobal.Redundant != 0 {
+		t.Fatalf("tight global window: %d redundant, %d discarded, want 0/%d",
+			tightGlobal.Redundant, tightGlobal.Discarded, dupes)
+	}
+
+	// Tight window on flow a/x only, global unbounded: exactly a/x's
+	// duplicates are discarded, a/y's stay redundant.
+	perVL := run(vlWindowSet(100*simtime.Microsecond, 0), 0)
+	if perVL.Discarded == 0 || perVL.Redundant == 0 {
+		t.Errorf("per-VL window did not split classification: %d redundant, %d discarded",
+			perVL.Redundant, perVL.Discarded)
+	}
+	if perVL.Redundant+perVL.Discarded != dupes {
+		t.Errorf("classification not conservative: %d+%d != %d",
+			perVL.Redundant, perVL.Discarded, dupes)
+	}
+
+	// The override wins in both directions: a wide per-VL window under a
+	// tight global one keeps that flow's duplicates redundant.
+	wideOverride := run(vlWindowSet(2*simtime.Millisecond, 0), 100*simtime.Microsecond)
+	if wideOverride.Redundant != perVL.Discarded || wideOverride.Discarded != perVL.Redundant {
+		t.Errorf("wide override split %d/%d, want the mirror of tight override %d/%d",
+			wideOverride.Redundant, wideOverride.Discarded, perVL.Discarded, perVL.Redundant)
+	}
+
+	// The window classifies, never gates: identical deliveries throughout.
+	for _, res := range []*SimResult{tightGlobal, perVL, wideOverride} {
+		if res.TotalDelivered() != unbounded.TotalDelivered() {
+			t.Errorf("acceptance window changed deliveries: %d vs %d",
+				res.TotalDelivered(), unbounded.TotalDelivered())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package scenariogen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/sweep"
+	"repro/internal/topology"
+)
+
+// corpusDir is the committed survivor corpus, replayed by
+// `rtether corpus` and CI. Paths are relative to this package.
+const corpusDir = "../../testdata/corpus"
+
+// corpusSurvivors sweeps the pinned seed range and selects the most
+// interesting sound scenarios: the tightest latency margins, integrity
+// discards, lossy redundant networks, and queue-overflow drops.
+func corpusSurvivors(t *testing.T) []*Verdict {
+	t.Helper()
+	seeds := make([]uint64, 1000)
+	for i := range seeds {
+		seeds[i] = des.SplitSeed(rootSeed, uint64(i))
+	}
+	all, err := sweep.Run(seeds, 0, func(seed uint64) (*Verdict, error) {
+		return Check(Generate(seed, Params{}))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range all {
+		if !v.Sound() {
+			t.Fatalf("%s is not sound — fix the violation before committing a corpus: %v", v.Name, v.Violations)
+		}
+	}
+
+	pick := map[string]*Verdict{}
+	take := func(n int, candidates []*Verdict) {
+		for _, v := range candidates {
+			if n == 0 {
+				return
+			}
+			if _, ok := pick[v.Name]; !ok {
+				pick[v.Name] = v
+				n--
+			}
+		}
+	}
+	byRatio := append([]*Verdict(nil), all...)
+	sort.SliceStable(byRatio, func(i, j int) bool { return byRatio[i].WorstRatio > byRatio[j].WorstRatio })
+	take(4, byRatio)
+	var discards, lossy, drops []*Verdict
+	for _, v := range all {
+		cfg := genOf(v.Name)
+		if v.Discarded > 0 {
+			discards = append(discards, v)
+		}
+		if cfg.Network != nil && cfg.Network.Redundant() && cfg.Sim != nil && cfg.Sim.BER > 0 {
+			lossy = append(lossy, v)
+		}
+		if v.Dropped > 0 {
+			drops = append(drops, v)
+		}
+	}
+	take(3, discards)
+	take(3, lossy)
+	take(2, drops)
+
+	out := make([]*Verdict, 0, len(pick))
+	//rtlint:sorted-after the slice is sorted by name immediately below
+	for _, v := range pick {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// genOf re-derives the scenario behind a verdict from its gen-<seed> name.
+func genOf(name string) *topology.Config {
+	seed, err := strconv.ParseUint(strings.TrimPrefix(name, "gen-"), 16, 64)
+	if err != nil {
+		panic("corpus verdict with a non-generated name: " + name)
+	}
+	return Generate(seed, Params{})
+}
+
+// TestWriteCorpus regenerates the committed corpus from the pinned seed
+// sweep. Gated behind REGEN_CORPUS so a routine test run never rewrites
+// committed files:
+//
+//	REGEN_CORPUS=1 go test ./internal/scenariogen -run TestWriteCorpus
+func TestWriteCorpus(t *testing.T) {
+	if os.Getenv("REGEN_CORPUS") == "" {
+		t.Skip("set REGEN_CORPUS=1 to rewrite the committed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range corpusSurvivors(t) {
+		path := filepath.Join(corpusDir, v.Name+".json")
+		if err := os.WriteFile(path, []byte(Dump(genOf(v.Name))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (worst %.3f, discarded %d, dropped %d)", path, v.WorstRatio, v.Discarded, v.Dropped)
+	}
+}
+
+// TestCorpusReplay is the committed corpus's guardian: every file loads,
+// is byte-identical to its canonical form (so the commit IS the replayed
+// scenario), and still survives every soundness invariant — including
+// the reference-oracle cross-check where the oracle's model applies.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no committed corpus in %s (run REGEN_CORPUS=1 go test -run TestWriteCorpus)", corpusDir)
+	}
+	sort.Strings(files)
+	type replay struct {
+		file string
+		v    *Verdict
+	}
+	results, err := sweep.Run(files, 0, func(path string) (replay, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return replay{}, err
+		}
+		cfg, err := topology.Load(bytes.NewReader(raw))
+		if err != nil {
+			return replay{}, err
+		}
+		if Dump(cfg) != string(raw) {
+			return replay{file: path, v: &Verdict{Violations: []string{"committed file is not canonical"}}}, nil
+		}
+		v, err := CheckStrict(cfg)
+		if err != nil {
+			return replay{}, err
+		}
+		return replay{file: path, v: v}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.v.Sound() {
+			t.Errorf("%s: %s", r.file, strings.Join(r.v.Violations, "; "))
+		}
+	}
+}

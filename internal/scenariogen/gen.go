@@ -1,0 +1,255 @@
+// Package scenariogen is the generative scenario fuzzer: a seeded
+// generator of random valid scenario files (topology.Config) spanning
+// random architectures × redundant-plane specs × workloads × acceptance
+// windows × loss rates, a soundness checker that drives every generated
+// scenario through the analysis and simulation pipelines with the
+// backlog/latency bounds and the internal/selftest oracle as invariants,
+// and a shrinker that minimizes failing scenarios to a small reproducing
+// JSON.
+//
+// The package turns "the bounds hold on the fixtures we thought of" into
+// "the bounds hold on thousands of scenarios nobody thought of": the
+// seeded fuzz harness (TestFuzzSoundness) sweeps a seed range on every
+// test run, and the most interesting survivors live on as the committed
+// corpus under testdata/corpus, replayed by `rtether corpus` and CI.
+package scenariogen
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Params bounds the generator's search space. The zero value selects the
+// defaults below; the knobs exist so targeted searches (only duals, only
+// lossy media) can narrow the space without a second generator.
+type Params struct {
+	// MaxStations caps the number of generated stations (min 3; default 6).
+	MaxStations int
+	// MaxMessages caps the number of explicit connections (default 12).
+	MaxMessages int
+	// MaxHorizonMs caps the simulated horizon in milliseconds (default 80).
+	MaxHorizonMs int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxStations < 3 {
+		p.MaxStations = 6
+	}
+	if p.MaxMessages < 1 {
+		p.MaxMessages = 12
+	}
+	if p.MaxHorizonMs < 10 {
+		p.MaxHorizonMs = 80
+	}
+	return p
+}
+
+// harmonic 1553-envelope periods, in microseconds.
+var genPeriodsUs = []int64{20_000, 40_000, 80_000, 160_000}
+
+// Generate derives one random, valid scenario from the seed — a pure
+// function of (seed, p), so a failing seed IS the reproduction recipe.
+// The scenario always loads (Check round-trips it to prove so): every
+// station is placed, plane specs are µs-grained, and the workload
+// validates. Diversity axes: station count, connection mix (kinds,
+// periods, payloads, deadlines, priority and per-VL skew_max overrides),
+// workload scaling (extra RTs, stamped templates), architecture (every
+// built-in family plus random trees with per-link overrides), redundant
+// planes with skew/rate-scale/failure specs, multiplexing discipline,
+// release mode, acceptance windows, queue capacities and loss rates.
+func Generate(seed uint64, p Params) *topology.Config {
+	p = p.withDefaults()
+	//rtlint:rng-ok the seed is this generator's explicit contract; the fuzz harness derives it from des.SplitSeed
+	rng := des.NewRNG(seed)
+
+	cfg := &topology.Config{
+		Name:        fmt.Sprintf("gen-%016x", seed),
+		LinkRateBps: int64(10 * simtime.Mbps),
+		TTechnoUs:   int64(rng.Intn(3)) * 70, // 0, 70 or 140 µs
+	}
+	if rng.Intn(4) == 0 {
+		cfg.LinkRateBps = int64(100 * simtime.Mbps)
+	}
+
+	// Stations and explicit connections.
+	stations := 3 + rng.Intn(p.MaxStations-2)
+	st := func(i int) string { return fmt.Sprintf("st%d", i) }
+	messages := 4 + rng.Intn(p.MaxMessages-3)
+	for i := 0; i < messages; i++ {
+		src := rng.Intn(stations)
+		// Star bias toward station 0 so a bottleneck multiplexer exists.
+		dst := 0
+		if src == 0 || rng.Intn(3) == 0 {
+			for dst = rng.Intn(stations); dst == src; dst = rng.Intn(stations) {
+			}
+		}
+		mc := topology.MessageConfig{
+			Name:         fmt.Sprintf("%s/m%02d", st(src), i),
+			Source:       st(src),
+			Dest:         st(dst),
+			Kind:         "periodic",
+			PeriodUs:     genPeriodsUs[rng.Intn(len(genPeriodsUs))],
+			PayloadBytes: 8 + 4*rng.Intn(31), // 8–128 B, word-aligned
+		}
+		mc.DeadlineUs = mc.PeriodUs
+		if rng.Intn(5) < 2 { // ~40 % sporadic
+			mc.Kind = "sporadic"
+			switch rng.Intn(3) {
+			case 0:
+				mc.DeadlineUs = 3_000 // urgent class
+			case 1:
+				mc.DeadlineUs = mc.PeriodUs
+			default:
+				mc.DeadlineUs = 4 * mc.PeriodUs
+			}
+		}
+		if rng.Intn(10) == 0 {
+			pr := rng.Intn(4)
+			mc.Priority = &pr
+		}
+		if rng.Intn(5) == 0 {
+			mc.SkewMaxUs = int64(50 + 50*rng.Intn(10)) // 50–500 µs per-VL window
+		}
+		cfg.Messages = append(cfg.Messages, mc)
+	}
+
+	// Workload scaling section (~1/3 of scenarios).
+	if rng.Intn(3) == 0 {
+		w := &topology.WorkloadJSON{
+			ExtraRTs: rng.Intn(5),
+			Target:   st(rng.Intn(stations)),
+		}
+		if rng.Intn(2) == 0 {
+			w.Templates = []topology.TemplateConfig{{
+				MessageConfig: topology.MessageConfig{
+					Name:         "tpl{i}/load",
+					Source:       "tpl{i}",
+					Dest:         w.Target,
+					Kind:         "periodic",
+					PeriodUs:     genPeriodsUs[rng.Intn(len(genPeriodsUs))],
+					PayloadBytes: 16 + 8*rng.Intn(8),
+					DeadlineUs:   160_000,
+				},
+				Count: 2 + rng.Intn(3),
+			}}
+		}
+		cfg.Workload = w
+	}
+
+	genNetwork(rng, cfg, stations, st)
+	genSim(rng, cfg)
+	return cfg
+}
+
+// genNetwork attaches the architecture: absent (the paper's star), one of
+// the built-in families, or a random switch tree with per-link overrides
+// and random redundant-plane specs. Families and random trees are built
+// over the explicit stations only when a workload section exists — the
+// generated stations then exercise BuildNetwork's home-switch placement —
+// and over the full expanded station list otherwise.
+func genNetwork(rng *des.RNG, cfg *topology.Config, stations int, st func(int) string) {
+	if rng.Intn(5) == 0 {
+		return // no network section: the default star
+	}
+	placed := make([]string, stations)
+	for i := range placed {
+		placed[i] = st(i)
+	}
+	if cfg.Workload == nil || rng.Intn(2) == 0 {
+		// Place every station the expanded workload will use.
+		set, err := cfg.ToSet()
+		if err == nil {
+			placed = set.Stations()
+		}
+	}
+
+	var net *topology.Network
+	if fams := topology.Families(); rng.Intn(2) == 0 {
+		net = fams[rng.Intn(len(fams))].Build(placed)
+	} else {
+		// Random switch tree: switch i > 0 hangs off a random earlier one.
+		sw := 1 + rng.Intn(4)
+		net = &topology.Network{
+			Name:          fmt.Sprintf("rand%d", sw),
+			Switches:      sw,
+			StationSwitch: map[string]int{},
+		}
+		for i := 1; i < sw; i++ {
+			net.Links = append(net.Links, [2]int{rng.Intn(i), i})
+		}
+		for _, s := range placed {
+			net.StationSwitch[s] = rng.Intn(sw)
+		}
+		if rng.Intn(2) == 0 { // redundant planes
+			net.Planes = 2 + rng.Intn(2)
+		}
+		// Per-link overrides: a slower or faster trunk, longer cables.
+		if len(net.Links) > 0 && rng.Intn(3) == 0 {
+			net.TrunkRates = make([]simtime.Rate, len(net.Links))
+			net.TrunkRates[rng.Intn(len(net.Links))] = simtime.Rate(cfg.LinkRateBps) * simtime.Rate(1+rng.Intn(4)) / 2
+		}
+		if rng.Intn(4) == 0 {
+			net.StationProps = map[string]simtime.Duration{
+				placed[rng.Intn(len(placed))]: simtime.Duration(1+rng.Intn(3)) * simtime.Microsecond,
+			}
+		}
+	}
+	if net.Redundant() && rng.Intn(2) == 0 {
+		specs := make([]topology.PlaneSpec, net.PlaneCount())
+		for p := 1; p < len(specs); p++ { // plane 0 stays nominal
+			specs[p] = topology.PlaneSpec{
+				PhaseSkew: simtime.Duration(rng.Intn(7)) * 50 * simtime.Microsecond,
+				PropSkew:  simtime.Duration(rng.Intn(4)) * simtime.Microsecond,
+			}
+			if rng.Intn(4) == 0 {
+				specs[p].RateScale = 0.5 + 0.25*float64(rng.Intn(3))
+			}
+			if rng.Intn(8) == 0 {
+				specs[p].Fail = true // plane 0 always survives
+			}
+		}
+		net.PlaneSpecs = specs
+	}
+	cfg.Network = net
+	if cfg.Workload != nil {
+		cfg.Workload.Switch = rng.Intn(net.Switches)
+	}
+}
+
+// genSim attaches the sim section: discipline, horizon, seed, release
+// mode, acceptance window, loss rate and queue capacities.
+func genSim(rng *des.RNG, cfg *topology.Config) {
+	p := Params{}.withDefaults()
+	seed := rng.Uint64()
+	sim := &topology.SimJSON{
+		HorizonUs: int64(20+rng.Intn(p.MaxHorizonMs-19)) * 1000,
+		Seed:      &seed,
+	}
+	if rng.Intn(2) == 0 {
+		sim.Approach = "fcfs"
+	}
+	if rng.Intn(3) == 0 {
+		sim.Mode = "random-gaps"
+		if rng.Intn(2) == 0 {
+			sim.MeanSlackUs = int64(1+rng.Intn(20)) * 500
+		}
+	}
+	if rng.Intn(4) == 0 {
+		f := false
+		sim.AlignPhases = &f
+	}
+	if cfg.Network != nil && cfg.Network.Redundant() && rng.Intn(2) == 0 {
+		sim.SkewMaxUs = int64(50 + 50*rng.Intn(20)) // 50 µs – 1 ms window
+	}
+	if rng.Intn(4) == 0 {
+		// Residual loss: the axis the loss-aware redundant bound prices.
+		sim.BER = []float64{1e-5, 5e-5, 1e-4, 1e-3}[rng.Intn(4)]
+	}
+	if rng.Intn(6) == 0 {
+		sim.QueueCapacityBytes = 2_000 + 1_000*rng.Intn(8)
+	}
+	cfg.Sim = sim
+}

@@ -1,0 +1,143 @@
+package scenariogen
+
+import (
+	"bytes"
+
+	"repro/internal/topology"
+)
+
+// Dump renders a scenario as the canonical JSON the CLI replays — the
+// exact bytes to paste into `rtether validate -config -`.
+func Dump(cfg *topology.Config) string {
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		return "<unserializable scenario: " + err.Error() + ">"
+	}
+	return buf.String()
+}
+
+// cloneConfig deep-copies a scenario through its canonical JSON form (the
+// only clone that provably preserves load-validity).
+func cloneConfig(c *topology.Config) (*topology.Config, error) {
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return nil, err
+	}
+	return topology.Load(bytes.NewReader(buf.Bytes()))
+}
+
+// Shrink minimizes a failing scenario: it greedily applies
+// simplifications — dropping message chunks ddmin-style, erasing the
+// workload section, collapsing the network to the default star, stripping
+// plane specs and per-link overrides, zeroing sim knobs and per-message
+// overrides — keeping each candidate only if it still load-validates AND
+// still fails (per the caller's predicate, typically "Check reports a
+// violation"). The result is the small reproducing JSON a human can read,
+// replayable with `rtether validate -config -`. failing(cfg) must be true
+// on entry; Shrink never returns a passing scenario.
+func Shrink(cfg *topology.Config, failing func(*topology.Config) bool) *topology.Config {
+	cur, err := cloneConfig(cfg)
+	if err != nil {
+		return cfg // not serializable: nothing to minimize
+	}
+	// try keeps the candidate when it is valid and still failing.
+	try := func(mutate func(*topology.Config)) bool {
+		cand, err := cloneConfig(cur)
+		if err != nil {
+			return false
+		}
+		mutate(cand)
+		reloaded, err := cloneConfig(cand) // re-validate the mutated form
+		if err != nil {
+			return false
+		}
+		if !failing(reloaded) {
+			return false
+		}
+		cur = reloaded
+		return true
+	}
+
+	for pass := 0; pass < 6; pass++ {
+		changed := false
+
+		// Drop message chunks, halving granularity down to single
+		// messages (delta debugging's reduction schedule).
+		for size := len(cur.Messages) / 2; size >= 1; size /= 2 {
+			for lo := 0; lo+size <= len(cur.Messages); {
+				hi := lo + size
+				if try(func(c *topology.Config) {
+					c.Messages = append(c.Messages[:lo:lo], c.Messages[hi:]...)
+				}) {
+					changed = true // same lo now names the next chunk
+				} else {
+					lo += size
+				}
+			}
+		}
+
+		// Whole-section erasures, most powerful first.
+		for _, mutate := range []func(*topology.Config){
+			func(c *topology.Config) { c.Workload = nil },
+			func(c *topology.Config) { c.Network = nil },
+			func(c *topology.Config) { c.Sim = nil },
+		} {
+			if try(mutate) {
+				changed = true
+			}
+		}
+
+		// Network simplifications.
+		if cur.Network != nil {
+			for _, mutate := range []func(*topology.Config){
+				func(c *topology.Config) { c.Network.Planes = 0; c.Network.PlaneSpecs = nil },
+				func(c *topology.Config) { c.Network.PlaneSpecs = nil },
+				func(c *topology.Config) { c.Network.TrunkRates = nil; c.Network.TrunkProps = nil },
+				func(c *topology.Config) { c.Network.StationRates = nil; c.Network.StationProps = nil },
+			} {
+				if try(mutate) {
+					changed = true
+				}
+			}
+		}
+
+		// Sim-section simplifications, one knob at a time.
+		if cur.Sim != nil {
+			for _, mutate := range []func(*topology.Config){
+				func(c *topology.Config) { c.Sim.BER = 0 },
+				func(c *topology.Config) { c.Sim.SkewMaxUs = 0 },
+				func(c *topology.Config) { c.Sim.QueueCapacityBytes = 0; c.Sim.QueueCapacitiesBytes = nil },
+				func(c *topology.Config) { c.Sim.Mode = ""; c.Sim.MeanSlackUs = 0 },
+				func(c *topology.Config) { c.Sim.AlignPhases = nil },
+				func(c *topology.Config) { c.Sim.Approach = "" },
+				func(c *topology.Config) { c.Sim.Babbler = ""; c.Sim.BabbleFactor = 0 },
+				func(c *topology.Config) { c.Sim.BypassShapers = false },
+				func(c *topology.Config) { c.Sim.HorizonUs /= 2 },
+			} {
+				if try(mutate) {
+					changed = true
+				}
+			}
+		}
+
+		// Per-message override erasures.
+		for i := range cur.Messages {
+			i := i
+			if cur.Messages[i].Priority != nil {
+				if try(func(c *topology.Config) { c.Messages[i].Priority = nil }) {
+					changed = true
+				}
+			}
+			if cur.Messages[i].SkewMaxUs != 0 {
+				if try(func(c *topology.Config) { c.Messages[i].SkewMaxUs = 0 }) {
+					changed = true
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+	return cur
+}

@@ -537,7 +537,13 @@ func (o *oracle) makeReceive(p int, name string) func(*oFrame) {
 			res.PlaneDelivered[p]++
 			slot := fmt.Sprintf("%d#%d", f.seq, f.cp)
 			if first, dup := o.seen[f.conn][slot]; dup {
-				if o.cfg.SkewMax > 0 && now.Sub(first) > o.cfg.SkewMax {
+				win := o.cfg.SkewMax
+				if m.SkewMax > 0 {
+					// Per-VL window override, mirroring the production
+					// receiver's resolution order.
+					win = m.SkewMax
+				}
+				if win > 0 && now.Sub(first) > win {
 					res.Discarded++
 				} else {
 					res.Redundant++

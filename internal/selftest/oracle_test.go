@@ -121,6 +121,28 @@ func TestOracleSkewWindow(t *testing.T) {
 	}
 }
 
+// TestOracleVLSkewWindow pins the per-VL override of the acceptance
+// window: one connection narrows its own window to 20µs under an
+// unbounded global one, so only its duplicates become integrity
+// discards — identically in both simulators.
+func TestOracleVLSkewWindow(t *testing.T) {
+	set := sparseSet()
+	set.Messages[0].SkewMax = 20 * simtime.Microsecond
+	fam, err := topology.FamilyByKey("dualskew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultSimConfig(analysis.Priority)
+	cfg.Horizon = 400 * simtime.Millisecond
+	res := compare(t, set, cfg, fam.Build(set.Stations()))
+	if res.Discarded == 0 {
+		t.Error("per-VL window produced no discards — override path untested")
+	}
+	if res.Redundant == 0 {
+		t.Error("flows inheriting the unbounded window produced no redundant copies")
+	}
+}
+
 // TestOracleBabbler pins the shaping path: a babbling source releases four
 // copies per instance through a bucket sized for one, so the shaper must
 // delay the excess — and both simulators must agree on exactly when each

@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// writeFuzzSeeds materializes docs as a committed go-test-fuzz seed
+// corpus under testdata/fuzz/<target>, in the `go test fuzz v1` encoding.
+// Gated behind REGEN_FUZZ_SEEDS so routine runs never rewrite it.
+func writeFuzzSeeds(t *testing.T, target string, docs [][]byte) {
+	t.Helper()
+	if os.Getenv("REGEN_FUZZ_SEEDS") == "" {
+		t.Skip("set REGEN_FUZZ_SEEDS=1 to rewrite the committed seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(doc)) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(doc))
+	}
+}
+
+// TestWriteScenarioFuzzSeeds regenerates the committed seed corpus of
+// FuzzScenarioRoundTrip (REGEN_FUZZ_SEEDS=1).
+func TestWriteScenarioFuzzSeeds(t *testing.T) {
+	writeFuzzSeeds(t, "FuzzScenarioRoundTrip", fuzzSeedDocs(t))
+}
+
+// fuzzSeedDocs are the in-code half of FuzzScenarioRoundTrip's seed
+// corpus (the committed half lives in testdata/fuzz): the default
+// scenario, every family template, the heterogeneous dual fixture, and
+// a workload-bearing scenario — every schema section represented.
+func fuzzSeedDocs(tb testing.TB) [][]byte {
+	tb.Helper()
+	var docs [][]byte
+	add := func(cfg *Config, err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Save(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		docs = append(docs, buf.Bytes())
+	}
+	add(Default(), nil)
+	for _, fam := range Families() {
+		add(Template(fam.Key))
+	}
+	add(heteroDualConfig(), nil)
+	wl := workloadConfig()
+	wl.Messages[0].SkewMaxUs = 120
+	add(wl, nil)
+	return docs
+}
+
+// FuzzScenarioRoundTrip holds the strict loader to its contract on
+// arbitrary bytes: every input is either rejected with a descriptive
+// error or accepted — and an accepted scenario must re-marshal to its
+// canonical form byte-identically, reload, and re-marshal to the very
+// same bytes. No input may panic the loader.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	for _, doc := range fuzzSeedDocs(f) {
+		f.Add(doc)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": 3}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection without a descriptive error")
+			}
+			return
+		}
+		var canon bytes.Buffer
+		if err := cfg.Save(&canon); err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		re, err := Load(bytes.NewReader(canon.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form rejected on reload: %v\n%s", err, canon.String())
+		}
+		var again bytes.Buffer
+		if err := re.Save(&again); err != nil {
+			t.Fatalf("reloaded scenario does not marshal: %v", err)
+		}
+		if !bytes.Equal(canon.Bytes(), again.Bytes()) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", canon.String(), again.String())
+		}
+	})
+}

@@ -486,6 +486,25 @@ func FromTree(name string, t *analysis.Tree) *Network {
 	}
 }
 
+// Clone returns a deep copy of the network: links, placements, plane
+// specs and per-link overrides are all copied, the caches are not —
+// mutating the clone never silently changes the original (or invalidates
+// its cached routing table).
+func (n *Network) Clone() *Network {
+	return &Network{
+		Name:          n.Name,
+		Switches:      n.Switches,
+		Links:         append([][2]int(nil), n.Links...),
+		StationSwitch: cloneMap(n.StationSwitch),
+		Planes:        n.Planes,
+		PlaneSpecs:    append([]PlaneSpec(nil), n.PlaneSpecs...),
+		TrunkRates:    append([]simtime.Rate(nil), n.TrunkRates...),
+		TrunkProps:    append([]simtime.Duration(nil), n.TrunkProps...),
+		StationRates:  cloneMap(n.StationRates),
+		StationProps:  cloneMap(n.StationProps),
+	}
+}
+
 // Redundify returns a copy of base with the given number of independent
 // planes — the dual-redundant AFDX-style network for planes = 2. Links
 // and placements are cloned so mutating either network never silently

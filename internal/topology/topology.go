@@ -12,6 +12,7 @@ import (
 	"maps"
 	"os"
 	"slices"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/simtime"
@@ -36,6 +37,80 @@ type MessageConfig struct {
 	// Priority optionally overrides the paper classification (0–3; -1 or
 	// absent selects automatic classification).
 	Priority *int `json:"priority,omitempty"`
+	// SkewMaxUs optionally overrides the ARINC 664 integrity-checking
+	// acceptance window for this connection (VL) on redundant networks,
+	// in microseconds — ARINC 664 configures the window per VL. 0 or
+	// absent inherits the sim section's skew_max_us.
+	SkewMaxUs int64 `json:"skew_max_us,omitempty"`
+}
+
+// TemplateConfig is one entry of the workload section's template list: a
+// message stamped out Count times. The literal "{i}" in Name, Source and
+// Dest is replaced by the copy index ("00", "01", …), so one template can
+// fan a synthetic load over many generated stations.
+type TemplateConfig struct {
+	MessageConfig
+	// Count is how many copies to stamp (0 or absent = 1). Above 1 the
+	// name must contain "{i}", or every copy would collide.
+	Count int `json:"count,omitempty"`
+}
+
+// MaxGeneratedMessages caps how many connections the workload section may
+// generate (templates and extra RTs together): large enough for any
+// load-sweep the bounds can price, small enough that a hostile scenario
+// file cannot balloon memory before validation rejects it.
+const MaxGeneratedMessages = 1 << 14
+
+// WorkloadJSON is the optional "workload" section: declarative workload
+// scaling, so a custom scenario can load-sweep without hand-writing
+// hundreds of connections. Generated stations missing from a declared
+// network section are homed on Switch (see Config.BuildNetwork).
+type WorkloadJSON struct {
+	// ExtraRTs adds that many generic remote terminals ("xrt00", …),
+	// each contributing the catalog's standard seven-message complement
+	// (periodic state at 20/40/160 ms, a command from the target, an
+	// urgent alarm, an operator event and a maintenance report) exchanged
+	// with the target station — the declarative form of
+	// traffic.RealCaseWith's load-scaling axis.
+	ExtraRTs int `json:"extra_rts,omitempty"`
+	// Target names the hub station the generated RTs exchange traffic
+	// with. Empty selects the bus controller, falling back to the busiest
+	// destination of the explicit message list.
+	Target string `json:"target,omitempty"`
+	// Switch is the home switch of generated stations that the network
+	// section does not place (default 0).
+	Switch int `json:"switch,omitempty"`
+	// Templates stamps additional parameterized messages (see
+	// TemplateConfig).
+	Templates []TemplateConfig `json:"templates,omitempty"`
+}
+
+// Validate checks the workload section's own fields (template expansion
+// errors surface from ToSet, which knows the whole message list).
+func (w *WorkloadJSON) Validate() error {
+	if w == nil {
+		return nil
+	}
+	if w.ExtraRTs < 0 {
+		return fmt.Errorf("topology: workload: negative extra_rts %d", w.ExtraRTs)
+	}
+	if w.Switch < 0 {
+		return fmt.Errorf("topology: workload: negative switch %d", w.Switch)
+	}
+	total := w.ExtraRTs * 7
+	for i, t := range w.Templates {
+		if t.Count < 0 {
+			return fmt.Errorf("topology: workload: template %d has negative count %d", i, t.Count)
+		}
+		if t.Count > 1 && !strings.Contains(t.Name, "{i}") {
+			return fmt.Errorf("topology: workload: template %q has count %d but no {i} in its name", t.Name, t.Count)
+		}
+		total += max(t.Count, 1)
+	}
+	if total > MaxGeneratedMessages {
+		return fmt.Errorf("topology: workload: generates %d messages (max %d)", total, MaxGeneratedMessages)
+	}
+	return nil
 }
 
 // SimJSON is the optional "sim" section of a scenario: the simulation
@@ -147,6 +222,9 @@ type Config struct {
 	// propagation-delay overrides. Absent = the paper's single-switch
 	// star.
 	Network *Network `json:"network,omitempty"`
+	// Workload optionally scales the message list declaratively (extra
+	// generic remote terminals, stamped templates) — see WorkloadJSON.
+	Workload *WorkloadJSON `json:"workload,omitempty"`
 	// Sim optionally pins the simulation parameters.
 	Sim *SimJSON `json:"sim,omitempty"`
 	// Messages is the connection list.
@@ -156,19 +234,28 @@ type Config struct {
 // Default returns the built-in real-case scenario with the paper's
 // parameters.
 func Default() *Config {
-	set := traffic.RealCase()
+	cfg := FromSet("real-case", traffic.RealCase(), int64(10*simtime.Mbps), 140)
+	cfg.BusController = traffic.StationMC
+	return cfg
+}
+
+// FromSet builds a declarative scenario from a bound workload — the
+// inverse of ToSet, so any traffic.Set a test or generator assembled in
+// code can be dumped as a replayable scenario file. Priority overrides
+// are emitted only where they differ from the paper classification, and
+// per-VL skew windows only where set, keeping the JSON minimal.
+func FromSet(name string, set *traffic.Set, linkRateBps, tTechnoUs int64) *Config {
 	cfg := &Config{
-		Name:          "real-case",
-		LinkRateBps:   int64(10 * simtime.Mbps),
-		TTechnoUs:     140,
-		BusController: traffic.StationMC,
+		Name:        name,
+		LinkRateBps: linkRateBps,
+		TTechnoUs:   tTechnoUs,
 	}
 	for _, m := range set.Messages {
 		kind := "periodic"
 		if m.Kind == traffic.Sporadic {
 			kind = "sporadic"
 		}
-		cfg.Messages = append(cfg.Messages, MessageConfig{
+		mc := MessageConfig{
 			Name:         m.Name,
 			Source:       m.Source,
 			Dest:         m.Dest,
@@ -176,7 +263,13 @@ func Default() *Config {
 			PeriodUs:     int64(m.Period / simtime.Microsecond),
 			PayloadBytes: m.Payload.ByteCount(),
 			DeadlineUs:   int64(m.Deadline / simtime.Microsecond),
-		})
+			SkewMaxUs:    int64(m.SkewMax / simtime.Microsecond),
+		}
+		if m.Priority != traffic.Classify(m.Kind, m.Deadline) {
+			p := int(m.Priority)
+			mc.Priority = &p
+		}
+		cfg.Messages = append(cfg.Messages, mc)
 	}
 	return cfg
 }
@@ -216,7 +309,10 @@ func Load(r io.Reader) (*Config, error) {
 		return nil, err
 	}
 	if cfg.Network != nil {
-		if err := cfg.Network.Validate(set.Stations()); err != nil {
+		// Validate the network as the scenario will actually run it: with
+		// a workload section the generated stations are placed by
+		// BuildNetwork, so a declared network missing only those is fine.
+		if err := cfg.BuildNetwork(set.Stations()).Validate(set.Stations()); err != nil {
 			return nil, err
 		}
 	}
@@ -246,7 +342,9 @@ func (c *Config) Save(w io.Writer) error {
 	return enc.Encode(c)
 }
 
-// ToSet converts the scenario's message list into a validated traffic set.
+// ToSet converts the scenario's message list — the explicit connections
+// plus everything the workload section generates — into a validated
+// traffic set.
 func (c *Config) ToSet() (*traffic.Set, error) {
 	if c.LinkRateBps <= 0 {
 		return nil, fmt.Errorf("topology: non-positive link rate %d", c.LinkRateBps)
@@ -254,8 +352,12 @@ func (c *Config) ToSet() (*traffic.Set, error) {
 	if c.TTechnoUs < 0 {
 		return nil, fmt.Errorf("topology: negative t_techno %d", c.TTechnoUs)
 	}
+	msgs, err := c.expandedMessages()
+	if err != nil {
+		return nil, err
+	}
 	set := &traffic.Set{}
-	for _, mc := range c.Messages {
+	for _, mc := range msgs {
 		var kind traffic.Kind
 		switch mc.Kind {
 		case "periodic":
@@ -274,6 +376,9 @@ func (c *Config) ToSet() (*traffic.Set, error) {
 			}
 			prio = p
 		}
+		if mc.SkewMaxUs < 0 {
+			return nil, fmt.Errorf("topology: message %q has negative skew_max_us %d", mc.Name, mc.SkewMaxUs)
+		}
 		set.Messages = append(set.Messages, &traffic.Message{
 			Name:     mc.Name,
 			Source:   mc.Source,
@@ -283,6 +388,7 @@ func (c *Config) ToSet() (*traffic.Set, error) {
 			Payload:  simtime.Bytes(mc.PayloadBytes),
 			Deadline: deadline,
 			Priority: prio,
+			SkewMax:  simtime.Duration(mc.SkewMaxUs) * simtime.Microsecond,
 		})
 	}
 	if err := set.Validate(); err != nil {
@@ -291,13 +397,110 @@ func (c *Config) ToSet() (*traffic.Set, error) {
 	return set, nil
 }
 
+// expandedMessages returns the explicit message list plus the connections
+// the workload section generates: stamped templates first, then the
+// generic remote-terminal complement, deterministically ordered so the
+// expansion is part of the scenario's canonical identity.
+func (c *Config) expandedMessages() ([]MessageConfig, error) {
+	w := c.Workload
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return c.Messages, nil
+	}
+	msgs := append([]MessageConfig(nil), c.Messages...)
+	for _, t := range w.Templates {
+		count := max(t.Count, 1)
+		for i := 0; i < count; i++ {
+			mc := t.MessageConfig
+			idx := fmt.Sprintf("%02d", i)
+			mc.Name = strings.ReplaceAll(mc.Name, "{i}", idx)
+			mc.Source = strings.ReplaceAll(mc.Source, "{i}", idx)
+			mc.Dest = strings.ReplaceAll(mc.Dest, "{i}", idx)
+			msgs = append(msgs, mc)
+		}
+	}
+	if w.ExtraRTs > 0 {
+		target, err := c.workloadTarget()
+		if err != nil {
+			return nil, err
+		}
+		// The declarative form of traffic.RealCaseWith's generic remote
+		// terminal: the same seven-message complement, exchanged with the
+		// resolved target station. Names use the "xrt" prefix so a
+		// scenario already carrying catalog rtNN stations composes.
+		for i := 0; i < w.ExtraRTs; i++ {
+			rt := fmt.Sprintf("xrt%02d", i)
+			msgs = append(msgs,
+				MessageConfig{Name: rt + "/state-a", Source: rt, Dest: target, Kind: "periodic", PeriodUs: 20_000, PayloadBytes: 16, DeadlineUs: 20_000},
+				MessageConfig{Name: rt + "/state-b", Source: rt, Dest: target, Kind: "periodic", PeriodUs: 40_000, PayloadBytes: 32, DeadlineUs: 40_000},
+				MessageConfig{Name: rt + "/status", Source: rt, Dest: target, Kind: "periodic", PeriodUs: 160_000, PayloadBytes: 24, DeadlineUs: 160_000},
+				MessageConfig{Name: rt + "/cmd", Source: target, Dest: rt, Kind: "periodic", PeriodUs: 80_000, PayloadBytes: 24, DeadlineUs: 80_000},
+				MessageConfig{Name: rt + "/alarm", Source: rt, Dest: target, Kind: "sporadic", PeriodUs: 20_000, PayloadBytes: 16, DeadlineUs: 3_000},
+				MessageConfig{Name: rt + "/event", Source: rt, Dest: target, Kind: "sporadic", PeriodUs: 40_000, PayloadBytes: 16, DeadlineUs: 80_000},
+				MessageConfig{Name: rt + "/bit-report", Source: rt, Dest: target, Kind: "sporadic", PeriodUs: 640_000, PayloadBytes: 16, DeadlineUs: 1_280_000},
+			)
+		}
+	}
+	return msgs, nil
+}
+
+// workloadTarget resolves the hub station generated RTs exchange traffic
+// with: the workload's explicit target, the bus controller, or the
+// busiest destination of the explicit message list.
+func (c *Config) workloadTarget() (string, error) {
+	if c.Workload != nil && c.Workload.Target != "" {
+		return c.Workload.Target, nil
+	}
+	if c.BusController != "" {
+		return c.BusController, nil
+	}
+	best, bestN := "", 0
+	counts := map[string]int{}
+	for _, mc := range c.Messages {
+		counts[mc.Dest]++
+	}
+	for _, mc := range c.Messages {
+		if n := counts[mc.Dest]; n > bestN || (n == bestN && mc.Dest < best) {
+			best, bestN = mc.Dest, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("topology: workload: extra_rts needs a target (no explicit messages to infer one from)")
+	}
+	return best, nil
+}
+
 // BuildNetwork returns the scenario's architecture: the declared network
-// section, or the paper's star over the given stations when absent.
+// section, or the paper's star over the given stations when absent. With
+// a workload section, stations the declared network does not place —
+// the generated ones — are homed on the workload's switch, on a clone,
+// so the declarative source keeps re-marshaling to the loaded file.
 func (c *Config) BuildNetwork(stations []string) *Network {
-	if c.Network != nil {
+	if c.Network == nil {
+		return Star(stations)
+	}
+	if c.Workload == nil {
 		return c.Network
 	}
-	return Star(stations)
+	var missing []string
+	for _, s := range stations {
+		if _, ok := c.Network.StationSwitch[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		return c.Network
+	}
+	n := c.Network.Clone()
+	if n.StationSwitch == nil {
+		n.StationSwitch = make(map[string]int, len(missing))
+	}
+	for _, s := range missing {
+		n.StationSwitch[s] = c.Workload.Switch
+	}
+	return n
 }
 
 // AnalysisConfig derives the analysis parameters of the scenario.

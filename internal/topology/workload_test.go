@@ -1,0 +1,273 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// byName finds a connection in an expanded set, nil if absent.
+func byName(s *traffic.Set, name string) *traffic.Message {
+	for _, m := range s.Messages {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// workloadConfig is a small two-station scenario carrying a workload
+// section: one stamped template family plus two generated remote
+// terminals exchanging the standard complement with the controller.
+func workloadConfig() *Config {
+	return &Config{
+		Name:          "workload-demo",
+		LinkRateBps:   10_000_000,
+		BusController: "mc",
+		Workload: &WorkloadJSON{
+			ExtraRTs: 2,
+			Templates: []TemplateConfig{{
+				MessageConfig: MessageConfig{
+					Name: "sensor{i}/sample", Source: "sensor{i}", Dest: "mc",
+					Kind: "periodic", PeriodUs: 40_000, PayloadBytes: 32, DeadlineUs: 40_000,
+				},
+				Count: 3,
+			}},
+		},
+		Messages: []MessageConfig{
+			{Name: "mc/poll", Source: "mc", Dest: "io", Kind: "periodic", PeriodUs: 20_000, PayloadBytes: 16, DeadlineUs: 20_000},
+		},
+	}
+}
+
+// TestWorkloadExpansion: the workload section generates exactly the
+// declared connections — stamped templates ("{i}" → copy index), then
+// the seven-message complement per extra RT — in a deterministic order,
+// without disturbing the explicit list.
+func TestWorkloadExpansion(t *testing.T) {
+	set, err := workloadConfig().ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(set.Messages), 1+3+2*7; got != want {
+		t.Fatalf("expanded to %d connections, want %d", got, want)
+	}
+	for _, name := range []string{
+		"mc/poll",
+		"sensor00/sample", "sensor01/sample", "sensor02/sample",
+		"xrt00/state-a", "xrt00/cmd", "xrt01/bit-report",
+	} {
+		if byName(set, name) == nil {
+			t.Errorf("expanded set missing %q", name)
+		}
+	}
+	// The RT complement flows against the resolved target, the command back.
+	alarm := byName(set, "xrt01/alarm")
+	if alarm == nil || alarm.Source != "xrt01" || alarm.Dest != "mc" {
+		t.Errorf("xrt01/alarm = %+v, want xrt01 -> mc", alarm)
+	}
+	cmd := byName(set, "xrt00/cmd")
+	if cmd == nil || cmd.Source != "mc" || cmd.Dest != "xrt00" {
+		t.Errorf("xrt00/cmd = %+v, want mc -> xrt00", cmd)
+	}
+	// Expansion twice is identical (it is part of the canonical identity).
+	again, err := workloadConfig().ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Messages {
+		if set.Messages[i].Name != again.Messages[i].Name {
+			t.Fatalf("expansion order not deterministic at %d: %s vs %s",
+				i, set.Messages[i].Name, again.Messages[i].Name)
+		}
+	}
+}
+
+// TestWorkloadTargetResolution: target resolves explicit > bus controller
+// > busiest explicit destination, and errors when nothing can be inferred.
+func TestWorkloadTargetResolution(t *testing.T) {
+	cfg := workloadConfig()
+	cfg.Workload.Target = "io"
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := byName(set, "xrt00/state-a"); m == nil || m.Dest != "io" {
+		t.Errorf("explicit target ignored: %+v", m)
+	}
+
+	cfg = workloadConfig() // bus controller "mc" is the fallback
+	set, err = cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := byName(set, "xrt00/state-a"); m == nil || m.Dest != "mc" {
+		t.Errorf("bus-controller fallback ignored: %+v", m)
+	}
+
+	cfg = workloadConfig()
+	cfg.BusController = ""
+	set, err = cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busiest destination of the explicit list is "io" (sole dest).
+	if m := byName(set, "xrt00/state-a"); m == nil || m.Dest != "io" {
+		t.Errorf("busiest-destination fallback ignored: %+v", m)
+	}
+
+	cfg.Messages = nil
+	if _, err := cfg.ToSet(); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("targetless workload accepted: %v", err)
+	}
+}
+
+// TestWorkloadValidation rejects the section's malformed shapes with
+// descriptive errors.
+func TestWorkloadValidation(t *testing.T) {
+	bad := map[string]*WorkloadJSON{
+		"negative extra_rts": {ExtraRTs: -1},
+		"negative switch":    {Switch: -2},
+		"negative count":     {Templates: []TemplateConfig{{Count: -1}}},
+		"count without {i}": {Templates: []TemplateConfig{{
+			MessageConfig: MessageConfig{Name: "dup/sample"}, Count: 2,
+		}}},
+		"over the generation cap": {ExtraRTs: MaxGeneratedMessages},
+	}
+	for name, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	var nilW *WorkloadJSON
+	if err := nilW.Validate(); err != nil {
+		t.Errorf("nil workload rejected: %v", err)
+	}
+}
+
+// TestWorkloadRoundTrip: the workload section is part of the canonical
+// form — it survives Save → Load → Save byte-identically (the expansion
+// never leaks into the serialized message list).
+func TestWorkloadRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := workloadConfig().Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), `"workload"`) {
+		t.Fatalf("workload section not serialized:\n%s", first.String())
+	}
+	if strings.Contains(first.String(), "sensor00") {
+		t.Fatalf("expansion leaked into the serialized form:\n%s", first.String())
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("workload round trip lossy:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+// TestWorkloadStationPlacement: generated stations absent from a declared
+// network section are homed on the workload's switch — on a clone, so the
+// declared section's canonical form is untouched.
+func TestWorkloadStationPlacement(t *testing.T) {
+	cfg := workloadConfig()
+	cfg.Workload.Switch = 1
+	cfg.Network = &Network{
+		Name:     "explicit-only",
+		Switches: 2,
+		Links:    [][2]int{{0, 1}},
+		StationSwitch: map[string]int{
+			"mc": 0, "io": 0,
+		},
+	}
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := cfg.BuildNetwork(set.Stations())
+	if placed == cfg.Network {
+		t.Fatal("BuildNetwork mutated the declared section instead of cloning")
+	}
+	for _, s := range []string{"sensor02", "xrt00", "xrt01"} {
+		if sw, ok := placed.StationSwitch[s]; !ok || sw != 1 {
+			t.Errorf("generated station %s homed on %d (present %v), want switch 1", s, sw, ok)
+		}
+	}
+	for _, s := range []string{"mc", "io"} {
+		if sw := placed.StationSwitch[s]; sw != 0 {
+			t.Errorf("explicit station %s moved to %d", s, sw)
+		}
+	}
+	if _, ok := cfg.Network.StationSwitch["xrt00"]; ok {
+		t.Error("declared network section gained a generated station")
+	}
+	if err := placed.Validate(set.Stations()); err != nil {
+		t.Errorf("placed network invalid: %v", err)
+	}
+	// A loaded scenario with a partial network must still load: the strict
+	// loader validates through BuildNetwork, not the raw section.
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("partial-placement scenario does not load: %v", err)
+	}
+}
+
+// TestPerVLSkewMaxMapping: skew_max_us flows from the scenario file onto
+// the traffic.Message, rejects negatives, and round-trips.
+func TestPerVLSkewMaxMapping(t *testing.T) {
+	cfg := workloadConfig()
+	cfg.Messages[0].SkewMaxUs = 150
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byName(set, "mc/poll")
+	if m == nil || m.SkewMax != 150_000 { // 150 µs in nanoseconds
+		t.Errorf("per-VL skew window not mapped: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"skew_max_us": 150`) {
+		t.Errorf("skew_max_us not serialized:\n%s", buf.String())
+	}
+	cfg.Messages[0].SkewMaxUs = -1
+	if _, err := cfg.ToSet(); err == nil || !strings.Contains(err.Error(), "skew_max_us") {
+		t.Errorf("negative skew_max_us accepted: %v", err)
+	}
+}
+
+// TestFromSetInverse: FromSet is ToSet's inverse on the catalog set — the
+// derived config reproduces the same traffic.Set, and Default() is the
+// real case expressed through it.
+func TestFromSetInverse(t *testing.T) {
+	cfg := Default()
+	set, err := cfg.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := FromSet(cfg.Name, set, cfg.LinkRateBps, cfg.TTechnoUs)
+	var a, b bytes.Buffer
+	if err := cfg.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	again.BusController = cfg.BusController
+	if err := again.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("FromSet(ToSet(Default)) drifted:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

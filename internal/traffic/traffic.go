@@ -118,6 +118,13 @@ type Message struct {
 	Deadline simtime.Duration
 	// Priority is the 802.1p class; normally Classify(Kind, Deadline).
 	Priority Priority
+	// SkewMax optionally overrides the ARINC 664 integrity-checking
+	// acceptance window of this connection (VL) on redundant networks:
+	// after the first copy of an instance is delivered, duplicates within
+	// the window count as healthy redundancy and later ones are rejected
+	// as integrity violations. 0 inherits the network-wide window
+	// (core.SimConfig.SkewMax).
+	SkewMax simtime.Duration
 }
 
 // Validate checks the message for internal consistency.
@@ -139,6 +146,8 @@ func (m *Message) Validate() error {
 		return fmt.Errorf("traffic: message %q has non-positive deadline %v", m.Name, m.Deadline)
 	case !m.Priority.Valid():
 		return fmt.Errorf("traffic: message %q has invalid priority %d", m.Name, m.Priority)
+	case m.SkewMax < 0:
+		return fmt.Errorf("traffic: message %q has negative skew_max %v", m.Name, m.SkewMax)
 	}
 	return nil
 }
