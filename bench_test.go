@@ -662,3 +662,162 @@ func BenchmarkSweep(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// M10 — incremental analysis: memoized curve algebra + analysis cache.
+// ---------------------------------------------------------------------------
+
+// reportHitRates attaches the warm-path hit rates of both memo layers to
+// a benchmark, measured as deltas against the post-priming counters.
+func reportHitRates(b *testing.B, m0 netcalc.MemoStats, c0 analysis.CacheStats) {
+	m1, c1 := netcalc.Stats(), analysis.DefaultCacheStats()
+	rate := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(rate(m1.Hits-m0.Hits, m1.Misses-m0.Misses), "memo-hit-rate")
+	b.ReportMetric(rate(c1.Hits-c0.Hits, c1.Misses-c0.Misses), "cache-hit-rate")
+}
+
+// topoGridBenchPoints is the CLI smoke grid (`rtether topo -grid`): every
+// architecture family × {10, 100 Mbps} × {0, 8 extra RTs}.
+func topoGridBenchPoints() []core.TopoPoint {
+	return core.TopoGrid(topology.Families(),
+		[]simtime.Rate{10 * simtime.Mbps, 100 * simtime.Mbps},
+		[]int{0, 8})
+}
+
+// BenchmarkTopoGrid measures the full topology × rate × load
+// cross-validation with the memoized layers cold (both caches emptied
+// every iteration) versus warm (primed once) — the before/after pair of
+// EXPERIMENTS.md M10. The cells must be identical either way; the cold
+// case bounds the regression a cache-less run would see.
+func BenchmarkTopoGrid(b *testing.B) {
+	points := topoGridBenchPoints()
+	cfg := core.DefaultSimConfig(PriorityHandling)
+	cfg.Horizon = 20 * simtime.Millisecond
+	opts := core.SweepOptions{Workers: 1, Reps: 1, Seed: 1}
+	run := func(b *testing.B) {
+		cells, err := core.RunTopoGrid(points, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(points) {
+			b.Fatalf("got %d cells, want %d", len(cells), len(points))
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		prevMemo := netcalc.SetMemoEnabled(false)
+		prevCache := analysis.SetCacheEnabled(false)
+		defer func() {
+			netcalc.SetMemoEnabled(prevMemo)
+			analysis.SetCacheEnabled(prevCache)
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			netcalc.ResetMemo()
+			analysis.ResetDefaultCache()
+			run(b)
+		}
+		b.StopTimer()
+		// The per-iteration resets zero both counter sets, so the live
+		// counters are exactly the last pass's single-grid hit rates.
+		reportHitRates(b, netcalc.MemoStats{}, analysis.CacheStats{})
+	})
+	b.Run("warm", func(b *testing.B) {
+		netcalc.ResetMemo()
+		analysis.ResetDefaultCache()
+		run(b) // prime
+		m0, c0 := netcalc.Stats(), analysis.DefaultCacheStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+		b.StopTimer()
+		reportHitRates(b, m0, c0)
+	})
+}
+
+// BenchmarkAnalysisGrid measures the pure analysis cost of a 30×30
+// (rate × load) grid over the 4-switch chain architecture — the
+// parameter-space shape ROADMAP item 2 targets, with no simulation time
+// diluting the comparison. Cold empties both memo layers every
+// iteration; warm reuses them across cells and iterations.
+func BenchmarkAnalysisGrid(b *testing.B) {
+	rates := make([]simtime.Rate, 30)
+	for i := range rates {
+		rates[i] = simtime.Rate(10+3*i) * simtime.Mbps
+	}
+	loads := make([]int, 30)
+	for i := range loads {
+		loads[i] = i
+	}
+	// One workload and tree per load level; rate only changes the config.
+	sets := make([]*traffic.Set, len(loads))
+	trees := make([]*analysis.Tree, len(loads))
+	for i, l := range loads {
+		sets[i] = traffic.RealCaseWith(l)
+		tr := &analysis.Tree{Switches: 4, Links: [][2]int{{0, 1}, {1, 2}, {2, 3}},
+			StationSwitch: map[string]int{}}
+		for j, s := range sets[i].Stations() {
+			tr.StationSwitch[s] = j % 4
+		}
+		trees[i] = tr
+	}
+	run := func(b *testing.B) {
+		for _, r := range rates {
+			cfg := analysis.DefaultConfig()
+			cfg.LinkRate = r
+			for i := range loads {
+				if _, err := analysis.TreeEndToEnd(sets[i], PriorityHandling, cfg, trees[i]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := analysis.EdgeBacklogs(sets[i], cfg, trees[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		prevMemo := netcalc.SetMemoEnabled(false)
+		prevCache := analysis.SetCacheEnabled(false)
+		defer func() {
+			netcalc.SetMemoEnabled(prevMemo)
+			analysis.SetCacheEnabled(prevCache)
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			netcalc.ResetMemo()
+			analysis.ResetDefaultCache()
+			run(b)
+		}
+		b.StopTimer()
+		// The per-iteration resets zero both counter sets, so the live
+		// counters are exactly the last pass's single-grid hit rates.
+		reportHitRates(b, netcalc.MemoStats{}, analysis.CacheStats{})
+	})
+	b.Run("warm", func(b *testing.B) {
+		netcalc.ResetMemo()
+		analysis.ResetDefaultCache()
+		run(b) // prime
+		m0, c0 := netcalc.Stats(), analysis.DefaultCacheStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+		b.StopTimer()
+		reportHitRates(b, m0, c0)
+	})
+}

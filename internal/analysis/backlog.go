@@ -145,8 +145,15 @@ func swName(id int) string { return fmt.Sprintf("sw%d", id) }
 // the workload: every station uplink, every trunk in both directions,
 // every destination port. Per-trunk and per-station rate overrides are
 // honored (they decide per-edge stability), and the destination-edge
-// bounds coincide exactly with the historical PortBacklogs.
+// bounds coincide exactly with the historical PortBacklogs. Edge bounds
+// are reused through the process-wide analysis cache.
 func EdgeBacklogs(set *traffic.Set, cfg Config, tree *Tree) (*EdgeBacklogResult, error) {
+	return EdgeBacklogsCached(set, cfg, tree, DefaultCache())
+}
+
+// EdgeBacklogsCached is EdgeBacklogs against an explicit cache (nil
+// caches nothing). Results are byte-identical for any cache state.
+func EdgeBacklogsCached(set *traffic.Set, cfg Config, tree *Tree, c *Cache) (*EdgeBacklogResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -164,19 +171,13 @@ func EdgeBacklogs(set *traffic.Set, cfg Config, tree *Tree) (*EdgeBacklogResult,
 
 	// Route every flow once; collect the flows crossing each directed
 	// trunk edge.
-	linkIdx := map[dirEdge]int{}
-	for i, l := range tree.Links {
-		linkIdx[dirEdge{l[0], l[1]}] = i
-		linkIdx[dirEdge{l[1], l[0]}] = i
+	paths, err := c.flowPaths(tree, specs)
+	if err != nil {
+		return nil, err
 	}
 	trunkFlows := map[dirEdge][]FlowSpec{}
-	for _, f := range specs {
-		sp, err := tree.SwitchPath(f.Msg.Source, f.Msg.Dest)
-		if err != nil {
-			return nil, err
-		}
-		for h := 0; h+1 < len(sp); h++ {
-			e := dirEdge{sp[h], sp[h+1]}
+	for i, f := range specs {
+		for _, e := range paths[i] {
 			trunkFlows[e] = append(trunkFlows[e], f)
 		}
 	}
@@ -191,7 +192,7 @@ func EdgeBacklogs(set *traffic.Set, cfg Config, tree *Tree) (*EdgeBacklogResult,
 		for _, f := range flows {
 			e.Flows = append(e.Flows, f.Msg.Name)
 		}
-		b, err := BacklogBound(flows, edgeCfg)
+		b, err := c.backlogBound(flows, edgeCfg)
 		switch {
 		case errors.Is(err, ErrUnstable):
 			e.Unstable = true

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"maps"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/traffic"
+)
+
+// This file makes whole-network analyses incremental across scenarios: a
+// Cache remembers the three results TreeEndToEnd and EdgeBacklogs derive
+// from a (sub-)network stage — multiplexer delay tables, per-edge backlog
+// bounds, and flow routings — keyed by everything the closed forms read
+// (flow B/R/priority lists, discipline, edge rate, relaying latency, tree
+// shape). Neighboring cells of a sweep grid differ in one rate or one
+// load level, so the stages they share hit the cache instead of being
+// re-derived, and a 10⁴-cell grid costs little more than its unique
+// suffixes (ROADMAP item 2).
+//
+// Every cached value is a pure function of its key, computed by the very
+// same code the uncached path runs, so a hit returns bytes identical to a
+// recomputation — the sweep outputs are bit-identical with the cache on,
+// off, warm or cold, at any worker count. The equivalence harness in
+// internal/scenariogen asserts exactly that on every generated scenario.
+//
+// The process-wide default cache is on by default and invisible to
+// callers: TreeEndToEnd and EdgeBacklogs use it via DefaultCache().
+// Callers wanting isolation (benchmarks, tests) pass their own NewCache()
+// to the *Cached variants, or disable the layer with SetCacheEnabled.
+
+// cacheCap bounds each table of a Cache; exceeding it resets that table
+// (a pure cache, so recomputation is always sound).
+const cacheCap = 1 << 18
+
+var cacheEnabled atomic.Bool
+
+func init() { cacheEnabled.Store(true) }
+
+// SetCacheEnabled turns the default analysis cache on or off process-wide
+// and returns the previous setting. Disabling only changes performance,
+// never results.
+func SetCacheEnabled(on bool) bool { return cacheEnabled.Swap(on) }
+
+// CacheEnabled reports whether the default analysis cache is consulted.
+func CacheEnabled() bool { return cacheEnabled.Load() }
+
+// Cache memoizes the stage results of whole-network analyses. A nil
+// *Cache is valid and caches nothing. Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	mux     map[string]*muxDelays
+	backlog map[string]backlogEntry
+	paths   map[string][][]dirEdge
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty, isolated analysis cache.
+func NewCache() *Cache { return &Cache{} }
+
+var defaultCache Cache
+
+// DefaultCache returns the process-wide analysis cache, or nil when the
+// layer is disabled (SetCacheEnabled(false)).
+func DefaultCache() *Cache {
+	if !cacheEnabled.Load() {
+		return nil
+	}
+	return &defaultCache
+}
+
+// CacheStats is a snapshot of one cache's counters and table sizes.
+type CacheStats struct {
+	// Hits and Misses count lookups across all three tables.
+	Hits, Misses uint64
+	// MuxEntries, BacklogEntries and PathEntries are the table sizes.
+	MuxEntries, BacklogEntries, PathEntries int
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		MuxEntries:     len(c.mux),
+		BacklogEntries: len(c.backlog),
+		PathEntries:    len(c.paths),
+	}
+}
+
+// Reset empties the cache and its counters.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mux, c.backlog, c.paths = nil, nil, nil
+	c.hits, c.misses = 0, 0
+}
+
+// DefaultCacheStats returns the process-wide cache's counters.
+func DefaultCacheStats() CacheStats { return defaultCache.Stats() }
+
+// ResetDefaultCache empties the process-wide cache (cold-cache state for
+// benchmarks).
+func ResetDefaultCache() { defaultCache.Reset() }
+
+// muxDelays is the delay table of one multiplexer: the bound of every
+// member of one flow group under one discipline and edge configuration.
+// FCFS has one bound for the whole group; priority has one per class, so
+// the table costs at most four closed-form evaluations where the per-flow
+// formulation cost one per member.
+type muxDelays struct {
+	approach Approach
+	fcfs     simtime.Duration
+	fcfsErr  error
+	class    [traffic.NumPriorities]simtime.Duration
+	classErr [traffic.NumPriorities]error
+}
+
+// delayFor returns the table's bound for one member flow — exactly what
+// muxBound(group, member, approach, cfg) returns, because neither closed
+// form reads anything of the member beyond its priority class.
+func (t *muxDelays) delayFor(member FlowSpec) (simtime.Duration, error) {
+	if t.approach == FCFS {
+		return t.fcfs, t.fcfsErr
+	}
+	p := member.Msg.Priority
+	return t.class[p], t.classErr[p]
+}
+
+// computeMuxDelays evaluates the closed forms for one group: FCFS once,
+// or each priority class that has a member once.
+func computeMuxDelays(specs []FlowSpec, approach Approach, cfg Config) *muxDelays {
+	t := &muxDelays{approach: approach}
+	if approach == FCFS {
+		t.fcfs, t.fcfsErr = FCFSBound(specs, cfg)
+		return t
+	}
+	var present [traffic.NumPriorities]bool
+	for _, f := range specs {
+		present[f.Msg.Priority] = true
+	}
+	for p := traffic.P0; p < traffic.NumPriorities; p++ {
+		if present[p] {
+			t.class[p], t.classErr[p] = PriorityBound(specs, p, cfg)
+		}
+	}
+	return t
+}
+
+// backlogEntry is a memoized BacklogBound outcome (its only error is
+// ErrUnstable, so a bool carries it).
+type backlogEntry struct {
+	bound    simtime.Size
+	unstable bool
+}
+
+// appendStr appends a length-prefixed string to a key buffer.
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// muxCacheKey encodes everything FCFSBound and PriorityBound read: the
+// discipline, the edge's rate and relaying latency, and each member's
+// (bᵢ, rᵢ, priority) in group order.
+func muxCacheKey(specs []FlowSpec, approach Approach, cfg Config) string {
+	b := make([]byte, 0, 17+len(specs)*17)
+	b = append(b, byte(approach))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.LinkRate))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.TTechno))
+	for _, f := range specs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.B))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.R))
+		b = append(b, byte(f.Msg.Priority))
+	}
+	return string(b)
+}
+
+// backlogCacheKey encodes everything BacklogBound reads: the edge's rate
+// and latency and each member's (bᵢ, rᵢ).
+func backlogCacheKey(specs []FlowSpec, cfg Config) string {
+	b := make([]byte, 0, 16+len(specs)*16)
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.LinkRate))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.TTechno))
+	for _, f := range specs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.B))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.R))
+	}
+	return string(b)
+}
+
+// routeCacheKey encodes everything flow routing reads: the tree shape
+// (switch count, links, station placement) and each flow's endpoints.
+func routeCacheKey(tree *Tree, specs []FlowSpec) string {
+	b := make([]byte, 0, 64+len(specs)*32)
+	b = binary.LittleEndian.AppendUint64(b, uint64(tree.Switches))
+	for _, l := range tree.Links {
+		b = binary.LittleEndian.AppendUint64(b, uint64(l[0]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(l[1]))
+	}
+	for _, s := range slices.Sorted(maps.Keys(tree.StationSwitch)) {
+		b = appendStr(b, s)
+		b = binary.LittleEndian.AppendUint64(b, uint64(tree.StationSwitch[s]))
+	}
+	for _, f := range specs {
+		b = appendStr(b, f.Msg.Source)
+		b = appendStr(b, f.Msg.Dest)
+	}
+	return string(b)
+}
+
+// muxDelays returns the delay table of one flow group, from the cache
+// when present.
+func (c *Cache) muxDelays(specs []FlowSpec, approach Approach, cfg Config) *muxDelays {
+	if c == nil {
+		return computeMuxDelays(specs, approach, cfg)
+	}
+	key := muxCacheKey(specs, approach, cfg)
+	c.mu.Lock()
+	if t, ok := c.mux[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return t
+	}
+	c.misses++
+	c.mu.Unlock()
+	t := computeMuxDelays(specs, approach, cfg)
+	c.mu.Lock()
+	if len(c.mux) >= cacheCap {
+		c.mux = nil
+	}
+	if c.mux == nil {
+		c.mux = map[string]*muxDelays{}
+	}
+	c.mux[key] = t
+	c.mu.Unlock()
+	return t
+}
+
+// backlogBound returns BacklogBound(flows, cfg), from the cache when
+// present.
+func (c *Cache) backlogBound(flows []FlowSpec, cfg Config) (simtime.Size, error) {
+	if c == nil {
+		return BacklogBound(flows, cfg)
+	}
+	key := backlogCacheKey(flows, cfg)
+	c.mu.Lock()
+	if e, ok := c.backlog[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		if e.unstable {
+			return 0, ErrUnstable
+		}
+		return e.bound, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	b, err := BacklogBound(flows, cfg)
+	c.mu.Lock()
+	if len(c.backlog) >= cacheCap {
+		c.backlog = nil
+	}
+	if c.backlog == nil {
+		c.backlog = map[string]backlogEntry{}
+	}
+	c.backlog[key] = backlogEntry{bound: b, unstable: err != nil}
+	c.mu.Unlock()
+	return b, err
+}
+
+// routeFlows computes each flow's directed trunk-edge sequence along its
+// unique tree path (empty for co-located endpoints).
+func routeFlows(tree *Tree, specs []FlowSpec) ([][]dirEdge, error) {
+	paths := make([][]dirEdge, len(specs))
+	for i, f := range specs {
+		sp, err := tree.SwitchPath(f.Msg.Source, f.Msg.Dest)
+		if err != nil {
+			return nil, err
+		}
+		for h := 0; h+1 < len(sp); h++ {
+			paths[i] = append(paths[i], dirEdge{sp[h], sp[h+1]})
+		}
+	}
+	return paths, nil
+}
+
+// flowPaths returns routeFlows(tree, specs), from the cache when present.
+// The returned slices are shared across callers and must not be mutated.
+func (c *Cache) flowPaths(tree *Tree, specs []FlowSpec) ([][]dirEdge, error) {
+	if c == nil {
+		return routeFlows(tree, specs)
+	}
+	key := routeCacheKey(tree, specs)
+	c.mu.Lock()
+	if p, ok := c.paths[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	p, err := routeFlows(tree, specs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.paths) >= cacheCap {
+		c.paths = nil
+	}
+	if c.paths == nil {
+		c.paths = map[string][][]dirEdge{}
+	}
+	c.paths[key] = p
+	c.mu.Unlock()
+	return p, nil
+}

@@ -1,10 +1,10 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"maps"
 	"slices"
-	"sort"
 
 	"repro/internal/simtime"
 	"repro/internal/traffic"
@@ -275,8 +275,80 @@ func (t *Tree) SwitchPath(a, b string) ([]int, error) {
 // dirEdge is a directed trunk edge.
 type dirEdge struct{ from, to int }
 
-// TreeEndToEnd bounds every connection over the tree topology.
+// compareDirEdges orders directed edges lexicographically by (from, to) —
+// the deterministic tie-break of the trunk topological order. (An earlier
+// revision sorted on the packed key from*1000+to, which collides once a
+// tree reaches 1000 switches and silently made the processing order
+// depend on map iteration order.)
+func compareDirEdges(a, b dirEdge) int {
+	if a.from != b.from {
+		return cmp.Compare(a.from, b.from)
+	}
+	return cmp.Compare(a.to, b.to)
+}
+
+// trunkTopoOrder returns the directed trunk edges crossed by the flows in
+// topological order under "crossed earlier by some flow" (Kahn's
+// algorithm over the dependency multigraph), ties broken lexicographically
+// by (from, to). The order is a pure function of the paths: deterministic
+// across calls and independent of map iteration order.
+func trunkTopoOrder(paths [][]dirEdge) ([]dirEdge, error) {
+	deps := map[dirEdge]map[dirEdge]bool{} // e2 depends on e1 (e1 first)
+	indeg := map[dirEdge]int{}
+	for _, p := range paths {
+		for h, e := range p {
+			if _, ok := indeg[e]; !ok {
+				indeg[e] = 0
+			}
+			if h > 0 {
+				prev := p[h-1]
+				if deps[prev] == nil {
+					deps[prev] = map[dirEdge]bool{}
+				}
+				if !deps[prev][e] {
+					deps[prev][e] = true
+					indeg[e]++
+				}
+			}
+		}
+	}
+	var order []dirEdge
+	var ready []dirEdge
+	//rtlint:sorted-after
+	for e, d := range indeg {
+		if d == 0 {
+			ready = append(ready, e)
+		}
+	}
+	slices.SortFunc(ready, compareDirEdges)
+	for len(ready) > 0 {
+		e := ready[0]
+		ready = ready[1:]
+		order = append(order, e)
+		//rtlint:sorted-after
+		for next := range deps[e] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+		slices.SortFunc(ready, compareDirEdges)
+	}
+	if len(order) != len(indeg) {
+		return nil, fmt.Errorf("analysis: cyclic trunk dependencies — topology is not a tree")
+	}
+	return order, nil
+}
+
+// TreeEndToEnd bounds every connection over the tree topology, reusing
+// shared stage results through the process-wide analysis cache.
 func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (*Result, error) {
+	return TreeEndToEndCached(set, approach, cfg, tree, DefaultCache())
+}
+
+// TreeEndToEndCached is TreeEndToEnd against an explicit cache (nil
+// caches nothing). Results are byte-identical for any cache state.
+func TreeEndToEndCached(set *traffic.Set, approach Approach, cfg Config, tree *Tree, c *Cache) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -298,29 +370,30 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		linkIdx[dirEdge{l[0], l[1]}] = i
 		linkIdx[dirEdge{l[1], l[0]}] = i
 	}
-	paths := make([][]dirEdge, len(specs))
-	for i, f := range specs {
-		sp, err := tree.SwitchPath(f.Msg.Source, f.Msg.Dest)
-		if err != nil {
-			return nil, err
-		}
-		for h := 0; h+1 < len(sp); h++ {
-			paths[i] = append(paths[i], dirEdge{sp[h], sp[h+1]})
-		}
+	paths, err := c.flowPaths(tree, specs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Stage 1: source uplinks, each at the station's access-link rate.
 	// Propagation delays are constant shifts: they accumulate into fixed[i]
 	// (added to bound and floor alike) without inflating any arrival curve.
+	// One delay table per station covers all its flows.
 	bySource := groupBy(specs, func(f FlowSpec) string { return f.Msg.Source })
+	srcTables := make(map[string]*muxDelays, len(bySource))
 	stage1 := make([]simtime.Duration, len(specs))
 	fixed := make([]simtime.Duration, len(specs))
 	current := make([]FlowSpec, len(specs)) // spec after the last processed stage
 	for i, f := range specs {
-		srcCfg := cfg
-		srcCfg.TTechno = 0
-		srcCfg.LinkRate = tree.StationRate(f.Msg.Source, cfg.LinkRate)
-		d, err := muxBound(bySource[f.Msg.Source], f, approach, srcCfg)
+		tbl := srcTables[f.Msg.Source]
+		if tbl == nil {
+			srcCfg := cfg
+			srcCfg.TTechno = 0
+			srcCfg.LinkRate = tree.StationRate(f.Msg.Source, cfg.LinkRate)
+			tbl = c.muxDelays(bySource[f.Msg.Source], approach, srcCfg)
+			srcTables[f.Msg.Source] = tbl
+		}
+		d, err := tbl.delayFor(f)
 		if err != nil {
 			return nil, fmt.Errorf("station %s: %w", f.Msg.Source, err)
 		}
@@ -330,57 +403,16 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 	}
 
 	// Topological order of directed edges under "crossed earlier by some
-	// flow". Kahn's algorithm over the dependency multigraph.
+	// flow", and the flows crossing each edge.
 	edgeFlows := map[dirEdge][]int{}
-	deps := map[dirEdge]map[dirEdge]bool{} // e2 depends on e1 (e1 first)
-	indeg := map[dirEdge]int{}
 	for i, p := range paths {
-		_ = i
-		for h, e := range p {
-			if _, ok := indeg[e]; !ok {
-				indeg[e] = 0
-			}
+		for _, e := range p {
 			edgeFlows[e] = append(edgeFlows[e], i)
-			if h > 0 {
-				prev := p[h-1]
-				if deps[prev] == nil {
-					deps[prev] = map[dirEdge]bool{}
-				}
-				if !deps[prev][e] {
-					deps[prev][e] = true
-					indeg[e]++
-				}
-			}
 		}
 	}
-	var order []dirEdge
-	var ready []dirEdge
-	//rtlint:sorted-after
-	for e, d := range indeg {
-		if d == 0 {
-			ready = append(ready, e)
-		}
-	}
-	sort.Slice(ready, func(a, b int) bool {
-		return ready[a].from*1000+ready[a].to < ready[b].from*1000+ready[b].to
-	})
-	for len(ready) > 0 {
-		e := ready[0]
-		ready = ready[1:]
-		order = append(order, e)
-		//rtlint:sorted-after
-		for next := range deps[e] {
-			indeg[next]--
-			if indeg[next] == 0 {
-				ready = append(ready, next)
-			}
-		}
-		sort.Slice(ready, func(a, b int) bool {
-			return ready[a].from*1000+ready[a].to < ready[b].from*1000+ready[b].to
-		})
-	}
-	if len(order) != len(indeg) {
-		return nil, fmt.Errorf("analysis: cyclic trunk dependencies — topology is not a tree")
+	order, err := trunkTopoOrder(paths)
+	if err != nil {
+		return nil, err
 	}
 
 	// Stage 2: trunk multiplexers in dependency order, each at its trunk's
@@ -398,33 +430,42 @@ func TreeEndToEnd(set *traffic.Set, approach Approach, cfg Config, tree *Tree) (
 		for _, i := range flows {
 			agg = append(agg, current[i])
 		}
-		for _, i := range flows {
-			d, err := muxBound(agg, current[i], approach, edgeCfg)
+		tbl := c.muxDelays(agg, approach, edgeCfg)
+		// Each (flow, edge) bound is computed once and reused by the
+		// inflation loop below. (An earlier revision called the bound a
+		// second time with identical inputs to inflate — a silent 2× on
+		// the trunk stage and a drift hazard had the two calls diverged.)
+		delays := make([]simtime.Duration, len(flows))
+		for k, i := range flows {
+			d, err := tbl.delayFor(current[i])
 			if err != nil {
 				return nil, fmt.Errorf("trunk %d→%d: %w", e.from, e.to, err)
 			}
+			delays[k] = d
 			trunkDelay[i] += d
 			fixed[i] += tree.TrunkProp(li)
 		}
 		// Inflate after all bounds at this edge are computed (every flow
 		// sees its peers' entering curves, not their exits).
-		for _, i := range flows {
-			d, err := muxBound(agg, current[i], approach, edgeCfg)
-			if err != nil {
-				return nil, err
-			}
-			current[i] = inflate(current[i], d)
+		for k, i := range flows {
+			current[i] = inflate(current[i], delays[k])
 		}
 	}
 
 	// Stage 3: destination ports, serializing onto the destination
-	// station's access link.
+	// station's access link. One delay table per destination port.
 	byDest := groupBy(current, func(f FlowSpec) string { return f.Msg.Dest })
+	destTables := make(map[string]*muxDelays, len(byDest))
 	res := &Result{Approach: approach, Cfg: cfg}
 	for i, f := range specs {
 		destCfg := cfg
 		destCfg.LinkRate = tree.StationRate(f.Msg.Dest, cfg.LinkRate)
-		d, err := muxBound(byDest[f.Msg.Dest], current[i], approach, destCfg)
+		tbl := destTables[f.Msg.Dest]
+		if tbl == nil {
+			tbl = c.muxDelays(byDest[f.Msg.Dest], approach, destCfg)
+			destTables[f.Msg.Dest] = tbl
+		}
+		d, err := tbl.delayFor(current[i])
 		if err != nil {
 			return nil, fmt.Errorf("port %s: %w", f.Msg.Dest, err)
 		}

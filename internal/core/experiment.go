@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -39,7 +40,7 @@ type Experiment[P, C any] struct {
 // is bit-identical at any opts.Workers value.
 func (e Experiment[P, C]) Run(opts SweepOptions) ([]C, error) {
 	reps := opts.reps()
-	scens, bounds, idx, err := e.bindAll()
+	scens, bounds, idx, err := e.bindAll(opts.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -64,22 +65,42 @@ func (e Experiment[P, C]) Run(opts SweepOptions) ([]C, error) {
 	return out, nil
 }
 
-// bindAll binds and bounds every point — the cheap, fallible prefix shared
-// by Run and RunStream.
-func (e Experiment[P, C]) bindAll() (scens []*Scenario, bounds []*analysis.Result, idx []int, err error) {
-	scens = make([]*Scenario, len(e.Points))
-	bounds = make([]*analysis.Result, len(e.Points))
+// bindAll binds and bounds every point — the fallible prefix shared by
+// Run and RunStream. Points bind on the sweep worker pool: Bind and the
+// analytic bounds are pure functions of their point (the analysis cache
+// returns identical bytes in any arrival order), so the results — and the
+// lowest-index error, which the pool guarantees — are bit-identical at
+// any worker count.
+func (e Experiment[P, C]) bindAll(workers int) (scens []*Scenario, bounds []*analysis.Result, idx []int, err error) {
 	idx = make([]int, len(e.Points))
-	for i, p := range e.Points {
-		s, err := e.Bind(p)
+	for i := range idx {
+		idx[i] = i
+	}
+	type bindResult struct {
+		s *Scenario
+		b *analysis.Result
+	}
+	res, err := sweep.RunIndexed(idx, workers, func(i, _ int) (bindResult, error) {
+		s, err := e.Bind(e.Points[i])
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: experiment point %d: %w", i, err)
+			return bindResult{}, fmt.Errorf("core: experiment point %d: %w", i, err)
 		}
 		b, err := s.Analyze(s.Sim.Approach)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: experiment point %d (%s): %w", i, s.Name, err)
+			return bindResult{}, fmt.Errorf("core: experiment point %d (%s): %w", i, s.Name, err)
 		}
-		scens[i], bounds[i], idx[i] = s, b, i
+		return bindResult{s: s, b: b}, nil
+	})
+	if err != nil {
+		// The messages built above already name the point; drop the pool's
+		// redundant "sweep: point N:" wrapper so callers see the exact
+		// errors the serial formulation produced.
+		return nil, nil, nil, errors.Unwrap(err)
+	}
+	scens = make([]*Scenario, len(e.Points))
+	bounds = make([]*analysis.Result, len(e.Points))
+	for i, r := range res {
+		scens[i], bounds[i] = r.s, r.b
 	}
 	return scens, bounds, idx, nil
 }
@@ -95,7 +116,7 @@ func (e Experiment[P, C]) bindAll() (scens []*Scenario, bounds []*analysis.Resul
 // emit calls are serialized and in order; an emit error aborts the run.
 func (e Experiment[P, C]) RunStream(opts SweepOptions, emit func(C) error) error {
 	reps := opts.reps()
-	scens, bounds, idx, err := e.bindAll()
+	scens, bounds, idx, err := e.bindAll(opts.workers())
 	if err != nil {
 		return err
 	}

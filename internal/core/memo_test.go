@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/netcalc"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// The memoization layers must actually engage on the smoke grid — a
+// refactor that silently stops hitting either cache would keep every
+// result byte-identical while quietly giving back the M10 speedup, so
+// CI asserts the hit counters move. Deltas, not absolutes: other tests
+// in the package share the process-wide tables.
+func TestTopoGridMemoHitRate(t *testing.T) {
+	if !netcalc.MemoEnabled() || !analysis.CacheEnabled() {
+		t.Skip("memoization disabled in this process")
+	}
+	base := DefaultSimConfig(analysis.Priority)
+	base.Horizon = 20 * simtime.Millisecond
+	points := TopoGrid(topology.Families(),
+		[]simtime.Rate{10 * simtime.Mbps, 100 * simtime.Mbps}, []int{0, 8})
+
+	memoBefore := netcalc.Stats()
+	cacheBefore := analysis.DefaultCacheStats()
+	cells, err := RunTopoGrid(points, base, SweepOptions{Workers: 2, Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(points) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(points))
+	}
+	memoAfter := netcalc.Stats()
+	cacheAfter := analysis.DefaultCacheStats()
+
+	if hits := memoAfter.Hits - memoBefore.Hits; hits == 0 {
+		t.Errorf("netcalc memo recorded no hits over the smoke grid (misses grew by %d)",
+			memoAfter.Misses-memoBefore.Misses)
+	}
+	if hits := cacheAfter.Hits - cacheBefore.Hits; hits == 0 {
+		t.Errorf("analysis cache recorded no hits over the smoke grid (misses grew by %d)",
+			cacheAfter.Misses-cacheBefore.Misses)
+	}
+}

@@ -1,0 +1,238 @@
+package netcalc
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file makes the curve algebra incremental: every Curve can be
+// hash-consed into a process-wide interning table (identical segment
+// lists share one identity), and the expensive pure operators — Add,
+// Min/Max, Convolve, Deconvolve, HorizontalDeviation, VerticalDeviation,
+// ResidualStrictPriority — consult a memo table keyed by the interned
+// identities of their operands before computing. The operators are pure
+// functions of their operands, so a memo hit returns the very float64s
+// the computation would produce: results are byte-identical with the
+// memo on, off, warm or cold, which is what lets parameter sweeps reuse
+// the shared curve terms of neighboring grid cells for free.
+//
+// Concurrency: one mutex guards the intern and memo tables. The sweep
+// engine analyzes many grid cells concurrently, and the operators are
+// expensive relative to a map operation, so a single lock is not a
+// bottleneck; whichever goroutine computes a result first stores it and
+// every later caller gets the identical value.
+//
+// Memory: the memo tables are reset wholesale when they exceed memoCap
+// entries (recomputing is always sound — the tables are a pure cache).
+// The intern table is NEVER reset: curves already handed out carry their
+// interned identity, and reassigning an id to a different curve would
+// silently poison every future memo key built from a retained curve. An
+// intern entry is ~Θ(segments) bytes, bounded by the number of distinct
+// curves a process ever builds.
+
+// memoOp enumerates the memoized operators.
+type memoOp uint8
+
+const (
+	opAdd memoOp = iota + 1
+	opMin
+	opMax
+	opConvolve
+	opDeconvolve
+	opHDev
+	opVDev
+	opResidual
+)
+
+// memoKey identifies one operator application: the operator, the interned
+// operand identities, and the raw bits of the scalar operand for the one
+// operator that takes one (ResidualStrictPriority's blocking term).
+type memoKey struct {
+	op   memoOp
+	a, b uint64
+	x    uint64
+}
+
+// scalarVal is a memoized deviation: the value, or "the bound does not
+// exist" (ErrUnbounded).
+type scalarVal struct {
+	v         float64
+	unbounded bool
+}
+
+// curveVal is a memoized curve result; unbounded marks a Deconvolve that
+// returned ErrUnbounded (with the zero Curve, exactly as the uncached
+// path does).
+type curveVal struct {
+	c         Curve
+	unbounded bool
+}
+
+// memoCap bounds each memo table; exceeding it resets that table (a pure
+// cache, so recomputation is always sound).
+const memoCap = 1 << 20
+
+var memoEnabled atomic.Bool
+
+func init() { memoEnabled.Store(true) }
+
+// SetMemoEnabled turns the interning/memo layer on or off process-wide
+// and returns the previous setting. Disabling only changes performance,
+// never results — the equivalence harness asserts exactly that.
+func SetMemoEnabled(on bool) bool { return memoEnabled.Swap(on) }
+
+// MemoEnabled reports whether the memo layer is consulted.
+func MemoEnabled() bool { return memoEnabled.Load() }
+
+var memo struct {
+	mu      sync.Mutex
+	ids     map[string]uint64 // canonical segment bytes → interned id
+	nextID  uint64
+	curves  map[memoKey]curveVal
+	scalars map[memoKey]scalarVal
+	hits    uint64
+	misses  uint64
+}
+
+// MemoStats is a snapshot of the memo layer's counters.
+type MemoStats struct {
+	// Hits and Misses count memoized-operator lookups since the last
+	// ResetMemo.
+	Hits, Misses uint64
+	// CurveEntries and ScalarEntries are the current table sizes.
+	CurveEntries, ScalarEntries int
+	// Interned is the number of distinct curves ever hash-consed.
+	Interned int
+}
+
+// Stats returns a snapshot of the memo counters and table sizes.
+func Stats() MemoStats {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	return MemoStats{
+		Hits:          memo.hits,
+		Misses:        memo.misses,
+		CurveEntries:  len(memo.curves),
+		ScalarEntries: len(memo.scalars),
+		Interned:      len(memo.ids),
+	}
+}
+
+// ResetMemo clears the memo tables and counters (cold-cache state for
+// benchmarks). The intern table survives — see the file comment.
+func ResetMemo() {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.curves = nil
+	memo.scalars = nil
+	memo.hits, memo.misses = 0, 0
+}
+
+// curveKey renders a segment list as its canonical byte string — the
+// exact float64 bit patterns, so two curves intern equal iff they would
+// produce bit-identical results in every operator.
+func curveKey(segs []Segment) string {
+	b := make([]byte, 0, len(segs)*24)
+	for _, s := range segs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Y))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Slope))
+	}
+	return string(b)
+}
+
+// internLocked assigns (or finds) the id of a curve. memo.mu held.
+func internLocked(c *Curve) uint64 {
+	if c.id != 0 {
+		return c.id
+	}
+	key := curveKey(c.segs)
+	id, ok := memo.ids[key]
+	if !ok {
+		if memo.ids == nil {
+			memo.ids = map[string]uint64{}
+		}
+		memo.nextID++
+		id = memo.nextID
+		memo.ids[key] = id
+	}
+	c.id = id
+	return id
+}
+
+// Intern hash-conses the curve: curves with identical segments share one
+// identity. The returned curve carries the id, so chained memoized
+// operators on it skip re-encoding. Exposed for callers that build many
+// identical curves (per-flow token buckets across grid cells).
+func (c Curve) Intern() Curve {
+	if !memoEnabled.Load() {
+		return c
+	}
+	memo.mu.Lock()
+	internLocked(&c)
+	memo.mu.Unlock()
+	return c
+}
+
+// memoCurve looks up a curve-valued operator application. The operand
+// pointers are interned in place so callers retaining them keep the ids.
+func memoCurve(op memoOp, a, b *Curve, x uint64) (Curve, bool, bool) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	k := memoKey{op: op, a: internLocked(a), b: internLocked(b), x: x}
+	v, ok := memo.curves[k]
+	if ok {
+		memo.hits++
+	} else {
+		memo.misses++
+	}
+	return v.c, v.unbounded, ok
+}
+
+// storeCurve interns and records a curve-valued result, returning the
+// id-carrying copy so chains stay O(1). An unbounded result carries the
+// zero Curve, which is recorded but not interned (it has no segments).
+func storeCurve(op memoOp, a, b *Curve, x uint64, r Curve, unbounded bool) Curve {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	if len(memo.curves) >= memoCap {
+		memo.curves = nil
+	}
+	if memo.curves == nil {
+		memo.curves = map[memoKey]curveVal{}
+	}
+	if len(r.segs) > 0 {
+		internLocked(&r)
+	}
+	memo.curves[memoKey{op: op, a: internLocked(a), b: internLocked(b), x: x}] = curveVal{c: r, unbounded: unbounded}
+	return r
+}
+
+// memoScalar looks up a deviation-valued operator application.
+func memoScalar(op memoOp, a, b *Curve) (scalarVal, bool) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	k := memoKey{op: op, a: internLocked(a), b: internLocked(b)}
+	v, ok := memo.scalars[k]
+	if ok {
+		memo.hits++
+	} else {
+		memo.misses++
+	}
+	return v, ok
+}
+
+// storeScalar records a deviation-valued result.
+func storeScalar(op memoOp, a, b *Curve, v scalarVal) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	if len(memo.scalars) >= memoCap {
+		memo.scalars = nil
+	}
+	if memo.scalars == nil {
+		memo.scalars = map[memoKey]scalarVal{}
+	}
+	memo.scalars[memoKey{op: op, a: internLocked(a), b: internLocked(b)}] = v
+}

@@ -1,0 +1,171 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+)
+
+// withMemo runs fn with the curve memo forced to the given state and the
+// previous state restored afterwards.
+func withMemo(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := SetMemoEnabled(on)
+	defer SetMemoEnabled(prev)
+	fn()
+}
+
+// memoTestPairs is a spread of operand shapes: token buckets, rate
+// latencies, multi-segment concave/convex results of prior operators,
+// and degenerate flats.
+func memoTestPairs() [][2]Curve {
+	tb1 := TokenBucket(4000, 1e6)
+	tb2 := TokenBucket(12000, 2.5e6)
+	rl1 := RateLatency(1e7, 1e-3)
+	rl2 := RateLatency(2.5e7, 16e-6)
+	return [][2]Curve{
+		{tb1, tb2},
+		{tb1.Add(tb2), tb2},
+		{tb1.Min(tb2), tb1.Max(tb2)},
+		{rl1, rl2},
+		{Zero(), tb1},
+		{Constant(500), Affine(0, 3e6)},
+	}
+}
+
+// Every memoized operator must return the exact float64s the raw
+// computation produces — a hit is indistinguishable from a recompute.
+func TestMemoizedOperatorsByteIdentical(t *testing.T) {
+	type result struct {
+		curves []Curve
+		floats []float64
+		errs   []bool
+	}
+	eval := func() result {
+		var res result
+		curve := func(c Curve) { res.curves = append(res.curves, c) }
+		scalar := func(v float64, err error) {
+			res.floats = append(res.floats, v)
+			res.errs = append(res.errs, err != nil)
+		}
+		for _, p := range memoTestPairs() {
+			a, b := p[0], p[1]
+			curve(a.Add(b))
+			curve(a.Min(b))
+			curve(a.Max(b))
+		}
+		alpha := TokenBucket(4000, 1e6)
+		beta := RateLatency(1e7, 1e-3)
+		curve(Convolve(beta, RateLatency(2.5e7, 16e-6)))
+		curve(Convolve(alpha, TokenBucket(12000, 2.5e6)))
+		curve(ResidualStrictPriority(beta, alpha, 12000))
+		scalar(HorizontalDeviation(alpha, beta))
+		scalar(VerticalDeviation(alpha, beta))
+		if d, err := Deconvolve(alpha, beta); err != nil {
+			t.Fatalf("Deconvolve: %v", err)
+		} else {
+			curve(d)
+		}
+		// Unbounded deconvolution: the error case must memoize too.
+		_, err := Deconvolve(TokenBucket(100, 2e7), beta)
+		scalar(0, err)
+		return res
+	}
+
+	var raw, memoized, replay result
+	withMemo(t, false, func() { raw = eval() })
+	withMemo(t, true, func() {
+		ResetMemo()
+		memoized = eval() // misses: computes and stores
+		replay = eval()   // hits: must replay the stored bytes
+	})
+
+	check := func(name string, got result) {
+		t.Helper()
+		if len(got.curves) != len(raw.curves) || len(got.floats) != len(raw.floats) {
+			t.Fatalf("%s: result count mismatch", name)
+		}
+		for i := range raw.curves {
+			if !got.curves[i].Equal(raw.curves[i]) {
+				t.Errorf("%s: curve %d diverges: %v != %v", name, i, got.curves[i], raw.curves[i])
+			}
+		}
+		for i := range raw.floats {
+			if math.Float64bits(got.floats[i]) != math.Float64bits(raw.floats[i]) {
+				t.Errorf("%s: scalar %d diverges: %v != %v", name, i, got.floats[i], raw.floats[i])
+			}
+			if got.errs[i] != raw.errs[i] {
+				t.Errorf("%s: scalar %d error presence diverges", name, i)
+			}
+		}
+	}
+	check("miss path", memoized)
+	check("hit path", replay)
+}
+
+// A repeated operation must be a hit, and Stats must say so.
+func TestMemoStatsCountHits(t *testing.T) {
+	withMemo(t, true, func() {
+		ResetMemo()
+		a, b := TokenBucket(4000, 1e6), RateLatency(1e7, 1e-3)
+		if _, err := HorizontalDeviation(a, b); err != nil {
+			t.Fatal(err)
+		}
+		after1 := Stats()
+		if after1.Hits != 0 || after1.Misses == 0 {
+			t.Fatalf("first evaluation: want pure misses, got %+v", after1)
+		}
+		if _, err := HorizontalDeviation(a, b); err != nil {
+			t.Fatal(err)
+		}
+		after2 := Stats()
+		if after2.Hits == 0 {
+			t.Fatalf("second evaluation recorded no hit: %+v", after2)
+		}
+		if after2.Misses != after1.Misses {
+			t.Errorf("second evaluation recomputed: misses %d -> %d", after1.Misses, after2.Misses)
+		}
+	})
+}
+
+// Disabling the memo must bypass both lookups and stores.
+func TestSetMemoEnabledBypasses(t *testing.T) {
+	withMemo(t, true, func() {
+		ResetMemo()
+		before := Stats()
+		withMemo(t, false, func() {
+			a, b := TokenBucket(4000, 1e6), RateLatency(1e7, 1e-3)
+			if _, err := HorizontalDeviation(a, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+		after := Stats()
+		if after.Hits != before.Hits || after.Misses != before.Misses {
+			t.Errorf("disabled memo still recorded traffic: %+v -> %+v", before, after)
+		}
+	})
+}
+
+// ResetMemo drops the memo tables but keeps the interning table: ids
+// handed out before the reset must stay valid keys afterwards, so a
+// cache held across a reset cannot alias to wrong results.
+func TestResetMemoKeepsInterning(t *testing.T) {
+	withMemo(t, true, func() {
+		ResetMemo()
+		a, b := TokenBucket(4000, 1e6), RateLatency(1e7, 1e-3)
+		want, err := HorizontalDeviation(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ResetMemo()
+		if s := Stats(); s.Hits != 0 || s.Misses != 0 {
+			t.Fatalf("reset did not clear counters: %+v", s)
+		}
+		got, err := HorizontalDeviation(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("post-reset recompute diverges: %v != %v", got, want)
+		}
+	})
+}

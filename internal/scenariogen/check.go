@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/netcalc"
 	"repro/internal/selftest"
 	"repro/internal/topology"
 )
@@ -111,6 +114,8 @@ func check(cfg *topology.Config, oracle bool) (*Verdict, error) {
 		return nil, fmt.Errorf("scenariogen: backlogs: %w", err)
 	}
 
+	verifyCacheEquivalence(v, s, bounds, backs)
+
 	sim, err := s.Simulate()
 	if err != nil {
 		return nil, fmt.Errorf("scenariogen: simulate: %w", err)
@@ -167,4 +172,62 @@ func check(cfg *topology.Config, oracle bool) (*Verdict, error) {
 		}
 	}
 	return v, nil
+}
+
+// equivMu serializes the global memo toggles: concurrent equivalence
+// checks flipping them independently could restore a stale setting.
+var equivMu sync.Mutex
+
+// verifyCacheEquivalence recomputes the scenario's bounds and backlogs
+// with the netcalc curve memo and the analysis cache disabled, and
+// verdicts any divergence from the memoized results computed by check —
+// the byte-identity contract of both memoization layers, exercised on
+// every scenario of the 1000-seed sweep. bounds is nil when the memoized
+// analysis flagged the scenario unstable (v.Unstable); the uncached
+// analysis must then agree on instability.
+func verifyCacheEquivalence(v *Verdict, s *core.Scenario, bounds *analysis.Result, backs *core.NetworkBacklogs) {
+	equivMu.Lock()
+	defer equivMu.Unlock()
+	prevMemo := netcalc.SetMemoEnabled(false)
+	prevCache := analysis.SetCacheEnabled(false)
+	defer func() {
+		netcalc.SetMemoEnabled(prevMemo)
+		analysis.SetCacheEnabled(prevCache)
+	}()
+
+	rawBounds, err := s.Analyze(s.Sim.Approach)
+	switch {
+	case errors.Is(err, analysis.ErrUnstable):
+		if !v.Unstable {
+			v.violate("memo equivalence: uncached analysis unstable, memoized analysis was not")
+		}
+	case err != nil:
+		v.violate("memo equivalence: uncached analysis failed: %v", err)
+	default:
+		switch {
+		case v.Unstable:
+			v.violate("memo equivalence: memoized analysis unstable, uncached analysis was not")
+		case !reflect.DeepEqual(bounds, rawBounds):
+			v.violate("memo equivalence: bounds diverge between memoized and uncached analysis")
+		}
+	}
+
+	rawBacks, err := s.Backlogs()
+	if err != nil {
+		v.violate("memo equivalence: uncached backlogs failed: %v", err)
+		return
+	}
+	if len(rawBacks.Planes) != len(backs.Planes) {
+		v.violate("memo equivalence: backlog plane counts diverge: %d != %d", len(backs.Planes), len(rawBacks.Planes))
+		return
+	}
+	for p, plane := range backs.Planes {
+		raw := rawBacks.Planes[p]
+		// Compare Cfg and Edges, not the whole struct: EdgeBacklogResult
+		// carries a lazily built lookup index that depends on ByKey call
+		// history, not on the bounds.
+		if plane.Cfg != raw.Cfg || !reflect.DeepEqual(plane.Edges, raw.Edges) {
+			v.violate("memo equivalence: plane %d backlog bounds diverge between memoized and uncached analysis", p)
+		}
+	}
 }
